@@ -1,0 +1,106 @@
+// §6.1 study: "many short runs" vs "one long run". For a fixed query
+// budget, the long run yields many more — but correlated — samples; the
+// comparison reports effective sample size (Eq. 25) and the resulting
+// average-degree estimation error.
+//
+// Expected outcome: the long run's nominal sample count is far above its
+// effective sample size; many-short-runs (and WE) samples are ~iid.
+//
+// Env: WNW_TRIALS (default 6), WNW_SCALE (default 0.2), WNW_SEED.
+#include <cstdio>
+#include <vector>
+
+#include "core/samplers.h"
+#include "core/walk_estimate.h"
+#include "datasets/social_datasets.h"
+#include "estimation/aggregates.h"
+#include "estimation/metrics.h"
+#include "experiments/harness.h"
+#include "mcmc/transition.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+int main() {
+  using namespace wnw;
+  const BenchEnv env = ReadBenchEnv(6, 0.2);
+  const SocialDataset ds = MakeYelpLike(env.scale, env.seed, false);
+  const double truth = ds.graph.average_degree();
+  SimpleRandomWalk srw;
+
+  TablePrinter table({"sampler", "samples", "effective_samples",
+                      "query_cost", "rel_error"});
+  table.AddComment("Section 6.1: many short runs vs one long run vs WE "
+                   "(SRW input, Yelp-like)");
+  table.AddComment(StrFormat("dataset: %s; %d trials averaged",
+                             ds.graph.DebugString().c_str(), env.trials));
+
+  constexpr int kSamples = 300;
+  struct Acc {
+    double samples = 0, ess = 0, cost = 0, err = 0;
+  };
+  Acc short_runs, long_run, we_acc;
+
+  for (int trial = 0; trial < env.trials; ++trial) {
+    const uint64_t seed = Mix64(env.seed + trial);
+    Rng start_rng(seed);
+    const NodeId start =
+        static_cast<NodeId>(start_rng.NextBounded(ds.graph.num_nodes()));
+    auto theta = [&](NodeId u) {
+      return static_cast<double>(ds.graph.Degree(u));
+    };
+    auto run = [&](Sampler& sampler, AccessInterface& access, Acc* acc,
+                   int count) {
+      std::vector<NodeId> samples;
+      std::vector<double> chain;
+      for (int i = 0; i < count; ++i) {
+        const auto s = sampler.Draw();
+        if (!s.ok()) break;
+        samples.push_back(s.value());
+        chain.push_back(theta(s.value()));
+      }
+      const double est = EstimateAverage(
+          samples, TargetBias::kStationaryWeighted, theta, theta);
+      acc->samples += static_cast<double>(samples.size());
+      acc->ess += chain.size() >= 4 ? EffectiveSampleSize(chain)
+                                    : static_cast<double>(chain.size());
+      acc->cost += static_cast<double>(access.query_cost());
+      acc->err += RelativeError(est, truth);
+    };
+
+    {
+      AccessInterface access(&ds.graph);
+      BurnInSampler::Options opts;
+      opts.max_steps = 10000;
+      BurnInSampler sampler(&access, &srw, start, opts, seed + 1);
+      run(sampler, access, &short_runs, kSamples);
+    }
+    {
+      AccessInterface access(&ds.graph);
+      OneLongRunSampler::Options opts;
+      OneLongRunSampler sampler(&access, &srw, start, opts, seed + 2);
+      // Give the long run the same nominal sample count; its budget
+      // advantage shows up as a far smaller query cost instead.
+      run(sampler, access, &long_run, kSamples);
+    }
+    {
+      AccessInterface access(&ds.graph);
+      WalkEstimateOptions opts;
+      opts.diameter_bound = static_cast<int>(ds.diameter_estimate);
+      WalkEstimateSampler sampler(&access, &srw, start, opts, seed + 3);
+      run(sampler, access, &we_acc, kSamples);
+    }
+  }
+
+  const double t = env.trials;
+  auto add = [&](const char* label, const Acc& acc) {
+    table.AddRow({label, TablePrinter::CellPrec(acc.samples / t, 4),
+                  TablePrinter::CellPrec(acc.ess / t, 4),
+                  TablePrinter::CellPrec(acc.cost / t, 6),
+                  TablePrinter::CellPrec(acc.err / t, 4)});
+  };
+  add("SRW many-short-runs", short_runs);
+  add("SRW one-long-run", long_run);
+  add("WE(SRW)", we_acc);
+  table.Print(stdout);
+  return 0;
+}

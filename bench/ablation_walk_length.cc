@@ -1,0 +1,83 @@
+// §4.3 design-choice study: sensitivity of WALK-ESTIMATE to the walk
+// length. The paper argues for a conservative setting (2*diameter+1)
+// because cost rises sharply below the optimum but only slowly above it.
+//
+// Sweep: walk length from ~diameter/2 to 4*diameter on the GPlus-like
+// graph; report acceptance rate, query cost per sample, and estimation
+// error at a fixed sample count.
+//
+// Env: WNW_TRIALS (default 6), WNW_SCALE (default 0.2), WNW_SEED.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/walk_estimate.h"
+#include "datasets/social_datasets.h"
+#include "estimation/aggregates.h"
+#include "experiments/harness.h"
+#include "mcmc/transition.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+int main() {
+  using namespace wnw;
+  const BenchEnv env = ReadBenchEnv(6, 0.2);
+  const SocialDataset ds = MakeGPlusLike(env.scale, env.seed);
+  const int d = static_cast<int>(ds.diameter_estimate);
+  const double truth = ds.graph.average_degree();
+  SimpleRandomWalk srw;
+
+  TablePrinter table({"walk_length", "acceptance_rate", "cost_per_sample",
+                      "api_calls_per_sample", "rel_error"});
+  table.AddComment("Section 4.3: WE walk-length sensitivity (GPlus-like, "
+                   "SRW input, 60 samples)");
+  table.AddComment(StrFormat("diameter estimate d = %d; paper default "
+                             "2d+1 = %d",
+                             d, 2 * d + 1));
+
+  std::vector<int> lengths = {std::max(2, d / 2), d,          2 * d + 1,
+                              3 * d,              4 * d,      6 * d};
+  std::sort(lengths.begin(), lengths.end());
+  lengths.erase(std::unique(lengths.begin(), lengths.end()), lengths.end());
+  constexpr int kSamples = 60;
+  for (int length : lengths) {
+    double acc_rate = 0, cost = 0, calls = 0, err = 0;
+    int completed = 0;
+    for (int trial = 0; trial < env.trials; ++trial) {
+      const uint64_t seed = Mix64(env.seed + 31 * trial + length);
+      Rng start_rng(seed);
+      const NodeId start =
+          static_cast<NodeId>(start_rng.NextBounded(ds.graph.num_nodes()));
+      AccessInterface access(&ds.graph);
+      WalkEstimateOptions opts;
+      opts.walk_length = length;
+      opts.estimate.crawl_hops = 1;
+      WalkEstimateSampler sampler(&access, &srw, start, opts, seed + 1);
+      std::vector<NodeId> samples;
+      for (int i = 0; i < kSamples; ++i) {
+        const auto s = sampler.Draw();
+        if (!s.ok()) break;
+        samples.push_back(s.value());
+      }
+      if (samples.empty()) continue;
+      auto deg = [&](NodeId u) {
+        return static_cast<double>(ds.graph.Degree(u));
+      };
+      const double est =
+          EstimateAverage(samples, TargetBias::kStationaryWeighted, deg, deg);
+      acc_rate += sampler.acceptance_rate();
+      cost += static_cast<double>(access.query_cost()) / samples.size();
+      calls += static_cast<double>(access.total_queries()) / samples.size();
+      err += RelativeError(est, truth);
+      ++completed;
+    }
+    if (completed == 0) continue;
+    table.AddRow({TablePrinter::Cell(length),
+                  TablePrinter::CellPrec(acc_rate / completed, 3),
+                  TablePrinter::CellPrec(cost / completed, 5),
+                  TablePrinter::CellPrec(calls / completed, 5),
+                  TablePrinter::CellPrec(err / completed, 3)});
+  }
+  table.Print(stdout);
+  return 0;
+}

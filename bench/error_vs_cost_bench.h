@@ -1,0 +1,48 @@
+// Shared driver for the relative-error experiment benches (Figures 6-11):
+// runs each (sampler, aggregate) pair through the harness and prints one
+// table with both the query-cost view (Figs. 6-8) and the sample-count view
+// (Fig. 10).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "experiments/harness.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace wnw::bench {
+
+struct Subfigure {
+  std::string name;        // e.g. "(a) Average Degree (SRW)"
+  SamplerSpec sampler;
+  AggregateSpec aggregate;
+};
+
+inline void RunErrorBench(const std::string& title,
+                          const SocialDataset& dataset,
+                          const std::vector<Subfigure>& subfigures,
+                          const ErrorVsCostConfig& config) {
+  TablePrinter table({"subfigure", "aggregate", "sampler", "samples",
+                      "query_cost", "total_api_calls", "rel_error"});
+  table.AddComment(title);
+  table.AddComment(StrFormat("dataset: %s (%s)", dataset.name.c_str(),
+                             dataset.graph.DebugString().c_str()));
+  table.AddComment(StrFormat("trials per point: %d", config.trials));
+  for (const auto& sub : subfigures) {
+    const auto curve = RunErrorVsCost(dataset, sub.sampler, sub.aggregate,
+                                      config);
+    for (const auto& p : curve) {
+      if (p.completed_trials == 0) continue;
+      table.AddRow({sub.name, sub.aggregate.label, sub.sampler.label,
+                    TablePrinter::Cell(p.samples),
+                    TablePrinter::CellPrec(p.mean_query_cost, 6),
+                    TablePrinter::CellPrec(p.mean_total_queries, 6),
+                    TablePrinter::CellPrec(p.mean_rel_error, 4)});
+    }
+  }
+  table.Print(stdout);
+}
+
+}  // namespace wnw::bench

@@ -1,0 +1,112 @@
+// Figure 2: expected query cost per sample of IDEAL-WALK vs walk length,
+// over the five theoretical graph models (Barbell, Cycle, Hypercube,
+// balanced binary Tree, Barabási–Albert) with ~31 nodes each; uniform
+// target distribution.
+//
+// Paper shape to reproduce: cost is infinite below the graph diameter,
+// drops dramatically to a minimum, then rises slowly; larger-diameter
+// models (cycle) bottom out at longer walks and higher cost.
+//
+// Env: WNW_SEED, WNW_DELTA_FACTOR (Delta = Gamma / factor, default 1e4).
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <vector>
+
+#include "experiments/harness.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "mcmc/ideal_walk.h"
+#include "mcmc/spectral.h"
+#include "mcmc/transition.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+namespace {
+
+struct Model {
+  std::string name;
+  wnw::Graph graph;
+  uint32_t diameter = 0;
+};
+
+}  // namespace
+
+int main() {
+  using namespace wnw;
+  const BenchEnv env = ReadBenchEnv(1, 1.0);
+  const double delta_factor = EnvDouble("WNW_DELTA_FACTOR", 1e4);
+  Rng rng(env.seed);
+
+  std::vector<Model> models;
+  models.push_back({"Barbell", MakeBarbell(31).value()});
+  models.push_back({"Cycle", MakeCycle(31).value()});
+  models.push_back({"Hypercube", MakeHypercube(5).value()});
+  models.push_back({"Tree", MakeBalancedBinaryTree(4).value()});
+  models.push_back({"Barabasi", MakeBarabasiAlbert(31, 3, rng).value()});
+  for (auto& m : models) m.diameter = ExactDiameter(m.graph).value();
+
+  // Uniform target -> Metropolis-Hastings input walk.
+  MetropolisHastingsWalk mhrw;
+
+  TablePrinter table({"model", "walk_length", "query_cost"});
+  table.AddComment("Figure 2: IDEAL-WALK query cost per sample vs walk "
+                   "length (uniform target, MHRW input)");
+  table.AddComment(StrFormat("Gamma = 1/n, Delta = Gamma/%g; 'inf' below "
+                             "feasibility/diameter",
+                             delta_factor));
+  for (const auto& m : models) {
+    const auto spec = ComputeSpectralGap(m.graph, mhrw).value();
+    IdealWalkParams params;
+    params.spectral_gap = spec.spectral_gap;
+    params.gamma = 1.0 / m.graph.num_nodes();
+    params.delta = params.gamma / delta_factor;
+    params.max_degree = m.graph.max_degree();
+    // Sweep far enough past each model's own optimum that the U-shape is
+    // visible even for slow-mixing models (barbell's t_opt is ~2000 here
+    // while the hypercube's is ~14).
+    int t_max = 128;
+    const auto opt = OptimalWalkLength(params);
+    if (opt.ok()) {
+      t_max = std::max(t_max, static_cast<int>(2.0 * opt.value()));
+    }
+    for (int t = 1; t <= t_max; t = t < 16 ? t + 1 : t + (t / 8)) {
+      double cost = IdealWalkCost(params, t);
+      if (t < static_cast<int>(m.diameter)) {
+        cost = std::numeric_limits<double>::infinity();
+      }
+      table.AddRow({m.name, TablePrinter::Cell(t),
+                    std::isinf(cost) ? "inf"
+                                     : TablePrinter::CellPrec(cost, 5)});
+    }
+  }
+  table.Print(stdout);
+
+  // Companion summary: the analytic optimum per model.
+  TablePrinter summary(
+      {"model", "n", "diameter", "lambda", "t_opt", "cost_at_topt"});
+  summary.AddComment("Figure 2 summary: Theorem 1 optima");
+  for (const auto& m : models) {
+    const auto spec = ComputeSpectralGap(m.graph, mhrw).value();
+    IdealWalkParams params;
+    params.spectral_gap = spec.spectral_gap;
+    params.gamma = 1.0 / m.graph.num_nodes();
+    params.delta = params.gamma / delta_factor;
+    params.max_degree = m.graph.max_degree();
+    const auto analysis = AnalyzeIdealWalk(params);
+    if (!analysis.ok()) {
+      summary.AddRow({m.name, TablePrinter::Cell(uint64_t{m.graph.num_nodes()}),
+                      TablePrinter::Cell(uint64_t{m.diameter}),
+                      TablePrinter::CellPrec(spec.spectral_gap, 4), "-", "-"});
+      continue;
+    }
+    summary.AddRow({m.name, TablePrinter::Cell(uint64_t{m.graph.num_nodes()}),
+                    TablePrinter::Cell(uint64_t{m.diameter}),
+                    TablePrinter::CellPrec(spec.spectral_gap, 4),
+                    TablePrinter::CellPrec(analysis->t_opt, 5),
+                    TablePrinter::CellPrec(analysis->cost_at_topt, 5)});
+  }
+  std::printf("\n");
+  summary.Print(stdout);
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Figure 3: query-cost saving of IDEAL-WALK over the input random walk
+// (1 - c/c_RW, in percent) as the graph size grows from 4 to 128 nodes, for
+// the five theoretical graph models.
+//
+// Paper shape to reproduce: savings are substantial (>50% in most cases);
+// the ratio *increases* with size for Barbell (constant diameter), stays
+// roughly flat for Hypercube/Tree/Barabási (log diameter), and declines
+// for Cycle (linear diameter).
+//
+// Env: WNW_SEED, WNW_DELTA_FACTOR.
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "experiments/harness.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "mcmc/ideal_walk.h"
+#include "mcmc/spectral.h"
+#include "mcmc/transition.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+int main() {
+  using namespace wnw;
+  const BenchEnv env = ReadBenchEnv(1, 1.0);
+  const double delta_factor = EnvDouble("WNW_DELTA_FACTOR", 1e4);
+  Rng rng(env.seed);
+
+  struct Row {
+    std::string model;
+    Graph graph;
+  };
+  std::vector<Row> rows;
+  for (NodeId n : {5u, 9u, 17u, 33u, 65u, 127u}) {
+    rows.push_back({"Barbell", MakeBarbell(n | 1u).value()});
+  }
+  for (NodeId n : {4u, 8u, 16u, 32u, 64u, 128u}) {
+    rows.push_back({"Cycle", MakeCycle(n).value()});
+  }
+  for (uint32_t k : {2u, 3u, 4u, 5u, 6u, 7u}) {
+    rows.push_back({"Hypercube", MakeHypercube(k).value()});
+  }
+  for (uint32_t h : {1u, 2u, 3u, 4u, 5u, 6u}) {
+    rows.push_back({"Tree", MakeBalancedBinaryTree(h).value()});
+  }
+  for (NodeId n : {8u, 16u, 32u, 64u, 128u}) {
+    rows.push_back({"Barabasi", MakeBarabasiAlbert(n, 3, rng).value()});
+  }
+
+  MetropolisHastingsWalk mhrw;
+  TablePrinter table({"model", "n", "diameter", "lambda", "t_opt",
+                      "cost_ideal", "cost_rw", "saving_pct"});
+  table.AddComment("Figure 3: IDEAL-WALK query-cost saving vs graph size");
+  table.AddComment(StrFormat("uniform target via MHRW; Gamma = 1/n, "
+                             "Delta = Gamma/%g",
+                             delta_factor));
+  for (const auto& row : rows) {
+    const auto spec = ComputeSpectralGap(row.graph, mhrw);
+    if (!spec.ok()) continue;
+    IdealWalkParams params;
+    params.spectral_gap = spec->spectral_gap;
+    params.gamma = 1.0 / row.graph.num_nodes();
+    params.delta = params.gamma / delta_factor;
+    params.max_degree = row.graph.max_degree();
+    const auto analysis = AnalyzeIdealWalk(params);
+    if (!analysis.ok()) continue;
+    const uint32_t diameter = ExactDiameter(row.graph).value_or(0);
+    table.AddRow({row.model,
+                  TablePrinter::Cell(uint64_t{row.graph.num_nodes()}),
+                  TablePrinter::Cell(uint64_t{diameter}),
+                  TablePrinter::CellPrec(params.spectral_gap, 4),
+                  TablePrinter::CellPrec(analysis->t_opt, 5),
+                  TablePrinter::CellPrec(analysis->cost_at_topt, 5),
+                  TablePrinter::CellPrec(analysis->cost_random_walk, 5),
+                  TablePrinter::CellPrec(100.0 * analysis->saving_ratio, 4)});
+  }
+  table.Print(stdout);
+  return 0;
+}

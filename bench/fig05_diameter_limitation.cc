@@ -1,0 +1,84 @@
+// Figure 5: the limitation of WALK-ESTIMATE on long-diameter graphs.
+// Cycle graphs of size 11, 21, 31, 41, 51 (diameters 5..25); SRW with a
+// Geweke monitor vs WE (SRW input); the measured quantity is the average
+// number of walk steps (API invocations) per sample.
+//
+// Paper shape to reproduce: SRW's cost is barely affected by the diameter
+// (the degree observable is constant on a cycle, so the monitor converges
+// at its minimum window), while WE's cost climbs steeply — its backward
+// walks almost never hit the start/crawled region when the diameter is
+// large.
+//
+// Env: WNW_TRIALS (default 5), WNW_SAMPLES (default 30 per trial),
+//      WNW_SEED.
+#include <cstdio>
+#include <vector>
+
+#include "core/samplers.h"
+#include "core/walk_estimate.h"
+#include "experiments/harness.h"
+#include "graph/generators.h"
+#include "mcmc/transition.h"
+#include "util/string_util.h"
+#include "util/table.h"
+
+int main() {
+  using namespace wnw;
+  const BenchEnv env = ReadBenchEnv(/*trials=*/5, /*scale=*/1.0,
+                                    /*samples=*/30);
+
+  TablePrinter table({"cycle_n", "diameter", "sampler", "steps_per_sample",
+                      "unique_cost_per_sample"});
+  table.AddComment("Figure 5: steps per sample on cycle graphs, SRW vs WE");
+  table.AddComment(StrFormat("%d trials x %llu samples",
+                             env.trials,
+                             static_cast<unsigned long long>(env.samples)));
+  SimpleRandomWalk srw;
+  for (NodeId n : {11u, 21u, 31u, 41u, 51u}) {
+    const Graph g = MakeCycle(n).value();
+    const uint32_t diameter = n / 2;
+    double srw_steps = 0, srw_unique = 0, we_steps = 0, we_unique = 0;
+    for (int trial = 0; trial < env.trials; ++trial) {
+      const uint64_t seed = Mix64(env.seed ^ (n * 1000 + trial));
+      {
+        AccessInterface access(&g);
+        BurnInSampler::Options opts;
+        BurnInSampler sampler(&access, &srw, 0, opts, seed);
+        for (uint64_t i = 0; i < env.samples; ++i) {
+          (void)sampler.Draw();
+        }
+        srw_steps += static_cast<double>(access.total_queries()) /
+                     static_cast<double>(env.samples);
+        srw_unique += static_cast<double>(access.query_cost()) /
+                      static_cast<double>(env.samples);
+      }
+      {
+        AccessInterface access(&g);
+        WalkEstimateOptions opts;
+        opts.diameter_bound = static_cast<int>(diameter);
+        opts.estimate.crawl_hops = 2;
+        opts.estimate.base_reps = 4;
+        opts.estimate.max_extra_reps = 8;
+        WalkEstimateSampler sampler(&access, &srw, 0, opts, seed + 1);
+        for (uint64_t i = 0; i < env.samples; ++i) {
+          if (!sampler.Draw().ok()) break;
+        }
+        we_steps += static_cast<double>(access.total_queries()) /
+                    static_cast<double>(env.samples);
+        we_unique += static_cast<double>(access.query_cost()) /
+                     static_cast<double>(env.samples);
+      }
+    }
+    const double t = static_cast<double>(env.trials);
+    table.AddRow({TablePrinter::Cell(uint64_t{n}),
+                  TablePrinter::Cell(uint64_t{diameter}), "SRW",
+                  TablePrinter::CellPrec(srw_steps / t, 5),
+                  TablePrinter::CellPrec(srw_unique / t, 4)});
+    table.AddRow({TablePrinter::Cell(uint64_t{n}),
+                  TablePrinter::Cell(uint64_t{diameter}), "WE",
+                  TablePrinter::CellPrec(we_steps / t, 5),
+                  TablePrinter::CellPrec(we_unique / t, 4)});
+  }
+  table.Print(stdout);
+  return 0;
+}

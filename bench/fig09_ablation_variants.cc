@@ -1,0 +1,56 @@
+// Figure 9: the improvement trend across WALK-ESTIMATE's variance-reduction
+// heuristics on the Google Plus(-like) graph: WE-None (no heuristics),
+// WE-Crawl (initial crawling only), WE-Weighted (weighted backward sampling
+// only), WE (both). Subfigures as in Figure 6: {SRW, MHRW} x {avg degree,
+// avg self-description length}.
+//
+// Paper shape to reproduce: WE dominates the single-heuristic variants,
+// which dominate WE-None.
+//
+// Env: WNW_TRIALS (default 8), WNW_SCALE (default 1.0 = paper size), WNW_SEED.
+#include "bench/error_vs_cost_bench.h"
+#include "datasets/social_datasets.h"
+
+int main() {
+  using namespace wnw;
+  using wnw::bench::Subfigure;
+  const BenchEnv env = ReadBenchEnv(8, 1.0);
+  const SocialDataset ds = MakeGPlusLike(env.scale, env.seed);
+
+  WalkEstimateOptions wopts;
+  wopts.diameter_bound = static_cast<int>(ds.diameter_estimate);
+  wopts.estimate.crawl_hops = 1;
+
+  const AggregateSpec avg_degree{"avg_degree", ""};
+  const AggregateSpec avg_desc{"avg_self_desc_len", "self_desc_len"};
+  const std::vector<WalkEstimateVariant> variants = {
+      WalkEstimateVariant::kNone, WalkEstimateVariant::kCrawlOnly,
+      WalkEstimateVariant::kWeightedOnly, WalkEstimateVariant::kFull};
+
+  std::vector<Subfigure> subs;
+  struct Panel {
+    const char* tag;
+    const char* walk;
+    AggregateSpec aggregate;
+  };
+  const std::vector<Panel> panels = {{"(a)", "srw", avg_degree},
+                                     {"(b)", "srw", avg_desc},
+                                     {"(c)", "mhrw", avg_degree},
+                                     {"(d)", "mhrw", avg_desc}};
+  for (const auto& panel : panels) {
+    for (const auto variant : variants) {
+      subs.push_back({panel.tag,
+                      MakeWalkEstimateSpec(panel.walk, wopts, variant),
+                      panel.aggregate});
+    }
+  }
+
+  ErrorVsCostConfig config;
+  config.sample_counts = {10, 20, 40, 80};
+  config.trials = env.trials;
+  config.seed = env.seed;
+  bench::RunErrorBench(
+      "Figure 9: WE variance-reduction ablation, Google Plus-like", ds, subs,
+      config);
+  return 0;
+}

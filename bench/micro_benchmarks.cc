@@ -1,0 +1,162 @@
+// Google-benchmark microbenchmarks for the hot substrate paths: CSR
+// iteration, walk steps (SRW/MHRW), weighted sampling, backward estimation,
+// and the analysis tooling. These guard the library's performance envelope
+// rather than reproduce a paper artifact.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "access/access_interface.h"
+#include "core/backward_estimator.h"
+#include "core/crawler.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "mcmc/convergence.h"
+#include "mcmc/distribution.h"
+#include "mcmc/transition.h"
+#include "mcmc/walker.h"
+#include "random/alias_table.h"
+#include "random/sampling.h"
+
+namespace wnw {
+namespace {
+
+const Graph& BenchGraph() {
+  static const Graph g = [] {
+    Rng rng(42);
+    return MakeBarabasiAlbert(100000, 8, rng).value();
+  }();
+  return g;
+}
+
+void BM_GraphGenerateBA(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  for (auto _ : state) {
+    Rng rng(7);
+    auto g = MakeBarabasiAlbert(n, 8, rng).value();
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_GraphGenerateBA)->Arg(10000)->Arg(100000);
+
+void BM_NeighborIteration(benchmark::State& state) {
+  const Graph& g = BenchGraph();
+  uint64_t sum = 0;
+  for (auto _ : state) {
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      for (NodeId v : g.Neighbors(u)) sum += v;
+    }
+  }
+  benchmark::DoNotOptimize(sum);
+  state.SetItemsProcessed(state.iterations() * 2 * g.num_edges());
+}
+BENCHMARK(BM_NeighborIteration);
+
+void BM_BfsFullGraph(benchmark::State& state) {
+  const Graph& g = BenchGraph();
+  for (auto _ : state) {
+    auto dist = BfsDistances(g, 0);
+    benchmark::DoNotOptimize(dist[g.num_nodes() - 1]);
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_nodes());
+}
+BENCHMARK(BM_BfsFullGraph);
+
+void BM_SrwSteps(benchmark::State& state) {
+  const Graph& g = BenchGraph();
+  AccessInterface access(&g);
+  SimpleRandomWalk srw;
+  Rng rng(3);
+  NodeId cur = 0;
+  for (auto _ : state) {
+    cur = srw.Step(access, cur, rng);
+    benchmark::DoNotOptimize(cur);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SrwSteps);
+
+void BM_MhrwSteps(benchmark::State& state) {
+  const Graph& g = BenchGraph();
+  AccessInterface access(&g);
+  MetropolisHastingsWalk mhrw;
+  Rng rng(4);
+  NodeId cur = 0;
+  for (auto _ : state) {
+    cur = mhrw.Step(access, cur, rng);
+    benchmark::DoNotOptimize(cur);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MhrwSteps);
+
+void BM_AliasTableSample(benchmark::State& state) {
+  Rng build_rng(5);
+  std::vector<double> weights(10000);
+  for (double& w : weights) w = build_rng.NextDouble() + 0.01;
+  AliasTable table(weights);
+  Rng rng(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.Sample(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AliasTableSample);
+
+void BM_WeightedPickLinear(benchmark::State& state) {
+  Rng build_rng(7);
+  std::vector<double> weights(static_cast<size_t>(state.range(0)));
+  for (double& w : weights) w = build_rng.NextDouble() + 0.01;
+  Rng rng(8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(WeightedPick(weights, rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WeightedPickLinear)->Arg(16)->Arg(256);
+
+void BM_BackwardEstimateOnce(benchmark::State& state) {
+  const Graph& g = BenchGraph();
+  AccessInterface access(&g);
+  SimpleRandomWalk srw;
+  const int t = static_cast<int>(state.range(0));
+  const CrawlBall ball = CrawlBall::Crawl(access, srw, 0, 2);
+  const BackwardEstimator estimator(&srw, 0, {}, &ball);
+  Rng rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimator.EstimateOnce(access, 12345, t, rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BackwardEstimateOnce)->Arg(11)->Arg(21);
+
+void BM_GewekeZScore(benchmark::State& state) {
+  GewekeMonitor monitor;
+  Rng rng(10);
+  for (int i = 0; i < 2000; ++i) monitor.Add(rng.NextGaussian());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(monitor.ZScore());
+  }
+}
+BENCHMARK(BM_GewekeZScore);
+
+void BM_ExactDistributionStep(benchmark::State& state) {
+  Rng rng(11);
+  const Graph g = MakeBarabasiAlbert(5000, 5, rng).value();
+  SimpleRandomWalk srw;
+  const auto tm = TransitionMatrix::Build(g, srw);
+  std::vector<double> p(g.num_nodes(), 0.0);
+  p[0] = 1.0;
+  for (auto _ : state) {
+    p = tm.Multiply(p);
+    benchmark::DoNotOptimize(p[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * g.num_edges());
+}
+BENCHMARK(BM_ExactDistributionStep);
+
+}  // namespace
+}  // namespace wnw
+
+BENCHMARK_MAIN();

@@ -1,0 +1,108 @@
+// Sampling under real-world API restrictions (paper §6.3.1): neighbor-list
+// truncation with bidirectional-check traversal semantics, the
+// mark-recapture degree estimator for random-subset APIs, and rate-limit
+// time accounting.
+//
+//   ./build/examples/api_restrictions
+#include <cstdio>
+
+#include "access/access_interface.h"
+#include "core/walk_estimate.h"
+#include "datasets/social_datasets.h"
+#include "estimation/aggregates.h"
+#include "mcmc/transition.h"
+#include "util/table.h"
+
+int main() {
+  using namespace wnw;
+  const SocialDataset ds = MakeTwitterLike(/*scale=*/0.05, /*seed=*/2,
+                                           /*with_expensive_attrs=*/false);
+  std::printf("dataset: %s  (%s)\n\n", ds.name.c_str(),
+              ds.graph.DebugString().c_str());
+
+  // --- Type 3: truncated neighbor lists, mutual-visibility traversal ------
+  TablePrinter table({"restriction", "cap", "avg_deg_estimate", "rel_error",
+                      "query_cost", "rate_wait_s"});
+  table.AddComment("WE(SRW), 150 samples per scenario, Twitter-like graph");
+  table.AddComment(
+      "rel_error is vs the scenario's own (effective-graph) ground truth");
+  const double truth = ds.graph.average_degree();
+
+  struct Scenario {
+    const char* label;
+    AccessOptions options;
+  };
+  std::vector<Scenario> scenarios;
+  scenarios.push_back({"none (full lists)", {}});
+  AccessOptions truncated;
+  truncated.restriction = NeighborRestriction::kTruncated;
+  truncated.max_neighbors = 100;  // the paper: "even 100 is enough"
+  scenarios.push_back({"type3 truncated l=100", truncated});
+  AccessOptions fixed;
+  fixed.restriction = NeighborRestriction::kFixedSubset;
+  fixed.max_neighbors = 100;
+  scenarios.push_back({"type2 fixed k=100", fixed});
+  AccessOptions limited;
+  limited.rate_limit = {15, 900.0};  // Twitter: 15 requests / 15 min
+  scenarios.push_back({"rate-limited 15/15min", limited});
+
+  SimpleRandomWalk srw;
+  for (const auto& scenario : scenarios) {
+    // Truncation changes what "degree" even means: the fair ground truth is
+    // the average visible (effective-graph) degree, computed here with a
+    // separate oracle session so the sampler's bill stays clean.
+    double scenario_truth = truth;
+    if (scenario.options.restriction != NeighborRestriction::kNone) {
+      AccessInterface oracle(&ds.graph, scenario.options);
+      double sum = 0.0;
+      for (NodeId u = 0; u < ds.graph.num_nodes(); ++u) {
+        sum += oracle.EffectiveDegree(u);
+      }
+      scenario_truth = sum / ds.graph.num_nodes();
+    }
+    AccessInterface access(&ds.graph, scenario.options);
+    WalkEstimateOptions wopts;
+    wopts.diameter_bound = ds.diameter_estimate;
+    WalkEstimateSampler sampler(&access, &srw, /*start=*/5, wopts, 7);
+    std::vector<NodeId> samples;
+    while (samples.size() < 150) {
+      const auto s = sampler.Draw();
+      if (!s.ok()) break;
+      samples.push_back(s.value());
+    }
+    // Degrees as seen through the restricted interface.
+    const double est = EstimateAverage(
+        samples, TargetBias::kStationaryWeighted,
+        [&](NodeId u) { return static_cast<double>(access.EffectiveDegree(u)); },
+        [&](NodeId u) { return static_cast<double>(access.EffectiveDegree(u)); });
+    table.AddRow(
+        {scenario.label,
+         TablePrinter::Cell(
+             static_cast<uint64_t>(scenario.options.max_neighbors)),
+         TablePrinter::Cell(est),
+         TablePrinter::Cell(RelativeError(est, scenario_truth)),
+         TablePrinter::Cell(access.query_cost()),
+         TablePrinter::Cell(access.waited_seconds())});
+  }
+  table.Print(stdout);
+
+  // --- Type 1: random-subset API needs mark-recapture for degrees ---------
+  AccessOptions random_subset;
+  random_subset.restriction = NeighborRestriction::kRandomSubset;
+  random_subset.max_neighbors = 50;
+  AccessInterface access(&ds.graph, random_subset);
+  NodeId hub = 0;
+  for (NodeId u = 1; u < ds.graph.num_nodes(); ++u) {
+    if (ds.graph.Degree(u) > ds.graph.Degree(hub)) hub = u;
+  }
+  const double mr = EstimateDegreeMarkRecapture(access, hub, /*calls=*/40);
+  std::printf(
+      "\nType 1 (random k=50 subsets): hub true degree %u, visible 50, "
+      "mark-recapture estimate %.1f\n",
+      ds.graph.Degree(hub), mr);
+  std::printf(
+      "Reading: against each scenario's own visible-graph truth the "
+      "estimates stay accurate; rate limits only stretch wall-clock time, "
+      "not accuracy.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Convergence diagnostics tour: watch a Geweke z-score settle as an SRW
+// chain mixes, compare against the exact relative point-wise distance
+// (Definition 3), and relate both to the spectral gap — the machinery that
+// makes "waiting" expensive and motivates WALK-ESTIMATE.
+//
+//   ./build/examples/convergence_diagnostics
+#include <cmath>
+#include <cstdio>
+
+#include "access/access_interface.h"
+#include "graph/generators.h"
+#include "mcmc/convergence.h"
+#include "mcmc/distribution.h"
+#include "mcmc/spectral.h"
+#include "mcmc/transition.h"
+#include "mcmc/walker.h"
+#include "util/table.h"
+
+int main() {
+  using namespace wnw;
+  Rng rng(1234);
+  const Graph g = MakeBarabasiAlbert(2000, 4, rng).value();
+  std::printf("graph: %s\n", g.DebugString().c_str());
+
+  SimpleRandomWalk srw;
+  const auto spectral = ComputeSpectralGap(g, srw).value();
+  std::printf("spectral gap lambda = %.5f (s2 = %.5f)\n\n",
+              spectral.spectral_gap, spectral.second_eigenvalue);
+
+  // Exact distance decay from node 0 (small graph => exact evolution).
+  const auto tm = TransitionMatrix::Build(g, srw);
+  const auto pi = StationaryDistribution(g, srw);
+
+  // A live walk with a Geweke monitor on the degree observable.
+  AccessInterface access(&g);
+  GewekeMonitor monitor;
+  NodeId cur = 0;
+  monitor.Add(access.EffectiveDegree(cur));
+
+  TablePrinter table({"step", "geweke_z", "rel_pointwise_dist"});
+  table.AddComment("SRW on BA(2000,4); Geweke z vs exact Definition-3 dist");
+  std::vector<double> p(g.num_nodes(), 0.0);
+  p[0] = 1.0;
+  int next_report = 25;
+  for (int step = 1; step <= 800; ++step) {
+    cur = srw.Step(access, cur, rng);
+    monitor.Add(access.EffectiveDegree(cur));
+    p = tm.Multiply(p);
+    if (step == next_report) {
+      const double z = monitor.ZScore();
+      const std::string z_cell =
+          std::isinf(z) ? std::string("inf") : TablePrinter::CellPrec(z, 3);
+      table.AddRow({TablePrinter::Cell(step), z_cell,
+                    TablePrinter::CellPrec(RelativePointwiseDistance(p, pi),
+                                           3)});
+      next_report *= 2;
+    }
+  }
+  table.Print(stdout);
+
+  const int burn_in = BurnInPeriod(tm, pi, 0, 0.1, 100000).value_or(-1);
+  std::printf("\nDefinition-3 burn-in (eps=0.1) from node 0: %d steps\n",
+              burn_in);
+  std::printf(
+      "Reading: the z-score and the exact distance both fall with walk "
+      "length; every one of those steps is a billed query — the cost "
+      "WALK-ESTIMATE avoids.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Third-party analytics over a Yelp-like social graph under a query budget:
+// estimates several AVG aggregates (stars, degree, clustering, path length)
+// with the SRW+Geweke baseline and with WALK-ESTIMATE, and reports accuracy
+// per query spent — the paper's motivating scenario (§7.2).
+//
+//   ./build/examples/social_aggregates
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/samplers.h"
+#include "core/walk_estimate.h"
+#include "datasets/social_datasets.h"
+#include "estimation/aggregates.h"
+#include "experiments/harness.h"
+#include "util/table.h"
+
+int main() {
+  using namespace wnw;
+  const SocialDataset ds = MakeYelpLike(/*scale=*/0.05, /*seed=*/1);
+  std::printf("dataset: %s  (%s)\n\n", ds.name.c_str(),
+              ds.graph.DebugString().c_str());
+
+  const std::vector<AggregateSpec> aggregates = {
+      {"avg_stars", "stars"},
+      {"avg_degree", ""},
+      {"avg_clustering", "clustering"},
+      {"avg_path_len", "path_len"},
+  };
+
+  BurnInSampler::Options bopts;
+  bopts.max_steps = 5000;
+  const SamplerSpec baseline = MakeBurnInSpec("srw", bopts);
+  WalkEstimateOptions wopts;
+  wopts.diameter_bound = ds.diameter_estimate;
+  const SamplerSpec we = MakeWalkEstimateSpec("srw", wopts);
+
+  ErrorVsCostConfig config;
+  config.sample_counts = {50};
+  config.trials = 8;
+  config.seed = 97;
+
+  TablePrinter table({"aggregate", "truth", "sampler", "rel_error",
+                      "query_cost"});
+  table.AddComment("Yelp-like dataset, 50 samples per trial, 8 trials");
+  for (const auto& agg : aggregates) {
+    for (const auto& spec : {baseline, we}) {
+      const auto curve = RunErrorVsCost(ds, spec, agg, config);
+      table.AddRow({agg.label, TablePrinter::Cell(GroundTruth(ds, agg)),
+                    spec.label, TablePrinter::Cell(curve[0].mean_rel_error),
+                    TablePrinter::Cell(curve[0].mean_query_cost)});
+    }
+  }
+  table.Print(stdout);
+  std::printf(
+      "\nReading: WE should reach comparable or lower relative error at "
+      "clearly lower query cost.\n");
+  return 0;
+}

@@ -1,0 +1,173 @@
+#include "access/access_interface.h"
+
+#include <algorithm>
+
+#include "random/sampling.h"
+#include "util/check.h"
+
+namespace wnw {
+
+AccessInterface::AccessInterface(const Graph* graph, AccessOptions options)
+    : graph_(graph),
+      options_(options),
+      limiter_(options.rate_limit),
+      server_rng_(Mix64(options.seed)),
+      seen_(graph->num_nodes(), 0) {
+  if (options_.restriction != NeighborRestriction::kNone) {
+    WNW_CHECK(options_.max_neighbors > 0);
+  }
+}
+
+void AccessInterface::Touch(NodeId u) {
+  WNW_DCHECK(u < graph_->num_nodes());
+  ++total_queries_;
+  if (seen_[u] == 0) {
+    seen_[u] = 1;
+    ++unique_queries_;
+    limiter_.OnQuery();
+  }
+}
+
+std::span<const NodeId> AccessInterface::TruncatedList(NodeId u) {
+  const auto full = graph_->Neighbors(u);
+  const uint32_t cap = options_.max_neighbors;
+  if (full.size() <= cap) return full;
+
+  auto it = fixed_subsets_.find(u);
+  if (it == fixed_subsets_.end()) {
+    std::vector<NodeId> subset;
+    subset.reserve(cap);
+    if (options_.restriction == NeighborRestriction::kTruncated) {
+      // Type 3: a fixed arbitrary prefix of the neighbor list.
+      subset.assign(full.begin(), full.begin() + cap);
+    } else {
+      // Type 2: a fixed random k-subset, deterministic per node given the
+      // server seed (the remote service always answers the same way).
+      Rng node_rng(Mix64(options_.seed ^ (0x9e3779b97f4a7c15ull * (u + 1))));
+      const auto picks = SampleWithoutReplacement(
+          static_cast<uint32_t>(full.size()), cap, node_rng);
+      for (uint32_t idx : picks) subset.push_back(full[idx]);
+      std::sort(subset.begin(), subset.end());
+    }
+    it = fixed_subsets_.emplace(u, std::move(subset)).first;
+  }
+  return it->second;
+}
+
+std::span<const NodeId> AccessInterface::Neighbors(NodeId u) {
+  Touch(u);
+  const auto full = graph_->Neighbors(u);
+  switch (options_.restriction) {
+    case NeighborRestriction::kNone:
+      return full;
+    case NeighborRestriction::kRandomSubset: {
+      const uint32_t cap = options_.max_neighbors;
+      if (full.size() <= cap) return full;
+      scratch_.clear();
+      const auto picks = SampleWithoutReplacement(
+          static_cast<uint32_t>(full.size()), cap, server_rng_);
+      for (uint32_t idx : picks) scratch_.push_back(full[idx]);
+      return scratch_;
+    }
+    case NeighborRestriction::kFixedSubset:
+    case NeighborRestriction::kTruncated:
+      return TruncatedList(u);
+  }
+  return full;
+}
+
+uint32_t AccessInterface::Degree(NodeId u) {
+  return static_cast<uint32_t>(Neighbors(u).size());
+}
+
+bool AccessInterface::VisibleFrom(NodeId v, NodeId u) {
+  Touch(v);
+  const auto full = graph_->Neighbors(v);
+  if (full.size() <= options_.max_neighbors) return true;
+  const auto list = TruncatedList(v);
+  return std::binary_search(list.begin(), list.end(), u);
+}
+
+std::span<const NodeId> AccessInterface::EffectiveNeighbors(NodeId u) {
+  switch (options_.restriction) {
+    case NeighborRestriction::kNone:
+      Touch(u);
+      return graph_->Neighbors(u);
+    case NeighborRestriction::kRandomSubset:
+      WNW_CHECK(false &&
+                "EffectiveNeighbors undefined under kRandomSubset; use "
+                "SampleNeighbor");
+      return {};
+    case NeighborRestriction::kFixedSubset:
+    case NeighborRestriction::kTruncated:
+      break;
+  }
+  Touch(u);
+  if (!options_.bidirectional_check) return TruncatedList(u);
+  auto it = effective_cache_.find(u);
+  if (it == effective_cache_.end()) {
+    std::vector<NodeId> effective;
+    const auto candidates = TruncatedList(u);
+    effective.reserve(candidates.size());
+    for (NodeId v : candidates) {
+      if (VisibleFrom(v, u)) effective.push_back(v);
+    }
+    it = effective_cache_.emplace(u, std::move(effective)).first;
+  }
+  return it->second;
+}
+
+NodeId AccessInterface::SampleNeighbor(NodeId u, Rng& rng) {
+  if (options_.restriction == NeighborRestriction::kRandomSubset) {
+    const auto list = Neighbors(u);
+    if (list.empty()) return kInvalidNode;
+    return list[rng.NextBounded(list.size())];
+  }
+  const auto list = EffectiveNeighbors(u);
+  if (list.empty()) return kInvalidNode;
+  return list[rng.NextBounded(list.size())];
+}
+
+void AccessInterface::ResetCounters() {
+  std::fill(seen_.begin(), seen_.end(), 0);
+  unique_queries_ = 0;
+  total_queries_ = 0;
+  limiter_.Reset();
+}
+
+double EstimateDegreeMarkRecapture(AccessInterface& access, NodeId u,
+                                   int calls) {
+  WNW_CHECK(calls >= 2);
+  const uint32_t cap = access.options().max_neighbors;
+  std::vector<std::vector<NodeId>> captures;
+  captures.reserve(static_cast<size_t>(calls));
+  for (int c = 0; c < calls; ++c) {
+    const auto list = access.Neighbors(u);
+    if (cap == 0 || list.size() < cap) {
+      // Not truncated: the visible list is the full neighborhood.
+      return static_cast<double>(list.size());
+    }
+    std::vector<NodeId> sorted(list.begin(), list.end());
+    std::sort(sorted.begin(), sorted.end());
+    captures.push_back(std::move(sorted));
+  }
+  // Petersen across all call pairs: E[|A ∩ B|] = k^2 / d.
+  uint64_t overlap = 0;
+  uint64_t pairs = 0;
+  std::vector<NodeId> inter;
+  for (size_t i = 0; i < captures.size(); ++i) {
+    for (size_t j = i + 1; j < captures.size(); ++j) {
+      inter.clear();
+      std::set_intersection(captures[i].begin(), captures[i].end(),
+                            captures[j].begin(), captures[j].end(),
+                            std::back_inserter(inter));
+      overlap += inter.size();
+      ++pairs;
+    }
+  }
+  const double k = static_cast<double>(cap);
+  return k * k * static_cast<double>(pairs) /
+         std::max<double>(1.0, static_cast<double>(overlap));
+}
+
+}  // namespace wnw

@@ -1,0 +1,134 @@
+// The simulated online-social-network web interface (paper §2.1): the ONLY
+// way samplers may observe the graph. It answers local-neighborhood queries
+// ("given node v, return N(v)"), counts the paper's cost metric (number of
+// distinct nodes accessed), and can impose the §6.3.1 access restrictions:
+//
+//   type 1 (kRandomSubset) — each invocation returns a fresh random k-subset,
+//   type 2 (kFixedSubset)  — a fixed random k-subset per node,
+//   type 3 (kTruncated)    — the first l neighbors (arbitrary but fixed).
+//
+// Under types 2/3, traversable edges use the paper's bidirectional-check
+// semantics: edge (u,v) is usable iff v ∈ T(u) and u ∈ T(v).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "access/rate_limiter.h"
+#include "graph/graph.h"
+#include "random/rng.h"
+
+namespace wnw {
+
+enum class NeighborRestriction {
+  kNone = 0,      // full neighbor lists (the common case in the paper)
+  kRandomSubset,  // type 1
+  kFixedSubset,   // type 2
+  kTruncated,     // type 3
+};
+
+struct AccessOptions {
+  NeighborRestriction restriction = NeighborRestriction::kNone;
+
+  /// k (types 1/2) or l (type 3); ignored for kNone. Lists shorter than the
+  /// cap are returned in full.
+  uint32_t max_neighbors = 0;
+
+  /// §6.3.1: only traverse mutually visible edges (types 2/3).
+  bool bidirectional_check = true;
+
+  /// Optional rate-limit simulation ({0,0} disables).
+  RateLimitConfig rate_limit;
+
+  /// Server-side randomness (type-1 subsets, type-2 per-node subsets).
+  uint64_t seed = 0x5eedu;
+};
+
+/// A sampling session against one simulated OSN. Not thread-safe; create one
+/// interface per concurrent trial (the underlying Graph is shared and
+/// immutable).
+class AccessInterface {
+ public:
+  explicit AccessInterface(const Graph* graph, AccessOptions options = {});
+
+  // --- the web API ---------------------------------------------------------
+
+  /// Local-neighborhood query. The returned span is valid until the next
+  /// call for kRandomSubset and stable for other modes.
+  std::span<const NodeId> Neighbors(NodeId u);
+
+  /// Degree as visible through the interface (length of the returned list).
+  /// Caveat (paper §6.3.1): under kRandomSubset this is min(k, d(u)) and a
+  /// mark–recapture estimate should be used for analytics instead.
+  uint32_t Degree(NodeId u);
+
+  // --- traversal view ------------------------------------------------------
+
+  /// The traversable neighbor list of u: full list (kNone), the fixed
+  /// subset (types 2/3 without check), or the mutually-visible subset
+  /// (types 2/3 with bidirectional check; probing the other endpoints is
+  /// itself counted as queries). Unsupported under kRandomSubset (lists are
+  /// not stable) — use SampleNeighbor there.
+  std::span<const NodeId> EffectiveNeighbors(NodeId u);
+
+  uint32_t EffectiveDegree(NodeId u) { return static_cast<uint32_t>(EffectiveNeighbors(u).size()); }
+
+  /// Uniform draw from the traversable neighbors; under kRandomSubset draws
+  /// from a fresh server-sampled subset (uniform over N(u) overall).
+  /// Returns kInvalidNode for isolated (or fully truncation-hidden) nodes.
+  NodeId SampleNeighbor(NodeId u, Rng& rng);
+
+  // --- accounting ----------------------------------------------------------
+
+  /// The paper's cost metric: number of distinct nodes accessed so far.
+  uint64_t query_cost() const { return unique_queries_; }
+
+  /// All API invocations including repeat visits (cache hits).
+  uint64_t total_queries() const { return total_queries_; }
+
+  /// Simulated seconds spent blocked by the rate limiter.
+  double waited_seconds() const { return limiter_.waited_seconds(); }
+
+  bool Seen(NodeId u) const { return seen_[u] != 0; }
+
+  /// Resets counters (not the server-side subset choices, which model the
+  /// remote service and persist).
+  void ResetCounters();
+
+  const Graph& graph() const { return *graph_; }
+  const AccessOptions& options() const { return options_; }
+
+ private:
+  // Marks u accessed; bills cost/rate-limit on first touch.
+  void Touch(NodeId u);
+
+  // The fixed (type 2/3) truncated list for u, built on first use.
+  std::span<const NodeId> TruncatedList(NodeId u);
+
+  // Whether u appears in v's truncated list.
+  bool VisibleFrom(NodeId v, NodeId u);
+
+  const Graph* graph_;
+  AccessOptions options_;
+  SimulatedRateLimiter limiter_;
+  Rng server_rng_;
+
+  std::vector<uint8_t> seen_;
+  uint64_t unique_queries_ = 0;
+  uint64_t total_queries_ = 0;
+
+  std::vector<NodeId> scratch_;  // kRandomSubset response buffer
+  std::unordered_map<NodeId, std::vector<NodeId>> fixed_subsets_;
+  std::unordered_map<NodeId, std::vector<NodeId>> effective_cache_;
+};
+
+/// Mark–recapture degree estimate under kRandomSubset (paper §6.3.1 cites
+/// Petersen-style estimators): issues `calls` queries and estimates
+/// d ≈ k^2 * (#call pairs) / (total pairwise overlap). Returns the visible
+/// list length when the node is not truncated (exact).
+double EstimateDegreeMarkRecapture(AccessInterface& access, NodeId u,
+                                   int calls);
+
+}  // namespace wnw

@@ -1,0 +1,24 @@
+#include "access/rate_limiter.h"
+
+namespace wnw {
+
+SimulatedRateLimiter::SimulatedRateLimiter(RateLimitConfig config)
+    : config_(config), tokens_left_(config.queries_per_window) {}
+
+void SimulatedRateLimiter::OnQuery() {
+  ++total_queries_;
+  if (!enabled()) return;
+  if (tokens_left_ == 0) {
+    waited_seconds_ += config_.window_seconds;
+    tokens_left_ = config_.queries_per_window;
+  }
+  --tokens_left_;
+}
+
+void SimulatedRateLimiter::Reset() {
+  tokens_left_ = config_.queries_per_window;
+  total_queries_ = 0;
+  waited_seconds_ = 0.0;
+}
+
+}  // namespace wnw

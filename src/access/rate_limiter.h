@@ -1,0 +1,42 @@
+// Simulated query rate limiting (paper §1: e.g. Twitter allows 15 neighbor
+// API requests per 15 minutes). The limiter does not sleep; it accounts the
+// wall-clock time a crawler *would* have spent waiting, which turns query
+// counts into time-to-sample-size figures.
+#pragma once
+
+#include <cstdint>
+
+namespace wnw {
+
+struct RateLimitConfig {
+  /// Queries allowed per window; 0 disables limiting.
+  uint32_t queries_per_window = 0;
+  double window_seconds = 0.0;
+};
+
+/// Token-bucket simulation: each query consumes one token; an empty bucket
+/// forces a wait until the next window refill.
+class SimulatedRateLimiter {
+ public:
+  explicit SimulatedRateLimiter(RateLimitConfig config = {});
+
+  bool enabled() const { return config_.queries_per_window > 0; }
+
+  /// Accounts one query; may advance simulated time by a window wait.
+  void OnQuery();
+
+  uint64_t total_queries() const { return total_queries_; }
+
+  /// Total simulated seconds spent blocked on the rate limit.
+  double waited_seconds() const { return waited_seconds_; }
+
+  void Reset();
+
+ private:
+  RateLimitConfig config_;
+  uint32_t tokens_left_ = 0;
+  uint64_t total_queries_ = 0;
+  double waited_seconds_ = 0.0;
+};
+
+}  // namespace wnw

@@ -1,0 +1,119 @@
+#include "core/backward_estimator.h"
+
+#include <vector>
+
+#include "random/sampling.h"
+#include "util/check.h"
+
+namespace wnw {
+
+HitCountHistory::HitCountHistory(int walk_length)
+    : walk_length_(walk_length),
+      counts_(static_cast<size_t>(walk_length) + 1) {
+  WNW_CHECK(walk_length >= 0);
+}
+
+void HitCountHistory::RecordWalk(std::span<const NodeId> path) {
+  WNW_CHECK(path.size() == static_cast<size_t>(walk_length_) + 1);
+  for (int s = 0; s <= walk_length_; ++s) {
+    counts_[static_cast<size_t>(s)][path[static_cast<size_t>(s)]]++;
+  }
+  ++num_walks_;
+}
+
+uint32_t HitCountHistory::Count(NodeId u, int step) const {
+  WNW_CHECK(step >= 0 && step <= walk_length_);
+  const auto& m = counts_[static_cast<size_t>(step)];
+  const auto it = m.find(u);
+  return it == m.end() ? 0 : it->second;
+}
+
+BackwardEstimator::BackwardEstimator(const TransitionDesign* design,
+                                     NodeId start,
+                                     BackwardWalkOptions options,
+                                     const CrawlBall* ball,
+                                     const HitCountHistory* history)
+    : design_(design),
+      start_(start),
+      options_(options),
+      ball_(ball),
+      history_(history) {
+  WNW_CHECK(design_ != nullptr);
+  if (options_.weighted) {
+    WNW_CHECK(history_ != nullptr);
+    WNW_CHECK(options_.epsilon > 0.0 && options_.epsilon <= 1.0);
+  }
+  if (ball_ != nullptr) WNW_CHECK(ball_->start() == start);
+}
+
+double BackwardEstimator::EstimateOnce(AccessInterface& access, NodeId u,
+                                       int t, Rng& rng) const {
+  WNW_CHECK(t >= 0);
+  double weight = 1.0;
+  NodeId cur = u;
+  int s = t;
+  std::vector<NodeId> candidates;
+  std::vector<double> pick_probs;
+
+  while (true) {
+    // Initial-crawling termination: p_s is exact for s <= ball radius (zero
+    // outside the ball), so the recursion can stop here.
+    if (ball_ != nullptr && s <= ball_->radius()) {
+      return weight * ball_->ExactProb(cur, s);
+    }
+    if (s == 0) return cur == start_ ? weight : 0.0;
+
+    // Predecessor candidate set C(cur): all v with T(v, cur) possibly > 0.
+    const auto nbrs = access.EffectiveNeighbors(cur);
+    candidates.assign(nbrs.begin(), nbrs.end());
+    if (design_->has_self_loops()) candidates.push_back(cur);
+    if (candidates.empty()) {
+      // Isolated node: only reachable if the walk started (and stayed) here.
+      return cur == start_ ? weight : 0.0;
+    }
+
+    // Backward pick distribution pi_bw over C(cur).
+    size_t pick;
+    double pick_prob;
+    if (!options_.weighted) {
+      pick = rng.NextBounded(candidates.size());
+      pick_prob = 1.0 / static_cast<double>(candidates.size());
+    } else {
+      const double eps = options_.epsilon;
+      const double uniform_part =
+          eps / static_cast<double>(candidates.size());
+      uint64_t z = 0;
+      pick_probs.resize(candidates.size());
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        const uint32_t hits = history_->Count(candidates[i], s - 1);
+        pick_probs[i] = static_cast<double>(hits);
+        z += hits;
+      }
+      if (z == 0) {
+        // No history at this step yet: fall back to uniform.
+        for (double& p : pick_probs) {
+          p = 1.0 / static_cast<double>(candidates.size());
+        }
+      } else {
+        for (double& p : pick_probs) {
+          p = uniform_part + (1.0 - eps) * p / static_cast<double>(z);
+        }
+      }
+      pick = PmfPick(pick_probs, rng);
+      pick_prob = pick_probs[pick];
+    }
+
+    const NodeId v = candidates[pick];
+    // Corrected Algorithm 1 / 2 weight: T(v, cur) / pi_bw(v). Uniform picks
+    // recover |C| * T(v, cur); SRW further reduces to |N(cur)|/|N(v)|
+    // (Eq. 21). The query-cheap unbiased factor estimate keeps the product
+    // unbiased (factors are independent given the path).
+    const double trans = design_->TransitionProbEstimate(access, v, cur, rng);
+    if (trans <= 0.0) return 0.0;  // dead predecessor (e.g. MH self mass 0)
+    weight *= trans / pick_prob;
+    cur = v;
+    --s;
+  }
+}
+
+}  // namespace wnw

@@ -1,0 +1,84 @@
+#include "core/crawler.h"
+
+#include <deque>
+
+#include "util/check.h"
+
+namespace wnw {
+
+CrawlBall CrawlBall::Crawl(AccessInterface& access,
+                           const TransitionDesign& design, NodeId start,
+                           int hops) {
+  WNW_CHECK(hops >= 0);
+  CrawlBall ball;
+  ball.start_ = start;
+  ball.radius_ = hops;
+
+  // BFS to depth `hops`, querying every node encountered at distance <= hops.
+  ball.index_.emplace(start, 0);
+  ball.nodes_.push_back(start);
+  ball.distance_.push_back(0);
+  std::deque<uint32_t> frontier{0};
+  while (!frontier.empty()) {
+    const uint32_t li = frontier.front();
+    frontier.pop_front();
+    const uint32_t d = ball.distance_[li];
+    if (static_cast<int>(d) >= hops) {
+      // Still query the boundary node: its degree (and adjacency back into
+      // the ball) is needed for exact MHRW transition probabilities.
+      access.EffectiveNeighbors(ball.nodes_[li]);
+      continue;
+    }
+    for (NodeId v : access.EffectiveNeighbors(ball.nodes_[li])) {
+      if (ball.index_.count(v) > 0) continue;
+      const uint32_t vi = static_cast<uint32_t>(ball.nodes_.size());
+      ball.index_.emplace(v, vi);
+      ball.nodes_.push_back(v);
+      ball.distance_.push_back(d + 1);
+      frontier.push_back(vi);
+    }
+  }
+
+  // Exact step distributions p_0..p_hops inside the ball.
+  ball.probs_.assign(static_cast<size_t>(hops) + 1,
+                     std::vector<double>(ball.nodes_.size(), 0.0));
+  ball.probs_[0][0] = 1.0;
+  for (int s = 1; s <= hops; ++s) {
+    const auto& prev = ball.probs_[s - 1];
+    auto& cur = ball.probs_[s];
+    for (uint32_t yi = 0; yi < ball.nodes_.size(); ++yi) {
+      const double py = prev[yi];
+      if (py <= 0.0) continue;
+      // Mass can only sit at distance <= s-1 <= hops-1, so y is fully
+      // queried and all its neighbors are ball members.
+      WNW_DCHECK(ball.distance_[yi] + 1 <= static_cast<uint32_t>(hops));
+      const NodeId y = ball.nodes_[yi];
+      // Self term: design self-loops, or a degenerate isolated node (every
+      // design self-loops with probability 1 there).
+      if (design.has_self_loops() || access.EffectiveNeighbors(y).empty()) {
+        cur[yi] += py * design.TransitionProb(access, y, y);
+      }
+      for (NodeId x : access.EffectiveNeighbors(y)) {
+        const auto it = ball.index_.find(x);
+        WNW_DCHECK(it != ball.index_.end());
+        cur[it->second] += py * design.TransitionProb(access, y, x);
+      }
+    }
+  }
+  return ball;
+}
+
+double CrawlBall::ExactProb(NodeId v, int s) const {
+  WNW_CHECK(s >= 0 && s <= radius_);
+  const auto it = index_.find(v);
+  if (it == index_.end()) return 0.0;
+  return probs_[static_cast<size_t>(s)][it->second];
+}
+
+int CrawlBall::DistanceTo(NodeId v) const {
+  const auto it = index_.find(v);
+  WNW_CHECK(it != index_.end());
+  return static_cast<int>(distance_[it->second]);
+}
+
+}  // namespace wnw

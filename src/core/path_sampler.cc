@@ -1,0 +1,70 @@
+#include "core/path_sampler.h"
+
+#include "mcmc/walker.h"
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace wnw {
+
+WalkEstimatePathSampler::WalkEstimatePathSampler(
+    AccessInterface* access, const TransitionDesign* design, NodeId start,
+    Options options, uint64_t seed)
+    : access_(access),
+      design_(design),
+      start_(start),
+      options_(options),
+      rng_(seed),
+      name_(StrFormat("WE-Path(%.*s)",
+                      static_cast<int>(design->name().size()),
+                      design->name().data())),
+      estimator_(design, start, options.base.EffectiveWalkLength(),
+                 options.base.estimate),
+      rejection_(options.base.rejection) {
+  WNW_CHECK(access_ != nullptr && design_ != nullptr);
+  WNW_CHECK(options_.stride >= 1);
+  WNW_CHECK(options_.EffectiveMinStep() >= 1);
+  WNW_CHECK(options_.EffectiveMinStep() <=
+            options_.base.EffectiveWalkLength());
+}
+
+Result<NodeId> WalkEstimatePathSampler::Draw() {
+  if (!prepared_) {
+    estimator_.Prepare(*access_);
+    prepared_ = true;
+  }
+  const int t = options_.base.EffectiveWalkLength();
+  const int s_min = options_.EffectiveMinStep();
+  int walks_this_draw = 0;
+  while (pending_.empty()) {
+    if (++walks_this_draw > options_.max_walks_per_draw) {
+      return Status::ResourceExhausted(
+          StrFormat("%s: no acceptance within %d walks", name_.c_str(),
+                    options_.max_walks_per_draw));
+    }
+    Walk(*access_, *design_, start_, t, rng_, &path_buf_);
+    estimator_.RecordForwardWalk(path_buf_);
+    ++walks_;
+    // Every stride-th node from s_min to t is a candidate with its own
+    // per-step sampling probability.
+    for (int s = s_min; s <= t; s += options_.stride) {
+      const NodeId v = path_buf_[static_cast<size_t>(s)];
+      const PtEstimate est = estimator_.EstimateAtStep(*access_, v, s, rng_);
+      const double target = design_->StationaryWeight(*access_, v);
+      if (est.mean <= 0.0 || target <= 0.0) {
+        pending_.push_back(v);  // see WalkEstimateSampler::Draw()
+        continue;
+      }
+      if (rejection_.Accept(est.mean / target, rng_)) pending_.push_back(v);
+    }
+  }
+  const NodeId out = pending_.front();
+  pending_.pop_front();
+  ++accepted_;
+  return out;
+}
+
+double WalkEstimatePathSampler::TargetWeight(NodeId u) {
+  return design_->StationaryWeight(*access_, u);
+}
+
+}  // namespace wnw

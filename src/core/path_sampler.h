@@ -1,0 +1,78 @@
+// WALK-ESTIMATE over walk *paths* — the extension the paper sketches in
+// §6.1: instead of taking only the final node of each short walk as a
+// candidate, estimate the sampling probability p_s(v_s) of EVERY node along
+// the path (for steps s past a minimum where the distribution has support
+// everywhere) and acceptance-reject each one. Each forward walk can then
+// yield several samples, amortizing its cost — at the price of weak
+// correlation among samples from the same path (quantify it with
+// EffectiveSampleSize; see bench/ablation_path_sampler).
+#pragma once
+
+#include <deque>
+
+#include "core/estimate.h"
+#include "core/samplers.h"
+#include "core/walk_estimate.h"
+#include "mcmc/rejection.h"
+
+namespace wnw {
+
+class WalkEstimatePathSampler final : public Sampler {
+ public:
+  struct Options {
+    /// Walk length / estimation / rejection settings shared with the plain
+    /// sampler.
+    WalkEstimateOptions base;
+
+    /// First step considered a candidate; 0 derives it from
+    /// base.diameter_bound (the distribution can only have full support
+    /// once the walk has covered the diameter).
+    int min_candidate_step = 0;
+
+    /// Consider every `stride`-th step in [min_candidate_step, t]. Larger
+    /// strides trade samples-per-walk for weaker correlation.
+    int stride = 1;
+
+    /// Guard: walks attempted per Draw() before giving up.
+    int max_walks_per_draw = 100000;
+
+    int EffectiveMinStep() const {
+      return min_candidate_step > 0 ? min_candidate_step
+                                    : base.diameter_bound;
+    }
+  };
+
+  WalkEstimatePathSampler(AccessInterface* access,
+                          const TransitionDesign* design, NodeId start,
+                          Options options, uint64_t seed);
+
+  std::string_view name() const override { return name_; }
+  Result<NodeId> Draw() override;
+  double TargetWeight(NodeId u) override;
+
+  uint64_t walks_run() const { return walks_; }
+  uint64_t samples_accepted() const { return accepted_; }
+  /// Average accepted samples per forward walk (the amortization factor).
+  double samples_per_walk() const {
+    return walks_ == 0
+               ? 0.0
+               : static_cast<double>(accepted_) / static_cast<double>(walks_);
+  }
+
+ private:
+  AccessInterface* access_;
+  const TransitionDesign* design_;
+  NodeId start_;
+  Options options_;
+  Rng rng_;
+  std::string name_;
+  ProbabilityEstimator estimator_;
+  RejectionSampler rejection_;
+  bool prepared_ = false;
+  std::vector<NodeId> path_buf_;
+  std::deque<NodeId> pending_;
+  uint64_t walks_ = 0;
+  uint64_t accepted_ = 0;
+};
+
+}  // namespace wnw

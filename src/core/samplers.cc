@@ -1,0 +1,108 @@
+#include "core/samplers.h"
+
+#include "util/check.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace wnw {
+
+// ------------------------------------------------------ BurnInSampler ------
+
+BurnInSampler::BurnInSampler(AccessInterface* access,
+                             const TransitionDesign* design, NodeId start,
+                             Options options, uint64_t seed)
+    : access_(access),
+      design_(design),
+      start_(start),
+      options_(options),
+      rng_(seed),
+      name_(std::string(design->name()) + "+Geweke") {
+  WNW_CHECK(access_ != nullptr && design_ != nullptr);
+  WNW_CHECK(options_.min_steps >= 1 && options_.check_interval >= 1);
+  WNW_CHECK(options_.max_steps >= options_.min_steps);
+}
+
+Result<NodeId> BurnInSampler::Draw() {
+  // Fresh walk, fresh monitor: "many short runs" semantics. The observable
+  // is the node degree (the paper's typical theta).
+  GewekeMonitor monitor(options_.geweke);
+  NodeId cur = start_;
+  monitor.Add(static_cast<double>(access_->EffectiveDegree(cur)));
+  int steps = 0;
+  while (steps < options_.max_steps) {
+    cur = design_->Step(*access_, cur, rng_);
+    monitor.Add(static_cast<double>(access_->EffectiveDegree(cur)));
+    ++steps;
+    if (steps >= options_.min_steps && steps % options_.check_interval == 0 &&
+        monitor.Converged()) {
+      break;
+    }
+  }
+  if (steps >= options_.max_steps) {
+    WNW_LOG(kDebug) << name_ << ": burn-in cap " << options_.max_steps
+                    << " hit; taking current node";
+  }
+  last_burn_in_ = steps;
+  total_burn_in_ += static_cast<uint64_t>(steps);
+  ++draws_;
+  return cur;
+}
+
+double BurnInSampler::TargetWeight(NodeId u) {
+  return design_->StationaryWeight(*access_, u);
+}
+
+double BurnInSampler::average_burn_in() const {
+  return draws_ == 0 ? 0.0
+                     : static_cast<double>(total_burn_in_) /
+                           static_cast<double>(draws_);
+}
+
+// --------------------------------------------------- OneLongRunSampler -----
+
+OneLongRunSampler::OneLongRunSampler(AccessInterface* access,
+                                     const TransitionDesign* design,
+                                     NodeId start, Options options,
+                                     uint64_t seed)
+    : access_(access),
+      design_(design),
+      start_(start),
+      options_(options),
+      rng_(seed),
+      name_(std::string(design->name()) + "+LongRun"),
+      current_(start) {
+  WNW_CHECK(access_ != nullptr && design_ != nullptr);
+  WNW_CHECK(options_.thinning >= 1);
+}
+
+Result<NodeId> OneLongRunSampler::Draw() {
+  if (!burned_in_) {
+    GewekeMonitor monitor(options_.burn_in.geweke);
+    NodeId cur = start_;
+    monitor.Add(static_cast<double>(access_->EffectiveDegree(cur)));
+    int steps = 0;
+    while (steps < options_.burn_in.max_steps) {
+      cur = design_->Step(*access_, cur, rng_);
+      monitor.Add(static_cast<double>(access_->EffectiveDegree(cur)));
+      ++steps;
+      if (steps >= options_.burn_in.min_steps &&
+          steps % options_.burn_in.check_interval == 0 &&
+          monitor.Converged()) {
+        break;
+      }
+    }
+    current_ = cur;
+    burned_in_ = true;
+    return current_;  // the first post-burn-in node
+  }
+  for (int i = 0; i < options_.thinning; ++i) {
+    current_ = design_->Step(*access_, current_, rng_);
+  }
+  return current_;
+}
+
+double OneLongRunSampler::TargetWeight(NodeId u) {
+  return design_->StationaryWeight(*access_, u);
+}
+
+}  // namespace wnw

@@ -1,0 +1,106 @@
+// Node samplers: the common interface plus the paper's baselines.
+//
+// "Many short runs" (paper §6.1, the variant the paper compares against):
+// each sample comes from a fresh walk from the start node that runs until a
+// convergence monitor declares burn-in. "One long run" burns in once and
+// then emits every node it visits — cheaper but correlated (its effective
+// sample size is measured in estimation/metrics.h).
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "access/access_interface.h"
+#include "mcmc/convergence.h"
+#include "mcmc/transition.h"
+#include "mcmc/walker.h"
+#include "random/rng.h"
+#include "util/status.h"
+
+namespace wnw {
+
+/// Interface for "draw one node". Implementations keep per-session state
+/// (caches, monitors, histories) and bill all queries to the bound access
+/// session; callers read costs off AccessInterface.
+class Sampler {
+ public:
+  virtual ~Sampler() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Draws the next sample node.
+  virtual Result<NodeId> Draw() = 0;
+
+  /// The stationary/target weight w(u) of the distribution this sampler's
+  /// output follows (unnormalized); estimators importance-weight with it.
+  virtual double TargetWeight(NodeId u) = 0;
+};
+
+/// Baseline: random walk with a Geweke burn-in monitor, one sample per walk.
+class BurnInSampler final : public Sampler {
+ public:
+  struct Options {
+    GewekeOptions geweke;
+    /// Steps between convergence checks.
+    int check_interval = 20;
+    /// Walk at least this many steps before checking.
+    int min_steps = 50;
+    /// Hard cap: give up waiting and take the current node (logged).
+    int max_steps = 50000;
+  };
+
+  BurnInSampler(AccessInterface* access, const TransitionDesign* design,
+                NodeId start, Options options, uint64_t seed);
+
+  std::string_view name() const override { return name_; }
+  Result<NodeId> Draw() override;
+  double TargetWeight(NodeId u) override;
+
+  /// Burn-in length of the most recent draw.
+  int last_burn_in() const { return last_burn_in_; }
+  /// Average burn-in length across draws.
+  double average_burn_in() const;
+
+ private:
+  AccessInterface* access_;
+  const TransitionDesign* design_;
+  NodeId start_;
+  Options options_;
+  Rng rng_;
+  std::string name_;
+  int last_burn_in_ = 0;
+  uint64_t draws_ = 0;
+  uint64_t total_burn_in_ = 0;
+};
+
+/// Baseline: one long run — burn in once, then every visited node (with
+/// optional thinning) is a sample.
+class OneLongRunSampler final : public Sampler {
+ public:
+  struct Options {
+    BurnInSampler::Options burn_in;
+    /// Keep every `thinning`-th node after burn-in (1 = keep all).
+    int thinning = 1;
+  };
+
+  OneLongRunSampler(AccessInterface* access, const TransitionDesign* design,
+                    NodeId start, Options options, uint64_t seed);
+
+  std::string_view name() const override { return name_; }
+  Result<NodeId> Draw() override;
+  double TargetWeight(NodeId u) override;
+
+  bool burned_in() const { return burned_in_; }
+
+ private:
+  AccessInterface* access_;
+  const TransitionDesign* design_;
+  NodeId start_;
+  Options options_;
+  Rng rng_;
+  std::string name_;
+  bool burned_in_ = false;
+  NodeId current_;
+};
+
+}  // namespace wnw

@@ -1,0 +1,103 @@
+#include "core/walk_estimate.h"
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace wnw {
+
+void ApplyVariant(WalkEstimateVariant variant, WalkEstimateOptions* options) {
+  switch (variant) {
+    case WalkEstimateVariant::kFull:
+      options->estimate.use_crawl = true;
+      options->estimate.use_weighted = true;
+      break;
+    case WalkEstimateVariant::kNone:
+      options->estimate.use_crawl = false;
+      options->estimate.use_weighted = false;
+      break;
+    case WalkEstimateVariant::kCrawlOnly:
+      options->estimate.use_crawl = true;
+      options->estimate.use_weighted = false;
+      break;
+    case WalkEstimateVariant::kWeightedOnly:
+      options->estimate.use_crawl = false;
+      options->estimate.use_weighted = true;
+      break;
+  }
+}
+
+std::string_view VariantName(WalkEstimateVariant variant) {
+  switch (variant) {
+    case WalkEstimateVariant::kFull:
+      return "WE";
+    case WalkEstimateVariant::kNone:
+      return "WE-None";
+    case WalkEstimateVariant::kCrawlOnly:
+      return "WE-Crawl";
+    case WalkEstimateVariant::kWeightedOnly:
+      return "WE-Weighted";
+  }
+  return "WE-?";
+}
+
+WalkEstimateSampler::WalkEstimateSampler(AccessInterface* access,
+                                         const TransitionDesign* design,
+                                         NodeId start,
+                                         WalkEstimateOptions options,
+                                         uint64_t seed)
+    : access_(access),
+      design_(design),
+      start_(start),
+      options_(options),
+      rng_(seed),
+      name_(StrFormat("WE(%.*s)", static_cast<int>(design->name().size()),
+                      design->name().data())),
+      estimator_(design, start, options.EffectiveWalkLength(),
+                 options.estimate),
+      rejection_(options.rejection) {
+  WNW_CHECK(access_ != nullptr && design_ != nullptr);
+  WNW_CHECK(options_.EffectiveWalkLength() >= 1);
+  WNW_CHECK(options_.max_candidates_per_draw >= 1);
+}
+
+Result<NodeId> WalkEstimateSampler::Draw() {
+  if (!prepared_) {
+    estimator_.Prepare(*access_);  // initial crawl (no-op if disabled)
+    prepared_ = true;
+  }
+  const int t = options_.EffectiveWalkLength();
+  for (int c = 0; c < options_.max_candidates_per_draw; ++c) {
+    // WALK: short forward walk; the node at step t is the candidate.
+    const NodeId v = Walk(*access_, *design_, start_, t, rng_, &path_buf_);
+    estimator_.RecordForwardWalk(path_buf_);
+    forward_steps_ += static_cast<uint64_t>(t);
+    ++candidates_;
+
+    // ESTIMATE the candidate's sampling probability p_t(v).
+    const PtEstimate est = estimator_.Estimate(*access_, v, rng_);
+
+    // Acceptance-rejection toward the input walk's target distribution.
+    const double target = design_->StationaryWeight(*access_, v);
+    if (est.mean <= 0.0 || target <= 0.0) {
+      // The estimator saw no probability mass: beta = q/p * scale clips to
+      // 1, so the candidate is accepted outright (and the degenerate ratio
+      // is kept out of the percentile bootstrap).
+      ++accepted_;
+      return v;
+    }
+    const double ratio = est.mean / target;
+    if (rejection_.Accept(ratio, rng_)) {
+      ++accepted_;
+      return v;
+    }
+  }
+  return Status::ResourceExhausted(
+      StrFormat("%s: no acceptance within %d candidates", name_.c_str(),
+                options_.max_candidates_per_draw));
+}
+
+double WalkEstimateSampler::TargetWeight(NodeId u) {
+  return design_->StationaryWeight(*access_, u);
+}
+
+}  // namespace wnw

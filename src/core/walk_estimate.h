@@ -1,0 +1,103 @@
+// WALK-ESTIMATE (paper §3-§5): the paper's contribution. A swap-in
+// replacement for any input random-walk sampler that forgoes burn-in:
+//
+//   1. WALK a short, fixed number of steps t = 2*D̄(G) + 1 (D̄ a conservative
+//      diameter upper bound; paper §4.3) and take the node v at step t as a
+//      *candidate*;
+//   2. ESTIMATE the candidate's sampling probability p_t(v) with backward
+//      random walks (core/estimate.h);
+//   3. acceptance-rejection with the percentile-bootstrapped scale
+//      (mcmc/rejection.h) corrects the output to the input walk's stationary
+//      distribution.
+//
+// The four experiment variants of Figure 9 are configuration points:
+// WE-None (no heuristics), WE-Crawl, WE-Weighted, WE (both).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/estimate.h"
+#include "core/samplers.h"
+#include "mcmc/rejection.h"
+
+namespace wnw {
+
+struct WalkEstimateOptions {
+  /// Forward walk length t. 0 means "derive as 2 * diameter_bound + 1".
+  int walk_length = 0;
+
+  /// Conservative diameter upper bound D̄(G) (paper: 8-10 is a safe bet for
+  /// real OSNs; 7 was used for Google Plus).
+  int diameter_bound = 10;
+
+  /// ESTIMATE configuration (crawl hops, WS-BW, repetition budget).
+  EstimateOptions estimate;
+
+  /// Acceptance-rejection scale bootstrap (paper: 10th percentile).
+  RejectionOptions rejection;
+
+  /// Guard: maximum candidate walks per Draw() before giving up.
+  int max_candidates_per_draw = 100000;
+
+  int EffectiveWalkLength() const {
+    return walk_length > 0 ? walk_length : 2 * diameter_bound + 1;
+  }
+};
+
+/// Named heuristic configurations from the paper's evaluation.
+enum class WalkEstimateVariant {
+  kFull,      // WE: crawl + weighted
+  kNone,      // WE-None
+  kCrawlOnly, // WE-Crawl
+  kWeightedOnly,  // WE-Weighted
+};
+
+/// Applies a variant's heuristic switches onto `options`.
+void ApplyVariant(WalkEstimateVariant variant, WalkEstimateOptions* options);
+std::string_view VariantName(WalkEstimateVariant variant);
+
+/// The WALK-ESTIMATE sampler. All draws share one start node, one crawl
+/// ball, one WS-BW history, and one rejection-scale bootstrap — the
+/// amortization the paper relies on.
+class WalkEstimateSampler final : public Sampler {
+ public:
+  WalkEstimateSampler(AccessInterface* access, const TransitionDesign* design,
+                      NodeId start, WalkEstimateOptions options,
+                      uint64_t seed);
+
+  std::string_view name() const override { return name_; }
+  Result<NodeId> Draw() override;
+  double TargetWeight(NodeId u) override;
+
+  // --- telemetry -----------------------------------------------------------
+  uint64_t candidates_tried() const { return candidates_; }
+  uint64_t samples_accepted() const { return accepted_; }
+  double acceptance_rate() const {
+    return candidates_ == 0 ? 0.0
+                            : static_cast<double>(accepted_) /
+                                  static_cast<double>(candidates_);
+  }
+  uint64_t forward_steps() const { return forward_steps_; }
+  const ProbabilityEstimator& estimator() const { return estimator_; }
+  const RejectionSampler& rejection() const { return rejection_; }
+  int walk_length() const { return options_.EffectiveWalkLength(); }
+
+ private:
+  AccessInterface* access_;
+  const TransitionDesign* design_;
+  NodeId start_;
+  WalkEstimateOptions options_;
+  Rng rng_;
+  std::string name_;
+  ProbabilityEstimator estimator_;
+  RejectionSampler rejection_;
+  bool prepared_ = false;
+  std::vector<NodeId> path_buf_;
+  uint64_t candidates_ = 0;
+  uint64_t accepted_ = 0;
+  uint64_t forward_steps_ = 0;
+};
+
+}  // namespace wnw

@@ -1,0 +1,51 @@
+#include "estimation/aggregates.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace wnw {
+
+double EstimateAverageUniform(std::span<const double> theta_values) {
+  WNW_CHECK(!theta_values.empty());
+  double sum = 0.0;
+  for (double v : theta_values) sum += v;
+  return sum / static_cast<double>(theta_values.size());
+}
+
+double EstimateAverageWeighted(std::span<const double> theta_values,
+                               std::span<const double> weights) {
+  WNW_CHECK(theta_values.size() == weights.size());
+  WNW_CHECK(!theta_values.empty());
+  double num = 0.0, den = 0.0;
+  for (size_t i = 0; i < theta_values.size(); ++i) {
+    if (weights[i] <= 0.0) continue;
+    num += theta_values[i] / weights[i];
+    den += 1.0 / weights[i];
+  }
+  WNW_CHECK(den > 0.0);
+  return num / den;
+}
+
+double EstimateAverage(std::span<const NodeId> samples, TargetBias bias,
+                       const std::function<double(NodeId)>& theta,
+                       const std::function<double(NodeId)>& weight) {
+  WNW_CHECK(!samples.empty());
+  std::vector<double> thetas;
+  thetas.reserve(samples.size());
+  for (NodeId u : samples) thetas.push_back(theta(u));
+  if (bias == TargetBias::kUniform) {
+    return EstimateAverageUniform(thetas);
+  }
+  std::vector<double> weights;
+  weights.reserve(samples.size());
+  for (NodeId u : samples) weights.push_back(weight(u));
+  return EstimateAverageWeighted(thetas, weights);
+}
+
+double RelativeError(double estimate, double truth) {
+  WNW_CHECK(truth != 0.0);
+  return std::fabs(estimate - truth) / std::fabs(truth);
+}
+
+}  // namespace wnw

@@ -1,0 +1,47 @@
+// AVG aggregate estimation from sampled nodes (paper §2.4 / §7.1).
+//
+// Uniform-target samples (MHRW, WE over MHRW) estimate an average by the
+// arithmetic mean of the sampled attribute. Degree-proportional samples
+// (SRW, WE over SRW) must importance-weight: the paper uses the "harmonic
+// mean" construction, which is the Hansen–Hurwitz ratio estimator
+//
+//   AVG(theta) ≈ (Σ theta_i / w_i) / (Σ 1 / w_i),   w_i = target weight,
+//
+// with w_i = deg(i) for SRW (reducing to the harmonic mean of degrees when
+// theta = degree).
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace wnw {
+
+/// How sampled nodes are distributed (which correction applies).
+enum class TargetBias {
+  kUniform,             // arithmetic mean
+  kStationaryWeighted,  // Hansen–Hurwitz with supplied weights
+};
+
+/// Arithmetic mean of theta over uniform samples.
+double EstimateAverageUniform(std::span<const double> theta_values);
+
+/// Hansen–Hurwitz ratio estimate of the population mean of theta from
+/// samples drawn with probability proportional to `weights`.
+/// Zero-weight samples are skipped (they cannot legally occur).
+double EstimateAverageWeighted(std::span<const double> theta_values,
+                               std::span<const double> weights);
+
+/// Convenience: estimate AVG(theta) from sample node ids.
+/// `theta(node)` reads the attribute; `weight(node)` the target weight
+/// (ignored under kUniform).
+double EstimateAverage(std::span<const NodeId> samples, TargetBias bias,
+                       const std::function<double(NodeId)>& theta,
+                       const std::function<double(NodeId)>& weight);
+
+/// |estimate - truth| / |truth| (paper's experimental error measure).
+double RelativeError(double estimate, double truth);
+
+}  // namespace wnw

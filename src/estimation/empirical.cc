@@ -1,0 +1,38 @@
+#include "estimation/empirical.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace wnw {
+
+std::vector<double> EmpiricalDistribution::Pmf() const {
+  std::vector<double> pmf(counts_.size(), 0.0);
+  if (total_ == 0) return pmf;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    pmf[i] = static_cast<double>(counts_[i]) / static_cast<double>(total_);
+  }
+  return pmf;
+}
+
+OrderedDistribution OrderByKeyDescending(std::span<const double> pmf,
+                                         std::span<const double> key) {
+  WNW_CHECK(pmf.size() == key.size() && !pmf.empty());
+  OrderedDistribution out;
+  out.order.resize(pmf.size());
+  std::iota(out.order.begin(), out.order.end(), 0u);
+  std::stable_sort(out.order.begin(), out.order.end(),
+                   [&](NodeId a, NodeId b) { return key[a] > key[b]; });
+  out.pdf.reserve(pmf.size());
+  out.cdf.reserve(pmf.size());
+  double run = 0.0;
+  for (NodeId u : out.order) {
+    out.pdf.push_back(pmf[u]);
+    run += pmf[u];
+    out.cdf.push_back(run);
+  }
+  return out;
+}
+
+}  // namespace wnw

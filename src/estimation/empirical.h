@@ -1,0 +1,46 @@
+// Empirical sampling distributions (the Figure 12 / Table 1 machinery):
+// accumulate visit counts per node across many samples and compare against
+// a theoretical target distribution.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace wnw {
+
+/// Visit-count accumulator over node ids.
+class EmpiricalDistribution {
+ public:
+  explicit EmpiricalDistribution(NodeId num_nodes)
+      : counts_(num_nodes, 0) {}
+
+  void Add(NodeId u) {
+    ++counts_[u];
+    ++total_;
+  }
+
+  uint64_t total() const { return total_; }
+  std::span<const uint64_t> counts() const { return counts_; }
+
+  /// Normalized pmf (empty when no samples were added).
+  std::vector<double> Pmf() const;
+
+ private:
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+/// Sorts node ids by an ordering key descending (Figure 12 orders nodes by
+/// degree) and returns pmf/cdf series of `dist` in that order.
+struct OrderedDistribution {
+  std::vector<NodeId> order;  // node ids, key-descending
+  std::vector<double> pdf;    // probability of order[i]
+  std::vector<double> cdf;    // running sum
+};
+OrderedDistribution OrderByKeyDescending(std::span<const double> pmf,
+                                         std::span<const double> key);
+
+}  // namespace wnw

@@ -1,0 +1,27 @@
+#include "estimation/ground_truth.h"
+
+#include "util/check.h"
+
+namespace wnw {
+
+double TrueAverageDegree(const Graph& g) {
+  WNW_CHECK(g.num_nodes() > 0);
+  return g.average_degree();
+}
+
+Result<double> TrueAttributeAverage(const AttributeTable& attrs,
+                                    std::string_view column) {
+  WNW_ASSIGN_OR_RETURN(const std::span<const double> values,
+                       attrs.Column(column));
+  if (values.empty()) return Status::InvalidArgument("empty column");
+  return TrueVectorAverage(values);
+}
+
+double TrueVectorAverage(std::span<const double> values) {
+  WNW_CHECK(!values.empty());
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+}  // namespace wnw

@@ -1,0 +1,24 @@
+// Exact whole-graph aggregates: what the sampling estimators are compared
+// against in every "relative error" experiment.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "graph/attributes.h"
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace wnw {
+
+/// Exact average degree 2|E| / |V|.
+double TrueAverageDegree(const Graph& g);
+
+/// Exact mean of an attribute column.
+Result<double> TrueAttributeAverage(const AttributeTable& attrs,
+                                    std::string_view column);
+
+/// Exact mean of an arbitrary per-node vector.
+double TrueVectorAverage(std::span<const double> values);
+
+}  // namespace wnw

@@ -1,0 +1,88 @@
+#include "estimation/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace wnw {
+
+double LInfDistance(std::span<const double> p, std::span<const double> q) {
+  WNW_CHECK(p.size() == q.size() && !p.empty());
+  double worst = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    worst = std::max(worst, std::fabs(p[i] - q[i]));
+  }
+  return worst;
+}
+
+double TotalVariationDistance(std::span<const double> p,
+                              std::span<const double> q) {
+  WNW_CHECK(p.size() == q.size() && !p.empty());
+  double sum = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) sum += std::fabs(p[i] - q[i]);
+  return 0.5 * sum;
+}
+
+double KLDivergence(std::span<const double> p, std::span<const double> q,
+                    double q_floor) {
+  WNW_CHECK(p.size() == q.size() && !p.empty());
+  double kl = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    if (p[i] <= 0.0) continue;
+    kl += p[i] * std::log(p[i] / std::max(q[i], q_floor));
+  }
+  return kl;
+}
+
+double ChiSquareStatistic(std::span<const uint64_t> observed,
+                          std::span<const double> expected_pmf) {
+  WNW_CHECK(observed.size() == expected_pmf.size() && !observed.empty());
+  uint64_t total = 0;
+  for (uint64_t o : observed) total += o;
+  WNW_CHECK(total > 0);
+  double stat = 0.0;
+  for (size_t i = 0; i < observed.size(); ++i) {
+    const double expect = expected_pmf[i] * static_cast<double>(total);
+    if (expect <= 0.0) continue;
+    const double diff = static_cast<double>(observed[i]) - expect;
+    stat += diff * diff / expect;
+  }
+  return stat;
+}
+
+double Autocorrelation(std::span<const double> chain, size_t lag) {
+  WNW_CHECK(chain.size() >= 2);
+  WNW_CHECK(lag < chain.size());
+  const size_t n = chain.size();
+  double mean = 0.0;
+  for (double v : chain) mean += v;
+  mean /= static_cast<double>(n);
+  double var = 0.0;
+  for (double v : chain) var += (v - mean) * (v - mean);
+  if (var <= 0.0) return lag == 0 ? 1.0 : 0.0;
+  double cov = 0.0;
+  for (size_t i = 0; i + lag < n; ++i) {
+    cov += (chain[i] - mean) * (chain[i + lag] - mean);
+  }
+  return cov / var;
+}
+
+double EffectiveSampleSize(std::span<const double> chain, size_t max_lag) {
+  WNW_CHECK(chain.size() >= 4);
+  const size_t n = chain.size();
+  const size_t cap = std::min(max_lag, n / 2);
+  // Geyer initial positive sequence: accumulate rho over pairs (2k-1, 2k)
+  // while each pair sum stays positive.
+  double rho_sum = 0.0;
+  for (size_t k = 1; k + 1 <= cap; k += 2) {
+    const double pair =
+        Autocorrelation(chain, k) + Autocorrelation(chain, k + 1);
+    if (pair <= 0.0) break;
+    rho_sum += pair;
+  }
+  const double denom = 1.0 + 2.0 * rho_sum;
+  return static_cast<double>(n) / std::max(denom, 1e-9);
+}
+
+}  // namespace wnw

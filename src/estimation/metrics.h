@@ -1,0 +1,39 @@
+// Distribution distance measures (Table 1: l-inf and KL divergence; plus
+// total variation and chi-square used in tests) and the effective sample
+// size of correlated chains (paper Eq. 25).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace wnw {
+
+/// max_i |p_i - q_i| (the paper's "variation distance", an l-inf norm).
+double LInfDistance(std::span<const double> p, std::span<const double> q);
+
+/// (1/2) * sum_i |p_i - q_i|.
+double TotalVariationDistance(std::span<const double> p,
+                              std::span<const double> q);
+
+/// KL(p || q) = sum_i p_i log(p_i / q_i). Zero p_i terms contribute 0;
+/// q_i is floored at `q_floor` so empirical distributions with unvisited
+/// nodes stay finite (standard add-eps smoothing).
+double KLDivergence(std::span<const double> p, std::span<const double> q,
+                    double q_floor = 1e-12);
+
+/// Pearson chi-square statistic of observed counts against expected
+/// probabilities (sum over cells with expected > 0).
+double ChiSquareStatistic(std::span<const uint64_t> observed,
+                          std::span<const double> expected_pmf);
+
+/// Autocorrelation of a scalar chain at lag k (biased normalization).
+double Autocorrelation(std::span<const double> chain, size_t lag);
+
+/// Effective sample size M = h / (1 + 2 * sum_k rho_k) (Eq. 25), with the
+/// sum truncated by Geyer's initial-positive-sequence rule (stop when the
+/// sum of an adjacent pair of autocorrelations goes non-positive).
+double EffectiveSampleSize(std::span<const double> chain,
+                           size_t max_lag = 1000);
+
+}  // namespace wnw

@@ -1,0 +1,102 @@
+// The experiment harness behind every relative-error figure (Figs. 6-11) and
+// the exact-bias study (Table 1 / Fig. 12): builds per-trial sampling
+// sessions, draws samples, estimates AVG aggregates at checkpoint sample
+// counts, and averages query cost / relative error across trials (the paper
+// averages 100 runs per data point; trials are configurable via WNW_TRIALS).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "access/access_interface.h"
+#include "core/samplers.h"
+#include "core/walk_estimate.h"
+#include "datasets/social_datasets.h"
+#include "estimation/aggregates.h"
+#include "estimation/empirical.h"
+#include "mcmc/transition.h"
+
+namespace wnw {
+
+/// Factory for a sampling session bound to a fresh access interface.
+using SamplerFactory = std::function<std::unique_ptr<Sampler>(
+    AccessInterface* access, NodeId start, uint64_t seed)>;
+
+struct SamplerSpec {
+  std::string label;
+  SamplerFactory make;
+  /// Which aggregate correction applies to this sampler's output.
+  TargetBias bias = TargetBias::kUniform;
+};
+
+/// Ready-made specs for the paper's contenders. The returned spec owns its
+/// TransitionDesign via shared_ptr captured in the factory closure.
+SamplerSpec MakeBurnInSpec(const std::string& design_spec,
+                           BurnInSampler::Options options = {});
+SamplerSpec MakeWalkEstimateSpec(const std::string& design_spec,
+                                 WalkEstimateOptions options,
+                                 WalkEstimateVariant variant =
+                                     WalkEstimateVariant::kFull,
+                                 const std::string& label_suffix = "");
+
+/// The aggregate under estimation. column == "" means node degree.
+struct AggregateSpec {
+  std::string label;
+  std::string column;
+};
+
+struct ErrorVsCostConfig {
+  std::vector<int> sample_counts = {10, 20, 40, 80, 160};
+  int trials = 10;
+  uint64_t seed = 42;
+  int threads = 0;  // 0 = hardware default
+  AccessOptions access;  // restriction / rate-limit scenario
+};
+
+struct CurvePoint {
+  int samples = 0;
+  double mean_query_cost = 0.0;     // unique nodes accessed (paper metric)
+  double mean_total_queries = 0.0;  // all API invocations incl. cache hits
+  double mean_rel_error = 0.0;
+  int completed_trials = 0;
+};
+
+/// Runs the error-vs-cost experiment: for each trial, draw
+/// max(sample_counts) samples and record (cost, relative error) at each
+/// checkpoint; report per-checkpoint means across trials.
+std::vector<CurvePoint> RunErrorVsCost(const SocialDataset& dataset,
+                                       const SamplerSpec& sampler,
+                                       const AggregateSpec& aggregate,
+                                       const ErrorVsCostConfig& config);
+
+/// Exact ground truth for an AggregateSpec on a dataset.
+double GroundTruth(const SocialDataset& dataset,
+                   const AggregateSpec& aggregate);
+
+/// Draws `num_samples` samples (split across workers, each with its own
+/// session and start node) and accumulates the empirical node-visit
+/// distribution — the Table 1 / Figure 12 measurement.
+struct BiasRunResult {
+  std::vector<double> empirical_pmf;
+  uint64_t total_samples = 0;
+  uint64_t total_query_cost = 0;
+};
+BiasRunResult RunEmpiricalDistribution(const SocialDataset& dataset,
+                                       const SamplerSpec& sampler,
+                                       uint64_t num_samples, uint64_t seed,
+                                       int threads = 0);
+
+/// Shared env-var knobs for the bench binaries:
+/// WNW_TRIALS, WNW_SEED, WNW_SCALE, WNW_SAMPLES, WNW_THREADS.
+struct BenchEnv {
+  int trials;
+  uint64_t seed;
+  double scale;
+  uint64_t samples;
+};
+BenchEnv ReadBenchEnv(int default_trials, double default_scale,
+                      uint64_t default_samples = 0);
+
+}  // namespace wnw

@@ -1,0 +1,182 @@
+#include "graph/algorithms.h"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+#include "graph/builder.h"
+#include "util/check.h"
+
+namespace wnw {
+
+std::vector<uint32_t> BfsDistances(const Graph& g, NodeId source) {
+  WNW_CHECK(source < g.num_nodes());
+  std::vector<uint32_t> dist(g.num_nodes(), kUnreachable);
+  std::deque<NodeId> frontier{source};
+  dist[source] = 0;
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop_front();
+    const uint32_t du = dist[u];
+    for (NodeId v : g.Neighbors(u)) {
+      if (dist[v] == kUnreachable) {
+        dist[v] = du + 1;
+        frontier.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+Components ConnectedComponents(const Graph& g) {
+  Components out;
+  out.component_of.assign(g.num_nodes(), kInvalidNode);
+  std::vector<NodeId> stack;
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    if (out.component_of[s] != kInvalidNode) continue;
+    const NodeId id = out.count++;
+    stack.push_back(s);
+    out.component_of[s] = id;
+    while (!stack.empty()) {
+      const NodeId u = stack.back();
+      stack.pop_back();
+      for (NodeId v : g.Neighbors(u)) {
+        if (out.component_of[v] == kInvalidNode) {
+          out.component_of[v] = id;
+          stack.push_back(v);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+bool IsConnected(const Graph& g) {
+  if (g.num_nodes() == 0) return true;
+  return ConnectedComponents(g).count == 1;
+}
+
+Result<Subgraph> LargestComponent(const Graph& g) {
+  if (g.num_nodes() == 0) return Status::InvalidArgument("empty graph");
+  const Components comps = ConnectedComponents(g);
+  std::vector<uint64_t> sizes(comps.count, 0);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) sizes[comps.component_of[u]]++;
+  const NodeId best = static_cast<NodeId>(
+      std::max_element(sizes.begin(), sizes.end()) - sizes.begin());
+
+  Subgraph out;
+  std::vector<NodeId> new_id(g.num_nodes(), kInvalidNode);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    if (comps.component_of[u] == best) {
+      new_id[u] = static_cast<NodeId>(out.kept.size());
+      out.kept.push_back(u);
+    }
+  }
+  GraphBuilder b(static_cast<NodeId>(out.kept.size()));
+  for (NodeId u : out.kept) {
+    for (NodeId v : g.Neighbors(u)) {
+      if (u < v && new_id[v] != kInvalidNode) {
+        WNW_RETURN_IF_ERROR(b.AddEdge(new_id[u], new_id[v]));
+      }
+    }
+  }
+  WNW_ASSIGN_OR_RETURN(out.graph, std::move(b).Build());
+  return out;
+}
+
+Result<uint32_t> ExactDiameter(const Graph& g) {
+  if (g.num_nodes() == 0) return Status::InvalidArgument("empty graph");
+  uint32_t diameter = 0;
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    const auto dist = BfsDistances(g, s);
+    for (uint32_t d : dist) {
+      if (d == kUnreachable) {
+        return Status::FailedPrecondition("graph is not connected");
+      }
+      diameter = std::max(diameter, d);
+    }
+  }
+  return diameter;
+}
+
+Result<uint32_t> EstimateDiameterDoubleSweep(const Graph& g, Rng& rng,
+                                             int sweeps) {
+  if (g.num_nodes() == 0) return Status::InvalidArgument("empty graph");
+  uint32_t best = 0;
+  NodeId start = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+  for (int s = 0; s < sweeps; ++s) {
+    const auto dist = BfsDistances(g, start);
+    NodeId farthest = start;
+    uint32_t far_d = 0;
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      if (dist[u] != kUnreachable && dist[u] > far_d) {
+        far_d = dist[u];
+        farthest = u;
+      }
+    }
+    best = std::max(best, far_d);
+    start = farthest;
+  }
+  return best;
+}
+
+std::vector<double> LocalClusteringCoefficients(const Graph& g) {
+  std::vector<double> out(g.num_nodes(), 0.0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto nbrs = g.Neighbors(v);
+    const uint64_t d = nbrs.size();
+    if (d < 2) continue;
+    uint64_t links = 0;
+    // Count edges among neighbors; probe each unordered pair once by always
+    // searching from the lower-degree endpoint.
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      for (size_t j = i + 1; j < nbrs.size(); ++j) {
+        const NodeId a = nbrs[i], b = nbrs[j];
+        if (g.Degree(a) <= g.Degree(b) ? g.HasEdge(a, b) : g.HasEdge(b, a)) {
+          ++links;
+        }
+      }
+    }
+    out[v] = 2.0 * static_cast<double>(links) /
+             (static_cast<double>(d) * static_cast<double>(d - 1));
+  }
+  return out;
+}
+
+std::vector<double> LandmarkMeanDistances(const Graph& g,
+                                          std::span<const NodeId> landmarks) {
+  WNW_CHECK(!landmarks.empty());
+  std::vector<double> sum(g.num_nodes(), 0.0);
+  std::vector<uint32_t> counted(g.num_nodes(), 0);
+  for (NodeId lm : landmarks) {
+    const auto dist = BfsDistances(g, lm);
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      if (dist[u] != kUnreachable) {
+        sum[u] += dist[u];
+        counted[u]++;
+      }
+    }
+  }
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    sum[u] = counted[u] > 0 ? sum[u] / counted[u] : 0.0;
+  }
+  return sum;
+}
+
+std::vector<NodeId> PickLandmarks(const Graph& g, uint32_t count, Rng& rng) {
+  WNW_CHECK(count >= 1 && count <= g.num_nodes());
+  std::vector<NodeId> out;
+  out.reserve(count);
+  NodeId hub = 0;
+  for (NodeId u = 1; u < g.num_nodes(); ++u) {
+    if (g.Degree(u) > g.Degree(hub)) hub = u;
+  }
+  out.push_back(hub);
+  while (out.size() < count) {
+    const NodeId c = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+    if (std::find(out.begin(), out.end(), c) == out.end()) out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace wnw

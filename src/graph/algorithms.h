@@ -1,0 +1,61 @@
+// Whole-graph algorithms used for ground truth and dataset preparation.
+// These operate on the oracle Graph, not through the restricted access
+// interface — they model what the *paper authors* could compute offline on
+// their crawled datasets (exact aggregates, diameters, components).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "random/rng.h"
+#include "util/status.h"
+
+namespace wnw {
+
+/// Hop distances from `source` to every node (kUnreachable when not
+/// connected).
+inline constexpr uint32_t kUnreachable = static_cast<uint32_t>(-1);
+std::vector<uint32_t> BfsDistances(const Graph& g, NodeId source);
+
+/// Connected-component id per node (ids are dense, 0-based, in discovery
+/// order) plus component count.
+struct Components {
+  std::vector<NodeId> component_of;
+  NodeId count = 0;
+};
+Components ConnectedComponents(const Graph& g);
+
+bool IsConnected(const Graph& g);
+
+/// Induced subgraph on the largest connected component. `kept[i]` maps new
+/// node i to its id in the input graph.
+struct Subgraph {
+  Graph graph;
+  std::vector<NodeId> kept;
+};
+Result<Subgraph> LargestComponent(const Graph& g);
+
+/// Exact diameter via BFS from every node. O(n * m) — small graphs only.
+Result<uint32_t> ExactDiameter(const Graph& g);
+
+/// Double-sweep lower bound on the diameter (exact on trees, very tight on
+/// social-like graphs), O(m) per sweep.
+Result<uint32_t> EstimateDiameterDoubleSweep(const Graph& g, Rng& rng,
+                                             int sweeps = 4);
+
+/// Local clustering coefficient of every node: triangles(v) / C(deg(v), 2)
+/// (0 for deg < 2). Cost O(sum_deg^2) with binary-search edge probes.
+std::vector<double> LocalClusteringCoefficients(const Graph& g);
+
+/// Mean hop distance from each node to a fixed landmark set; this is the
+/// "average shortest path length" node attribute used in the experiments
+/// (see DESIGN.md substitution table). Landmarks are BFS sources, so the
+/// cost is |landmarks| * O(m). Unreachable pairs are skipped.
+std::vector<double> LandmarkMeanDistances(const Graph& g,
+                                          std::span<const NodeId> landmarks);
+
+/// Picks `count` landmark nodes: the highest-degree node plus random others.
+std::vector<NodeId> PickLandmarks(const Graph& g, uint32_t count, Rng& rng);
+
+}  // namespace wnw

@@ -1,0 +1,56 @@
+#include "graph/attributes.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace wnw {
+
+Status AttributeTable::AddColumn(std::string name,
+                                 std::vector<double> values) {
+  if (values.size() != num_nodes_) {
+    return Status::InvalidArgument(
+        StrFormat("column '%s' has %zu values for %u nodes", name.c_str(),
+                  values.size(), num_nodes_));
+  }
+  for (auto& [existing_name, existing_values] : columns_) {
+    if (existing_name == name) {
+      existing_values = std::move(values);
+      return Status::OK();
+    }
+  }
+  columns_.emplace_back(std::move(name), std::move(values));
+  return Status::OK();
+}
+
+bool AttributeTable::HasColumn(std::string_view name) const {
+  return std::any_of(columns_.begin(), columns_.end(),
+                     [&](const auto& c) { return c.first == name; });
+}
+
+std::vector<std::string> AttributeTable::ColumnNames() const {
+  std::vector<std::string> names;
+  names.reserve(columns_.size());
+  for (const auto& [name, values] : columns_) names.push_back(name);
+  return names;
+}
+
+Result<std::span<const double>> AttributeTable::Column(
+    std::string_view name) const {
+  for (const auto& [col_name, values] : columns_) {
+    if (col_name == name) return std::span<const double>(values);
+  }
+  return Status::NotFound(StrFormat("no attribute column '%.*s'",
+                                    static_cast<int>(name.size()),
+                                    name.data()));
+}
+
+double AttributeTable::Value(std::string_view name, NodeId node) const {
+  const auto col = Column(name);
+  WNW_CHECK(col.ok());
+  WNW_CHECK(node < col.value().size());
+  return col.value()[node];
+}
+
+}  // namespace wnw

@@ -1,0 +1,42 @@
+// Per-node attribute columns (degree-independent measures the paper
+// aggregates over: self-description length, star ratings, in/out degrees,
+// clustering coefficients, landmark path lengths).
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace wnw {
+
+/// Named columns of doubles, one value per node.
+class AttributeTable {
+ public:
+  AttributeTable() = default;
+  explicit AttributeTable(NodeId num_nodes) : num_nodes_(num_nodes) {}
+
+  NodeId num_nodes() const { return num_nodes_; }
+
+  /// Adds a column; the vector must have one entry per node. Replaces any
+  /// existing column with the same name.
+  Status AddColumn(std::string name, std::vector<double> values);
+
+  bool HasColumn(std::string_view name) const;
+  std::vector<std::string> ColumnNames() const;
+
+  /// Column accessor; invalid names return NotFound.
+  Result<std::span<const double>> Column(std::string_view name) const;
+
+  /// Single value accessor (checked).
+  double Value(std::string_view name, NodeId node) const;
+
+ private:
+  NodeId num_nodes_ = 0;
+  std::vector<std::pair<std::string, std::vector<double>>> columns_;
+};
+
+}  // namespace wnw

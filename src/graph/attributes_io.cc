@@ -1,0 +1,102 @@
+#include "graph/attributes_io.h"
+
+#include <cstdio>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace wnw {
+
+Status SaveAttributesCsv(const AttributeTable& attrs,
+                         const std::string& path) {
+  const auto names = attrs.ColumnNames();
+  if (names.empty()) {
+    return Status::InvalidArgument("attribute table has no columns");
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError(StrFormat("cannot open %s", path.c_str()));
+  }
+  std::fprintf(f, "node");
+  for (const auto& name : names) std::fprintf(f, ",%s", name.c_str());
+  std::fprintf(f, "\n");
+  std::vector<std::span<const double>> columns;
+  columns.reserve(names.size());
+  for (const auto& name : names) {
+    columns.push_back(attrs.Column(name).value());
+  }
+  for (NodeId u = 0; u < attrs.num_nodes(); ++u) {
+    std::fprintf(f, "%u", u);
+    for (const auto& col : columns) std::fprintf(f, ",%.17g", col[u]);
+    std::fprintf(f, "\n");
+  }
+  if (std::fclose(f) != 0) {
+    return Status::IOError(StrFormat("error closing %s", path.c_str()));
+  }
+  return Status::OK();
+}
+
+Result<AttributeTable> LoadAttributesCsv(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    return Status::IOError(StrFormat("cannot open %s", path.c_str()));
+  }
+  char line[4096];
+  int lineno = 0;
+  // Header (skipping comments).
+  std::vector<std::string> names;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    ++lineno;
+    const std::string_view trimmed = TrimString(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    const auto parts = SplitString(trimmed, ",");
+    if (parts.empty() || parts[0] != "node") {
+      std::fclose(f);
+      return Status::IOError(
+          StrFormat("%s:%d: expected 'node,...' header", path.c_str(),
+                    lineno));
+    }
+    for (size_t i = 1; i < parts.size(); ++i) names.emplace_back(parts[i]);
+    break;
+  }
+  if (names.empty()) {
+    std::fclose(f);
+    return Status::IOError(StrFormat("%s: no attribute columns",
+                                     path.c_str()));
+  }
+  std::vector<std::vector<double>> columns(names.size());
+  uint64_t expected_node = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    ++lineno;
+    const std::string_view trimmed = TrimString(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    const auto parts = SplitString(trimmed, ",");
+    uint64_t node = 0;
+    if (parts.size() != names.size() + 1 || !ParseUint64(parts[0], &node) ||
+        node != expected_node) {
+      std::fclose(f);
+      return Status::IOError(
+          StrFormat("%s:%d: malformed or out-of-order row", path.c_str(),
+                    lineno));
+    }
+    for (size_t i = 0; i < names.size(); ++i) {
+      double value = 0;
+      if (!ParseDouble(parts[i + 1], &value)) {
+        std::fclose(f);
+        return Status::IOError(
+            StrFormat("%s:%d: bad value in column %zu", path.c_str(), lineno,
+                      i + 1));
+      }
+      columns[i].push_back(value);
+    }
+    ++expected_node;
+  }
+  std::fclose(f);
+  AttributeTable table(static_cast<NodeId>(expected_node));
+  for (size_t i = 0; i < names.size(); ++i) {
+    WNW_RETURN_IF_ERROR(table.AddColumn(names[i], std::move(columns[i])));
+  }
+  return table;
+}
+
+}  // namespace wnw

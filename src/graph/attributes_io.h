@@ -1,0 +1,23 @@
+// CSV persistence for AttributeTable: save a dataset's per-node attributes
+// alongside its edge list (graph/io.h) so experiments can be re-run against
+// frozen inputs.
+//
+// Format: header "node,<col1>,<col2>,..." then one row per node id in
+// ascending order. '#' comment lines are permitted before the header.
+#pragma once
+
+#include <string>
+
+#include "graph/attributes.h"
+#include "util/status.h"
+
+namespace wnw {
+
+/// Writes all columns of `attrs` to `path`.
+Status SaveAttributesCsv(const AttributeTable& attrs, const std::string& path);
+
+/// Loads a table written by SaveAttributesCsv. The node count is inferred
+/// from the row count; rows must cover node ids 0..n-1 in order.
+Result<AttributeTable> LoadAttributesCsv(const std::string& path);
+
+}  // namespace wnw

@@ -1,0 +1,68 @@
+#include "graph/builder.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace wnw {
+
+Status GraphBuilder::AddEdge(NodeId u, NodeId v) {
+  if (u >= num_nodes_ || v >= num_nodes_) {
+    return Status::InvalidArgument(
+        StrFormat("edge (%u,%u) out of range for %u nodes", u, v, num_nodes_));
+  }
+  if (u == v && !allow_self_loops_) return Status::OK();
+  if (u > v) std::swap(u, v);
+  edges_.emplace_back(u, v);
+  return Status::OK();
+}
+
+void GraphBuilder::EnsureNode(NodeId u) {
+  if (u >= num_nodes_) num_nodes_ = u + 1;
+}
+
+Result<Graph> GraphBuilder::Build() && {
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+
+  Graph g;
+  g.num_nodes_ = num_nodes_;
+  g.num_edges_ = edges_.size();
+  g.offsets_.assign(static_cast<size_t>(num_nodes_) + 1, 0);
+
+  // Degree counting pass. A self-loop contributes one adjacency entry.
+  for (const auto& [u, v] : edges_) {
+    g.offsets_[u + 1]++;
+    if (u != v) g.offsets_[v + 1]++;
+  }
+  for (NodeId i = 0; i < num_nodes_; ++i) g.offsets_[i + 1] += g.offsets_[i];
+
+  g.adjacency_.resize(g.offsets_[num_nodes_]);
+  std::vector<uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& [u, v] : edges_) {
+    g.adjacency_[cursor[u]++] = v;
+    if (u != v) g.adjacency_[cursor[v]++] = u;
+  }
+  // Edges were emitted in sorted (u,v) order, so each neighbor list is
+  // already ascending; verify in debug builds.
+#ifndef NDEBUG
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    const auto nbrs = g.Neighbors(u);
+    WNW_DCHECK(std::is_sorted(nbrs.begin(), nbrs.end()));
+  }
+#endif
+
+  uint32_t max_deg = 0;
+  uint32_t min_deg = num_nodes_ > 0 ? UINT32_MAX : 0;
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    const uint32_t d = g.Degree(u);
+    max_deg = std::max(max_deg, d);
+    min_deg = std::min(min_deg, d);
+  }
+  g.max_degree_ = max_deg;
+  g.min_degree_ = min_deg;
+  return g;
+}
+
+}  // namespace wnw

@@ -1,0 +1,338 @@
+#include "graph/generators.h"
+
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/builder.h"
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace wnw {
+
+Result<Graph> MakeCycle(NodeId n) {
+  if (n < 3) return Status::InvalidArgument("cycle needs n >= 3");
+  GraphBuilder b(n);
+  for (NodeId i = 0; i < n; ++i) {
+    WNW_CHECK_OK(b.AddEdge(i, (i + 1) % n));
+  }
+  return std::move(b).Build();
+}
+
+Result<Graph> MakePath(NodeId n) {
+  if (n < 2) return Status::InvalidArgument("path needs n >= 2");
+  GraphBuilder b(n);
+  for (NodeId i = 0; i + 1 < n; ++i) {
+    WNW_CHECK_OK(b.AddEdge(i, i + 1));
+  }
+  return std::move(b).Build();
+}
+
+Result<Graph> MakeComplete(NodeId n) {
+  if (n < 2) return Status::InvalidArgument("complete graph needs n >= 2");
+  GraphBuilder b(n);
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) {
+      WNW_CHECK_OK(b.AddEdge(i, j));
+    }
+  }
+  return std::move(b).Build();
+}
+
+Result<Graph> MakeStar(NodeId n) {
+  if (n < 2) return Status::InvalidArgument("star needs n >= 2");
+  GraphBuilder b(n);
+  for (NodeId i = 1; i < n; ++i) {
+    WNW_CHECK_OK(b.AddEdge(0, i));
+  }
+  return std::move(b).Build();
+}
+
+Result<Graph> MakeHypercube(uint32_t k) {
+  if (k < 1 || k > 24) return Status::InvalidArgument("hypercube needs 1<=k<=24");
+  const NodeId n = NodeId{1} << k;
+  GraphBuilder b(n);
+  for (NodeId x = 0; x < n; ++x) {
+    for (uint32_t bit = 0; bit < k; ++bit) {
+      const NodeId y = x ^ (NodeId{1} << bit);
+      if (x < y) WNW_CHECK_OK(b.AddEdge(x, y));
+    }
+  }
+  return std::move(b).Build();
+}
+
+Result<Graph> MakeBarbell(NodeId n) {
+  // Paper §4.2: two complete graphs of size (n-1)/2 joined by a central node
+  // with one bridge edge into each half. (The paper quotes diameter 3; with
+  // one bridge edge per half the hop diameter is 4 between generic nodes of
+  // opposite halves — the qualitative role in the case study, a tiny
+  // diameter with a severe bottleneck, is unchanged.)
+  if (n < 5 || n % 2 == 0) {
+    return Status::InvalidArgument("barbell needs odd n >= 5");
+  }
+  const NodeId half = (n - 1) / 2;
+  GraphBuilder b(n);
+  for (NodeId i = 0; i < half; ++i) {
+    for (NodeId j = i + 1; j < half; ++j) {
+      WNW_CHECK_OK(b.AddEdge(i, j));
+      WNW_CHECK_OK(b.AddEdge(half + i, half + j));
+    }
+  }
+  const NodeId center = n - 1;
+  WNW_CHECK_OK(b.AddEdge(center, 0));
+  WNW_CHECK_OK(b.AddEdge(center, half));
+  return std::move(b).Build();
+}
+
+Result<Graph> MakeBalancedBinaryTree(uint32_t height) {
+  if (height < 1 || height > 29) {
+    return Status::InvalidArgument("tree needs 1 <= height <= 29");
+  }
+  const NodeId n = (NodeId{1} << (height + 1)) - 1;
+  GraphBuilder b(n);
+  for (NodeId i = 0; 2 * i + 2 < n; ++i) {
+    WNW_CHECK_OK(b.AddEdge(i, 2 * i + 1));
+    WNW_CHECK_OK(b.AddEdge(i, 2 * i + 2));
+  }
+  return std::move(b).Build();
+}
+
+Result<Graph> MakeRegularCirculant(NodeId n, uint32_t k) {
+  if (k < 2 || k % 2 != 0 || k > n - 2) {
+    return Status::InvalidArgument(
+        StrFormat("circulant needs even k in [2, n-2]; got n=%u k=%u", n, k));
+  }
+  GraphBuilder b(n);
+  for (NodeId i = 0; i < n; ++i) {
+    for (uint32_t j = 1; j <= k / 2; ++j) {
+      WNW_CHECK_OK(b.AddEdge(i, (i + j) % n));
+    }
+  }
+  return std::move(b).Build();
+}
+
+Result<Graph> MakeErdosRenyi(NodeId n, double p, Rng& rng) {
+  if (n < 2 || p < 0.0 || p > 1.0) {
+    return Status::InvalidArgument("G(n,p) needs n >= 2 and p in [0,1]");
+  }
+  GraphBuilder b(n);
+  if (p > 0.0) {
+    // Geometric skipping over the implicit list of ordered pairs (i < j):
+    // expected O(n + m) instead of O(n^2).
+    const double log1mp = std::log1p(-p);
+    uint64_t idx = 0;  // linear index into the upper-triangular pair list
+    const uint64_t total = static_cast<uint64_t>(n) * (n - 1) / 2;
+    auto pair_of = [n](uint64_t t) -> std::pair<NodeId, NodeId> {
+      // Row i owns (n-1-i) pairs; walk rows (amortized O(1) per edge for the
+      // skip sizes seen in practice).
+      NodeId i = 0;
+      uint64_t row = n - 1;
+      while (t >= row) {
+        t -= row;
+        ++i;
+        row = n - 1 - i;
+      }
+      return {i, static_cast<NodeId>(i + 1 + t)};
+    };
+    if (p >= 1.0) {
+      return MakeComplete(n);
+    }
+    while (true) {
+      const double u = std::max(rng.NextDouble(), 1e-300);
+      const uint64_t skip = static_cast<uint64_t>(std::log(u) / log1mp);
+      if (skip > total || idx + skip >= total) break;
+      idx += skip;
+      const auto [a, c] = pair_of(idx);
+      WNW_CHECK_OK(b.AddEdge(a, c));
+      ++idx;
+      if (idx >= total) break;
+    }
+  }
+  return std::move(b).Build();
+}
+
+Result<Graph> MakeBarabasiAlbert(NodeId n, uint32_t m, Rng& rng) {
+  if (m < 1 || n <= m + 1) {
+    return Status::InvalidArgument("BA needs n > m+1 >= 2");
+  }
+  GraphBuilder b(n);
+  // Seed: clique on m+1 nodes so every early node already has degree m.
+  std::vector<NodeId> endpoints;  // node repeated once per incident edge
+  endpoints.reserve(2ull * m * n);
+  for (NodeId i = 0; i <= m; ++i) {
+    for (NodeId j = i + 1; j <= m; ++j) {
+      WNW_CHECK_OK(b.AddEdge(i, j));
+      endpoints.push_back(i);
+      endpoints.push_back(j);
+    }
+  }
+  std::vector<NodeId> targets(m);
+  for (NodeId v = m + 1; v < n; ++v) {
+    // Choose m distinct targets proportional to degree by sampling the
+    // endpoint list with rejection of duplicates.
+    uint32_t chosen = 0;
+    while (chosen < m) {
+      const NodeId t = endpoints[rng.NextBounded(endpoints.size())];
+      bool dup = false;
+      for (uint32_t i = 0; i < chosen; ++i) {
+        if (targets[i] == t) {
+          dup = true;
+          break;
+        }
+      }
+      if (!dup) targets[chosen++] = t;
+    }
+    for (uint32_t i = 0; i < m; ++i) {
+      WNW_CHECK_OK(b.AddEdge(v, targets[i]));
+      endpoints.push_back(v);
+      endpoints.push_back(targets[i]);
+    }
+  }
+  return std::move(b).Build();
+}
+
+Result<Graph> MakeWattsStrogatz(NodeId n, uint32_t k, double beta, Rng& rng) {
+  if (k < 2 || k % 2 != 0 || k > n - 2 || beta < 0.0 || beta > 1.0) {
+    return Status::InvalidArgument("WS needs even k in [2,n-2], beta in [0,1]");
+  }
+  // Start from the circulant ring lattice, rewiring the far endpoint of each
+  // lattice edge with probability beta.
+  std::unordered_set<uint64_t> present;
+  present.reserve(static_cast<size_t>(n) * k);
+  auto key = [](NodeId a, NodeId c) {
+    if (a > c) std::swap(a, c);
+    return (static_cast<uint64_t>(a) << 32) | c;
+  };
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(static_cast<size_t>(n) * k / 2);
+  for (NodeId i = 0; i < n; ++i) {
+    for (uint32_t j = 1; j <= k / 2; ++j) {
+      const NodeId t = (i + j) % n;
+      if (present.insert(key(i, t)).second) edges.emplace_back(i, t);
+    }
+  }
+  for (auto& [u, v] : edges) {
+    if (!rng.NextBool(beta)) continue;
+    // Try a handful of replacement endpoints; keep the edge if unlucky.
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      const NodeId w = static_cast<NodeId>(rng.NextBounded(n));
+      if (w == u || w == v || present.count(key(u, w)) > 0) continue;
+      present.erase(key(u, v));
+      present.insert(key(u, w));
+      v = w;
+      break;
+    }
+  }
+  GraphBuilder b(n);
+  for (const auto& [u, v] : edges) WNW_CHECK_OK(b.AddEdge(u, v));
+  return std::move(b).Build();
+}
+
+Result<Graph> MakeHolmeKim(NodeId n, uint32_t m, double p_triad, Rng& rng) {
+  if (m < 1 || n <= m + 1 || p_triad < 0.0 || p_triad > 1.0) {
+    return Status::InvalidArgument("Holme-Kim needs n > m+1, p_triad in [0,1]");
+  }
+  GraphBuilder b(n);
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(2ull * m * n);
+  std::vector<std::vector<NodeId>> adj(n);  // needed for triad formation
+  auto add_edge = [&](NodeId u, NodeId v) {
+    WNW_CHECK_OK(b.AddEdge(u, v));
+    endpoints.push_back(u);
+    endpoints.push_back(v);
+    adj[u].push_back(v);
+    adj[v].push_back(u);
+  };
+  for (NodeId i = 0; i <= m; ++i) {
+    for (NodeId j = i + 1; j <= m; ++j) add_edge(i, j);
+  }
+  for (NodeId v = m + 1; v < n; ++v) {
+    NodeId last_target = kInvalidNode;
+    std::unordered_set<NodeId> picked;
+    for (uint32_t e = 0; e < m; ++e) {
+      NodeId t = kInvalidNode;
+      // Triad-formation step: close a triangle through the previous target.
+      if (last_target != kInvalidNode && rng.NextBool(p_triad)) {
+        for (int attempt = 0; attempt < 8; ++attempt) {
+          const auto& nbrs = adj[last_target];
+          const NodeId cand = nbrs[rng.NextBounded(nbrs.size())];
+          if (cand != v && picked.count(cand) == 0) {
+            t = cand;
+            break;
+          }
+        }
+      }
+      while (t == kInvalidNode) {
+        const NodeId cand = endpoints[rng.NextBounded(endpoints.size())];
+        if (cand != v && picked.count(cand) == 0) t = cand;
+      }
+      picked.insert(t);
+      add_edge(v, t);
+      last_target = t;
+    }
+  }
+  return std::move(b).Build();
+}
+
+Result<DirectedReductionResult> MakeDirectedPreferential(NodeId n,
+                                                         uint32_t m_out,
+                                                         double p_reciprocate,
+                                                         Rng& rng) {
+  if (m_out < 1 || n <= m_out + 1 || p_reciprocate < 0.0 ||
+      p_reciprocate > 1.0) {
+    return Status::InvalidArgument(
+        "directed PA needs n > m_out+1, p_reciprocate in [0,1]");
+  }
+  std::unordered_set<uint64_t> directed;  // (u<<32)|v for u->v
+  directed.reserve(static_cast<size_t>(n) * m_out * 2);
+  std::vector<uint32_t> in_deg(n, 0), out_deg(n, 0);
+  std::vector<NodeId> attractors;  // node repeated per received in-link
+  attractors.reserve(2ull * m_out * n);
+  auto add_arc = [&](NodeId u, NodeId v) -> bool {
+    if (u == v) return false;
+    const uint64_t k = (static_cast<uint64_t>(u) << 32) | v;
+    if (!directed.insert(k).second) return false;
+    out_deg[u]++;
+    in_deg[v]++;
+    attractors.push_back(v);
+    return true;
+  };
+  // Seed: fully mutual clique on m_out+1 nodes.
+  for (NodeId i = 0; i <= m_out; ++i) {
+    for (NodeId j = 0; j <= m_out; ++j) {
+      if (i != j) add_arc(i, j);
+    }
+  }
+  for (NodeId v = m_out + 1; v < n; ++v) {
+    for (uint32_t e = 0; e < m_out; ++e) {
+      NodeId t = kInvalidNode;
+      int guard = 0;
+      while (t == kInvalidNode) {
+        const NodeId cand = attractors[rng.NextBounded(attractors.size())];
+        if (cand != v &&
+            directed.count((static_cast<uint64_t>(v) << 32) | cand) == 0) {
+          t = cand;
+        }
+        if (++guard > 512) break;  // saturated among high-degree nodes
+      }
+      if (t == kInvalidNode) continue;
+      add_arc(v, t);
+      // The first out-link of each node is always reciprocated so the mutual
+      // reduction stays connected; the rest reciprocate with probability p.
+      if (e == 0 || rng.NextBool(p_reciprocate)) add_arc(t, v);
+    }
+  }
+  GraphBuilder b(n);
+  for (const uint64_t k : directed) {
+    const NodeId u = static_cast<NodeId>(k >> 32);
+    const NodeId v = static_cast<NodeId>(k & 0xffffffffu);
+    if (u < v && directed.count((static_cast<uint64_t>(v) << 32) | u) > 0) {
+      WNW_CHECK_OK(b.AddEdge(u, v));
+    }
+  }
+  DirectedReductionResult out{Graph{}, std::move(in_deg), std::move(out_deg)};
+  WNW_ASSIGN_OR_RETURN(out.mutual_graph, std::move(b).Build());
+  return out;
+}
+
+}  // namespace wnw

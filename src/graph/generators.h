@@ -1,0 +1,76 @@
+// Graph generators: the theoretical models from the paper's §4.2 case study
+// (cycle, hypercube, barbell, balanced binary tree, Barabási–Albert) plus
+// standard models used to synthesize OSN stand-ins (Erdős–Rényi,
+// Watts–Strogatz, Holme–Kim power-law cluster, directed preferential
+// attachment with mutual-edge reduction).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "random/rng.h"
+#include "util/status.h"
+
+namespace wnw {
+
+/// Single cycle of n >= 3 nodes; diameter floor(n/2).
+Result<Graph> MakeCycle(NodeId n);
+
+/// Simple path of n >= 2 nodes; diameter n-1.
+Result<Graph> MakePath(NodeId n);
+
+/// Complete graph on n >= 2 nodes.
+Result<Graph> MakeComplete(NodeId n);
+
+/// Star: node 0 connected to nodes 1..n-1. n >= 2.
+Result<Graph> MakeStar(NodeId n);
+
+/// k-dimensional hypercube: 2^k nodes, k*2^(k-1) edges, diameter k. k >= 1.
+Result<Graph> MakeHypercube(uint32_t k);
+
+/// Barbell (paper §4.2): two complete graphs of (n-1)/2 nodes joined through
+/// one central node, one bridge edge into each half; diameter 3 semantics of
+/// the paper (central node adjacent to one node per half). n must be odd and
+/// >= 5.
+Result<Graph> MakeBarbell(NodeId n);
+
+/// Balanced binary tree of height h >= 1: 2^(h+1)-1 nodes, diameter 2h.
+Result<Graph> MakeBalancedBinaryTree(uint32_t height);
+
+/// Circulant k-regular graph: node i adjacent to i +- 1..k/2 (mod n).
+/// k must be even, 2 <= k < n.
+Result<Graph> MakeRegularCirculant(NodeId n, uint32_t k);
+
+/// G(n, p) Erdős–Rényi. Uses geometric skipping, O(n + m) expected.
+Result<Graph> MakeErdosRenyi(NodeId n, double p, Rng& rng);
+
+/// Barabási–Albert preferential attachment: starts from a clique of m+1
+/// nodes; each new node attaches m edges to existing nodes with probability
+/// proportional to degree (repeated-endpoint trick). n > m >= 1.
+Result<Graph> MakeBarabasiAlbert(NodeId n, uint32_t m, Rng& rng);
+
+/// Watts–Strogatz small world: circulant k-regular ring with each edge
+/// rewired with probability beta. k even, beta in [0, 1].
+Result<Graph> MakeWattsStrogatz(NodeId n, uint32_t k, double beta, Rng& rng);
+
+/// Holme–Kim power-law cluster model: BA with a triad-formation step taken
+/// with probability p_triad after each preferential attachment, producing
+/// scale-free graphs with tunable clustering (closer to real OSNs).
+Result<Graph> MakeHolmeKim(NodeId n, uint32_t m, double p_triad, Rng& rng);
+
+/// Directed preferential-attachment graph reduced to the undirected mutual
+/// graph (paper §2.1: u—v iff both u->v and v->u exist). Generates m_out
+/// out-links per node preferentially and adds a reciprocation probability;
+/// also returns per-node in/out degree counts of the *directed* graph for
+/// attribute synthesis.
+struct DirectedReductionResult {
+  Graph mutual_graph;
+  std::vector<uint32_t> in_degree;
+  std::vector<uint32_t> out_degree;
+};
+Result<DirectedReductionResult> MakeDirectedPreferential(NodeId n,
+                                                         uint32_t m_out,
+                                                         double p_reciprocate,
+                                                         Rng& rng);
+
+}  // namespace wnw

@@ -1,0 +1,31 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace wnw {
+
+bool Graph::HasEdge(NodeId u, NodeId v) const {
+  WNW_DCHECK(u < num_nodes_ && v < num_nodes_);
+  const auto nbrs = Neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+uint64_t Graph::degree_square_sum() const {
+  uint64_t total = 0;
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    const uint64_t d = Degree(u);
+    total += d * d;
+  }
+  return total;
+}
+
+std::string Graph::DebugString() const {
+  return StrFormat("Graph{n=%u, m=%llu, deg[min=%u avg=%.2f max=%u]}",
+                   num_nodes_, static_cast<unsigned long long>(num_edges_),
+                   min_degree_, average_degree(), max_degree_);
+}
+
+}  // namespace wnw

@@ -1,0 +1,68 @@
+// Immutable undirected graph in compressed sparse row (CSR) form.
+//
+// This is the ground-truth topology that the simulated online social network
+// exposes only through access/AccessInterface's local-neighborhood queries
+// (paper §2.1). Samplers never touch Graph directly; analysis tooling
+// (spectral gap, exact distributions, ground-truth aggregates) does.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace wnw {
+
+using NodeId = uint32_t;
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+/// Undirected simple graph (no parallel edges; self-loops optional and off by
+/// default in GraphBuilder). Neighbor lists are sorted ascending, enabling
+/// O(log d) HasEdge and cache-friendly iteration.
+class Graph {
+ public:
+  Graph() = default;
+
+  NodeId num_nodes() const { return num_nodes_; }
+
+  /// Number of undirected edges (each counted once). A self-loop counts once.
+  uint64_t num_edges() const { return num_edges_; }
+
+  std::span<const NodeId> Neighbors(NodeId u) const {
+    return {adjacency_.data() + offsets_[u],
+            adjacency_.data() + offsets_[u + 1]};
+  }
+
+  uint32_t Degree(NodeId u) const {
+    return static_cast<uint32_t>(offsets_[u + 1] - offsets_[u]);
+  }
+
+  /// Binary search over the sorted neighbor list.
+  bool HasEdge(NodeId u, NodeId v) const;
+
+  uint32_t max_degree() const { return max_degree_; }
+  uint32_t min_degree() const { return min_degree_; }
+  double average_degree() const {
+    return num_nodes_ == 0
+               ? 0.0
+               : 2.0 * static_cast<double>(num_edges_) / num_nodes_;
+  }
+
+  /// Sum over nodes of degree^2; used for variance analyses and as the cost
+  /// bound of triangle counting.
+  uint64_t degree_square_sum() const;
+
+  std::string DebugString() const;
+
+ private:
+  friend class GraphBuilder;
+
+  NodeId num_nodes_ = 0;
+  uint64_t num_edges_ = 0;
+  uint32_t max_degree_ = 0;
+  uint32_t min_degree_ = 0;
+  std::vector<uint64_t> offsets_;   // size num_nodes_ + 1
+  std::vector<NodeId> adjacency_;   // size = sum of degrees
+};
+
+}  // namespace wnw

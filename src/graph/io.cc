@@ -1,0 +1,75 @@
+#include "graph/io.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <unordered_map>
+
+#include "graph/builder.h"
+#include "util/string_util.h"
+
+namespace wnw {
+
+Result<LoadedGraph> LoadEdgeList(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    return Status::IOError(StrFormat("cannot open %s", path.c_str()));
+  }
+  std::unordered_map<uint64_t, NodeId> remap;
+  std::vector<uint64_t> original;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  auto intern = [&](uint64_t raw) -> NodeId {
+    auto [it, inserted] = remap.try_emplace(raw, static_cast<NodeId>(original.size()));
+    if (inserted) original.push_back(raw);
+    return it->second;
+  };
+
+  char line[256];
+  int lineno = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    ++lineno;
+    const std::string_view trimmed = TrimString(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    const auto parts = SplitString(trimmed, " \t,");
+    uint64_t a = 0, b = 0;
+    if (parts.size() < 2 || !ParseUint64(parts[0], &a) ||
+        !ParseUint64(parts[1], &b)) {
+      std::fclose(f);
+      return Status::IOError(
+          StrFormat("%s:%d: malformed edge line", path.c_str(), lineno));
+    }
+    // Sequence the interning: argument evaluation order is unspecified, and
+    // first-seen-first-id keeps loads deterministic.
+    const NodeId ua = intern(a);
+    const NodeId ub = intern(b);
+    edges.emplace_back(ua, ub);
+  }
+  std::fclose(f);
+
+  GraphBuilder builder(static_cast<NodeId>(original.size()));
+  for (const auto& [u, v] : edges) {
+    WNW_RETURN_IF_ERROR(builder.AddEdge(u, v));
+  }
+  LoadedGraph out{Graph{}, std::move(original)};
+  WNW_ASSIGN_OR_RETURN(out.graph, std::move(builder).Build());
+  return out;
+}
+
+Status SaveEdgeList(const Graph& graph, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError(StrFormat("cannot open %s", path.c_str()));
+  }
+  std::fprintf(f, "# Undirected edge list: %u nodes, %" PRIu64 " edges\n",
+               graph.num_nodes(), graph.num_edges());
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    for (NodeId v : graph.Neighbors(u)) {
+      if (u <= v) std::fprintf(f, "%u %u\n", u, v);
+    }
+  }
+  if (std::fclose(f) != 0) {
+    return Status::IOError(StrFormat("error closing %s", path.c_str()));
+  }
+  return Status::OK();
+}
+
+}  // namespace wnw

@@ -1,0 +1,26 @@
+// Edge-list I/O in the SNAP text format: one "u v" pair per line, '#'
+// comments. Node ids are remapped to a dense [0, n) range on load.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace wnw {
+
+struct LoadedGraph {
+  Graph graph;
+  /// original_id[i] is the id the node i had in the input file.
+  std::vector<uint64_t> original_id;
+};
+
+/// Loads an undirected graph from a SNAP-style edge list. Duplicate edges,
+/// self-loops, and both orientations of the same edge are tolerated.
+Result<LoadedGraph> LoadEdgeList(const std::string& path);
+
+/// Writes the graph as a SNAP-style edge list (each edge once, "u v").
+Status SaveEdgeList(const Graph& graph, const std::string& path);
+
+}  // namespace wnw

@@ -1,0 +1,63 @@
+#include "mcmc/convergence.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace wnw {
+
+namespace {
+struct MeanVar {
+  double mean = 0.0;
+  double var = 0.0;  // variance of the mean (sample variance / count)
+  size_t count = 0;
+};
+
+MeanVar WindowStats(const std::vector<double>& v, size_t begin, size_t end) {
+  MeanVar out;
+  out.count = end - begin;
+  if (out.count == 0) return out;
+  double sum = 0.0;
+  for (size_t i = begin; i < end; ++i) sum += v[i];
+  out.mean = sum / static_cast<double>(out.count);
+  double ss = 0.0;
+  for (size_t i = begin; i < end; ++i) {
+    const double d = v[i] - out.mean;
+    ss += d * d;
+  }
+  // Variance of the window mean; Eq. 4's S_theta terms.
+  if (out.count > 1) {
+    ss /= static_cast<double>(out.count - 1);
+    out.var = ss / static_cast<double>(out.count);
+  }
+  return out;
+}
+}  // namespace
+
+GewekeMonitor::GewekeMonitor(GewekeOptions options) : options_(options) {
+  WNW_CHECK(options_.first_frac > 0.0 && options_.first_frac < 1.0);
+  WNW_CHECK(options_.last_frac > 0.0 && options_.last_frac < 1.0);
+  WNW_CHECK(options_.first_frac + options_.last_frac <= 1.0);
+}
+
+double GewekeMonitor::ZScore() const {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const size_t n = values_.size();
+  if (n < options_.min_samples) return kInf;
+  const size_t a_end =
+      static_cast<size_t>(options_.first_frac * static_cast<double>(n));
+  const size_t b_begin =
+      n - static_cast<size_t>(options_.last_frac * static_cast<double>(n));
+  if (a_end < 2 || b_begin + 2 > n || a_end > b_begin) return kInf;
+  const MeanVar a = WindowStats(values_, 0, a_end);
+  const MeanVar b = WindowStats(values_, b_begin, n);
+  const double denom = std::sqrt(a.var + b.var);
+  if (denom <= 0.0) {
+    // Both windows constant: converged iff they agree.
+    return a.mean == b.mean ? 0.0 : kInf;
+  }
+  return std::fabs(a.mean - b.mean) / denom;
+}
+
+}  // namespace wnw

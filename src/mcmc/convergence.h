@@ -1,0 +1,45 @@
+// Geweke convergence monitor (paper §2.2.3, Eq. 4): compares the mean of an
+// observable over the first `first_frac` of the chain against the last
+// `last_frac`; the chain is declared converged when the z-score drops below
+// a threshold (paper default Z <= 0.1, stricter test Z <= 0.01).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace wnw {
+
+struct GewekeOptions {
+  double first_frac = 0.1;  // window A: first 10% of the chain
+  double last_frac = 0.5;   // window B: last 50%
+  double threshold = 0.1;   // paper default
+  /// Minimum chain length before a verdict is attempted.
+  size_t min_samples = 50;
+};
+
+/// Streaming monitor over a scalar chain observable (typically node degree).
+class GewekeMonitor {
+ public:
+  explicit GewekeMonitor(GewekeOptions options = {});
+
+  void Add(double value) { values_.push_back(value); }
+
+  size_t size() const { return values_.size(); }
+
+  /// Geweke z-score of the current chain. Returns +inf while the chain is
+  /// shorter than min_samples or a window is degenerate.
+  double ZScore() const;
+
+  bool Converged() const { return ZScore() <= options_.threshold; }
+
+  void Reset() { values_.clear(); }
+
+  const std::vector<double>& values() const { return values_; }
+  const GewekeOptions& options() const { return options_; }
+
+ private:
+  GewekeOptions options_;
+  std::vector<double> values_;
+};
+
+}  // namespace wnw

@@ -1,0 +1,175 @@
+#include "mcmc/distribution.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace wnw {
+
+TransitionMatrix TransitionMatrix::Build(const Graph& graph,
+                                         const TransitionDesign& design) {
+  // Oracle access session: probabilities are exact properties of the design;
+  // the billing on this private session is discarded.
+  AccessInterface oracle(&graph);
+  TransitionMatrix tm;
+  tm.num_nodes_ = graph.num_nodes();
+  tm.row_offsets_.reserve(static_cast<size_t>(graph.num_nodes()) + 1);
+  tm.row_offsets_.push_back(0);
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    // Candidate targets: u itself (self-loops) plus its neighbors, in
+    // ascending column order for Entry() lookups.
+    const double self = design.TransitionProb(oracle, u, u);
+    bool self_emitted = false;
+    auto emit_self = [&]() {
+      if (self > 0.0) {
+        tm.cols_.push_back(u);
+        tm.vals_.push_back(self);
+      }
+      self_emitted = true;
+    };
+    for (NodeId v : graph.Neighbors(u)) {
+      // Chain analysis assumes simple graphs: self-transitions come from the
+      // design (lazy/MH rejection), never from self-loop edges.
+      WNW_CHECK(v != u);
+      if (!self_emitted && v > u) emit_self();
+      const double p = design.TransitionProb(oracle, u, v);
+      if (p > 0.0) {
+        tm.cols_.push_back(v);
+        tm.vals_.push_back(p);
+      }
+    }
+    if (!self_emitted) emit_self();
+    tm.row_offsets_.push_back(tm.cols_.size());
+  }
+  return tm;
+}
+
+std::vector<double> TransitionMatrix::Multiply(
+    const std::vector<double>& p) const {
+  WNW_CHECK(p.size() == num_nodes_);
+  std::vector<double> out(num_nodes_, 0.0);
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    const double pu = p[u];
+    if (pu == 0.0) continue;
+    for (uint64_t i = row_offsets_[u]; i < row_offsets_[u + 1]; ++i) {
+      out[cols_[i]] += pu * vals_[i];
+    }
+  }
+  return out;
+}
+
+std::vector<double> TransitionMatrix::MultiplyRight(
+    const std::vector<double>& x) const {
+  WNW_CHECK(x.size() == num_nodes_);
+  std::vector<double> out(num_nodes_, 0.0);
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    double acc = 0.0;
+    for (uint64_t i = row_offsets_[u]; i < row_offsets_[u + 1]; ++i) {
+      acc += vals_[i] * x[cols_[i]];
+    }
+    out[u] = acc;
+  }
+  return out;
+}
+
+double TransitionMatrix::Entry(NodeId u, NodeId v) const {
+  WNW_CHECK(u < num_nodes_ && v < num_nodes_);
+  const auto begin = cols_.begin() + static_cast<int64_t>(row_offsets_[u]);
+  const auto end = cols_.begin() + static_cast<int64_t>(row_offsets_[u + 1]);
+  const auto it = std::lower_bound(begin, end, v);
+  if (it == end || *it != v) return 0.0;
+  return vals_[static_cast<size_t>(it - cols_.begin())];
+}
+
+double TransitionMatrix::MaxRowSumError() const {
+  double worst = 0.0;
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    double sum = 0.0;
+    for (uint64_t i = row_offsets_[u]; i < row_offsets_[u + 1]; ++i) {
+      sum += vals_[i];
+    }
+    worst = std::max(worst, std::fabs(1.0 - sum));
+  }
+  return worst;
+}
+
+std::vector<double> ExactStepDistribution(const TransitionMatrix& tm,
+                                          NodeId start, int t) {
+  WNW_CHECK(start < tm.num_nodes());
+  WNW_CHECK(t >= 0);
+  std::vector<double> p(tm.num_nodes(), 0.0);
+  p[start] = 1.0;
+  for (int step = 0; step < t; ++step) p = tm.Multiply(p);
+  return p;
+}
+
+std::vector<double> StationaryDistribution(const Graph& graph,
+                                           const TransitionDesign& design) {
+  AccessInterface oracle(&graph);
+  std::vector<double> pi(graph.num_nodes(), 0.0);
+  double total = 0.0;
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    pi[u] = design.StationaryWeight(oracle, u);
+    total += pi[u];
+  }
+  WNW_CHECK(total > 0.0);
+  for (double& x : pi) x /= total;
+  return pi;
+}
+
+double RelativePointwiseDistance(const std::vector<double>& pt,
+                                 const std::vector<double>& pi) {
+  WNW_CHECK(pt.size() == pi.size());
+  double worst = 0.0;
+  for (size_t v = 0; v < pt.size(); ++v) {
+    if (pi[v] <= 0.0) continue;
+    worst = std::max(worst, std::fabs(pt[v] - pi[v]) / pi[v]);
+  }
+  return worst;
+}
+
+double RelativePointwiseDistanceAllStarts(const TransitionMatrix& tm,
+                                          const std::vector<double>& pi,
+                                          int t) {
+  double worst = 0.0;
+  for (NodeId u = 0; u < tm.num_nodes(); ++u) {
+    const auto pt = ExactStepDistribution(tm, u, t);
+    worst = std::max(worst, RelativePointwiseDistance(pt, pi));
+  }
+  return worst;
+}
+
+Result<int> BurnInPeriod(const TransitionMatrix& tm,
+                         const std::vector<double>& pi, NodeId start,
+                         double epsilon, int max_t) {
+  WNW_CHECK(start < tm.num_nodes());
+  std::vector<double> p(tm.num_nodes(), 0.0);
+  p[start] = 1.0;
+  for (int t = 0; t <= max_t; ++t) {
+    if (RelativePointwiseDistance(p, pi) <= epsilon) return t;
+    p = tm.Multiply(p);
+  }
+  return Status::OutOfRange(
+      StrFormat("burn-in did not reach eps=%g within %d steps", epsilon,
+                max_t));
+}
+
+ProbabilityExtrema TrackProbabilityExtrema(const TransitionMatrix& tm,
+                                           NodeId start, int max_t) {
+  ProbabilityExtrema out;
+  out.min_prob.reserve(static_cast<size_t>(max_t) + 1);
+  out.max_prob.reserve(static_cast<size_t>(max_t) + 1);
+  std::vector<double> p(tm.num_nodes(), 0.0);
+  p[start] = 1.0;
+  for (int t = 0; t <= max_t; ++t) {
+    const auto [mn, mx] = std::minmax_element(p.begin(), p.end());
+    out.min_prob.push_back(*mn);
+    out.max_prob.push_back(*mx);
+    if (t < max_t) p = tm.Multiply(p);
+  }
+  return out;
+}
+
+}  // namespace wnw

@@ -1,0 +1,82 @@
+// Exact chain analysis (oracle side): the sparse transition matrix, step
+// distributions p_t = p_0 T^t, the stationary distribution, the relative
+// point-wise distance of Definition 3, and mixing times. These power Figure 1
+// (probability extrema vs walk length), the exact-bias experiments, and every
+// unbiasedness test of the backward estimator.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "mcmc/transition.h"
+#include "util/status.h"
+
+namespace wnw {
+
+/// Row-stochastic sparse matrix T with Tij = Pr[next = j | current = i].
+class TransitionMatrix {
+ public:
+  /// Builds the exact matrix for a design over the full graph (an unrestricted
+  /// oracle access session is used internally; nothing is billed anywhere).
+  static TransitionMatrix Build(const Graph& graph,
+                                const TransitionDesign& design);
+
+  NodeId num_nodes() const { return num_nodes_; }
+
+  /// p' = p T (distribution evolution, one step). p must have num_nodes()
+  /// entries summing to ~1.
+  std::vector<double> Multiply(const std::vector<double>& p) const;
+
+  /// y = T x (right multiplication by a column vector; used by spectral
+  /// tools: y_u = sum_v T(u,v) x_v).
+  std::vector<double> MultiplyRight(const std::vector<double>& x) const;
+
+  /// Entry lookup, O(log row degree).
+  double Entry(NodeId u, NodeId v) const;
+
+  /// Max over rows of |1 - row sum| (stochasticity defect; tests assert ~0).
+  double MaxRowSumError() const;
+
+ private:
+  NodeId num_nodes_ = 0;
+  std::vector<uint64_t> row_offsets_;
+  std::vector<NodeId> cols_;
+  std::vector<double> vals_;
+};
+
+/// Exact p_t: the distribution of the walk's position after t steps from
+/// `start`.
+std::vector<double> ExactStepDistribution(const TransitionMatrix& tm,
+                                          NodeId start, int t);
+
+/// Exact stationary distribution: normalized StationaryWeight. For the
+/// reversible designs shipped here this satisfies pi T = pi (tested).
+std::vector<double> StationaryDistribution(const Graph& graph,
+                                           const TransitionDesign& design);
+
+/// Relative point-wise distance from one start node (Definition 3 with u
+/// fixed): max_v |p_t(v) - pi(v)| / pi(v).
+double RelativePointwiseDistance(const std::vector<double>& pt,
+                                 const std::vector<double>& pi);
+
+/// Definition 3 exactly: max over all start nodes u. O(n * t * m) — small
+/// graphs only.
+double RelativePointwiseDistanceAllStarts(const TransitionMatrix& tm,
+                                          const std::vector<double>& pi,
+                                          int t);
+
+/// Burn-in period (Definition 3): minimum t with distance <= epsilon, from
+/// the given start. Returns OutOfRange if not reached within max_t.
+Result<int> BurnInPeriod(const TransitionMatrix& tm,
+                         const std::vector<double>& pi, NodeId start,
+                         double epsilon, int max_t);
+
+/// Min/max entries of p_t for t = 0..max_t (the Figure 1 series).
+struct ProbabilityExtrema {
+  std::vector<double> min_prob;  // index t
+  std::vector<double> max_prob;
+};
+ProbabilityExtrema TrackProbabilityExtrema(const TransitionMatrix& tm,
+                                           NodeId start, int max_t);
+
+}  // namespace wnw

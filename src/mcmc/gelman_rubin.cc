@@ -1,0 +1,76 @@
+#include "mcmc/gelman_rubin.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace wnw {
+
+GelmanRubinMonitor::GelmanRubinMonitor(size_t num_chains,
+                                       GelmanRubinOptions options)
+    : options_(options), chains_(num_chains) {
+  WNW_CHECK(num_chains >= 2);
+}
+
+void GelmanRubinMonitor::Add(size_t chain, double value) {
+  WNW_CHECK(chain < chains_.size());
+  chains_[chain].push_back(value);
+}
+
+double GelmanRubinMonitor::Psrf() const {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const size_t m = chains_.size();
+  size_t shortest = chains_[0].size();
+  for (const auto& c : chains_) shortest = std::min(shortest, c.size());
+  if (shortest < options_.min_samples) return kInf;
+
+  // Use the last half of each chain, truncated to the shortest length so
+  // the chains are comparable.
+  const size_t n = shortest / 2;
+  if (n < 2) return kInf;
+
+  std::vector<double> means(m, 0.0);
+  std::vector<double> vars(m, 0.0);
+  for (size_t j = 0; j < m; ++j) {
+    const auto& chain = chains_[j];
+    const size_t begin = chain.size() - n;
+    double sum = 0.0;
+    for (size_t i = begin; i < chain.size(); ++i) sum += chain[i];
+    means[j] = sum / static_cast<double>(n);
+    double ss = 0.0;
+    for (size_t i = begin; i < chain.size(); ++i) {
+      const double d = chain[i] - means[j];
+      ss += d * d;
+    }
+    vars[j] = ss / static_cast<double>(n - 1);
+  }
+
+  double grand_mean = 0.0;
+  for (double mu : means) grand_mean += mu;
+  grand_mean /= static_cast<double>(m);
+
+  double b_over_n = 0.0;  // B/n: variance of the chain means
+  for (double mu : means) {
+    b_over_n += (mu - grand_mean) * (mu - grand_mean);
+  }
+  b_over_n /= static_cast<double>(m - 1);
+
+  double w = 0.0;  // mean within-chain variance
+  for (double v : vars) w += v;
+  w /= static_cast<double>(m);
+
+  if (w <= 0.0) {
+    // Degenerate constant chains: converged iff the means agree.
+    return b_over_n <= 0.0 ? 1.0 : kInf;
+  }
+  const double nd = static_cast<double>(n);
+  const double var_plus = (nd - 1.0) / nd * w + b_over_n;
+  return std::sqrt(var_plus / w);
+}
+
+void GelmanRubinMonitor::Reset() {
+  for (auto& c : chains_) c.clear();
+}
+
+}  // namespace wnw

@@ -1,0 +1,51 @@
+// Gelman–Rubin convergence diagnostic (the multi-chain monitor cited in the
+// paper's §8 alongside Geweke; Cowles & Carlin [11] review both). Several
+// chains started from dispersed points are compared: the potential scale
+// reduction factor (PSRF)
+//
+//   R_hat = sqrt( (W (n-1)/n + B/n) / W )
+//
+// approaches 1 from above as the chains forget their starts (B = between-
+// chain variance of the chain means, W = mean within-chain variance).
+// A common convergence rule is R_hat < 1.1 (or a stricter 1.05).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace wnw {
+
+struct GelmanRubinOptions {
+  double threshold = 1.1;
+  /// Minimum per-chain length before a verdict is attempted.
+  size_t min_samples = 50;
+};
+
+/// Streaming multi-chain monitor over a scalar observable.
+class GelmanRubinMonitor {
+ public:
+  explicit GelmanRubinMonitor(size_t num_chains,
+                              GelmanRubinOptions options = {});
+
+  /// Appends one observation to chain `chain` (0-based).
+  void Add(size_t chain, double value);
+
+  size_t num_chains() const { return chains_.size(); }
+  size_t chain_length(size_t chain) const { return chains_[chain].size(); }
+
+  /// Potential scale reduction factor over the last halves of the chains
+  /// (the customary burn-in discard). Returns +inf while any chain is
+  /// shorter than min_samples, and 1.0 when all variance vanishes with
+  /// agreeing means.
+  double Psrf() const;
+
+  bool Converged() const { return Psrf() <= options_.threshold; }
+
+  void Reset();
+
+ private:
+  GelmanRubinOptions options_;
+  std::vector<std::vector<double>> chains_;
+};
+
+}  // namespace wnw

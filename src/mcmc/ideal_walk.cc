@@ -1,0 +1,115 @@
+#include "mcmc/ideal_walk.h"
+
+#include <cmath>
+#include <limits>
+
+#include "mcmc/lambert_w.h"
+#include "util/string_util.h"
+
+namespace wnw {
+
+namespace {
+
+Status ValidateParams(const IdealWalkParams& p) {
+  if (!(p.spectral_gap > 0.0 && p.spectral_gap < 1.0)) {
+    return Status::InvalidArgument(
+        StrFormat("spectral gap must be in (0,1); got %g", p.spectral_gap));
+  }
+  if (!(p.gamma > 0.0)) {
+    return Status::InvalidArgument("gamma must be positive");
+  }
+  if (!(p.delta > 0.0 && p.delta < p.gamma)) {
+    return Status::InvalidArgument(
+        StrFormat("delta must satisfy 0 < delta < gamma; got delta=%g "
+                  "gamma=%g",
+                  p.delta, p.gamma));
+  }
+  if (!(p.max_degree >= 1.0)) {
+    return Status::InvalidArgument("max_degree must be >= 1");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+double IdealWalkCost(const IdealWalkParams& p, double t) {
+  const double decay = std::pow(1.0 - p.spectral_gap, t) * p.max_degree;
+  const double denom = p.gamma - decay;
+  if (denom <= 0.0 || t <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return t * (p.gamma - p.delta) / denom;
+}
+
+Result<double> OptimalWalkLength(const IdealWalkParams& p) {
+  WNW_RETURN_IF_ERROR(ValidateParams(p));
+  // Eq. 18: t_opt = -log(-(1/Γ) W(-Γ/(e d_max)) d_max) / log(1-λ), with W
+  // on the lower branch (the argument is in (-1/e, 0) whenever Γ < d_max).
+  const double arg = -p.gamma / (M_E * p.max_degree);
+  WNW_ASSIGN_OR_RETURN(const double w, LambertWm1(arg));
+  const double inner = -(1.0 / p.gamma) * w * p.max_degree;
+  if (inner <= 0.0) {
+    return Status::Internal("Lambert argument left the feasible region");
+  }
+  return -std::log(inner) / std::log(1.0 - p.spectral_gap);
+}
+
+Result<double> OptimalWalkLengthNumeric(const IdealWalkParams& p,
+                                        double t_max) {
+  WNW_RETURN_IF_ERROR(ValidateParams(p));
+  // f is +inf below the feasibility threshold and unimodal above it;
+  // golden-section over [t_min, t_max].
+  const double log_decay = std::log(1.0 - p.spectral_gap);
+  const double t_min =
+      std::log(p.gamma / p.max_degree) / log_decay;  // where denom hits 0
+  double lo = std::max(t_min, 1e-9) + 1e-9;
+  double hi = t_max;
+  if (IdealWalkCost(p, lo) == std::numeric_limits<double>::infinity()) {
+    lo = std::nextafter(lo, hi);
+  }
+  constexpr double kPhi = 0.6180339887498949;
+  double a = lo, b = hi;
+  double x1 = b - kPhi * (b - a);
+  double x2 = a + kPhi * (b - a);
+  double f1 = IdealWalkCost(p, x1);
+  double f2 = IdealWalkCost(p, x2);
+  for (int i = 0; i < 300 && (b - a) > 1e-10 * (1.0 + b); ++i) {
+    if (f1 < f2) {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - kPhi * (b - a);
+      f1 = IdealWalkCost(p, x1);
+    } else {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + kPhi * (b - a);
+      f2 = IdealWalkCost(p, x2);
+    }
+  }
+  return 0.5 * (a + b);
+}
+
+Result<IdealWalkAnalysis> AnalyzeIdealWalk(const IdealWalkParams& p) {
+  WNW_RETURN_IF_ERROR(ValidateParams(p));
+  IdealWalkAnalysis out;
+  WNW_ASSIGN_OR_RETURN(out.t_opt, OptimalWalkLength(p));
+  out.cost_at_topt = IdealWalkCost(p, out.t_opt);
+  // Eq. 13: steps for the input walk to shrink the worst-case l-inf distance
+  // (1-λ)^t d_max below Δ.
+  out.cost_random_walk =
+      std::log(p.delta / p.max_degree) / std::log(1.0 - p.spectral_gap);
+  out.saving_ratio = 1.0 - out.cost_at_topt / out.cost_random_walk;
+  // Eq. 8 bound on c / c_RW.
+  const double arg = -p.gamma / (M_E * p.max_degree);
+  WNW_ASSIGN_OR_RETURN(const double w, LambertWm1(arg));
+  const double numer = -std::log(-(1.0 / p.gamma) * w * p.max_degree);
+  const double bound_left = numer / std::log(p.delta / p.max_degree);
+  const double bound_right =
+      (p.gamma - p.delta) / (p.gamma + p.gamma / w);
+  out.ratio_bound = bound_left * bound_right;
+  return out;
+}
+
+}  // namespace wnw

@@ -1,0 +1,51 @@
+// IDEAL-WALK analysis (paper §4.1, Theorem 1): the oracle cost model that
+// motivates replacing a long burn-in with a short walk plus rejection
+// sampling. All quantities are per-sample expected query costs.
+//
+//   f(t)   = t (Γ - Δ) / (Γ - (1-λ)^t d_max)   — cost of walking t steps then
+//            rejection-sampling to the target (Eq. 12);
+//   c_RW   = log(Δ/d_max) / log(1-λ)           — cost of waiting for burn-in
+//            to an ℓ∞ distance of Δ (Eq. 13);
+//   t_opt  = -log(-(1/Γ) W(-Γ/(e d_max)) d_max) / log(1-λ)  — the minimizer
+//            of f (Eq. 18, lower Lambert branch), notably independent of Δ.
+//
+// Γ (undefined in the paper's text; see DESIGN.md) acts as the scale of the
+// smallest target probability; callers typically pass Γ = min_v π(v).
+#pragma once
+
+#include "util/status.h"
+
+namespace wnw {
+
+struct IdealWalkParams {
+  double spectral_gap = 0.0;   // λ ∈ (0, 1)
+  double gamma = 0.0;          // Γ > 0
+  double delta = 0.0;          // required ℓ∞ distance, 0 < Δ < Γ
+  double max_degree = 0.0;     // d_max >= 1
+};
+
+struct IdealWalkAnalysis {
+  double t_opt = 0.0;           // optimal walk length (continuous)
+  double cost_at_topt = 0.0;    // c = f(t_opt)
+  double cost_random_walk = 0.0;  // c_RW
+  double saving_ratio = 0.0;    // 1 - c / c_RW
+  double ratio_bound = 0.0;     // Theorem 1's upper bound on c / c_RW (Eq. 8)
+};
+
+/// f(t). Returns +infinity when the denominator is non-positive (the walk is
+/// too short for rejection sampling to be feasible).
+double IdealWalkCost(const IdealWalkParams& params, double t);
+
+/// Closed-form t_opt via the Lambert W lower branch (Eq. 18).
+Result<double> OptimalWalkLength(const IdealWalkParams& params);
+
+/// Direct numeric minimization of f (golden-section). Used to cross-check
+/// the closed form in tests; exposed for exotic parameter regimes where the
+/// Lambert argument leaves the branch domain.
+Result<double> OptimalWalkLengthNumeric(const IdealWalkParams& params,
+                                        double t_max = 1e7);
+
+/// Full Theorem 1 analysis.
+Result<IdealWalkAnalysis> AnalyzeIdealWalk(const IdealWalkParams& params);
+
+}  // namespace wnw

@@ -1,0 +1,83 @@
+#include "mcmc/lambert_w.h"
+
+#include <cmath>
+
+namespace wnw {
+
+namespace {
+
+constexpr double kInvE = 0.36787944117144233;  // 1/e
+
+// Halley's iteration for W e^W = x from initial guess w. Guards the
+// branch-point degeneracy (w -> -1) where the derivative vanishes.
+double Halley(double x, double w) {
+  for (int i = 0; i < 100; ++i) {
+    const double ew = std::exp(w);
+    const double f = w * ew - x;
+    if (f == 0.0) return w;
+    const double wp1 = w + 1.0;
+    double denom;
+    if (std::fabs(wp1) < 1e-9) {
+      // Near the branch point Halley's correction blows up; fall back to a
+      // damped Newton step with the derivative floored away from zero.
+      denom = ew * (wp1 >= 0 ? std::max(wp1, 1e-9) : std::min(wp1, -1e-9));
+    } else {
+      denom = ew * wp1 - (w + 2.0) * f / (2.0 * wp1);
+    }
+    const double next = w - f / denom;
+    if (!std::isfinite(next)) return w;
+    if (std::fabs(next - w) <= 1e-15 * (1.0 + std::fabs(next))) return next;
+    w = next;
+  }
+  return w;
+}
+
+}  // namespace
+
+Result<double> LambertW0(double x) {
+  if (!(x >= -kInvE)) {
+    return Status::OutOfRange("LambertW0 requires x >= -1/e");
+  }
+  if (x == 0.0) return 0.0;
+  double w;
+  if (x < -kInvE + 1e-12) {
+    return -1.0;  // branch point
+  }
+  if (x < 0.0) {
+    if (x < -0.32) {
+      // Near the branch point: sqrt expansion.
+      const double p = std::sqrt(2.0 * (M_E * x + 1.0));
+      w = -1.0 + p - p * p / 3.0;
+    } else {
+      // Series around 0.
+      w = x * (1.0 - x + 1.5 * x * x);
+    }
+  } else {
+    // log1p is a serviceable starting point on all of [0, inf).
+    w = std::log1p(x);
+  }
+  return Halley(x, w);
+}
+
+Result<double> LambertWm1(double x) {
+  if (!(x >= -kInvE) || !(x < 0.0)) {
+    return Status::OutOfRange("LambertWm1 requires x in [-1/e, 0)");
+  }
+  double w;
+  if (x < -kInvE + 1e-12) {
+    return -1.0;  // branch point
+  }
+  if (x > -0.25) {
+    // Asymptotic expansion for x -> 0-: W-1(x) ~ ln(-x) - ln(-ln(-x)).
+    const double l1 = std::log(-x);
+    const double l2 = std::log(-l1);
+    w = l1 - l2 + l2 / l1;
+  } else {
+    // Near the branch point: sqrt expansion on the lower branch.
+    const double p = -std::sqrt(2.0 * (M_E * x + 1.0));
+    w = -1.0 + p - p * p / 3.0;
+  }
+  return Halley(x, w);
+}
+
+}  // namespace wnw

@@ -1,0 +1,16 @@
+// Lambert W function (both real branches), needed by Theorem 1's closed-form
+// optimal walk length t_opt. W(x) solves W e^W = x; W0 is the principal
+// branch (W >= -1), W-1 the lower branch (W <= -1, defined on [-1/e, 0)).
+#pragma once
+
+#include "util/status.h"
+
+namespace wnw {
+
+/// Principal branch W0(x), defined for x >= -1/e.
+Result<double> LambertW0(double x);
+
+/// Lower branch W-1(x), defined for x in [-1/e, 0).
+Result<double> LambertWm1(double x);
+
+}  // namespace wnw

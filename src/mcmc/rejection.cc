@@ -1,0 +1,70 @@
+#include "mcmc/rejection.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace wnw {
+
+double Percentile(std::vector<double> values, double q) {
+  WNW_CHECK(!values.empty());
+  WNW_CHECK(q >= 0.0 && q <= 1.0);
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+RejectionSampler::RejectionSampler(RejectionOptions options)
+    : options_(options) {
+  if (options_.mode == ScaleMode::kManual) {
+    WNW_CHECK(options_.manual_scale > 0.0);
+  } else {
+    WNW_CHECK(options_.percentile >= 0.0 && options_.percentile <= 1.0);
+  }
+}
+
+double RejectionSampler::CurrentScale() const {
+  if (options_.mode == ScaleMode::kManual) return options_.manual_scale;
+  if (ratios_.empty()) return 0.0;
+  if (ratios_.size() >= next_recompute_) {
+    cached_scale_ = Percentile(ratios_, options_.percentile);
+    // Refresh once the history grows ~3% (or at least 16 entries): the
+    // quantile of a growing sample is stable, and this keeps the total
+    // sorting work O(n log n) over a session instead of O(n^2 log n).
+    next_recompute_ =
+        std::max(ratios_.size() + 16, ratios_.size() + ratios_.size() / 32);
+  }
+  return cached_scale_;
+}
+
+double RejectionSampler::AcceptanceProbability(double ratio) const {
+  const double scale = CurrentScale();
+  if (scale <= 0.0 || ratio <= 0.0) return 1.0;  // warm-up: accept
+  return std::min(1.0, scale / ratio);
+}
+
+bool RejectionSampler::Accept(double ratio, Rng& rng) {
+  WNW_CHECK(std::isfinite(ratio) && ratio > 0.0);
+  ++candidates_;
+  if (options_.mode == ScaleMode::kPercentileBootstrap) {
+    ratios_.push_back(ratio);
+  }
+  const double beta = AcceptanceProbability(ratio);
+  const bool take = rng.NextDouble() < beta;
+  if (take) ++accepted_;
+  return take;
+}
+
+void RejectionSampler::Reset() {
+  ratios_.clear();
+  cached_scale_ = 0.0;
+  next_recompute_ = 1;
+  candidates_ = 0;
+  accepted_ = 0;
+}
+
+}  // namespace wnw

@@ -1,0 +1,76 @@
+// Acceptance–rejection sampling (paper §2.3 and §6.3.2). A candidate drawn
+// with probability p(u) is accepted into the final sample with
+//
+//   beta(u) = q(u)/p(u) * scale,   scale ≈ min_v p(v)/q(v),
+//
+// which corrects the sampling distribution to the target q. Because a third
+// party cannot compute the exact min, the scale is bootstrapped from the
+// ratios observed so far: the paper uses the 10th percentile of the
+// estimated sampling probabilities.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "random/rng.h"
+#include "util/status.h"
+
+namespace wnw {
+
+enum class ScaleMode {
+  /// scale is a fixed, externally supplied value (e.g. the exact min over
+  /// the graph, available to oracle experiments and tests).
+  kManual,
+  /// Paper §6.3.2: scale = the `percentile` quantile of all p(v)/q(v)
+  /// ratios observed so far (default 0.10). Lower percentile -> less bias,
+  /// more rejections; higher -> cheaper, more bias.
+  kPercentileBootstrap,
+};
+
+struct RejectionOptions {
+  ScaleMode mode = ScaleMode::kPercentileBootstrap;
+  double percentile = 0.10;
+  double manual_scale = 0.0;  // used by kManual
+};
+
+/// Streaming acceptance decisions over candidates with observed ratios
+/// r(u) = p(u) / q(u) (q may be unnormalized; only relative scale matters).
+class RejectionSampler {
+ public:
+  explicit RejectionSampler(RejectionOptions options = {});
+
+  /// Records the candidate's ratio and decides acceptance with
+  /// beta = min(1, scale / r). r must be positive and finite.
+  bool Accept(double ratio, Rng& rng);
+
+  /// Acceptance probability that would be applied for `ratio` right now.
+  double AcceptanceProbability(double ratio) const;
+
+  /// Current scale value (manual, or the running percentile).
+  double CurrentScale() const;
+
+  uint64_t candidates_seen() const { return candidates_; }
+  uint64_t accepted() const { return accepted_; }
+  double acceptance_rate() const {
+    return candidates_ == 0
+               ? 0.0
+               : static_cast<double>(accepted_) / static_cast<double>(candidates_);
+  }
+
+  void Reset();
+
+ private:
+  RejectionOptions options_;
+  std::vector<double> ratios_;  // history for the percentile bootstrap
+  // Percentile recomputation is amortized: re-sorting on every candidate
+  // would make long sampling sessions quadratic.
+  mutable double cached_scale_ = 0.0;
+  mutable size_t next_recompute_ = 1;
+  uint64_t candidates_ = 0;
+  uint64_t accepted_ = 0;
+};
+
+/// Exact quantile by sorting a copy (the histories involved are tiny).
+double Percentile(std::vector<double> values, double q);
+
+}  // namespace wnw

@@ -1,0 +1,39 @@
+// Spectral gap of a transition design (paper §2.2.3: lambda = 1 - s2 with s2
+// the second-largest eigenvalue of T). The designs shipped here are
+// reversible, so T is similar to a symmetric matrix via the stationary
+// distribution, and the gap is computed by deflated power iteration with an
+// identity shift (which orders eigenvalues without losing sign information).
+#pragma once
+
+#include "graph/graph.h"
+#include "mcmc/distribution.h"
+#include "mcmc/transition.h"
+#include "util/status.h"
+
+namespace wnw {
+
+struct SpectralOptions {
+  int max_iterations = 20000;
+  double tolerance = 1e-11;
+  uint64_t seed = 0x51ec7ea1u;  // initial vector randomness
+};
+
+struct SpectralResult {
+  double second_eigenvalue = 0.0;  // s2, signed
+  double spectral_gap = 0.0;       // lambda = 1 - s2
+  int iterations = 0;
+};
+
+/// Computes s2 and the gap for a reversible design. Returns
+/// FailedPrecondition for disconnected graphs (the chain is reducible and no
+/// single stationary distribution exists).
+Result<SpectralResult> ComputeSpectralGap(const Graph& graph,
+                                          const TransitionDesign& design,
+                                          SpectralOptions options = {});
+
+/// Same, reusing an already-built matrix and stationary distribution.
+Result<SpectralResult> ComputeSpectralGap(const TransitionMatrix& tm,
+                                          const std::vector<double>& pi,
+                                          SpectralOptions options = {});
+
+}  // namespace wnw

@@ -1,0 +1,23 @@
+#include "mcmc/walker.h"
+
+#include "util/check.h"
+
+namespace wnw {
+
+NodeId Walk(AccessInterface& access, const TransitionDesign& design,
+            NodeId start, int steps, Rng& rng, std::vector<NodeId>* path) {
+  WNW_CHECK(steps >= 0);
+  NodeId cur = start;
+  if (path != nullptr) {
+    path->clear();
+    path->reserve(static_cast<size_t>(steps) + 1);
+    path->push_back(cur);
+  }
+  for (int i = 0; i < steps; ++i) {
+    cur = design.Step(access, cur, rng);
+    if (path != nullptr) path->push_back(cur);
+  }
+  return cur;
+}
+
+}  // namespace wnw

@@ -1,0 +1,34 @@
+// Forward random-walk execution.
+#pragma once
+
+#include <vector>
+
+#include "access/access_interface.h"
+#include "mcmc/transition.h"
+#include "random/rng.h"
+
+namespace wnw {
+
+/// Runs `steps` transitions of `design` from `start`. If `path` is non-null
+/// it receives the full trajectory (path[0] = start, size steps + 1).
+/// Returns the node occupied at step `steps`.
+NodeId Walk(AccessInterface& access, const TransitionDesign& design,
+            NodeId start, int steps, Rng& rng,
+            std::vector<NodeId>* path = nullptr);
+
+/// Runs the walk while recording a scalar observable theta(node) at each
+/// step (used by convergence monitors; theta is typically the degree).
+template <typename ThetaFn>
+NodeId WalkObserved(AccessInterface& access, const TransitionDesign& design,
+                    NodeId start, int steps, Rng& rng, ThetaFn&& theta,
+                    std::vector<double>* observations) {
+  NodeId cur = start;
+  observations->push_back(theta(cur));
+  for (int i = 0; i < steps; ++i) {
+    cur = design.Step(access, cur, rng);
+    observations->push_back(theta(cur));
+  }
+  return cur;
+}
+
+}  // namespace wnw

@@ -1,0 +1,65 @@
+#include "random/alias_table.h"
+
+#include <numeric>
+
+#include "util/check.h"
+
+namespace wnw {
+
+AliasTable::AliasTable(std::span<const double> weights) {
+  const size_t n = weights.size();
+  WNW_CHECK(n > 0);
+  double total = 0;
+  for (double w : weights) {
+    WNW_CHECK(w >= 0);
+    total += w;
+  }
+  WNW_CHECK(total > 0);
+
+  pmf_.resize(n);
+  for (size_t i = 0; i < n; ++i) pmf_[i] = weights[i] / total;
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  // Scaled probabilities; buckets with scaled < 1 borrow from buckets > 1.
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) scaled[i] = pmf_[i] * static_cast<double>(n);
+
+  std::vector<uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+
+  while (!small.empty() && !large.empty()) {
+    const uint32_t s = small.back();
+    small.pop_back();
+    const uint32_t l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Numerical leftovers are certain picks.
+  for (uint32_t i : large) prob_[i] = 1.0;
+  for (uint32_t i : small) prob_[i] = 1.0;
+}
+
+uint32_t AliasTable::Sample(Rng& rng) const {
+  WNW_DCHECK(!prob_.empty());
+  const uint32_t bucket =
+      static_cast<uint32_t>(rng.NextBounded(prob_.size()));
+  return rng.NextDouble() < prob_[bucket] ? bucket : alias_[bucket];
+}
+
+double AliasTable::Probability(uint32_t i) const {
+  WNW_CHECK(i < pmf_.size());
+  return pmf_[i];
+}
+
+}  // namespace wnw

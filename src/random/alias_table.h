@@ -1,0 +1,38 @@
+// Walker's alias method for O(1) draws from a fixed discrete distribution.
+// Used where the same weighted distribution is sampled repeatedly (dataset
+// generation, weighted restarts); one-shot weighted picks use
+// random/sampling.h instead.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "random/rng.h"
+
+namespace wnw {
+
+/// Preprocesses weights in O(n); each Sample() is O(1).
+class AliasTable {
+ public:
+  AliasTable() = default;
+
+  /// Builds from non-negative weights; at least one weight must be positive.
+  explicit AliasTable(std::span<const double> weights);
+
+  /// Draws an index with probability weights[i] / sum(weights).
+  uint32_t Sample(Rng& rng) const;
+
+  size_t size() const { return prob_.size(); }
+  bool empty() const { return prob_.empty(); }
+
+  /// Exact sampling probability of index i (for tests).
+  double Probability(uint32_t i) const;
+
+ private:
+  std::vector<double> prob_;    // threshold within each bucket
+  std::vector<uint32_t> alias_; // fallback index per bucket
+  std::vector<double> pmf_;     // normalized input, kept for Probability()
+};
+
+}  // namespace wnw

@@ -1,0 +1,56 @@
+#include "random/sampling.h"
+
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace wnw {
+
+uint32_t WeightedPick(std::span<const double> weights, Rng& rng) {
+  WNW_DCHECK(!weights.empty());
+  double total = 0;
+  for (double w : weights) total += w;
+  WNW_DCHECK(total > 0);
+  double target = rng.NextDouble() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0) return static_cast<uint32_t>(i);
+  }
+  // Floating-point slack: fall back to the last positive-weight index.
+  for (size_t i = weights.size(); i > 0; --i) {
+    if (weights[i - 1] > 0) return static_cast<uint32_t>(i - 1);
+  }
+  return static_cast<uint32_t>(weights.size() - 1);
+}
+
+uint32_t PmfPick(std::span<const double> pmf, Rng& rng) {
+  WNW_DCHECK(!pmf.empty());
+  double target = rng.NextDouble();
+  for (size_t i = 0; i < pmf.size(); ++i) {
+    target -= pmf[i];
+    if (target < 0) return static_cast<uint32_t>(i);
+  }
+  return static_cast<uint32_t>(pmf.size() - 1);
+}
+
+std::vector<uint32_t> SampleWithoutReplacement(uint32_t n, uint32_t k,
+                                               Rng& rng) {
+  WNW_CHECK(k <= n);
+  // Floyd's algorithm: k iterations, expected O(k) set operations.
+  std::unordered_set<uint32_t> chosen;
+  chosen.reserve(k * 2);
+  std::vector<uint32_t> out;
+  out.reserve(k);
+  for (uint32_t j = n - k; j < n; ++j) {
+    const uint32_t t = static_cast<uint32_t>(rng.NextBounded(j + 1));
+    if (chosen.insert(t).second) {
+      out.push_back(t);
+    } else {
+      chosen.insert(j);
+      out.push_back(j);
+    }
+  }
+  return out;
+}
+
+}  // namespace wnw

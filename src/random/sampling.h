@@ -1,0 +1,60 @@
+// One-shot sampling primitives used by transitions and estimators.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "random/rng.h"
+
+namespace wnw {
+
+/// Draws an index from unnormalized non-negative weights in O(n).
+/// Total weight must be positive.
+uint32_t WeightedPick(std::span<const double> weights, Rng& rng);
+
+/// Draws an index from a normalized pmf; tolerates pmfs summing to slightly
+/// less than 1 by clamping to the last index.
+uint32_t PmfPick(std::span<const double> pmf, Rng& rng);
+
+/// Samples k distinct indices from [0, n) uniformly (Floyd's algorithm).
+/// Requires k <= n. Output order is unspecified.
+std::vector<uint32_t> SampleWithoutReplacement(uint32_t n, uint32_t k,
+                                               Rng& rng);
+
+/// Fisher-Yates shuffle of a span in place.
+template <typename T>
+void Shuffle(std::span<T> items, Rng& rng) {
+  for (size_t i = items.size(); i > 1; --i) {
+    const size_t j = rng.NextBounded(i);
+    std::swap(items[i - 1], items[j]);
+  }
+}
+
+/// Reservoir-samples k items from a streaming sequence. Feed items one at a
+/// time; `sample()` holds a uniform k-subset of everything fed so far.
+template <typename T>
+class ReservoirSampler {
+ public:
+  explicit ReservoirSampler(size_t k) : k_(k) {}
+
+  void Add(const T& item, Rng& rng) {
+    ++seen_;
+    if (sample_.size() < k_) {
+      sample_.push_back(item);
+      return;
+    }
+    const uint64_t j = rng.NextBounded(seen_);
+    if (j < k_) sample_[j] = item;
+  }
+
+  const std::vector<T>& sample() const { return sample_; }
+  uint64_t seen() const { return seen_; }
+
+ private:
+  size_t k_;
+  uint64_t seen_ = 0;
+  std::vector<T> sample_;
+};
+
+}  // namespace wnw

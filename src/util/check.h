@@ -1,0 +1,36 @@
+// Invariant checking macros for programmer errors. These are enabled in all
+// build types: sampling experiments silently producing garbage are far more
+// expensive than the branch. Hot inner loops use WNW_DCHECK.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace wnw::internal {
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "fatal: %s:%d: check failed: %s\n", file, line, expr);
+  std::abort();
+}
+}  // namespace wnw::internal
+
+#define WNW_CHECK(cond)                                          \
+  do {                                                           \
+    if (!(cond)) ::wnw::internal::CheckFailed(__FILE__, __LINE__, #cond); \
+  } while (false)
+
+#define WNW_CHECK_OK(expr)                                       \
+  do {                                                           \
+    const ::wnw::Status _wnw_check_status = (expr);              \
+    if (!_wnw_check_status.ok())                                 \
+      ::wnw::internal::CheckFailed(__FILE__, __LINE__,           \
+                                   _wnw_check_status.ToString().c_str()); \
+  } while (false)
+
+#ifdef NDEBUG
+#define WNW_DCHECK(cond) \
+  do {                   \
+  } while (false)
+#else
+#define WNW_DCHECK(cond) WNW_CHECK(cond)
+#endif

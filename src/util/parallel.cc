@@ -1,0 +1,44 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace wnw {
+
+int DefaultThreadCount() {
+  const uint64_t env = EnvUint64("WNW_THREADS", 0);
+  if (env > 0) return static_cast<int>(std::min<uint64_t>(env, 64));
+  const unsigned hw = std::thread::hardware_concurrency();
+  return static_cast<int>(std::clamp(hw, 1u, 64u));
+}
+
+void ParallelFor(size_t count, const std::function<void(size_t)>& fn,
+                 int threads) {
+  if (count == 0) return;
+  if (threads <= 0) threads = DefaultThreadCount();
+  const size_t workers =
+      std::min<size_t>(static_cast<size_t>(threads), count);
+  if (workers <= 1) {
+    for (size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&]() {
+      while (true) {
+        const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) return;
+        fn(i);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+}
+
+}  // namespace wnw

@@ -1,0 +1,21 @@
+// ParallelFor over independent experiment trials. Each trial owns its own
+// AccessInterface and Rng, so the only shared state is the immutable Graph;
+// this gives near-linear speedups for the repetition-heavy paper experiments.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace wnw {
+
+/// Number of worker threads used by ParallelFor. Defaults to the hardware
+/// concurrency, clamped to [1, 64]; honors the WNW_THREADS env variable.
+int DefaultThreadCount();
+
+/// Runs fn(i) for i in [0, count) across up to `threads` workers.
+/// Blocks until all iterations finish. fn must be thread-safe across distinct
+/// indices. With threads <= 1 runs inline (useful for debugging).
+void ParallelFor(size_t count, const std::function<void(size_t)>& fn,
+                 int threads = 0);
+
+}  // namespace wnw

@@ -1,0 +1,46 @@
+#include "util/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace wnw {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kIOError:
+      return "IOError";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeName(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+namespace internal {
+void DieOnBadResult(const Status& status) {
+  std::fprintf(stderr, "fatal: Result accessed with error status: %s\n",
+               status.ToString().c_str());
+  std::abort();
+}
+}  // namespace internal
+
+}  // namespace wnw

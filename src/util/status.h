@@ -1,0 +1,155 @@
+// Status and Result<T>: lightweight error propagation in the style of
+// RocksDB's Status / Arrow's Result. The library does not throw on expected
+// failure paths (bad input graphs, I/O errors, exhausted budgets); programmer
+// errors are handled by the WNW_CHECK macros in util/check.h instead.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace wnw {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kIOError,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for a status code.
+std::string_view StatusCodeName(StatusCode code);
+
+/// A success-or-error value. Cheap to copy on the OK path (no allocation).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-Status. Mirrors arrow::Result / absl::StatusOr.
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): intentional implicit wraps.
+  Result(T value) : payload_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : payload_(std::move(status)) {}
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    if (ok()) return kOk;
+    return std::get<Status>(payload_);
+  }
+
+  /// Precondition: ok(). Checked, aborts with the error otherwise.
+  const T& value() const&;
+  T& value() &;
+  T&& value() &&;
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` if this holds an error.
+  T value_or(T fallback) const {
+    if (ok()) return std::get<T>(payload_);
+    return fallback;
+  }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+namespace internal {
+[[noreturn]] void DieOnBadResult(const Status& status);
+}  // namespace internal
+
+template <typename T>
+const T& Result<T>::value() const& {
+  if (!ok()) internal::DieOnBadResult(status());
+  return std::get<T>(payload_);
+}
+
+template <typename T>
+T& Result<T>::value() & {
+  if (!ok()) internal::DieOnBadResult(status());
+  return std::get<T>(payload_);
+}
+
+template <typename T>
+T&& Result<T>::value() && {
+  if (!ok()) internal::DieOnBadResult(status());
+  return std::get<T>(std::move(payload_));
+}
+
+/// Propagates an error Status from an expression to the caller.
+#define WNW_RETURN_IF_ERROR(expr)                    \
+  do {                                               \
+    ::wnw::Status _wnw_status = (expr);              \
+    if (!_wnw_status.ok()) return _wnw_status;       \
+  } while (false)
+
+#define WNW_INTERNAL_CONCAT_INNER(a, b) a##b
+#define WNW_INTERNAL_CONCAT(a, b) WNW_INTERNAL_CONCAT_INNER(a, b)
+
+#define WNW_INTERNAL_ASSIGN_OR_RETURN(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
+
+/// Assigns the value of a Result expression or propagates its error.
+#define WNW_ASSIGN_OR_RETURN(lhs, expr)                                      \
+  WNW_INTERNAL_ASSIGN_OR_RETURN(WNW_INTERNAL_CONCAT(_wnw_result_, __LINE__), \
+                                lhs, expr)
+
+}  // namespace wnw

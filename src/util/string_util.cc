@@ -1,0 +1,93 @@
+#include "util/string_util.h"
+
+#include <cerrno>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace wnw {
+
+std::vector<std::string_view> SplitString(std::string_view s,
+                                          std::string_view delims) {
+  std::vector<std::string_view> out;
+  size_t begin = 0;
+  while (begin < s.size()) {
+    const size_t end = s.find_first_of(delims, begin);
+    if (end == std::string_view::npos) {
+      out.push_back(s.substr(begin));
+      break;
+    }
+    if (end > begin) out.push_back(s.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  return out;
+}
+
+std::string_view TrimString(std::string_view s) {
+  const char* ws = " \t\r\n";
+  const size_t first = s.find_first_not_of(ws);
+  if (first == std::string_view::npos) return {};
+  const size_t last = s.find_last_not_of(ws);
+  return s.substr(first, last - first + 1);
+}
+
+bool ParseUint64(std::string_view s, uint64_t* out) {
+  if (s.empty() || s.size() > 20) return false;
+  uint64_t value = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) return false;
+    value = value * 10 + digit;
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseDouble(std::string_view s, double* out) {
+  if (s.empty() || s.size() >= 64) return false;
+  char buf[64];
+  std::memcpy(buf, s.data(), s.size());
+  buf[s.size()] = '\0';
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(buf, &end);
+  if (errno != 0 || end != buf + s.size()) return false;
+  *out = value;
+  return true;
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+uint64_t EnvUint64(const char* name, uint64_t fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return fallback;
+  uint64_t value = 0;
+  if (!ParseUint64(TrimString(env), &value)) return fallback;
+  return value;
+}
+
+double EnvDouble(const char* name, double fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return fallback;
+  double value = 0;
+  if (!ParseDouble(TrimString(env), &value)) return fallback;
+  return value;
+}
+
+}  // namespace wnw

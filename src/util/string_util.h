@@ -1,0 +1,33 @@
+// Small string helpers shared by I/O and the experiment harness.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wnw {
+
+/// Splits `s` on any character in `delims`, dropping empty pieces.
+std::vector<std::string_view> SplitString(std::string_view s,
+                                          std::string_view delims = " \t");
+
+/// Trims ASCII whitespace from both ends.
+std::string_view TrimString(std::string_view s);
+
+/// Parses a non-negative integer; returns false on malformed input/overflow.
+bool ParseUint64(std::string_view s, uint64_t* out);
+
+/// Parses a double; returns false on malformed input.
+bool ParseDouble(std::string_view s, double* out);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Reads environment variable `name`, returning `fallback` when unset or
+/// malformed. Experiment binaries use these for trial counts and seeds.
+uint64_t EnvUint64(const char* name, uint64_t fallback);
+double EnvDouble(const char* name, double fallback);
+
+}  // namespace wnw

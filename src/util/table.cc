@@ -1,0 +1,84 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "util/check.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace wnw {
+
+TablePrinter::TablePrinter(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {
+  WNW_CHECK(!columns_.empty());
+}
+
+std::string TablePrinter::Cell(int64_t v) {
+  return StrFormat("%" PRId64, v);
+}
+
+std::string TablePrinter::Cell(uint64_t v) {
+  return StrFormat("%" PRIu64, v);
+}
+
+std::string TablePrinter::Cell(double v) { return StrFormat("%.6g", v); }
+
+std::string TablePrinter::CellPrec(double v, int digits) {
+  return StrFormat("%.*g", digits, v);
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  WNW_CHECK(cells.size() == columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::AddComment(std::string comment) {
+  comments_.push_back(std::move(comment));
+}
+
+void TablePrinter::Print(std::FILE* out) const {
+  for (const auto& comment : comments_) {
+    std::fprintf(out, "# %s\n", comment.c_str());
+  }
+  std::vector<size_t> widths(columns_.size());
+  for (size_t i = 0; i < columns_.size(); ++i) widths[i] = columns_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < cells.size(); ++i) {
+      std::fprintf(out, "%-*s%s", static_cast<int>(widths[i]),
+                   cells[i].c_str(), i + 1 == cells.size() ? "\n" : "  ");
+    }
+  };
+  print_row(columns_);
+  for (const auto& row : rows_) print_row(row);
+  std::fflush(out);
+}
+
+bool TablePrinter::WriteCsv(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    WNW_LOG(kError) << "cannot open " << path << " for writing";
+    return false;
+  }
+  for (const auto& comment : comments_) {
+    std::fprintf(f, "# %s\n", comment.c_str());
+  }
+  auto write_row = [&](const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < cells.size(); ++i) {
+      std::fprintf(f, "%s%s", cells[i].c_str(),
+                   i + 1 == cells.size() ? "\n" : ",");
+    }
+  };
+  write_row(columns_);
+  for (const auto& row : rows_) write_row(row);
+  const bool ok = std::fclose(f) == 0;
+  return ok;
+}
+
+}  // namespace wnw

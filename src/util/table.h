@@ -1,0 +1,51 @@
+// Column-aligned result tables for the experiment binaries. Every bench in
+// bench/ prints the rows/series of one paper table or figure through this
+// printer so output is self-describing and diffable, and can optionally be
+// mirrored to a CSV file for plotting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wnw {
+
+/// Accumulates rows of string/numeric cells and prints them aligned.
+///
+/// Usage:
+///   TablePrinter t({"walk_len", "query_cost"});
+///   t.AddRow({Cell(16), Cell(123.4)});
+///   t.Print(stdout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> columns);
+
+  /// Formats a cell. Doubles use %.6g; explicit precision variants exist for
+  /// probability-scale values.
+  static std::string Cell(const std::string& s) { return s; }
+  static std::string Cell(const char* s) { return s; }
+  static std::string Cell(int64_t v);
+  static std::string Cell(uint64_t v);
+  static std::string Cell(int v) { return Cell(static_cast<int64_t>(v)); }
+  static std::string Cell(double v);
+  static std::string CellPrec(double v, int digits);
+
+  void AddRow(std::vector<std::string> cells);
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Prints "# <comment>" header lines first, then the aligned table.
+  void AddComment(std::string comment);
+
+  void Print(std::FILE* out) const;
+
+  /// Writes the table as CSV (comments become '#' lines).
+  /// Returns false and logs on I/O failure.
+  bool WriteCsv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::string> comments_;
+};
+
+}  // namespace wnw

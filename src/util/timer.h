@@ -1,0 +1,26 @@
+// Wall-clock timing helper used by benches and examples.
+#pragma once
+
+#include <chrono>
+
+namespace wnw {
+
+/// Measures elapsed wall-clock time since construction or the last Reset().
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace wnw

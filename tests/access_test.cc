@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "access/access_interface.h"
+#include "access/rate_limiter.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace wnw {
+namespace {
+
+TEST(AccessTest, NeighborsMatchGraph) {
+  const Graph g = testing::MakeHouseGraph();
+  AccessInterface access(&g);
+  const auto nbrs = access.Neighbors(0);
+  EXPECT_EQ(std::vector<NodeId>(nbrs.begin(), nbrs.end()),
+            (std::vector<NodeId>{1, 2, 3}));
+  EXPECT_EQ(access.Degree(2), 3u);
+}
+
+TEST(AccessTest, UniqueCostCountsDistinctNodes) {
+  const Graph g = testing::MakeHouseGraph();
+  AccessInterface access(&g);
+  EXPECT_EQ(access.query_cost(), 0u);
+  access.Neighbors(0);
+  access.Neighbors(0);
+  access.Neighbors(1);
+  EXPECT_EQ(access.query_cost(), 2u);    // nodes {0, 1}
+  EXPECT_EQ(access.total_queries(), 3u); // three invocations
+  EXPECT_TRUE(access.Seen(0));
+  EXPECT_FALSE(access.Seen(4));
+}
+
+TEST(AccessTest, ResetCountersClears) {
+  const Graph g = testing::MakeHouseGraph();
+  AccessInterface access(&g);
+  access.Neighbors(0);
+  access.ResetCounters();
+  EXPECT_EQ(access.query_cost(), 0u);
+  EXPECT_EQ(access.total_queries(), 0u);
+  EXPECT_FALSE(access.Seen(0));
+}
+
+TEST(AccessTest, SampleNeighborUniform) {
+  const Graph g = testing::MakeHouseGraph();
+  AccessInterface access(&g);
+  Rng rng(1);
+  std::vector<int> counts(5, 0);
+  constexpr int kDraws = 30000;
+  for (int i = 0; i < kDraws; ++i) counts[access.SampleNeighbor(0, rng)]++;
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_EQ(counts[4], 0);
+  for (NodeId v : {1u, 2u, 3u}) {
+    EXPECT_NEAR(static_cast<double>(counts[v]) / kDraws, 1.0 / 3.0, 0.02);
+  }
+}
+
+TEST(AccessTest, IsolatedNodeSampleReturnsInvalid) {
+  GraphBuilder b(2);
+  const Graph g = std::move(b).Build().value();
+  AccessInterface access(&g);
+  Rng rng(2);
+  EXPECT_EQ(access.SampleNeighbor(0, rng), kInvalidNode);
+}
+
+TEST(AccessRandomSubsetTest, ReturnsAtMostK) {
+  const Graph g = MakeStar(50).value();  // center degree 49
+  AccessOptions opts;
+  opts.restriction = NeighborRestriction::kRandomSubset;
+  opts.max_neighbors = 10;
+  AccessInterface access(&g, opts);
+  EXPECT_EQ(access.Neighbors(0).size(), 10u);
+  // Leaves are below the cap: full list.
+  EXPECT_EQ(access.Neighbors(1).size(), 1u);
+}
+
+TEST(AccessRandomSubsetTest, VariesAcrossCalls) {
+  const Graph g = MakeStar(200).value();
+  AccessOptions opts;
+  opts.restriction = NeighborRestriction::kRandomSubset;
+  opts.max_neighbors = 5;
+  AccessInterface access(&g, opts);
+  std::set<std::vector<NodeId>> observed;
+  for (int i = 0; i < 10; ++i) {
+    const auto nbrs = access.Neighbors(0);
+    observed.emplace(nbrs.begin(), nbrs.end());
+  }
+  EXPECT_GT(observed.size(), 1u);  // type 1: fresh subsets per invocation
+}
+
+TEST(AccessFixedSubsetTest, StableAcrossCalls) {
+  const Graph g = MakeStar(200).value();
+  AccessOptions opts;
+  opts.restriction = NeighborRestriction::kFixedSubset;
+  opts.max_neighbors = 5;
+  AccessInterface access(&g, opts);
+  const auto first = access.Neighbors(0);
+  const std::vector<NodeId> snapshot(first.begin(), first.end());
+  for (int i = 0; i < 5; ++i) {
+    const auto again = access.Neighbors(0);
+    EXPECT_EQ(std::vector<NodeId>(again.begin(), again.end()), snapshot);
+  }
+}
+
+TEST(AccessFixedSubsetTest, DeterministicAcrossSessions) {
+  const Graph g = MakeStar(200).value();
+  AccessOptions opts;
+  opts.restriction = NeighborRestriction::kFixedSubset;
+  opts.max_neighbors = 5;
+  opts.seed = 77;
+  AccessInterface a(&g, opts), b(&g, opts);
+  const auto na = a.Neighbors(0);
+  const auto nb = b.Neighbors(0);
+  EXPECT_EQ(std::vector<NodeId>(na.begin(), na.end()),
+            std::vector<NodeId>(nb.begin(), nb.end()));
+}
+
+TEST(AccessTruncatedTest, ReturnsPrefix) {
+  const Graph g = MakeStar(50).value();
+  AccessOptions opts;
+  opts.restriction = NeighborRestriction::kTruncated;
+  opts.max_neighbors = 3;
+  AccessInterface access(&g, opts);
+  const auto nbrs = access.Neighbors(0);
+  EXPECT_EQ(std::vector<NodeId>(nbrs.begin(), nbrs.end()),
+            (std::vector<NodeId>{1, 2, 3}));
+}
+
+TEST(AccessTruncatedTest, BidirectionalCheckFiltersAsymmetricEdges) {
+  // Star center truncated to 3 of its 49 leaves; leaves always see the
+  // center. Effective neighbors of the center are exactly its visible 3.
+  const Graph g = MakeStar(50).value();
+  AccessOptions opts;
+  opts.restriction = NeighborRestriction::kTruncated;
+  opts.max_neighbors = 3;
+  opts.bidirectional_check = true;
+  AccessInterface access(&g, opts);
+  EXPECT_EQ(access.EffectiveNeighbors(0).size(), 3u);
+  // A leaf outside the center's truncated list: the center does not list it,
+  // so the mutual check removes its only edge.
+  EXPECT_EQ(access.EffectiveNeighbors(30).size(), 0u);
+  // A leaf inside the center's list keeps the edge.
+  EXPECT_EQ(access.EffectiveNeighbors(1).size(), 1u);
+}
+
+TEST(AccessTruncatedTest, UntruncatedGraphUnaffected) {
+  const Graph g = testing::MakeTestBA(60, 3);
+  AccessOptions opts;
+  opts.restriction = NeighborRestriction::kTruncated;
+  opts.max_neighbors = 1000;  // above every degree
+  AccessInterface access(&g, opts);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto eff = access.EffectiveNeighbors(u);
+    const auto full = g.Neighbors(u);
+    EXPECT_EQ(std::vector<NodeId>(eff.begin(), eff.end()),
+              std::vector<NodeId>(full.begin(), full.end()));
+  }
+}
+
+TEST(AccessTruncatedTest, EffectiveViewIsSymmetric) {
+  const Graph g = testing::MakeTestBA(80, 4);
+  AccessOptions opts;
+  opts.restriction = NeighborRestriction::kFixedSubset;
+  opts.max_neighbors = 4;
+  opts.bidirectional_check = true;
+  AccessInterface access(&g, opts);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : access.EffectiveNeighbors(u)) {
+      const auto back = access.EffectiveNeighbors(v);
+      EXPECT_TRUE(std::find(back.begin(), back.end(), u) != back.end())
+          << "edge (" << u << "," << v << ") not mutual";
+    }
+  }
+}
+
+TEST(MarkRecaptureTest, ExactWhenNotTruncated) {
+  const Graph g = testing::MakeHouseGraph();
+  AccessOptions opts;
+  opts.restriction = NeighborRestriction::kRandomSubset;
+  opts.max_neighbors = 10;
+  AccessInterface access(&g, opts);
+  EXPECT_DOUBLE_EQ(EstimateDegreeMarkRecapture(access, 0, 4), 3.0);
+}
+
+TEST(MarkRecaptureTest, EstimatesTruncatedDegree) {
+  const Graph g = MakeStar(201).value();  // center degree 200
+  AccessOptions opts;
+  opts.restriction = NeighborRestriction::kRandomSubset;
+  opts.max_neighbors = 40;
+  AccessInterface access(&g, opts);
+  const double est = EstimateDegreeMarkRecapture(access, 0, 30);
+  EXPECT_NEAR(est, 200.0, 30.0);
+}
+
+TEST(RateLimiterTest, DisabledByDefault) {
+  SimulatedRateLimiter limiter;
+  EXPECT_FALSE(limiter.enabled());
+  for (int i = 0; i < 100; ++i) limiter.OnQuery();
+  EXPECT_DOUBLE_EQ(limiter.waited_seconds(), 0.0);
+  EXPECT_EQ(limiter.total_queries(), 100u);
+}
+
+TEST(RateLimiterTest, WaitsBetweenWindows) {
+  // Twitter-style: 15 queries per 900 s window.
+  SimulatedRateLimiter limiter({15, 900.0});
+  for (int i = 0; i < 15; ++i) limiter.OnQuery();
+  EXPECT_DOUBLE_EQ(limiter.waited_seconds(), 0.0);
+  limiter.OnQuery();  // 16th query crosses into the next window
+  EXPECT_DOUBLE_EQ(limiter.waited_seconds(), 900.0);
+  for (int i = 0; i < 14; ++i) limiter.OnQuery();
+  EXPECT_DOUBLE_EQ(limiter.waited_seconds(), 900.0);
+  limiter.OnQuery();
+  EXPECT_DOUBLE_EQ(limiter.waited_seconds(), 1800.0);
+}
+
+TEST(RateLimiterTest, ResetRestoresTokens) {
+  SimulatedRateLimiter limiter({2, 10.0});
+  limiter.OnQuery();
+  limiter.OnQuery();
+  limiter.Reset();
+  limiter.OnQuery();
+  EXPECT_DOUBLE_EQ(limiter.waited_seconds(), 0.0);
+}
+
+TEST(AccessTest, RateLimitAccounting) {
+  const Graph g = MakeCycle(100).value();
+  AccessOptions opts;
+  opts.rate_limit = {10, 60.0};
+  AccessInterface access(&g, opts);
+  for (NodeId u = 0; u < 25; ++u) access.Neighbors(u);
+  // 25 unique queries with 10 per minute: 2 full waits.
+  EXPECT_DOUBLE_EQ(access.waited_seconds(), 120.0);
+  // Cache hits are free: re-visiting does not wait.
+  for (NodeId u = 0; u < 25; ++u) access.Neighbors(u);
+  EXPECT_DOUBLE_EQ(access.waited_seconds(), 120.0);
+}
+
+}  // namespace
+}  // namespace wnw

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "datasets/social_datasets.h"
+#include "graph/attributes_io.h"
+
+namespace wnw {
+namespace {
+
+AttributeTable MakeSampleTable() {
+  AttributeTable t(3);
+  EXPECT_TRUE(t.AddColumn("stars", {1.5, 2.25, 5.0}).ok());
+  EXPECT_TRUE(t.AddColumn("deg", {3.0, 1.0, 2.0}).ok());
+  return t;
+}
+
+TEST(AttributesIoTest, RoundTrip) {
+  const std::string path = ::testing::TempDir() + "/wnw_attrs_roundtrip.csv";
+  const AttributeTable original = MakeSampleTable();
+  ASSERT_TRUE(SaveAttributesCsv(original, path).ok());
+  const AttributeTable loaded = LoadAttributesCsv(path).value();
+  EXPECT_EQ(loaded.num_nodes(), 3u);
+  EXPECT_EQ(loaded.ColumnNames(), original.ColumnNames());
+  for (const auto& name : original.ColumnNames()) {
+    for (NodeId u = 0; u < 3; ++u) {
+      EXPECT_DOUBLE_EQ(loaded.Value(name, u), original.Value(name, u))
+          << name << " node " << u;
+    }
+  }
+}
+
+TEST(AttributesIoTest, RoundTripPreservesPrecision) {
+  AttributeTable t(2);
+  ASSERT_TRUE(t.AddColumn("x", {0.1234567890123456, 1e-300}).ok());
+  const std::string path = ::testing::TempDir() + "/wnw_attrs_precision.csv";
+  ASSERT_TRUE(SaveAttributesCsv(t, path).ok());
+  const AttributeTable loaded = LoadAttributesCsv(path).value();
+  EXPECT_DOUBLE_EQ(loaded.Value("x", 0), 0.1234567890123456);
+  EXPECT_DOUBLE_EQ(loaded.Value("x", 1), 1e-300);
+}
+
+TEST(AttributesIoTest, EmptyTableRejected) {
+  AttributeTable t(3);
+  const std::string path = ::testing::TempDir() + "/wnw_attrs_empty.csv";
+  EXPECT_EQ(SaveAttributesCsv(t, path).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(AttributesIoTest, MissingFileFails) {
+  EXPECT_EQ(LoadAttributesCsv("/nonexistent/attrs.csv").status().code(),
+            StatusCode::kIOError);
+}
+
+TEST(AttributesIoTest, BadHeaderFails) {
+  const std::string path = ::testing::TempDir() + "/wnw_attrs_badheader.csv";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("id,stars\n0,1.0\n", f);
+  std::fclose(f);
+  EXPECT_EQ(LoadAttributesCsv(path).status().code(), StatusCode::kIOError);
+}
+
+TEST(AttributesIoTest, OutOfOrderRowFails) {
+  const std::string path = ::testing::TempDir() + "/wnw_attrs_ooo.csv";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("node,stars\n0,1.0\n2,2.0\n", f);
+  std::fclose(f);
+  EXPECT_EQ(LoadAttributesCsv(path).status().code(), StatusCode::kIOError);
+}
+
+TEST(AttributesIoTest, DatasetAttributesRoundTrip) {
+  const SocialDataset ds = MakeYelpLike(0.02, 5, false);
+  const std::string path = ::testing::TempDir() + "/wnw_attrs_dataset.csv";
+  ASSERT_TRUE(SaveAttributesCsv(ds.attrs, path).ok());
+  const AttributeTable loaded = LoadAttributesCsv(path).value();
+  EXPECT_EQ(loaded.num_nodes(), ds.attrs.num_nodes());
+  EXPECT_DOUBLE_EQ(loaded.Value("stars", 17), ds.attrs.Value("stars", 17));
+}
+
+}  // namespace
+}  // namespace wnw

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mcmc/convergence.h"
+#include "random/rng.h"
+
+namespace wnw {
+namespace {
+
+TEST(GewekeTest, InfiniteUntilMinSamples) {
+  GewekeOptions opts;
+  opts.min_samples = 100;
+  GewekeMonitor monitor(opts);
+  for (int i = 0; i < 99; ++i) monitor.Add(1.0);
+  EXPECT_TRUE(std::isinf(monitor.ZScore()));
+  EXPECT_FALSE(monitor.Converged());
+}
+
+TEST(GewekeTest, IidChainConverges) {
+  GewekeMonitor monitor;
+  Rng rng(5);
+  for (int i = 0; i < 5000; ++i) monitor.Add(rng.NextGaussian());
+  EXPECT_LT(monitor.ZScore(), 2.5);  // z is ~N(0,1) for an iid chain
+}
+
+TEST(GewekeTest, TrendingChainDoesNotConverge) {
+  GewekeMonitor monitor;
+  for (int i = 0; i < 2000; ++i) monitor.Add(static_cast<double>(i));
+  EXPECT_GT(monitor.ZScore(), 10.0);
+  EXPECT_FALSE(monitor.Converged());
+}
+
+TEST(GewekeTest, ConstantChainIsConverged) {
+  GewekeMonitor monitor;
+  for (int i = 0; i < 500; ++i) monitor.Add(3.0);
+  EXPECT_DOUBLE_EQ(monitor.ZScore(), 0.0);
+  EXPECT_TRUE(monitor.Converged());
+}
+
+TEST(GewekeTest, LevelShiftDetected) {
+  // First half at level 0, second at level 5: windows disagree.
+  GewekeMonitor monitor;
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) monitor.Add(rng.NextGaussian());
+  for (int i = 0; i < 1000; ++i) monitor.Add(5.0 + rng.NextGaussian());
+  EXPECT_GT(monitor.ZScore(), 5.0);
+}
+
+TEST(GewekeTest, BurnedInTailConverges) {
+  // A chain whose early transient is tiny relative to the stationary tail:
+  // once swamped, the z-score settles. (A *long* transient keeps inflating
+  // window A's mean — Geweke is deliberately sensitive to that, see
+  // LevelShiftDetected.)
+  GewekeMonitor monitor;
+  Rng rng(7);
+  for (int i = 0; i < 5; ++i) monitor.Add(10.0 - 2.0 * i);  // short transient
+  for (int i = 0; i < 20000; ++i) monitor.Add(rng.NextGaussian());
+  EXPECT_LT(monitor.ZScore(), 3.0);
+}
+
+TEST(GewekeTest, LongTransientInflatesZ) {
+  // Contrast case for BurnedInTailConverges: the same tail with a heavy
+  // transient in window A keeps the z-score high.
+  GewekeMonitor clean, dirty;
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) dirty.Add(25.0);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.NextGaussian();
+    clean.Add(x);
+    dirty.Add(x);
+  }
+  EXPECT_GT(dirty.ZScore(), clean.ZScore());
+}
+
+TEST(GewekeTest, ResetClearsChain) {
+  GewekeMonitor monitor;
+  for (int i = 0; i < 500; ++i) monitor.Add(1.0);
+  monitor.Reset();
+  EXPECT_EQ(monitor.size(), 0u);
+  EXPECT_TRUE(std::isinf(monitor.ZScore()));
+}
+
+TEST(GewekeTest, ThresholdControlsVerdict) {
+  GewekeOptions strict;
+  strict.threshold = 1e-9;
+  GewekeMonitor monitor(strict);
+  Rng rng(8);
+  for (int i = 0; i < 5000; ++i) monitor.Add(rng.NextGaussian());
+  // An iid chain has |z| > 0 almost surely, so an absurdly strict threshold
+  // refuses convergence even though the chain is fine.
+  EXPECT_FALSE(monitor.Converged());
+}
+
+TEST(GewekeTest, WindowFractionsValidated) {
+  GewekeOptions bad;
+  bad.first_frac = 0.6;
+  bad.last_frac = 0.6;  // overlap: 0.6 + 0.6 > 1
+  EXPECT_DEATH(GewekeMonitor{bad}, "check failed");
+}
+
+}  // namespace
+}  // namespace wnw

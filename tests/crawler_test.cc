@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/crawler.h"
+#include "mcmc/distribution.h"
+#include "mcmc/transition.h"
+#include "test_util.h"
+
+namespace wnw {
+namespace {
+
+class CrawlBallExactnessTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CrawlBallExactnessTest, MatchesMatrixPowersInsideBall) {
+  const Graph g = testing::MakeTestBA(60, 3);
+  auto design = MakeTransitionDesign(GetParam());
+  const auto tm = TransitionMatrix::Build(g, *design);
+  for (NodeId start : {NodeId{0}, NodeId{17}, NodeId{59}}) {
+    for (int h : {0, 1, 2, 3}) {
+      AccessInterface access(&g);
+      const CrawlBall ball = CrawlBall::Crawl(access, *design, start, h);
+      for (int s = 0; s <= h; ++s) {
+        const auto exact = ExactStepDistribution(tm, start, s);
+        for (NodeId v = 0; v < g.num_nodes(); ++v) {
+          EXPECT_NEAR(ball.ExactProb(v, s), exact[v], 1e-12)
+              << GetParam() << " start=" << start << " h=" << h << " s=" << s
+              << " v=" << v;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Designs, CrawlBallExactnessTest,
+                         ::testing::Values("srw", "mhrw", "lazy"));
+
+TEST(CrawlBallTest, RadiusZeroIsPointMass) {
+  const Graph g = testing::MakeHouseGraph();
+  SimpleRandomWalk srw;
+  AccessInterface access(&g);
+  const CrawlBall ball = CrawlBall::Crawl(access, srw, 2, 0);
+  EXPECT_EQ(ball.ball_size(), 1u);
+  EXPECT_DOUBLE_EQ(ball.ExactProb(2, 0), 1.0);
+  EXPECT_DOUBLE_EQ(ball.ExactProb(0, 0), 0.0);
+}
+
+TEST(CrawlBallTest, ContainsExactlyTheBall) {
+  const Graph g = testing::MakeHouseGraph();
+  SimpleRandomWalk srw;
+  AccessInterface access(&g);
+  const CrawlBall ball = CrawlBall::Crawl(access, srw, 3, 2);
+  // Distances from 3: 0:1, 1:2, 2:2, 4:3.
+  EXPECT_TRUE(ball.Contains(3));
+  EXPECT_TRUE(ball.Contains(0));
+  EXPECT_TRUE(ball.Contains(1));
+  EXPECT_TRUE(ball.Contains(2));
+  EXPECT_FALSE(ball.Contains(4));
+  EXPECT_EQ(ball.DistanceTo(0), 1);
+  EXPECT_EQ(ball.DistanceTo(2), 2);
+}
+
+TEST(CrawlBallTest, ProbMassSumsToOneInsideRadius) {
+  const Graph g = testing::MakeTestBA(50, 3);
+  MetropolisHastingsWalk mhrw;
+  AccessInterface access(&g);
+  const CrawlBall ball = CrawlBall::Crawl(access, mhrw, 5, 3);
+  for (int s = 0; s <= 3; ++s) {
+    double total = 0.0;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) total += ball.ExactProb(v, s);
+    EXPECT_NEAR(total, 1.0, 1e-12) << "s=" << s;
+  }
+}
+
+TEST(CrawlBallTest, BillsQueries) {
+  const Graph g = testing::MakeTestBA(50, 3);
+  SimpleRandomWalk srw;
+  AccessInterface access(&g);
+  CrawlBall::Crawl(access, srw, 0, 2);
+  // Crawling a radius-2 ball must touch every ball node.
+  EXPECT_GT(access.query_cost(), 1u);
+}
+
+TEST(CrawlBallTest, IsolatedStart) {
+  GraphBuilder b(3);
+  ASSERT_TRUE(b.AddEdge(1, 2).ok());
+  const Graph g = std::move(b).Build().value();
+  SimpleRandomWalk srw;
+  AccessInterface access(&g);
+  const CrawlBall ball = CrawlBall::Crawl(access, srw, 0, 2);
+  EXPECT_EQ(ball.ball_size(), 1u);
+  // SRW on an isolated node self-loops with probability 1.
+  EXPECT_DOUBLE_EQ(ball.ExactProb(0, 2), 1.0);
+}
+
+}  // namespace
+}  // namespace wnw

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "mcmc/distribution.h"
+#include "mcmc/transition.h"
+#include "test_util.h"
+
+namespace wnw {
+namespace {
+
+TEST(TransitionMatrixTest, RowsSumToOne) {
+  for (const char* spec : {"srw", "mhrw", "lazy"}) {
+    const Graph g = testing::MakeTestBA(40, 3);
+    auto design = MakeTransitionDesign(spec);
+    const auto tm = TransitionMatrix::Build(g, *design);
+    EXPECT_LT(tm.MaxRowSumError(), 1e-12) << spec;
+  }
+}
+
+TEST(TransitionMatrixTest, EntryLookup) {
+  const Graph g = testing::MakeHouseGraph();
+  SimpleRandomWalk srw;
+  const auto tm = TransitionMatrix::Build(g, srw);
+  EXPECT_DOUBLE_EQ(tm.Entry(0, 1), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(tm.Entry(3, 0), 1.0);
+  EXPECT_DOUBLE_EQ(tm.Entry(0, 4), 0.0);
+  EXPECT_DOUBLE_EQ(tm.Entry(0, 0), 0.0);
+}
+
+TEST(TransitionMatrixTest, MhrwSelfLoopStored) {
+  const Graph g = testing::MakeHouseGraph();
+  MetropolisHastingsWalk mhrw;
+  const auto tm = TransitionMatrix::Build(g, mhrw);
+  EXPECT_DOUBLE_EQ(tm.Entry(3, 3), 2.0 / 3.0);
+}
+
+TEST(TransitionMatrixTest, MultiplyPreservesMass) {
+  const Graph g = testing::MakeTestBA(50, 3);
+  MetropolisHastingsWalk mhrw;
+  const auto tm = TransitionMatrix::Build(g, mhrw);
+  std::vector<double> p(g.num_nodes(), 0.0);
+  p[7] = 1.0;
+  for (int t = 0; t < 20; ++t) {
+    p = tm.Multiply(p);
+    EXPECT_NEAR(testing::Sum(p), 1.0, 1e-12);
+  }
+}
+
+TEST(ExactStepDistributionTest, OneStepIsRow) {
+  const Graph g = testing::MakeHouseGraph();
+  SimpleRandomWalk srw;
+  const auto tm = TransitionMatrix::Build(g, srw);
+  const auto p1 = ExactStepDistribution(tm, 0, 1);
+  EXPECT_DOUBLE_EQ(p1[1], 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(p1[2], 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(p1[3], 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(p1[0], 0.0);
+  EXPECT_DOUBLE_EQ(p1[4], 0.0);
+}
+
+TEST(ExactStepDistributionTest, ZeroStepsIsPointMass) {
+  const Graph g = testing::MakeHouseGraph();
+  SimpleRandomWalk srw;
+  const auto tm = TransitionMatrix::Build(g, srw);
+  const auto p0 = ExactStepDistribution(tm, 2, 0);
+  EXPECT_DOUBLE_EQ(p0[2], 1.0);
+  EXPECT_DOUBLE_EQ(testing::Sum(p0), 1.0);
+}
+
+TEST(StationaryTest, SrwIsDegreeProportional) {
+  const Graph g = testing::MakeHouseGraph();
+  SimpleRandomWalk srw;
+  const auto pi = StationaryDistribution(g, srw);
+  EXPECT_DOUBLE_EQ(pi[0], 3.0 / 10.0);
+  EXPECT_DOUBLE_EQ(pi[3], 1.0 / 10.0);
+  EXPECT_NEAR(testing::Sum(pi), 1.0, 1e-12);
+}
+
+TEST(StationaryTest, FixedPointOfT) {
+  for (const char* spec : {"srw", "mhrw", "lazy"}) {
+    const Graph g = testing::MakeTestBA(40, 3);
+    auto design = MakeTransitionDesign(spec);
+    const auto tm = TransitionMatrix::Build(g, *design);
+    const auto pi = StationaryDistribution(g, *design);
+    const auto pi_next = tm.Multiply(pi);
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      EXPECT_NEAR(pi_next[u], pi[u], 1e-12) << spec << " node " << u;
+    }
+  }
+}
+
+TEST(StationaryTest, ChainConvergesToStationary) {
+  const Graph g = testing::MakeTestBA(40, 3);
+  MetropolisHastingsWalk mhrw;
+  const auto tm = TransitionMatrix::Build(g, mhrw);
+  const auto pi = StationaryDistribution(g, mhrw);
+  auto p = ExactStepDistribution(tm, 0, 400);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_NEAR(p[u], pi[u], 1e-6);
+  }
+}
+
+TEST(RelativePointwiseDistanceTest, ZeroAtStationary) {
+  const Graph g = testing::MakeTestBA(30, 3);
+  SimpleRandomWalk srw;
+  const auto pi = StationaryDistribution(g, srw);
+  EXPECT_NEAR(RelativePointwiseDistance(pi, pi), 0.0, 1e-14);
+}
+
+TEST(RelativePointwiseDistanceTest, DecreasesWithT) {
+  const Graph g = testing::MakeTestBA(40, 3);
+  LazyRandomWalk lazy(0.2);
+  const auto tm = TransitionMatrix::Build(g, lazy);
+  const auto pi = StationaryDistribution(g, lazy);
+  const double d5 = RelativePointwiseDistance(ExactStepDistribution(tm, 0, 5), pi);
+  const double d50 =
+      RelativePointwiseDistance(ExactStepDistribution(tm, 0, 50), pi);
+  const double d200 =
+      RelativePointwiseDistance(ExactStepDistribution(tm, 0, 200), pi);
+  EXPECT_GT(d5, d50);
+  EXPECT_GT(d50, d200);
+}
+
+TEST(RelativePointwiseDistanceTest, AllStartsDominatesSingleStart) {
+  const Graph g = testing::MakeTestBA(25, 2);
+  LazyRandomWalk lazy(0.3);
+  const auto tm = TransitionMatrix::Build(g, lazy);
+  const auto pi = StationaryDistribution(g, lazy);
+  const int t = 10;
+  const double all = RelativePointwiseDistanceAllStarts(tm, pi, t);
+  const double one =
+      RelativePointwiseDistance(ExactStepDistribution(tm, 3, t), pi);
+  EXPECT_GE(all, one - 1e-12);
+}
+
+TEST(BurnInPeriodTest, ReachesThreshold) {
+  const Graph g = testing::MakeTestBA(40, 3);
+  LazyRandomWalk lazy(0.2);
+  const auto tm = TransitionMatrix::Build(g, lazy);
+  const auto pi = StationaryDistribution(g, lazy);
+  const int t = BurnInPeriod(tm, pi, 0, 0.05, 10000).value();
+  EXPECT_GT(t, 0);
+  // By definition the distance at t is within threshold.
+  const double d = RelativePointwiseDistance(ExactStepDistribution(tm, 0, t), pi);
+  EXPECT_LE(d, 0.05);
+  // And t is minimal: one step earlier misses it.
+  const double d_prev =
+      RelativePointwiseDistance(ExactStepDistribution(tm, 0, t - 1), pi);
+  EXPECT_GT(d_prev, 0.05);
+}
+
+TEST(BurnInPeriodTest, StricterThresholdTakesLonger) {
+  const Graph g = testing::MakeTestBA(40, 3);
+  LazyRandomWalk lazy(0.2);
+  const auto tm = TransitionMatrix::Build(g, lazy);
+  const auto pi = StationaryDistribution(g, lazy);
+  const int loose = BurnInPeriod(tm, pi, 0, 0.5, 10000).value();
+  const int strict = BurnInPeriod(tm, pi, 0, 0.01, 10000).value();
+  EXPECT_LT(loose, strict);
+}
+
+TEST(BurnInPeriodTest, UnreachableReturnsOutOfRange) {
+  const Graph g = testing::MakeTestBA(40, 3);
+  LazyRandomWalk lazy(0.2);
+  const auto tm = TransitionMatrix::Build(g, lazy);
+  const auto pi = StationaryDistribution(g, lazy);
+  const auto r = BurnInPeriod(tm, pi, 0, 1e-9, 3);
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ProbabilityExtremaTest, Figure1Shape) {
+  // The Figure 1 behavior: max prob decays from 1, min prob rises from 0
+  // and becomes positive once the walk length passes the diameter.
+  const Graph g = testing::MakeTestBA(31, 3);
+  LazyRandomWalk lazy(0.05);
+  const auto tm = TransitionMatrix::Build(g, lazy);
+  const auto extrema = TrackProbabilityExtrema(tm, 0, 60);
+  ASSERT_EQ(extrema.max_prob.size(), 61u);
+  EXPECT_DOUBLE_EQ(extrema.max_prob[0], 1.0);
+  EXPECT_DOUBLE_EQ(extrema.min_prob[0], 0.0);
+  EXPECT_LT(extrema.max_prob[30], extrema.max_prob[5]);
+  EXPECT_GT(extrema.min_prob[30], 0.0);
+  // Min and max converge toward each other (stationarity).
+  const double spread_early = extrema.max_prob[3] - extrema.min_prob[3];
+  const double spread_late = extrema.max_prob[60] - extrema.min_prob[60];
+  EXPECT_LT(spread_late, spread_early);
+}
+
+}  // namespace
+}  // namespace wnw

@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/estimate.h"
+#include "mcmc/distribution.h"
+#include "mcmc/transition.h"
+#include "mcmc/walker.h"
+#include "test_util.h"
+
+namespace wnw {
+namespace {
+
+// Builds an estimator with recorded forward history, ready to estimate.
+struct Session {
+  Graph graph;
+  std::unique_ptr<TransitionDesign> design;
+  std::unique_ptr<AccessInterface> access;
+  std::unique_ptr<ProbabilityEstimator> estimator;
+  NodeId start = 0;
+  int t = 7;
+};
+
+Session MakeSession(EstimateOptions opts, int forward_walks = 500,
+                    uint64_t seed = 11) {
+  Session s;
+  s.graph = testing::MakeTestBA(50, 3);
+  s.design = MakeTransitionDesign("srw");
+  s.access = std::make_unique<AccessInterface>(&s.graph);
+  s.estimator = std::make_unique<ProbabilityEstimator>(s.design.get(),
+                                                       s.start, s.t, opts);
+  s.estimator->Prepare(*s.access);
+  Rng rng(seed);
+  std::vector<NodeId> path;
+  for (int w = 0; w < forward_walks; ++w) {
+    Walk(*s.access, *s.design, s.start, s.t, rng, &path);
+    s.estimator->RecordForwardWalk(path);
+  }
+  return s;
+}
+
+TEST(ProbabilityEstimatorTest, EstimatesCloseToExact) {
+  EstimateOptions opts;
+  opts.base_reps = 64;
+  opts.max_extra_reps = 128;
+  Session s = MakeSession(opts);
+  const auto tm = TransitionMatrix::Build(s.graph, *s.design);
+  const auto exact = ExactStepDistribution(tm, s.start, s.t);
+  Rng rng(3);
+  // Average several Estimate() calls for a tight check.
+  for (NodeId u : {NodeId{0}, NodeId{4}, NodeId{21}}) {
+    double mean = 0.0;
+    constexpr int kCalls = 60;
+    for (int c = 0; c < kCalls; ++c) {
+      mean += s.estimator->Estimate(*s.access, u, rng).mean;
+    }
+    mean /= kCalls;
+    EXPECT_NEAR(mean, exact[u], std::max(0.3 * exact[u], 2e-3)) << "u=" << u;
+  }
+}
+
+TEST(ProbabilityEstimatorTest, ReportsRepCounts) {
+  EstimateOptions opts;
+  opts.base_reps = 5;
+  opts.max_extra_reps = 10;
+  Session s = MakeSession(opts);
+  Rng rng(4);
+  const PtEstimate est = s.estimator->Estimate(*s.access, 10, rng);
+  EXPECT_GE(est.reps, 5);
+  EXPECT_LE(est.reps, 15);
+  EXPECT_GE(est.mean, 0.0);
+  EXPECT_GE(est.variance, 0.0);
+  EXPECT_GT(s.estimator->total_backward_walks(), 0u);
+}
+
+TEST(ProbabilityEstimatorTest, AdaptiveRepsSpendMoreOnNoisyNodes) {
+  EstimateOptions opts;
+  opts.base_reps = 4;
+  opts.max_extra_reps = 40;
+  opts.target_rse = 0.05;  // strict: forces extra reps when mass is seen
+  Session s = MakeSession(opts);
+  Rng rng(5);
+  // A node adjacent to the start (high, stable probability) should settle
+  // with fewer reps than a distant low-probability node.
+  const NodeId near = s.graph.Neighbors(s.start)[0];
+  const PtEstimate near_est = s.estimator->Estimate(*s.access, near, rng);
+  // Distant node: pick the node with the largest BFS distance.
+  const PtEstimate far_est = s.estimator->Estimate(*s.access, 49, rng);
+  EXPECT_GE(far_est.reps, near_est.reps);
+}
+
+TEST(ProbabilityEstimatorTest, CrawlRequiresPrepare) {
+  const Graph g = testing::MakeHouseGraph();
+  SimpleRandomWalk srw;
+  EstimateOptions opts;
+  opts.use_crawl = true;
+  ProbabilityEstimator estimator(&srw, 0, 5, opts);
+  AccessInterface access(&g);
+  Rng rng(1);
+  EXPECT_DEATH(estimator.Estimate(access, 1, rng), "Prepare");
+}
+
+TEST(ProbabilityEstimatorTest, NoCrawlWorksWithoutPrepare) {
+  const Graph g = testing::MakeHouseGraph();
+  SimpleRandomWalk srw;
+  EstimateOptions opts;
+  opts.use_crawl = false;
+  opts.use_weighted = false;
+  ProbabilityEstimator estimator(&srw, 0, 3, opts);
+  AccessInterface access(&g);
+  Rng rng(2);
+  const PtEstimate est = estimator.Estimate(access, 1, rng);
+  EXPECT_GE(est.mean, 0.0);
+}
+
+TEST(ProbabilityEstimatorTest, BatchCoversAllNodes) {
+  EstimateOptions opts;
+  opts.base_reps = 3;
+  Session s = MakeSession(opts);
+  Rng rng(6);
+  const std::vector<NodeId> nodes{1, 2, 3, 4, 5};
+  const auto batch =
+      s.estimator->EstimateBatch(*s.access, nodes, /*extra_budget=*/50, rng);
+  ASSERT_EQ(batch.size(), nodes.size());
+  int total_reps = 0;
+  for (const auto& e : batch) {
+    EXPECT_GE(e.reps, 3);
+    total_reps += e.reps;
+  }
+  // base 3*5 plus up to 50 variance-allocated extras.
+  EXPECT_GT(total_reps, 15);
+  EXPECT_LE(total_reps, 65);
+}
+
+TEST(ProbabilityEstimatorTest, BatchStopsWhenAllEstimatesExact) {
+  // On a star with the walk started at the center, every backward estimate
+  // is deterministic (a leaf's only predecessor is the center), so sample
+  // variances are exactly zero and Algorithm 3's extra budget is not spent.
+  const Graph g = MakeStar(12).value();
+  SimpleRandomWalk srw;
+  AccessInterface access(&g);
+  EstimateOptions opts;
+  opts.base_reps = 3;
+  opts.use_crawl = false;
+  opts.use_weighted = false;
+  ProbabilityEstimator estimator(&srw, /*start=*/0, /*walk_length=*/2, opts);
+  Rng rng(7);
+  const std::vector<NodeId> nodes{0, 3, 7};
+  const auto batch = estimator.EstimateBatch(access, nodes, /*extra=*/40, rng);
+  for (const auto& e : batch) {
+    EXPECT_EQ(e.reps, 3);
+    EXPECT_DOUBLE_EQ(e.variance, 0.0);
+  }
+  // p_2(center) = 1 exactly; p_2(leaf) = 0 exactly.
+  EXPECT_DOUBLE_EQ(batch[0].mean, 1.0);
+  EXPECT_DOUBLE_EQ(batch[1].mean, 0.0);
+}
+
+TEST(ProbabilityEstimatorTest, BatchSpendsBudgetOnNoisyEstimates) {
+  // Estimate p_3 of the start's own neighbors: short backward walks with a
+  // genuine zero/positive mix, so sample variances stay positive and
+  // Algorithm 3 consumes the full extra budget.
+  const Graph g = testing::MakeTestBA(50, 3);
+  SimpleRandomWalk srw;
+  AccessInterface access(&g);
+  EstimateOptions opts;
+  opts.base_reps = 16;
+  opts.use_crawl = false;
+  opts.use_weighted = false;
+  ProbabilityEstimator estimator(&srw, /*start=*/0, /*walk_length=*/3, opts);
+  Rng rng(7);
+  const auto nbrs = g.Neighbors(0);
+  const std::vector<NodeId> nodes(nbrs.begin(), nbrs.begin() + 3);
+  const auto batch = estimator.EstimateBatch(access, nodes, 60, rng);
+  int total_reps = 0;
+  for (const auto& e : batch) {
+    EXPECT_GE(e.reps, 16);
+    total_reps += e.reps;
+  }
+  EXPECT_EQ(total_reps, 3 * 16 + 60);
+}
+
+TEST(ProbabilityEstimatorTest, VarianceShrinksWithMoreBaseReps) {
+  const auto tm_variance = [](int base_reps, uint64_t seed) {
+    EstimateOptions opts;
+    opts.base_reps = base_reps;
+    opts.max_extra_reps = 0;
+    Session s = MakeSession(opts, 300, seed);
+    Rng rng(seed + 1);
+    // Spread of repeated Estimate() means.
+    double sum = 0, sq = 0;
+    constexpr int kCalls = 80;
+    for (int c = 0; c < kCalls; ++c) {
+      const double m = s.estimator->Estimate(*s.access, 5, rng).mean;
+      sum += m;
+      sq += m * m;
+    }
+    const double mean = sum / kCalls;
+    return sq / kCalls - mean * mean;
+  };
+  EXPECT_LT(tm_variance(32, 42), tm_variance(2, 42));
+}
+
+}  // namespace
+}  // namespace wnw

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "estimation/aggregates.h"
+#include "estimation/empirical.h"
+#include "estimation/ground_truth.h"
+#include "estimation/metrics.h"
+#include "random/rng.h"
+#include "random/sampling.h"
+#include "test_util.h"
+
+namespace wnw {
+namespace {
+
+TEST(AggregatesTest, UniformMean) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(EstimateAverageUniform(v), 2.5);
+}
+
+TEST(AggregatesTest, WeightedReducesToHarmonicMeanForDegree) {
+  // When theta = degree and weights = degree, the Hansen-Hurwitz ratio is
+  // n / sum(1/d_i) — the harmonic-mean construction the paper uses.
+  const std::vector<double> degrees{2.0, 4.0, 8.0};
+  const double est = EstimateAverageWeighted(degrees, degrees);
+  const double harmonic =
+      3.0 / (1.0 / 2.0 + 1.0 / 4.0 + 1.0 / 8.0);
+  EXPECT_DOUBLE_EQ(est, harmonic);
+}
+
+TEST(AggregatesTest, WeightedCorrectsDegreeBias) {
+  // Draw nodes proportional to degree; the weighted estimator must recover
+  // the true mean degree while the naive mean overshoots.
+  const Graph g = testing::MakeTestBA(300, 3);
+  std::vector<double> degw(g.num_nodes());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) degw[u] = g.Degree(u);
+  Rng rng(3);
+  std::vector<NodeId> samples;
+  for (int i = 0; i < 30000; ++i) {
+    samples.push_back(WeightedPick(degw, rng));
+  }
+  auto theta = [&](NodeId u) { return static_cast<double>(g.Degree(u)); };
+  auto weight = theta;
+  const double corrected = EstimateAverage(
+      samples, TargetBias::kStationaryWeighted, theta, weight);
+  const double naive =
+      EstimateAverage(samples, TargetBias::kUniform, theta, weight);
+  const double truth = TrueAverageDegree(g);
+  EXPECT_NEAR(corrected, truth, 0.05 * truth);
+  EXPECT_GT(naive, 1.3 * truth);  // degree bias inflates the naive mean
+}
+
+TEST(AggregatesTest, RelativeError) {
+  EXPECT_DOUBLE_EQ(RelativeError(11.0, 10.0), 0.1);
+  EXPECT_DOUBLE_EQ(RelativeError(9.0, 10.0), 0.1);
+  EXPECT_DOUBLE_EQ(RelativeError(10.0, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(RelativeError(-5.0, -10.0), 0.5);
+}
+
+TEST(GroundTruthTest, AverageDegree) {
+  EXPECT_DOUBLE_EQ(TrueAverageDegree(testing::MakeHouseGraph()), 2.0);
+}
+
+TEST(GroundTruthTest, AttributeAverage) {
+  AttributeTable attrs(3);
+  ASSERT_TRUE(attrs.AddColumn("x", {1.0, 2.0, 6.0}).ok());
+  EXPECT_DOUBLE_EQ(TrueAttributeAverage(attrs, "x").value(), 3.0);
+  EXPECT_FALSE(TrueAttributeAverage(attrs, "missing").ok());
+}
+
+TEST(MetricsTest, LInfDistance) {
+  const std::vector<double> p{0.5, 0.5};
+  const std::vector<double> q{0.4, 0.6};
+  EXPECT_NEAR(LInfDistance(p, q), 0.1, 1e-15);
+  EXPECT_DOUBLE_EQ(LInfDistance(p, p), 0.0);
+}
+
+TEST(MetricsTest, TotalVariation) {
+  const std::vector<double> p{1.0, 0.0};
+  const std::vector<double> q{0.0, 1.0};
+  EXPECT_DOUBLE_EQ(TotalVariationDistance(p, q), 1.0);
+  EXPECT_DOUBLE_EQ(TotalVariationDistance(p, p), 0.0);
+}
+
+TEST(MetricsTest, KLDivergence) {
+  const std::vector<double> p{0.5, 0.5};
+  const std::vector<double> q{0.25, 0.75};
+  const double expect =
+      0.5 * std::log(0.5 / 0.25) + 0.5 * std::log(0.5 / 0.75);
+  EXPECT_NEAR(KLDivergence(p, q), expect, 1e-12);
+  EXPECT_NEAR(KLDivergence(p, p), 0.0, 1e-12);
+  EXPECT_GE(KLDivergence(q, p), 0.0);  // Gibbs' inequality
+}
+
+TEST(MetricsTest, KLHandlesZeros) {
+  const std::vector<double> p{1.0, 0.0};
+  const std::vector<double> q{0.5, 0.5};
+  EXPECT_NEAR(KLDivergence(p, q), std::log(2.0), 1e-12);
+  // Zero q with positive p is floored, not infinite.
+  EXPECT_TRUE(std::isfinite(KLDivergence(q, p)));
+}
+
+TEST(MetricsTest, ChiSquareZeroForPerfectFit) {
+  const std::vector<uint64_t> obs{250, 250, 250, 250};
+  const std::vector<double> pmf{0.25, 0.25, 0.25, 0.25};
+  EXPECT_DOUBLE_EQ(ChiSquareStatistic(obs, pmf), 0.0);
+}
+
+TEST(MetricsTest, ChiSquareGrowsWithMisfit) {
+  const std::vector<uint64_t> obs{400, 100, 250, 250};
+  const std::vector<double> pmf{0.25, 0.25, 0.25, 0.25};
+  EXPECT_GT(ChiSquareStatistic(obs, pmf), 100.0);
+}
+
+TEST(MetricsTest, AutocorrelationOfConstantAlternation) {
+  std::vector<double> chain;
+  for (int i = 0; i < 1000; ++i) chain.push_back(i % 2 == 0 ? 1.0 : -1.0);
+  EXPECT_NEAR(Autocorrelation(chain, 0), 1.0, 1e-12);
+  EXPECT_NEAR(Autocorrelation(chain, 1), -1.0, 0.01);
+  EXPECT_NEAR(Autocorrelation(chain, 2), 1.0, 0.01);
+}
+
+TEST(MetricsTest, AutocorrelationOfIidNearZero) {
+  Rng rng(5);
+  std::vector<double> chain;
+  for (int i = 0; i < 20000; ++i) chain.push_back(rng.NextGaussian());
+  EXPECT_NEAR(Autocorrelation(chain, 1), 0.0, 0.02);
+  EXPECT_NEAR(Autocorrelation(chain, 10), 0.0, 0.02);
+}
+
+TEST(MetricsTest, EssNearNForIid) {
+  Rng rng(6);
+  std::vector<double> chain;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) chain.push_back(rng.NextGaussian());
+  const double ess = EffectiveSampleSize(chain);
+  EXPECT_GT(ess, 0.8 * kN);
+}
+
+TEST(MetricsTest, EssSmallForStickyChain) {
+  // AR(1) with phi = 0.95: ESS ~ n * (1-phi)/(1+phi) ~ n/39.
+  Rng rng(7);
+  std::vector<double> chain{0.0};
+  constexpr int kN = 20000;
+  for (int i = 1; i < kN; ++i) {
+    chain.push_back(0.95 * chain.back() + rng.NextGaussian());
+  }
+  const double ess = EffectiveSampleSize(chain);
+  EXPECT_LT(ess, 0.1 * kN);
+  EXPECT_GT(ess, 0.001 * kN);
+}
+
+TEST(EmpiricalTest, PmfNormalized) {
+  EmpiricalDistribution dist(3);
+  dist.Add(0);
+  dist.Add(0);
+  dist.Add(2);
+  const auto pmf = dist.Pmf();
+  EXPECT_DOUBLE_EQ(pmf[0], 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(pmf[1], 0.0);
+  EXPECT_DOUBLE_EQ(pmf[2], 1.0 / 3.0);
+  EXPECT_EQ(dist.total(), 3u);
+}
+
+TEST(EmpiricalTest, EmptyPmfIsZeros) {
+  EmpiricalDistribution dist(2);
+  const auto pmf = dist.Pmf();
+  EXPECT_DOUBLE_EQ(pmf[0], 0.0);
+  EXPECT_DOUBLE_EQ(pmf[1], 0.0);
+}
+
+TEST(EmpiricalTest, OrderByKeyDescending) {
+  const std::vector<double> pmf{0.1, 0.6, 0.3};
+  const std::vector<double> key{5.0, 1.0, 9.0};  // order: 2, 0, 1
+  const auto ordered = OrderByKeyDescending(pmf, key);
+  EXPECT_EQ(ordered.order, (std::vector<NodeId>{2, 0, 1}));
+  EXPECT_DOUBLE_EQ(ordered.pdf[0], 0.3);
+  EXPECT_DOUBLE_EQ(ordered.pdf[1], 0.1);
+  EXPECT_DOUBLE_EQ(ordered.cdf[2], 1.0);
+}
+
+}  // namespace
+}  // namespace wnw

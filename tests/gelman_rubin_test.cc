@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mcmc/gelman_rubin.h"
+#include "random/rng.h"
+
+namespace wnw {
+namespace {
+
+TEST(GelmanRubinTest, NeedsAtLeastTwoChains) {
+  EXPECT_DEATH(GelmanRubinMonitor{1}, "check failed");
+}
+
+TEST(GelmanRubinTest, InfiniteUntilMinSamples) {
+  GelmanRubinMonitor monitor(3);
+  for (int i = 0; i < 40; ++i) {
+    monitor.Add(0, 1.0);
+    monitor.Add(1, 1.0);
+    monitor.Add(2, 1.0);
+  }
+  EXPECT_TRUE(std::isinf(monitor.Psrf()));
+}
+
+TEST(GelmanRubinTest, AgreeingIidChainsConverge) {
+  GelmanRubinMonitor monitor(4);
+  Rng rng(3);
+  for (int i = 0; i < 3000; ++i) {
+    for (size_t c = 0; c < 4; ++c) monitor.Add(c, rng.NextGaussian());
+  }
+  EXPECT_LT(monitor.Psrf(), 1.05);
+  EXPECT_TRUE(monitor.Converged());
+}
+
+TEST(GelmanRubinTest, DisagreeingChainsDoNotConverge) {
+  GelmanRubinMonitor monitor(2);
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    monitor.Add(0, rng.NextGaussian());        // centered at 0
+    monitor.Add(1, 10.0 + rng.NextGaussian()); // centered at 10
+  }
+  EXPECT_GT(monitor.Psrf(), 2.0);
+  EXPECT_FALSE(monitor.Converged());
+}
+
+TEST(GelmanRubinTest, PsrfApproachesOneFromAbove) {
+  GelmanRubinMonitor monitor(3);
+  Rng rng(7);
+  // Chains with dispersed starts that mix toward the same distribution.
+  double levels[3] = {-5.0, 0.0, 5.0};
+  for (int i = 0; i < 5000; ++i) {
+    for (size_t c = 0; c < 3; ++c) {
+      levels[c] = 0.99 * levels[c];  // decaying transient
+      monitor.Add(c, levels[c] + rng.NextGaussian());
+    }
+  }
+  const double psrf = monitor.Psrf();
+  // Sampling noise can push the estimator marginally below 1.
+  EXPECT_GT(psrf, 0.99);
+  EXPECT_LT(psrf, 1.1);
+}
+
+TEST(GelmanRubinTest, ConstantAgreeingChainsArePerfect) {
+  GelmanRubinMonitor monitor(2);
+  for (int i = 0; i < 200; ++i) {
+    monitor.Add(0, 4.0);
+    monitor.Add(1, 4.0);
+  }
+  EXPECT_DOUBLE_EQ(monitor.Psrf(), 1.0);
+}
+
+TEST(GelmanRubinTest, ConstantDisagreeingChainsNever) {
+  GelmanRubinMonitor monitor(2);
+  for (int i = 0; i < 200; ++i) {
+    monitor.Add(0, 4.0);
+    monitor.Add(1, 5.0);
+  }
+  EXPECT_TRUE(std::isinf(monitor.Psrf()));
+}
+
+TEST(GelmanRubinTest, UsesShortestChainLength) {
+  GelmanRubinMonitor monitor(2);
+  Rng rng(9);
+  for (int i = 0; i < 2000; ++i) monitor.Add(0, rng.NextGaussian());
+  for (int i = 0; i < 200; ++i) monitor.Add(1, rng.NextGaussian());
+  EXPECT_EQ(monitor.chain_length(0), 2000u);
+  EXPECT_EQ(monitor.chain_length(1), 200u);
+  EXPECT_LT(monitor.Psrf(), 1.3);  // comparable despite unequal lengths
+}
+
+TEST(GelmanRubinTest, ResetClears) {
+  GelmanRubinMonitor monitor(2);
+  Rng rng(11);
+  for (int i = 0; i < 500; ++i) {
+    monitor.Add(0, rng.NextGaussian());
+    monitor.Add(1, rng.NextGaussian());
+  }
+  monitor.Reset();
+  EXPECT_EQ(monitor.chain_length(0), 0u);
+  EXPECT_TRUE(std::isinf(monitor.Psrf()));
+}
+
+}  // namespace
+}  // namespace wnw

@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <tuple>
+
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "random/rng.h"
+
+namespace wnw {
+namespace {
+
+TEST(CycleTest, StructureAndDiameter) {
+  const Graph g = MakeCycle(9).value();
+  EXPECT_EQ(g.num_nodes(), 9u);
+  EXPECT_EQ(g.num_edges(), 9u);
+  for (NodeId u = 0; u < 9; ++u) EXPECT_EQ(g.Degree(u), 2u);
+  EXPECT_EQ(ExactDiameter(g).value(), 4u);  // floor(9/2)
+}
+
+TEST(CycleTest, EvenDiameter) {
+  EXPECT_EQ(ExactDiameter(MakeCycle(10).value()).value(), 5u);
+}
+
+TEST(CycleTest, RejectsTiny) {
+  EXPECT_FALSE(MakeCycle(2).ok());
+}
+
+TEST(PathTest, Structure) {
+  const Graph g = MakePath(5).value();
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.Degree(0), 1u);
+  EXPECT_EQ(g.Degree(2), 2u);
+  EXPECT_EQ(ExactDiameter(g).value(), 4u);
+}
+
+TEST(CompleteTest, Structure) {
+  const Graph g = MakeComplete(6).value();
+  EXPECT_EQ(g.num_edges(), 15u);
+  for (NodeId u = 0; u < 6; ++u) EXPECT_EQ(g.Degree(u), 5u);
+  EXPECT_EQ(ExactDiameter(g).value(), 1u);
+}
+
+TEST(StarTest, Structure) {
+  const Graph g = MakeStar(7).value();
+  EXPECT_EQ(g.num_edges(), 6u);
+  EXPECT_EQ(g.Degree(0), 6u);
+  for (NodeId u = 1; u < 7; ++u) EXPECT_EQ(g.Degree(u), 1u);
+  EXPECT_EQ(ExactDiameter(g).value(), 2u);
+}
+
+class HypercubeTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(HypercubeTest, KRegularWithDiameterK) {
+  const uint32_t k = GetParam();
+  const Graph g = MakeHypercube(k).value();
+  EXPECT_EQ(g.num_nodes(), 1u << k);
+  EXPECT_EQ(g.num_edges(), (uint64_t{1} << (k - 1)) * k);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) EXPECT_EQ(g.Degree(u), k);
+  EXPECT_EQ(ExactDiameter(g).value(), k);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, HypercubeTest, ::testing::Values(1u, 2u, 3u,
+                                                                4u, 5u, 6u));
+
+TEST(BarbellTest, Structure) {
+  const Graph g = MakeBarbell(11).value();  // halves of 5 + center
+  EXPECT_EQ(g.num_nodes(), 11u);
+  // Two K5's (10 edges each) + 2 bridges.
+  EXPECT_EQ(g.num_edges(), 22u);
+  EXPECT_EQ(g.Degree(10), 2u);  // center
+  EXPECT_TRUE(IsConnected(g));
+  // One bridge endpoint per half has degree 5, others 4.
+  EXPECT_EQ(g.Degree(0), 5u);
+  EXPECT_EQ(g.Degree(1), 4u);
+}
+
+TEST(BarbellTest, RejectsEvenOrTiny) {
+  EXPECT_FALSE(MakeBarbell(8).ok());
+  EXPECT_FALSE(MakeBarbell(3).ok());
+}
+
+class TreeTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(TreeTest, BalancedBinaryInvariants) {
+  const uint32_t h = GetParam();
+  const Graph g = MakeBalancedBinaryTree(h).value();
+  EXPECT_EQ(g.num_nodes(), (NodeId{1} << (h + 1)) - 1);
+  EXPECT_EQ(g.num_edges(), g.num_nodes() - 1u);  // tree
+  EXPECT_TRUE(IsConnected(g));
+  EXPECT_EQ(ExactDiameter(g).value(), 2 * h);
+}
+
+INSTANTIATE_TEST_SUITE_P(Heights, TreeTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+TEST(CirculantTest, KRegular) {
+  const Graph g = MakeRegularCirculant(12, 4).value();
+  for (NodeId u = 0; u < 12; ++u) EXPECT_EQ(g.Degree(u), 4u);
+  EXPECT_TRUE(IsConnected(g));
+}
+
+TEST(CirculantTest, RejectsOddK) {
+  EXPECT_FALSE(MakeRegularCirculant(12, 3).ok());
+}
+
+TEST(ErdosRenyiTest, EdgeCountConcentrates) {
+  Rng rng(99);
+  const NodeId n = 300;
+  const double p = 0.05;
+  const Graph g = MakeErdosRenyi(n, p, rng).value();
+  const double expected = p * n * (n - 1) / 2.0;
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected,
+              5 * std::sqrt(expected));
+}
+
+TEST(ErdosRenyiTest, ZeroAndOneP) {
+  Rng rng(1);
+  EXPECT_EQ(MakeErdosRenyi(20, 0.0, rng).value().num_edges(), 0u);
+  EXPECT_EQ(MakeErdosRenyi(20, 1.0, rng).value().num_edges(), 190u);
+}
+
+class BarabasiAlbertTest
+    : public ::testing::TestWithParam<std::tuple<NodeId, uint32_t>> {};
+
+TEST_P(BarabasiAlbertTest, Invariants) {
+  const auto [n, m] = GetParam();
+  Rng rng(5);
+  const Graph g = MakeBarabasiAlbert(n, m, rng).value();
+  EXPECT_EQ(g.num_nodes(), n);
+  // Clique seed C(m+1,2) plus m edges per remaining node.
+  const uint64_t expect =
+      static_cast<uint64_t>(m) * (m + 1) / 2 +
+      static_cast<uint64_t>(n - m - 1) * m;
+  EXPECT_EQ(g.num_edges(), expect);
+  EXPECT_GE(g.min_degree(), m);  // every node attaches m edges
+  EXPECT_TRUE(IsConnected(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, BarabasiAlbertTest,
+    ::testing::Values(std::make_tuple(NodeId{31}, 3u),
+                      std::make_tuple(NodeId{100}, 2u),
+                      std::make_tuple(NodeId{500}, 5u),
+                      std::make_tuple(NodeId{1000}, 7u)));
+
+TEST(BarabasiAlbertTest, HubsEmerge) {
+  Rng rng(6);
+  const Graph g = MakeBarabasiAlbert(2000, 3, rng).value();
+  // Scale-free: the max degree should far exceed the average.
+  EXPECT_GT(g.max_degree(), 5 * static_cast<uint32_t>(g.average_degree()));
+}
+
+TEST(BarabasiAlbertTest, SmallScaleFreeMatchesPaper) {
+  Rng rng(7);
+  const Graph g = MakeBarabasiAlbert(1000, 7, rng).value();
+  // Paper's exact-bias graph: 1000 nodes, 6951 edges; ours is 6972.
+  EXPECT_EQ(g.num_edges(), 6972u);
+}
+
+TEST(WattsStrogatzTest, NoRewireKeepsLattice) {
+  Rng rng(8);
+  const Graph g = MakeWattsStrogatz(20, 4, 0.0, rng).value();
+  for (NodeId u = 0; u < 20; ++u) EXPECT_EQ(g.Degree(u), 4u);
+}
+
+TEST(WattsStrogatzTest, RewiredStaysReasonable) {
+  Rng rng(9);
+  const Graph g = MakeWattsStrogatz(200, 6, 0.3, rng).value();
+  EXPECT_EQ(g.num_nodes(), 200u);
+  // Edge count is preserved by rewiring.
+  EXPECT_EQ(g.num_edges(), 600u);
+}
+
+TEST(HolmeKimTest, EdgeCountAndConnectivity) {
+  Rng rng(10);
+  const Graph g = MakeHolmeKim(500, 4, 0.5, rng).value();
+  EXPECT_TRUE(IsConnected(g));
+  const uint64_t expect = 4u * 5 / 2 + 495ull * 4;
+  EXPECT_EQ(g.num_edges(), expect);
+}
+
+TEST(HolmeKimTest, TriadsRaiseClustering) {
+  Rng rng(11);
+  const Graph plain = MakeBarabasiAlbert(800, 4, rng).value();
+  const Graph clustered = MakeHolmeKim(800, 4, 0.9, rng).value();
+  const auto cc_plain = LocalClusteringCoefficients(plain);
+  const auto cc_clustered = LocalClusteringCoefficients(clustered);
+  double mean_plain = 0, mean_clustered = 0;
+  for (double c : cc_plain) mean_plain += c;
+  for (double c : cc_clustered) mean_clustered += c;
+  EXPECT_GT(mean_clustered, 1.5 * mean_plain);
+}
+
+TEST(DirectedPreferentialTest, MutualReductionConnected) {
+  Rng rng(12);
+  const auto result = MakeDirectedPreferential(400, 5, 0.7, rng).value();
+  EXPECT_EQ(result.mutual_graph.num_nodes(), 400u);
+  EXPECT_TRUE(IsConnected(result.mutual_graph));
+  EXPECT_EQ(result.in_degree.size(), 400u);
+  EXPECT_EQ(result.out_degree.size(), 400u);
+}
+
+TEST(DirectedPreferentialTest, DegreeAccounting) {
+  Rng rng(13);
+  const auto result = MakeDirectedPreferential(300, 4, 0.5, rng).value();
+  uint64_t in_sum = 0, out_sum = 0;
+  for (uint32_t d : result.in_degree) in_sum += d;
+  for (uint32_t d : result.out_degree) out_sum += d;
+  EXPECT_EQ(in_sum, out_sum);  // every arc has one head and one tail
+  EXPECT_GT(in_sum, 0u);
+  // Mutual edges cannot exceed arcs/2.
+  EXPECT_LE(result.mutual_graph.num_edges(), in_sum / 2);
+}
+
+TEST(GeneratorsTest, InvalidArgumentsRejected) {
+  Rng rng(1);
+  EXPECT_FALSE(MakeHypercube(0).ok());
+  EXPECT_FALSE(MakeBalancedBinaryTree(0).ok());
+  EXPECT_FALSE(MakeBarabasiAlbert(5, 5, rng).ok());
+  EXPECT_FALSE(MakeErdosRenyi(10, 1.5, rng).ok());
+  EXPECT_FALSE(MakeWattsStrogatz(10, 4, 2.0, rng).ok());
+  EXPECT_FALSE(MakeHolmeKim(10, 3, -0.1, rng).ok());
+  EXPECT_FALSE(MakeDirectedPreferential(5, 5, 0.5, rng).ok());
+}
+
+}  // namespace
+}  // namespace wnw

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/algorithms.h"
+#include "graph/builder.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "test_util.h"
+
+namespace wnw {
+namespace {
+
+TEST(BfsTest, HouseDistances) {
+  const Graph g = testing::MakeHouseGraph();
+  const auto dist = BfsDistances(g, 3);
+  EXPECT_EQ(dist[3], 0u);
+  EXPECT_EQ(dist[0], 1u);
+  EXPECT_EQ(dist[1], 2u);
+  EXPECT_EQ(dist[2], 2u);
+  EXPECT_EQ(dist[4], 3u);
+}
+
+TEST(BfsTest, UnreachableMarked) {
+  GraphBuilder b(4);
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  ASSERT_TRUE(b.AddEdge(2, 3).ok());
+  const Graph g = std::move(b).Build().value();
+  const auto dist = BfsDistances(g, 0);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[2], kUnreachable);
+  EXPECT_EQ(dist[3], kUnreachable);
+}
+
+TEST(ComponentsTest, CountsComponents) {
+  GraphBuilder b(6);
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  ASSERT_TRUE(b.AddEdge(2, 3).ok());
+  ASSERT_TRUE(b.AddEdge(3, 4).ok());
+  const Graph g = std::move(b).Build().value();
+  const Components c = ConnectedComponents(g);
+  EXPECT_EQ(c.count, 3u);  // {0,1}, {2,3,4}, {5}
+  EXPECT_EQ(c.component_of[0], c.component_of[1]);
+  EXPECT_EQ(c.component_of[2], c.component_of[4]);
+  EXPECT_NE(c.component_of[0], c.component_of[2]);
+  EXPECT_NE(c.component_of[5], c.component_of[0]);
+}
+
+TEST(ComponentsTest, ConnectedGraph) {
+  EXPECT_TRUE(IsConnected(testing::MakeHouseGraph()));
+  EXPECT_TRUE(IsConnected(MakeCycle(8).value()));
+}
+
+TEST(LargestComponentTest, ExtractsBiggest) {
+  GraphBuilder b(7);
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  ASSERT_TRUE(b.AddEdge(2, 3).ok());
+  ASSERT_TRUE(b.AddEdge(3, 4).ok());
+  ASSERT_TRUE(b.AddEdge(4, 2).ok());
+  const Graph g = std::move(b).Build().value();
+  const Subgraph sub = LargestComponent(g).value();
+  EXPECT_EQ(sub.graph.num_nodes(), 3u);
+  EXPECT_EQ(sub.graph.num_edges(), 3u);
+  EXPECT_EQ(sub.kept, (std::vector<NodeId>{2, 3, 4}));
+  EXPECT_TRUE(IsConnected(sub.graph));
+}
+
+TEST(DiameterTest, KnownValues) {
+  EXPECT_EQ(ExactDiameter(testing::MakeHouseGraph()).value(), 3u);
+  EXPECT_EQ(ExactDiameter(MakePath(10).value()).value(), 9u);
+  EXPECT_EQ(ExactDiameter(MakeComplete(5).value()).value(), 1u);
+}
+
+TEST(DiameterTest, DisconnectedFails) {
+  GraphBuilder b(3);
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  const Graph g = std::move(b).Build().value();
+  EXPECT_EQ(ExactDiameter(g).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(DoubleSweepTest, ExactOnTrees) {
+  Rng rng(3);
+  const Graph g = MakeBalancedBinaryTree(5).value();
+  EXPECT_EQ(EstimateDiameterDoubleSweep(g, rng).value(), 10u);
+}
+
+TEST(DoubleSweepTest, LowerBoundsExact) {
+  Rng rng(4);
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    const Graph g = testing::MakeTestBA(80, 2, seed);
+    const uint32_t exact = ExactDiameter(g).value();
+    const uint32_t est = EstimateDiameterDoubleSweep(g, rng).value();
+    EXPECT_LE(est, exact);
+    EXPECT_GE(est + 2, exact);  // double sweep is very tight on these
+  }
+}
+
+TEST(ClusteringTest, Triangle) {
+  const Graph g = MakeComplete(3).value();
+  for (double c : LocalClusteringCoefficients(g)) EXPECT_DOUBLE_EQ(c, 1.0);
+}
+
+TEST(ClusteringTest, TreeIsZero) {
+  const Graph g = MakeBalancedBinaryTree(3).value();
+  for (double c : LocalClusteringCoefficients(g)) EXPECT_DOUBLE_EQ(c, 0.0);
+}
+
+TEST(ClusteringTest, HouseValues) {
+  const Graph g = testing::MakeHouseGraph();
+  const auto cc = LocalClusteringCoefficients(g);
+  // Node 0 neighbors {1,2,3}: one edge (1,2) among 3 pairs.
+  EXPECT_NEAR(cc[0], 1.0 / 3.0, 1e-12);
+  // Node 1 neighbors {0,2}: edge (0,2) exists -> 1.
+  EXPECT_DOUBLE_EQ(cc[1], 1.0);
+  // Node 2 neighbors {0,1,4}: one edge (0,1) among 3 pairs.
+  EXPECT_NEAR(cc[2], 1.0 / 3.0, 1e-12);
+  // Degree-1 nodes have coefficient 0.
+  EXPECT_DOUBLE_EQ(cc[3], 0.0);
+  EXPECT_DOUBLE_EQ(cc[4], 0.0);
+}
+
+TEST(LandmarkTest, SingleLandmarkIsBfs) {
+  const Graph g = testing::MakeHouseGraph();
+  const NodeId landmarks[] = {3};
+  const auto means = LandmarkMeanDistances(g, landmarks);
+  EXPECT_DOUBLE_EQ(means[3], 0.0);
+  EXPECT_DOUBLE_EQ(means[0], 1.0);
+  EXPECT_DOUBLE_EQ(means[4], 3.0);
+}
+
+TEST(LandmarkTest, TwoLandmarksAverage) {
+  const Graph g = MakePath(5).value();
+  const NodeId landmarks[] = {0, 4};
+  const auto means = LandmarkMeanDistances(g, landmarks);
+  for (NodeId u = 0; u < 5; ++u) {
+    EXPECT_DOUBLE_EQ(means[u], (u + (4.0 - u)) / 2.0);
+  }
+}
+
+TEST(LandmarkTest, PickIncludesHub) {
+  Rng rng(5);
+  const Graph g = MakeStar(20).value();
+  const auto lms = PickLandmarks(g, 4, rng);
+  EXPECT_EQ(lms.size(), 4u);
+  EXPECT_EQ(lms[0], 0u);  // the star center is the top-degree node
+  // Landmarks are distinct.
+  std::set<NodeId> unique(lms.begin(), lms.end());
+  EXPECT_EQ(unique.size(), 4u);
+}
+
+TEST(GraphIoTest, RoundTrip) {
+  const Graph g = testing::MakeTestBA(40, 3);
+  const std::string path = ::testing::TempDir() + "/wnw_io_roundtrip.txt";
+  ASSERT_TRUE(SaveEdgeList(g, path).ok());
+  const LoadedGraph loaded = LoadEdgeList(path).value();
+  EXPECT_EQ(loaded.graph.num_nodes(), g.num_nodes());
+  EXPECT_EQ(loaded.graph.num_edges(), g.num_edges());
+}
+
+TEST(GraphIoTest, RemapsSparseIds) {
+  const std::string path = ::testing::TempDir() + "/wnw_io_sparse.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("# comment line\n1000 2000\n2000 500\n\n500 1000\n", f);
+  std::fclose(f);
+  const LoadedGraph loaded = LoadEdgeList(path).value();
+  EXPECT_EQ(loaded.graph.num_nodes(), 3u);
+  EXPECT_EQ(loaded.graph.num_edges(), 3u);
+  EXPECT_EQ(loaded.original_id.size(), 3u);
+  EXPECT_EQ(loaded.original_id[0], 1000u);
+}
+
+TEST(GraphIoTest, MalformedLineFails) {
+  const std::string path = ::testing::TempDir() + "/wnw_io_bad.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("1 2\nnot numbers\n", f);
+  std::fclose(f);
+  EXPECT_EQ(LoadEdgeList(path).status().code(), StatusCode::kIOError);
+}
+
+TEST(GraphIoTest, MissingFileFails) {
+  EXPECT_EQ(LoadEdgeList("/nonexistent/path.txt").status().code(),
+            StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace wnw

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/builder.h"
+#include "graph/graph.h"
+#include "test_util.h"
+
+namespace wnw {
+namespace {
+
+TEST(GraphBuilderTest, BuildsHouseGraph) {
+  const Graph g = testing::MakeHouseGraph();
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.num_edges(), 5u);
+  EXPECT_EQ(g.Degree(0), 3u);
+  EXPECT_EQ(g.Degree(1), 2u);
+  EXPECT_EQ(g.Degree(2), 3u);
+  EXPECT_EQ(g.Degree(3), 1u);
+  EXPECT_EQ(g.Degree(4), 1u);
+}
+
+TEST(GraphBuilderTest, NeighborsSortedAscending) {
+  const Graph g = testing::MakeHouseGraph();
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto nbrs = g.Neighbors(u);
+    EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+  }
+}
+
+TEST(GraphBuilderTest, DeduplicatesEdges) {
+  GraphBuilder b(3);
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  ASSERT_TRUE(b.AddEdge(1, 0).ok());  // same edge, reversed
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());  // exact duplicate
+  const Graph g = std::move(b).Build().value();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.Degree(0), 1u);
+  EXPECT_EQ(g.Degree(1), 1u);
+}
+
+TEST(GraphBuilderTest, DropsSelfLoopsByDefault) {
+  GraphBuilder b(2);
+  ASSERT_TRUE(b.AddEdge(0, 0).ok());
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  const Graph g = std::move(b).Build().value();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_FALSE(g.HasEdge(0, 0));
+}
+
+TEST(GraphBuilderTest, KeepsSelfLoopsWhenAllowed) {
+  GraphBuilder b(2, /*allow_self_loops=*/true);
+  ASSERT_TRUE(b.AddEdge(0, 0).ok());
+  const Graph g = std::move(b).Build().value();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_TRUE(g.HasEdge(0, 0));
+  EXPECT_EQ(g.Degree(0), 1u);
+}
+
+TEST(GraphBuilderTest, RejectsOutOfRangeEdge) {
+  GraphBuilder b(2);
+  const Status s = b.AddEdge(0, 2);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GraphBuilderTest, EnsureNodeGrows) {
+  GraphBuilder b(1);
+  b.EnsureNode(4);
+  EXPECT_EQ(b.num_nodes(), 5u);
+  ASSERT_TRUE(b.AddEdge(0, 4).ok());
+  const Graph g = std::move(b).Build().value();
+  EXPECT_EQ(g.num_nodes(), 5u);
+}
+
+TEST(GraphBuilderTest, EmptyGraph) {
+  GraphBuilder b(3);
+  const Graph g = std::move(b).Build().value();
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.min_degree(), 0u);
+  EXPECT_EQ(g.max_degree(), 0u);
+}
+
+TEST(GraphTest, HasEdgeSymmetric) {
+  const Graph g = testing::MakeHouseGraph();
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_EQ(g.HasEdge(u, v), g.HasEdge(v, u)) << u << "," << v;
+    }
+  }
+}
+
+TEST(GraphTest, HasEdgeMatchesNeighborList) {
+  const Graph g = testing::MakeTestBA(50, 3);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v : g.Neighbors(u)) EXPECT_TRUE(g.HasEdge(u, v));
+  }
+  EXPECT_FALSE(g.HasEdge(0, 0));
+}
+
+TEST(GraphTest, DegreeStatsConsistent) {
+  const Graph g = testing::MakeTestBA(60, 4);
+  uint64_t deg_sum = 0;
+  uint32_t max_d = 0, min_d = UINT32_MAX;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    deg_sum += g.Degree(u);
+    max_d = std::max(max_d, g.Degree(u));
+    min_d = std::min(min_d, g.Degree(u));
+  }
+  EXPECT_EQ(deg_sum, 2 * g.num_edges());  // handshake lemma
+  EXPECT_EQ(g.max_degree(), max_d);
+  EXPECT_EQ(g.min_degree(), min_d);
+  EXPECT_DOUBLE_EQ(g.average_degree(),
+                   static_cast<double>(deg_sum) / g.num_nodes());
+}
+
+TEST(GraphTest, DegreeSquareSum) {
+  const Graph g = testing::MakeHouseGraph();
+  // 3^2 + 2^2 + 3^2 + 1 + 1 = 24.
+  EXPECT_EQ(g.degree_square_sum(), 24u);
+}
+
+TEST(GraphTest, DebugStringMentionsCounts) {
+  const Graph g = testing::MakeHouseGraph();
+  const std::string s = g.DebugString();
+  EXPECT_NE(s.find("n=5"), std::string::npos);
+  EXPECT_NE(s.find("m=5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wnw

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "estimation/metrics.h"
+#include "experiments/harness.h"
+#include "mcmc/distribution.h"
+
+namespace wnw {
+namespace {
+
+SocialDataset TinyDataset() { return MakeSyntheticBA(400, 3, 11); }
+
+TEST(HarnessTest, BurnInSpecLabelsAndBias) {
+  const auto srw = MakeBurnInSpec("srw");
+  EXPECT_EQ(srw.label, "SRW");
+  EXPECT_EQ(srw.bias, TargetBias::kStationaryWeighted);
+  const auto mhrw = MakeBurnInSpec("mhrw");
+  EXPECT_EQ(mhrw.label, "MHRW");
+  EXPECT_EQ(mhrw.bias, TargetBias::kUniform);
+}
+
+TEST(HarnessTest, WalkEstimateSpecLabels) {
+  WalkEstimateOptions opts;
+  EXPECT_EQ(MakeWalkEstimateSpec("srw", opts).label, "WE");
+  EXPECT_EQ(
+      MakeWalkEstimateSpec("srw", opts, WalkEstimateVariant::kCrawlOnly).label,
+      "WE-Crawl");
+  EXPECT_EQ(MakeWalkEstimateSpec("mhrw", opts, WalkEstimateVariant::kFull,
+                                 "MHRW")
+                .label,
+            "WE-MHRW");
+}
+
+TEST(HarnessTest, GroundTruthDegreeAndColumn) {
+  const SocialDataset ds = MakeSmallScaleFree(3);
+  EXPECT_DOUBLE_EQ(GroundTruth(ds, {"deg", ""}),
+                   ds.graph.average_degree());
+  const double cc = GroundTruth(ds, {"cc", "clustering"});
+  EXPECT_GT(cc, 0.0);
+  EXPECT_LT(cc, 1.0);
+}
+
+TEST(HarnessTest, ErrorVsCostProducesMonotoneCost) {
+  const SocialDataset ds = TinyDataset();
+  WalkEstimateOptions wopts;
+  wopts.diameter_bound = ds.diameter_estimate;
+  const auto spec = MakeWalkEstimateSpec("srw", wopts);
+  ErrorVsCostConfig config;
+  config.sample_counts = {5, 10, 20};
+  config.trials = 4;
+  config.seed = 17;
+  const auto curve = RunErrorVsCost(ds, spec, {"avg_deg", ""}, config);
+  ASSERT_EQ(curve.size(), 3u);
+  for (const auto& p : curve) {
+    EXPECT_EQ(p.completed_trials, 4);
+    EXPECT_GT(p.mean_query_cost, 0.0);
+    EXPECT_GE(p.mean_rel_error, 0.0);
+  }
+  // More samples cannot cost fewer queries.
+  EXPECT_LE(curve[0].mean_query_cost, curve[1].mean_query_cost);
+  EXPECT_LE(curve[1].mean_query_cost, curve[2].mean_query_cost);
+  // Unique cost never exceeds total queries.
+  for (const auto& p : curve) {
+    EXPECT_LE(p.mean_query_cost, p.mean_total_queries);
+  }
+}
+
+TEST(HarnessTest, ErrorShrinksWithSamplesForBaseline) {
+  const SocialDataset ds = TinyDataset();
+  BurnInSampler::Options bopts;
+  bopts.min_steps = 50;
+  bopts.max_steps = 2000;
+  const auto spec = MakeBurnInSpec("srw", bopts);
+  ErrorVsCostConfig config;
+  config.sample_counts = {5, 200};
+  config.trials = 6;
+  config.seed = 23;
+  const auto curve = RunErrorVsCost(ds, spec, {"avg_deg", ""}, config);
+  ASSERT_EQ(curve.size(), 2u);
+  EXPECT_LT(curve[1].mean_rel_error, curve[0].mean_rel_error);
+}
+
+TEST(HarnessTest, EmpiricalDistributionApproachesTarget) {
+  const SocialDataset ds = MakeSyntheticBA(150, 3, 29);
+  WalkEstimateOptions wopts;
+  wopts.diameter_bound = std::max(3u, ds.diameter_estimate);
+  const auto spec = MakeWalkEstimateSpec("mhrw", wopts);
+  const auto result = RunEmpiricalDistribution(ds, spec, 20000, 31, 8);
+  EXPECT_EQ(result.total_samples, 20000u);
+  EXPECT_GT(result.total_query_cost, 0u);
+  const std::vector<double> uniform(ds.graph.num_nodes(),
+                                    1.0 / ds.graph.num_nodes());
+  EXPECT_LT(TotalVariationDistance(result.empirical_pmf, uniform), 0.12);
+}
+
+TEST(HarnessTest, ReadBenchEnvDefaults) {
+  const BenchEnv env = ReadBenchEnv(7, 0.25, 100);
+  // No env vars set in the test environment: fall back to defaults.
+  EXPECT_EQ(env.trials, 7);
+  EXPECT_DOUBLE_EQ(env.scale, 0.25);
+  EXPECT_EQ(env.samples, 100u);
+  EXPECT_GT(env.seed, 0u);
+}
+
+TEST(HarnessTest, RestrictedAccessStillSamples) {
+  const SocialDataset ds = TinyDataset();
+  WalkEstimateOptions wopts;
+  wopts.diameter_bound = ds.diameter_estimate + 2;
+  const auto spec = MakeWalkEstimateSpec("srw", wopts);
+  ErrorVsCostConfig config;
+  config.sample_counts = {5, 10};
+  config.trials = 3;
+  config.access.restriction = NeighborRestriction::kTruncated;
+  config.access.max_neighbors = 100;  // "even 100 ensures connectivity"
+  const auto curve = RunErrorVsCost(ds, spec, {"avg_deg", ""}, config);
+  for (const auto& p : curve) {
+    EXPECT_EQ(p.completed_trials, 3);
+    EXPECT_GT(p.mean_query_cost, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace wnw

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "mcmc/ideal_walk.h"
+#include "mcmc/spectral.h"
+#include "mcmc/transition.h"
+
+namespace wnw {
+namespace {
+
+IdealWalkParams TypicalParams() {
+  IdealWalkParams p;
+  p.spectral_gap = 0.2;
+  p.gamma = 1.0 / 64.0;  // min stationary probability, ~uniform on 64 nodes
+  p.delta = p.gamma / 100.0;
+  p.max_degree = 8.0;
+  return p;
+}
+
+TEST(IdealWalkCostTest, InfeasibleRegionIsInfinite) {
+  const auto p = TypicalParams();
+  // At t = 0 the decay term is d_max >> gamma: rejection infeasible.
+  EXPECT_TRUE(std::isinf(IdealWalkCost(p, 0.0)));
+  EXPECT_TRUE(std::isinf(IdealWalkCost(p, 1.0)));
+}
+
+TEST(IdealWalkCostTest, FiniteBeyondThreshold) {
+  const auto p = TypicalParams();
+  EXPECT_TRUE(std::isfinite(IdealWalkCost(p, 100.0)));
+  EXPECT_GT(IdealWalkCost(p, 100.0), 0.0);
+}
+
+TEST(IdealWalkCostTest, UnimodalShape) {
+  // Figure 2's shape: drops sharply, bottoms out, rises slowly.
+  const auto p = TypicalParams();
+  const double topt = OptimalWalkLength(p).value();
+  const double at_opt = IdealWalkCost(p, topt);
+  EXPECT_GT(IdealWalkCost(p, topt * 0.6), at_opt);
+  EXPECT_GT(IdealWalkCost(p, topt * 2.0), at_opt);
+  // The rise after the optimum is gentler than the drop before it
+  // (the paper's argument for conservative walk lengths).
+  const double drop = IdealWalkCost(p, topt * 0.6) - at_opt;
+  const double rise = IdealWalkCost(p, topt * 1.4) - at_opt;
+  EXPECT_GT(drop, rise);
+}
+
+TEST(IdealWalkTest, ClosedFormMatchesNumericMinimum) {
+  for (double lambda : {0.05, 0.2, 0.5}) {
+    for (double dmax : {4.0, 32.0, 500.0}) {
+      for (double n : {50.0, 1000.0}) {
+        IdealWalkParams p;
+        p.spectral_gap = lambda;
+        p.gamma = 1.0 / n;
+        p.delta = p.gamma / 10.0;
+        p.max_degree = dmax;
+        const double closed = OptimalWalkLength(p).value();
+        const double numeric = OptimalWalkLengthNumeric(p).value();
+        EXPECT_NEAR(closed, numeric, 1e-3 * std::max(1.0, closed))
+            << "lambda=" << lambda << " dmax=" << dmax << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(IdealWalkTest, TOptIndependentOfDelta) {
+  // Theorem 1's observation: t_opt does not depend on Delta.
+  IdealWalkParams a = TypicalParams(), b = TypicalParams();
+  a.delta = a.gamma / 10.0;
+  b.delta = b.gamma / 1e6;
+  EXPECT_DOUBLE_EQ(OptimalWalkLength(a).value(),
+                   OptimalWalkLength(b).value());
+}
+
+TEST(IdealWalkTest, AlwaysBeatsInputWalk) {
+  // Theorem 1: c <= c_RW for any 0 < Delta < Gamma.
+  for (double frac : {0.9, 0.5, 0.1, 1e-3, 1e-6}) {
+    IdealWalkParams p = TypicalParams();
+    p.delta = p.gamma * frac;
+    const auto a = AnalyzeIdealWalk(p).value();
+    EXPECT_LE(a.cost_at_topt, a.cost_random_walk * (1.0 + 1e-9))
+        << "frac=" << frac;
+    EXPECT_GE(a.saving_ratio, -1e-9);
+  }
+}
+
+TEST(IdealWalkTest, SavingGrowsAsDeltaShrinks) {
+  // c saturates while c_RW grows like log(1/Delta): stricter requirements
+  // favor IDEAL-WALK more.
+  IdealWalkParams p = TypicalParams();
+  p.delta = p.gamma / 10.0;
+  const double loose = AnalyzeIdealWalk(p).value().saving_ratio;
+  p.delta = p.gamma / 1e8;
+  const double strict = AnalyzeIdealWalk(p).value().saving_ratio;
+  EXPECT_GT(strict, loose);
+}
+
+TEST(IdealWalkTest, RatioBoundHolds) {
+  for (double frac : {0.5, 0.1, 1e-4}) {
+    IdealWalkParams p = TypicalParams();
+    p.delta = p.gamma * frac;
+    const auto a = AnalyzeIdealWalk(p).value();
+    const double actual_ratio = a.cost_at_topt / a.cost_random_walk;
+    EXPECT_LE(actual_ratio, a.ratio_bound + 1e-9) << "frac=" << frac;
+  }
+}
+
+TEST(IdealWalkTest, ParameterValidation) {
+  IdealWalkParams p = TypicalParams();
+  p.delta = p.gamma * 2;  // Delta must be < Gamma
+  EXPECT_FALSE(AnalyzeIdealWalk(p).ok());
+  p = TypicalParams();
+  p.spectral_gap = 1.5;
+  EXPECT_FALSE(AnalyzeIdealWalk(p).ok());
+  p = TypicalParams();
+  p.max_degree = 0.0;
+  EXPECT_FALSE(AnalyzeIdealWalk(p).ok());
+  p = TypicalParams();
+  p.gamma = -1.0;
+  EXPECT_FALSE(AnalyzeIdealWalk(p).ok());
+}
+
+TEST(IdealWalkTest, EndToEndWithMeasuredSpectralGap) {
+  // Wire the analysis to a real graph the way the Figure 2 bench does.
+  const Graph g = MakeHypercube(5).value();
+  MetropolisHastingsWalk mhrw;
+  const auto spec = ComputeSpectralGap(g, mhrw).value();
+  IdealWalkParams p;
+  p.spectral_gap = spec.spectral_gap;
+  p.gamma = 1.0 / g.num_nodes();
+  p.delta = p.gamma / 1000.0;
+  p.max_degree = g.max_degree();
+  const auto a = AnalyzeIdealWalk(p).value();
+  EXPECT_GT(a.t_opt, ExactDiameter(g).value());  // must exceed the diameter
+  EXPECT_GT(a.saving_ratio, 0.0);
+  EXPECT_LT(a.saving_ratio, 1.0);
+}
+
+}  // namespace
+}  // namespace wnw

@@ -1,0 +1,167 @@
+// Whole-stack integration checks mirroring the paper's claims on small
+// instances: WE reaches lower sample bias than the raw short walk, its
+// empirical distribution beats SRW's Geweke baseline on distance-to-target,
+// and all pieces interoperate through the restricted access interface.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/samplers.h"
+#include "core/walk_estimate.h"
+#include "datasets/social_datasets.h"
+#include "estimation/aggregates.h"
+#include "estimation/empirical.h"
+#include "estimation/metrics.h"
+#include "experiments/harness.h"
+#include "mcmc/distribution.h"
+#include "mcmc/transition.h"
+#include "test_util.h"
+
+namespace wnw {
+namespace {
+
+TEST(IntegrationTest, Table1ShapeOnSmallScaleFree) {
+  // Miniature Table 1: on a scale-free graph, WE(MHRW)'s empirical
+  // distribution is closer to uniform (in KL) than SRW's raw stationary
+  // bias. This is the paper's exact-bias experiment, shrunk.
+  const SocialDataset ds = MakeSyntheticBA(200, 4, 5);
+  const std::vector<double> uniform(ds.graph.num_nodes(),
+                                    1.0 / ds.graph.num_nodes());
+
+  WalkEstimateOptions wopts;
+  wopts.diameter_bound = ds.diameter_estimate + 1;
+  const auto we = MakeWalkEstimateSpec("mhrw", wopts);
+  const auto we_run = RunEmpiricalDistribution(ds, we, 30000, 7, 8);
+
+  // SRW without correction: stationary is degree-proportional, so its
+  // distance to uniform is the degree skew.
+  SimpleRandomWalk srw;
+  const auto srw_pi = StationaryDistribution(ds.graph, srw);
+
+  const double kl_we = KLDivergence(we_run.empirical_pmf, uniform);
+  const double kl_srw = KLDivergence(srw_pi, uniform);
+  EXPECT_LT(kl_we, kl_srw);
+  EXPECT_LT(LInfDistance(we_run.empirical_pmf, uniform),
+            LInfDistance(srw_pi, uniform));
+}
+
+TEST(IntegrationTest, WeEstimatesDegreeOnSocialDataset) {
+  const SocialDataset ds = MakeYelpLike(0.02, 9, false);
+  AccessInterface access(&ds.graph);
+  SimpleRandomWalk srw;
+  WalkEstimateOptions opts;
+  opts.diameter_bound = ds.diameter_estimate;
+  WalkEstimateSampler sampler(&access, &srw, 17, opts, 13);
+  std::vector<NodeId> samples;
+  for (int i = 0; i < 400; ++i) {
+    samples.push_back(sampler.Draw().value());
+  }
+  const double est = EstimateAverage(
+      samples, TargetBias::kStationaryWeighted,
+      [&](NodeId u) { return static_cast<double>(ds.graph.Degree(u)); },
+      [&](NodeId u) { return static_cast<double>(ds.graph.Degree(u)); });
+  EXPECT_NEAR(est, ds.graph.average_degree(),
+              0.35 * ds.graph.average_degree());
+}
+
+TEST(IntegrationTest, WeBeatsUncorrectedWalkBiasOnDegreeEstimate) {
+  // Without importance correction, a degree-biased walk estimates
+  // E_pi[deg] = sum(d^2)/2|E| — on a scale-free graph a severe
+  // overestimate of the average degree. WE with the Hansen-Hurwitz
+  // correction must land far closer to the truth.
+  const SocialDataset ds = MakeGPlusLike(0.03, 11);
+  const double truth = ds.graph.average_degree();
+
+  SimpleRandomWalk srw;
+  AccessInterface access(&ds.graph);
+
+  // The uncorrected walk's limit (exact, no sampling noise).
+  const auto pi = StationaryDistribution(ds.graph, srw);
+  double raw_est = 0.0;
+  for (NodeId u = 0; u < ds.graph.num_nodes(); ++u) {
+    raw_est += pi[u] * ds.graph.Degree(u);
+  }
+  ASSERT_GT(raw_est, 1.3 * truth);  // the bias WE must beat
+
+  // WE over SRW with the proper Hansen-Hurwitz correction.
+  WalkEstimateOptions opts;
+  opts.diameter_bound = ds.diameter_estimate;
+  WalkEstimateSampler sampler(&access, &srw, 0, opts, 5);
+  std::vector<NodeId> samples;
+  for (int i = 0; i < 500; ++i) samples.push_back(sampler.Draw().value());
+  const double we_est = EstimateAverage(
+      samples, TargetBias::kStationaryWeighted,
+      [&](NodeId u) { return static_cast<double>(ds.graph.Degree(u)); },
+      [&](NodeId u) { return static_cast<double>(ds.graph.Degree(u)); });
+
+  EXPECT_LT(RelativeError(we_est, truth), RelativeError(raw_est, truth));
+}
+
+TEST(IntegrationTest, FullPipelineUnderTruncatedAccess) {
+  // §6.3.1: with bidirectional-check semantics and a generous cap, WE keeps
+  // producing target-distributed samples on the *effective* graph.
+  const Graph g = testing::MakeTestBA(120, 4);
+  AccessOptions aopts;
+  aopts.restriction = NeighborRestriction::kTruncated;
+  aopts.max_neighbors = 60;
+  AccessInterface access(&g, aopts);
+  MetropolisHastingsWalk mhrw;
+  WalkEstimateOptions opts;
+  opts.diameter_bound = 5;
+  WalkEstimateSampler sampler(&access, &mhrw, 3, opts, 21);
+  EmpiricalDistribution dist(g.num_nodes());
+  for (int i = 0; i < 4000; ++i) {
+    const auto s = sampler.Draw();
+    ASSERT_TRUE(s.ok());
+    dist.Add(s.value());
+  }
+  const std::vector<double> uniform(g.num_nodes(), 1.0 / g.num_nodes());
+  EXPECT_LT(TotalVariationDistance(dist.Pmf(), uniform), 0.15);
+}
+
+TEST(IntegrationTest, RateLimitedSessionAccountsWaiting) {
+  const Graph g = testing::MakeTestBA(100, 3);
+  AccessOptions aopts;
+  aopts.rate_limit = {15, 900.0};  // Twitter-style
+  AccessInterface access(&g, aopts);
+  SimpleRandomWalk srw;
+  WalkEstimateOptions opts;
+  opts.diameter_bound = 4;
+  WalkEstimateSampler sampler(&access, &srw, 0, opts, 23);
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(sampler.Draw().ok());
+  // Enough unique queries to trip the limiter several times.
+  EXPECT_GT(access.waited_seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(access.waited_seconds(),
+                   900.0 * ((access.query_cost() - 1) / 15));
+}
+
+TEST(IntegrationTest, GewekeBaselineAndWeAgreeOnTruth) {
+  // Both estimators converge to the same ground truth - the sanity anchor
+  // behind comparing their costs.
+  const SocialDataset ds = MakeSyntheticBA(500, 4, 31);
+  const double truth = ds.graph.average_degree();
+
+  AccessInterface a1(&ds.graph), a2(&ds.graph);
+  SimpleRandomWalk srw;
+  BurnInSampler::Options bopts;
+  bopts.min_steps = 80;
+  bopts.max_steps = 4000;
+  BurnInSampler baseline(&a1, &srw, 7, bopts, 33);
+  WalkEstimateOptions wopts;
+  wopts.diameter_bound = ds.diameter_estimate;
+  WalkEstimateSampler we(&a2, &srw, 7, wopts, 35);
+
+  auto estimate_with = [&](Sampler& s, int n) {
+    std::vector<NodeId> samples;
+    for (int i = 0; i < n; ++i) samples.push_back(s.Draw().value());
+    return EstimateAverage(
+        samples, TargetBias::kStationaryWeighted,
+        [&](NodeId u) { return static_cast<double>(ds.graph.Degree(u)); },
+        [&](NodeId u) { return static_cast<double>(ds.graph.Degree(u)); });
+  };
+  EXPECT_NEAR(estimate_with(baseline, 300), truth, 0.3 * truth);
+  EXPECT_NEAR(estimate_with(we, 300), truth, 0.3 * truth);
+}
+
+}  // namespace
+}  // namespace wnw

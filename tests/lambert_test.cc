@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mcmc/lambert_w.h"
+
+namespace wnw {
+namespace {
+
+constexpr double kInvE = 0.36787944117144233;
+
+TEST(LambertW0Test, SatisfiesDefiningEquation) {
+  for (double x : {-0.35, -0.1, -0.01, 0.0, 0.1, 1.0, 5.0, 100.0, 1e6}) {
+    const double w = LambertW0(x).value();
+    EXPECT_NEAR(w * std::exp(w), x, 1e-10 * std::max(1.0, std::fabs(x)))
+        << "x=" << x;
+  }
+}
+
+TEST(LambertW0Test, KnownValues) {
+  EXPECT_NEAR(LambertW0(0.0).value(), 0.0, 1e-14);
+  EXPECT_NEAR(LambertW0(M_E).value(), 1.0, 1e-12);       // W(e) = 1
+  EXPECT_NEAR(LambertW0(2.0 * M_E * M_E).value(), 2.0, 1e-12);
+  EXPECT_NEAR(LambertW0(-kInvE).value(), -1.0, 1e-6);    // branch point
+}
+
+TEST(LambertW0Test, OutOfDomainRejected) {
+  EXPECT_FALSE(LambertW0(-0.5).ok());
+  EXPECT_FALSE(LambertW0(-1.0).ok());
+}
+
+TEST(LambertWm1Test, SatisfiesDefiningEquation) {
+  for (double x : {-0.367, -0.3, -0.2, -0.1, -0.01, -1e-4, -1e-8}) {
+    const double w = LambertWm1(x).value();
+    EXPECT_NEAR(w * std::exp(w), x, 1e-10) << "x=" << x;
+  }
+}
+
+TEST(LambertWm1Test, BelowPrincipalBranch) {
+  for (double x : {-0.3, -0.1, -0.01}) {
+    EXPECT_LE(LambertWm1(x).value(), -1.0 + 1e-9);
+    // And distinct from W0 except at the branch point.
+    EXPECT_LT(LambertWm1(x).value(), LambertW0(x).value());
+  }
+}
+
+TEST(LambertWm1Test, KnownValue) {
+  // W-1(-2 e^-2) = -2.
+  EXPECT_NEAR(LambertWm1(-2.0 * std::exp(-2.0)).value(), -2.0, 1e-10);
+  // W-1(-ln(2)/2) = -2 ln 2 (since (-2ln2) e^(-2ln2) = -2 ln2 / 4).
+  EXPECT_NEAR(LambertWm1(-std::log(2.0) / 2.0).value(), -2.0 * std::log(2.0),
+              1e-10);
+}
+
+TEST(LambertWm1Test, OutOfDomainRejected) {
+  EXPECT_FALSE(LambertWm1(0.0).ok());
+  EXPECT_FALSE(LambertWm1(0.1).ok());
+  EXPECT_FALSE(LambertWm1(-1.0).ok());
+}
+
+TEST(LambertWm1Test, DeepTail) {
+  // Very small |x| drives W-1 to large negative values; the defining
+  // equation must still hold in relative terms.
+  const double x = -1e-15;
+  const double w = LambertWm1(x).value();
+  EXPECT_LT(w, -30.0);
+  EXPECT_NEAR(w * std::exp(w) / x, 1.0, 1e-8);
+}
+
+}  // namespace
+}  // namespace wnw

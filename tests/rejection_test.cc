@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "estimation/metrics.h"
+#include "mcmc/rejection.h"
+#include "random/rng.h"
+#include "random/sampling.h"
+
+namespace wnw {
+namespace {
+
+TEST(PercentileTest, Endpoints) {
+  const std::vector<double> v{3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 1.0), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.5), 2.0);
+}
+
+TEST(PercentileTest, Interpolates) {
+  const std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.1), 1.0);
+}
+
+TEST(PercentileTest, SingleValue) {
+  EXPECT_DOUBLE_EQ(Percentile({5.0}, 0.1), 5.0);
+}
+
+TEST(RejectionTest, ManualScaleAcceptance) {
+  RejectionOptions opts;
+  opts.mode = ScaleMode::kManual;
+  opts.manual_scale = 0.5;
+  RejectionSampler sampler(opts);
+  EXPECT_DOUBLE_EQ(sampler.AcceptanceProbability(1.0), 0.5);
+  EXPECT_DOUBLE_EQ(sampler.AcceptanceProbability(0.25), 1.0);  // clipped
+  EXPECT_DOUBLE_EQ(sampler.CurrentScale(), 0.5);
+}
+
+TEST(RejectionTest, AcceptFrequencyMatchesBeta) {
+  RejectionOptions opts;
+  opts.mode = ScaleMode::kManual;
+  opts.manual_scale = 0.3;
+  RejectionSampler sampler(opts);
+  Rng rng(3);
+  int accepted = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) accepted += sampler.Accept(1.0, rng);
+  EXPECT_NEAR(static_cast<double>(accepted) / kN, 0.3, 0.01);
+  EXPECT_EQ(sampler.candidates_seen(), static_cast<uint64_t>(kN));
+  EXPECT_NEAR(sampler.acceptance_rate(), 0.3, 0.01);
+}
+
+TEST(RejectionTest, CorrectsDistribution) {
+  // Proposal over 3 items with p = (0.6, 0.3, 0.1); target uniform. With
+  // scale = min p/q = 0.3, accepted items must be uniform.
+  const std::vector<double> proposal{0.6, 0.3, 0.1};
+  RejectionOptions opts;
+  opts.mode = ScaleMode::kManual;
+  opts.manual_scale = 0.3;  // min over items of p_i / (1/3) = 0.1*3
+  RejectionSampler sampler(opts);
+  Rng rng(4);
+  std::vector<double> counts(3, 0.0);
+  double total = 0;
+  for (int i = 0; i < 300000; ++i) {
+    const uint32_t item = PmfPick(proposal, rng);
+    const double ratio = proposal[item] / (1.0 / 3.0);
+    if (sampler.Accept(ratio, rng)) {
+      counts[item] += 1;
+      total += 1;
+    }
+  }
+  ASSERT_GT(total, 0);
+  for (double& c : counts) c /= total;
+  const std::vector<double> uniform{1.0 / 3, 1.0 / 3, 1.0 / 3};
+  EXPECT_LT(TotalVariationDistance(counts, uniform), 0.01);
+}
+
+TEST(RejectionTest, PercentileBootstrapTracksRatios) {
+  RejectionOptions opts;  // default: 10th percentile bootstrap
+  RejectionSampler sampler(opts);
+  Rng rng(5);
+  // Feed ratios 1..100; the 10th percentile approaches ~10.9. The scale is
+  // recomputed on an amortization schedule, so allow slack for the cache.
+  for (int r = 1; r <= 100; ++r) {
+    sampler.Accept(static_cast<double>(r), rng);
+  }
+  EXPECT_NEAR(sampler.CurrentScale(), 10.9, 0.8);
+}
+
+TEST(RejectionTest, FirstCandidateAlwaysAccepted) {
+  RejectionSampler sampler;
+  Rng rng(6);
+  // scale == ratio for the very first observation -> beta = 1.
+  EXPECT_TRUE(sampler.Accept(123.0, rng));
+}
+
+TEST(RejectionTest, HigherPercentileAcceptsMore) {
+  Rng rng(7);
+  RejectionOptions lo, hi;
+  lo.percentile = 0.05;
+  hi.percentile = 0.50;
+  RejectionSampler slo(lo), shi(hi);
+  Rng r1(8), r2(8);
+  for (int i = 0; i < 20000; ++i) {
+    const double ratio = 0.5 + rng.NextDouble();
+    slo.Accept(ratio, r1);
+    shi.Accept(ratio, r2);
+  }
+  EXPECT_GT(shi.acceptance_rate(), slo.acceptance_rate());
+}
+
+TEST(RejectionTest, ResetClearsState) {
+  RejectionSampler sampler;
+  Rng rng(9);
+  sampler.Accept(1.0, rng);
+  sampler.Reset();
+  EXPECT_EQ(sampler.candidates_seen(), 0u);
+  EXPECT_EQ(sampler.accepted(), 0u);
+  EXPECT_DOUBLE_EQ(sampler.CurrentScale(), 0.0);
+}
+
+}  // namespace
+}  // namespace wnw

@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "random/alias_table.h"
+#include "random/rng.h"
+#include "random/sampling.h"
+
+namespace wnw {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.Next() == b.Next();
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanIsHalf) {
+  Rng rng(11);
+  double sum = 0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(RngTest, NextBoundedInRange) {
+  Rng rng(5);
+  for (uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.NextBounded(bound), bound);
+  }
+}
+
+TEST(RngTest, NextBoundedApproximatelyUniform) {
+  Rng rng(17);
+  constexpr uint64_t kBound = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < kDraws; ++i) counts[rng.NextBounded(kBound)]++;
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / static_cast<int>(kBound), 600);
+  }
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.NextInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= v == -2;
+    saw_hi |= v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(23);
+  constexpr int kN = 200000;
+  double sum = 0, sq = 0;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.NextGaussian();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.01);
+  EXPECT_NEAR(sq / kN, 1.0, 0.02);
+}
+
+TEST(RngTest, GaussianWithParams) {
+  Rng rng(29);
+  constexpr int kN = 100000;
+  double sum = 0;
+  for (int i = 0; i < kN; ++i) sum += rng.NextGaussian(10.0, 2.0);
+  EXPECT_NEAR(sum / kN, 10.0, 0.05);
+}
+
+TEST(RngTest, LogNormalIsPositive) {
+  Rng rng(31);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.NextLogNormal(0.0, 1.0), 0.0);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(37);
+  int heads = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) heads += rng.NextBool(0.3);
+  EXPECT_NEAR(static_cast<double>(heads) / kN, 0.3, 0.01);
+}
+
+TEST(RngTest, ForkIsIndependent) {
+  Rng parent(41);
+  Rng child = parent.Fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += parent.Next() == child.Next();
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, Mix64Stateless) {
+  EXPECT_EQ(Mix64(42), Mix64(42));
+  EXPECT_NE(Mix64(42), Mix64(43));
+}
+
+TEST(AliasTableTest, SingleBucket) {
+  const std::vector<double> w{3.0};
+  AliasTable t(w);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(t.Sample(rng), 0u);
+  EXPECT_DOUBLE_EQ(t.Probability(0), 1.0);
+}
+
+TEST(AliasTableTest, ZeroWeightNeverSampled) {
+  const std::vector<double> w{1.0, 0.0, 1.0};
+  AliasTable t(w);
+  Rng rng(2);
+  for (int i = 0; i < 20000; ++i) EXPECT_NE(t.Sample(rng), 1u);
+}
+
+TEST(AliasTableTest, MatchesWeights) {
+  const std::vector<double> w{1.0, 2.0, 3.0, 4.0};
+  AliasTable t(w);
+  Rng rng(3);
+  constexpr int kDraws = 400000;
+  std::vector<int> counts(w.size(), 0);
+  for (int i = 0; i < kDraws; ++i) counts[t.Sample(rng)]++;
+  for (size_t i = 0; i < w.size(); ++i) {
+    const double expect = w[i] / 10.0;
+    EXPECT_NEAR(static_cast<double>(counts[i]) / kDraws, expect, 0.01);
+    EXPECT_NEAR(t.Probability(static_cast<uint32_t>(i)), expect, 1e-12);
+  }
+}
+
+TEST(AliasTableTest, LargeUniform) {
+  const std::vector<double> w(1000, 0.5);
+  AliasTable t(w);
+  Rng rng(4);
+  std::vector<int> counts(w.size(), 0);
+  for (int i = 0; i < 100000; ++i) counts[t.Sample(rng)]++;
+  const auto [mn, mx] = std::minmax_element(counts.begin(), counts.end());
+  EXPECT_GT(*mn, 30);
+  EXPECT_LT(*mx, 250);
+}
+
+TEST(WeightedPickTest, RespectsWeights) {
+  Rng rng(5);
+  const std::vector<double> w{0.0, 5.0, 0.0, 15.0};
+  std::vector<int> counts(w.size(), 0);
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) counts[WeightedPick(w, rng)]++;
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / kDraws, 0.25, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[3]) / kDraws, 0.75, 0.01);
+}
+
+TEST(PmfPickTest, RespectsPmf) {
+  Rng rng(6);
+  const std::vector<double> pmf{0.1, 0.9};
+  int ones = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ones += PmfPick(pmf, rng) == 1;
+  EXPECT_NEAR(static_cast<double>(ones) / kDraws, 0.9, 0.01);
+}
+
+TEST(SampleWithoutReplacementTest, DistinctAndInRange) {
+  Rng rng(7);
+  for (int rep = 0; rep < 100; ++rep) {
+    auto s = SampleWithoutReplacement(20, 10, rng);
+    ASSERT_EQ(s.size(), 10u);
+    std::sort(s.begin(), s.end());
+    EXPECT_EQ(std::unique(s.begin(), s.end()), s.end());
+    EXPECT_LT(s.back(), 20u);
+  }
+}
+
+TEST(SampleWithoutReplacementTest, FullRange) {
+  Rng rng(8);
+  auto s = SampleWithoutReplacement(5, 5, rng);
+  std::sort(s.begin(), s.end());
+  EXPECT_EQ(s, (std::vector<uint32_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(SampleWithoutReplacementTest, UniformInclusion) {
+  Rng rng(9);
+  std::vector<int> counts(10, 0);
+  constexpr int kReps = 50000;
+  for (int rep = 0; rep < kReps; ++rep) {
+    for (uint32_t v : SampleWithoutReplacement(10, 3, rng)) counts[v]++;
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kReps, 0.3, 0.015);
+  }
+}
+
+TEST(ShuffleTest, PreservesElements) {
+  Rng rng(10);
+  std::vector<int> v{1, 2, 3, 4, 5};
+  Shuffle(std::span<int>(v), rng);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(ReservoirSamplerTest, KeepsAtMostK) {
+  Rng rng(11);
+  ReservoirSampler<int> rs(3);
+  for (int i = 0; i < 100; ++i) rs.Add(i, rng);
+  EXPECT_EQ(rs.sample().size(), 3u);
+  EXPECT_EQ(rs.seen(), 100u);
+}
+
+TEST(ReservoirSamplerTest, UniformInclusionProbability) {
+  Rng rng(12);
+  std::vector<int> counts(20, 0);
+  constexpr int kReps = 30000;
+  for (int rep = 0; rep < kReps; ++rep) {
+    ReservoirSampler<int> rs(5);
+    for (int i = 0; i < 20; ++i) rs.Add(i, rng);
+    for (int v : rs.sample()) counts[v]++;
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kReps, 0.25, 0.02);
+  }
+}
+
+}  // namespace
+}  // namespace wnw

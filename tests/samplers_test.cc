@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/samplers.h"
+#include "estimation/empirical.h"
+#include "estimation/metrics.h"
+#include "mcmc/distribution.h"
+#include "test_util.h"
+
+namespace wnw {
+namespace {
+
+TEST(BurnInSamplerTest, DrawsValidNodes) {
+  const Graph g = testing::MakeTestBA(60, 3);
+  SimpleRandomWalk srw;
+  AccessInterface access(&g);
+  BurnInSampler::Options opts;
+  BurnInSampler sampler(&access, &srw, 0, opts, 1);
+  for (int i = 0; i < 20; ++i) {
+    const auto s = sampler.Draw();
+    ASSERT_TRUE(s.ok());
+    EXPECT_LT(s.value(), g.num_nodes());
+  }
+  EXPECT_GT(sampler.last_burn_in(), 0);
+  EXPECT_GT(sampler.average_burn_in(), 0.0);
+  EXPECT_EQ(sampler.name(), "SRW+Geweke");
+}
+
+TEST(BurnInSamplerTest, RespectsMaxSteps) {
+  // An unreachable threshold on a degree-varying graph: the walk gives up
+  // at the cap. (On degree-regular graphs Geweke's observable is constant
+  // and the monitor legitimately converges instantly instead.)
+  const Graph g = testing::MakeTestBA(60, 3);
+  SimpleRandomWalk srw;
+  AccessInterface access(&g);
+  BurnInSampler::Options opts;
+  opts.geweke.threshold = 1e-12;
+  opts.max_steps = 500;
+  BurnInSampler sampler(&access, &srw, 0, opts, 2);
+  ASSERT_TRUE(sampler.Draw().ok());
+  EXPECT_EQ(sampler.last_burn_in(), 500);
+}
+
+TEST(BurnInSamplerTest, ConvergedChainsStopEarly) {
+  const Graph g = MakeComplete(20).value();  // mixes in one step
+  SimpleRandomWalk srw;
+  AccessInterface access(&g);
+  BurnInSampler::Options opts;
+  opts.min_steps = 60;
+  opts.max_steps = 100000;
+  BurnInSampler sampler(&access, &srw, 0, opts, 3);
+  ASSERT_TRUE(sampler.Draw().ok());
+  EXPECT_LT(sampler.last_burn_in(), 1000);
+}
+
+TEST(BurnInSamplerTest, SamplesApproachStationary) {
+  const Graph g = testing::MakeTestBA(30, 3);
+  SimpleRandomWalk srw;
+  const auto pi = StationaryDistribution(g, srw);
+  AccessInterface access(&g);
+  BurnInSampler::Options opts;
+  opts.min_steps = 100;
+  BurnInSampler sampler(&access, &srw, 0, opts, 4);
+  EmpiricalDistribution dist(g.num_nodes());
+  for (int i = 0; i < 4000; ++i) {
+    dist.Add(sampler.Draw().value());
+  }
+  EXPECT_LT(TotalVariationDistance(dist.Pmf(), pi), 0.08);
+}
+
+TEST(BurnInSamplerTest, TargetWeightMatchesDesign) {
+  const Graph g = testing::MakeHouseGraph();
+  SimpleRandomWalk srw;
+  MetropolisHastingsWalk mhrw;
+  AccessInterface access(&g);
+  BurnInSampler s1(&access, &srw, 0, {}, 5);
+  BurnInSampler s2(&access, &mhrw, 0, {}, 6);
+  EXPECT_DOUBLE_EQ(s1.TargetWeight(0), 3.0);  // degree
+  EXPECT_DOUBLE_EQ(s2.TargetWeight(0), 1.0);  // uniform
+}
+
+TEST(OneLongRunTest, BurnsInOnceThenStreams) {
+  const Graph g = testing::MakeTestBA(60, 3);
+  SimpleRandomWalk srw;
+  AccessInterface access(&g);
+  OneLongRunSampler::Options opts;
+  OneLongRunSampler sampler(&access, &srw, 0, opts, 7);
+  EXPECT_FALSE(sampler.burned_in());
+  ASSERT_TRUE(sampler.Draw().ok());
+  EXPECT_TRUE(sampler.burned_in());
+  const uint64_t cost_after_burn_in = access.query_cost();
+  // Subsequent draws are single steps: cheap.
+  for (int i = 0; i < 100; ++i) ASSERT_TRUE(sampler.Draw().ok());
+  const uint64_t marginal = access.query_cost() - cost_after_burn_in;
+  EXPECT_LE(marginal, 110u);
+}
+
+TEST(OneLongRunTest, ThinningTakesMultipleSteps) {
+  const Graph g = MakeCycle(101).value();
+  SimpleRandomWalk srw;
+  AccessInterface access(&g);
+  OneLongRunSampler::Options opts;
+  opts.thinning = 5;
+  OneLongRunSampler sampler(&access, &srw, 0, opts, 8);
+  ASSERT_TRUE(sampler.Draw().ok());
+  // On a cycle, 5 SRW steps move to a node of matching parity: distance
+  // from the previous sample is odd. Just verify draws keep succeeding and
+  // nodes change over time.
+  std::set<NodeId> seen;
+  for (int i = 0; i < 50; ++i) seen.insert(sampler.Draw().value());
+  EXPECT_GT(seen.size(), 5u);
+}
+
+TEST(OneLongRunTest, DependentSamplesHaveLowerEffectiveSize) {
+  // §6.1: consecutive long-run samples are autocorrelated, so the effective
+  // sample size of the degree sequence is well below the nominal count.
+  const Graph g = testing::MakeTestBA(200, 3);
+  SimpleRandomWalk srw;
+  AccessInterface access(&g);
+  OneLongRunSampler::Options opts;
+  OneLongRunSampler sampler(&access, &srw, 0, opts, 9);
+  std::vector<double> degree_chain;
+  constexpr int kLen = 3000;
+  for (int i = 0; i < kLen; ++i) {
+    degree_chain.push_back(
+        static_cast<double>(g.Degree(sampler.Draw().value())));
+  }
+  const double ess = EffectiveSampleSize(degree_chain);
+  EXPECT_LT(ess, 0.9 * kLen);
+  EXPECT_GT(ess, 1.0);
+}
+
+}  // namespace
+}  // namespace wnw

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.h"
+#include "mcmc/spectral.h"
+#include "mcmc/transition.h"
+#include "test_util.h"
+
+namespace wnw {
+namespace {
+
+TEST(SpectralTest, CompleteGraphSrw) {
+  // SRW on K_n has eigenvalues {1, -1/(n-1)}; second-largest is -1/(n-1).
+  const Graph g = MakeComplete(6).value();
+  SimpleRandomWalk srw;
+  const auto r = ComputeSpectralGap(g, srw).value();
+  EXPECT_NEAR(r.second_eigenvalue, -1.0 / 5.0, 1e-8);
+  EXPECT_NEAR(r.spectral_gap, 1.2, 1e-8);
+}
+
+TEST(SpectralTest, CycleGraphSrw) {
+  // SRW on C_n has eigenvalues cos(2 pi k / n); s2 = cos(2 pi / n).
+  const NodeId n = 17;
+  const Graph g = MakeCycle(n).value();
+  SimpleRandomWalk srw;
+  const auto r = ComputeSpectralGap(g, srw).value();
+  EXPECT_NEAR(r.second_eigenvalue, std::cos(2.0 * M_PI / n), 1e-8);
+}
+
+TEST(SpectralTest, HypercubeSrw) {
+  // SRW on the k-cube has eigenvalues 1 - 2i/k; s2 = 1 - 2/k.
+  const uint32_t k = 4;
+  const Graph g = MakeHypercube(k).value();
+  SimpleRandomWalk srw;
+  const auto r = ComputeSpectralGap(g, srw).value();
+  EXPECT_NEAR(r.second_eigenvalue, 1.0 - 2.0 / k, 1e-8);
+  EXPECT_NEAR(r.spectral_gap, 2.0 / k, 1e-8);
+}
+
+TEST(SpectralTest, LazyWalkShiftsSpectrum) {
+  // Lazy walk T' = a I + (1-a) T maps eigenvalues s -> a + (1-a) s.
+  const Graph g = MakeCycle(11).value();
+  SimpleRandomWalk srw;
+  LazyRandomWalk lazy(0.5);
+  const double s2 = ComputeSpectralGap(g, srw).value().second_eigenvalue;
+  const double s2_lazy =
+      ComputeSpectralGap(g, lazy).value().second_eigenvalue;
+  EXPECT_NEAR(s2_lazy, 0.5 + 0.5 * s2, 1e-8);
+}
+
+TEST(SpectralTest, GapIsPositiveOnConnectedGraphs) {
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    const Graph g = testing::MakeTestBA(60, 3, seed);
+    MetropolisHastingsWalk mhrw;
+    const auto r = ComputeSpectralGap(g, mhrw).value();
+    EXPECT_GT(r.spectral_gap, 0.0);
+    EXPECT_LT(r.second_eigenvalue, 1.0);
+  }
+}
+
+TEST(SpectralTest, BarbellHasTinyGap) {
+  // The bottleneck through the center makes mixing glacial: the barbell's
+  // gap must be far smaller than the hypercube's at similar size.
+  SimpleRandomWalk srw;
+  const double barbell_gap =
+      ComputeSpectralGap(MakeBarbell(31).value(), srw).value().spectral_gap;
+  const double cube_gap =
+      ComputeSpectralGap(MakeHypercube(5).value(), srw).value().spectral_gap;
+  EXPECT_LT(barbell_gap, cube_gap / 4.0);
+}
+
+TEST(SpectralTest, PowerIterationMatchesDenseEnumeration) {
+  // Brute-force the second eigenvalue via repeated deflation on a tiny
+  // graph and compare. For K_4's SRW the full spectrum is {1, -1/3 (x3)}.
+  const Graph g = MakeComplete(4).value();
+  SimpleRandomWalk srw;
+  const auto r = ComputeSpectralGap(g, srw).value();
+  EXPECT_NEAR(r.second_eigenvalue, -1.0 / 3.0, 1e-9);
+}
+
+TEST(SpectralTest, DisconnectedRejected) {
+  GraphBuilder b(4);
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  ASSERT_TRUE(b.AddEdge(2, 3).ok());
+  const Graph g = std::move(b).Build().value();
+  SimpleRandomWalk srw;
+  EXPECT_EQ(ComputeSpectralGap(g, srw).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(SpectralTest, MhrwGapOnStarBeatsNothing) {
+  // Star with MHRW: leaves nearly always bounce through the center. Just
+  // assert the result is a valid spectrum value; regression guard.
+  const Graph g = MakeStar(12).value();
+  MetropolisHastingsWalk mhrw;
+  const auto r = ComputeSpectralGap(g, mhrw).value();
+  EXPECT_GE(r.second_eigenvalue, -1.0);
+  EXPECT_LE(r.second_eigenvalue, 1.0);
+  EXPECT_GT(r.iterations, 0);
+}
+
+}  // namespace
+}  // namespace wnw
