@@ -10,13 +10,11 @@
 #include <cstdio>
 #include <vector>
 
-#include "core/samplers.h"
-#include "core/walk_estimate.h"
+#include "core/session.h"
 #include "datasets/social_datasets.h"
 #include "estimation/aggregates.h"
 #include "estimation/metrics.h"
 #include "experiments/harness.h"
-#include "mcmc/transition.h"
 #include "util/string_util.h"
 #include "util/table.h"
 
@@ -25,7 +23,6 @@ int main() {
   const BenchEnv env = ReadBenchEnv(6, 0.2);
   const SocialDataset ds = MakeYelpLike(env.scale, env.seed, false);
   const double truth = ds.graph.average_degree();
-  SimpleRandomWalk srw;
 
   TablePrinter table({"sampler", "samples", "effective_samples",
                       "query_cost", "rel_error"});
@@ -48,47 +45,36 @@ int main() {
     auto theta = [&](NodeId u) {
       return static_cast<double>(ds.graph.Degree(u));
     };
-    auto run = [&](Sampler& sampler, AccessInterface& access, Acc* acc,
+    auto run = [&](const std::string& spec, uint64_t session_seed, Acc* acc,
                    int count) {
+      SessionOptions sopts;
+      sopts.start = start;
+      sopts.seed = session_seed;
+      auto session =
+          std::move(SamplingSession::Open(&ds.graph, spec, sopts)).value();
       std::vector<NodeId> samples;
       std::vector<double> chain;
       for (int i = 0; i < count; ++i) {
-        const auto s = sampler.Draw();
+        const auto s = session->Draw();
         if (!s.ok()) break;
         samples.push_back(s.value());
         chain.push_back(theta(s.value()));
       }
-      const double est = EstimateAverage(
-          samples, TargetBias::kStationaryWeighted, theta, theta);
+      const double est =
+          EstimateAverage(samples, session->bias(), theta, theta);
       acc->samples += static_cast<double>(samples.size());
       acc->ess += chain.size() >= 4 ? EffectiveSampleSize(chain)
                                     : static_cast<double>(chain.size());
-      acc->cost += static_cast<double>(access.query_cost());
+      acc->cost += static_cast<double>(session->Stats().query_cost);
       acc->err += RelativeError(est, truth);
     };
 
-    {
-      AccessInterface access(&ds.graph);
-      BurnInSampler::Options opts;
-      opts.max_steps = 10000;
-      BurnInSampler sampler(&access, &srw, start, opts, seed + 1);
-      run(sampler, access, &short_runs, kSamples);
-    }
-    {
-      AccessInterface access(&ds.graph);
-      OneLongRunSampler::Options opts;
-      OneLongRunSampler sampler(&access, &srw, start, opts, seed + 2);
-      // Give the long run the same nominal sample count; its budget
-      // advantage shows up as a far smaller query cost instead.
-      run(sampler, access, &long_run, kSamples);
-    }
-    {
-      AccessInterface access(&ds.graph);
-      WalkEstimateOptions opts;
-      opts.diameter_bound = static_cast<int>(ds.diameter_estimate);
-      WalkEstimateSampler sampler(&access, &srw, start, opts, seed + 3);
-      run(sampler, access, &we_acc, kSamples);
-    }
+    run("burnin:srw?max_steps=10000", seed + 1, &short_runs, kSamples);
+    // Give the long run the same nominal sample count; its budget
+    // advantage shows up as a far smaller query cost instead.
+    run("longrun:srw", seed + 2, &long_run, kSamples);
+    run(StrFormat("we:srw?diameter=%u", ds.diameter_estimate), seed + 3,
+        &we_acc, kSamples);
   }
 
   const double t = env.trials;

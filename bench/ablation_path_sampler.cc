@@ -7,13 +7,11 @@
 #include <cstdio>
 #include <vector>
 
-#include "core/path_sampler.h"
-#include "core/walk_estimate.h"
+#include "core/session.h"
 #include "datasets/social_datasets.h"
 #include "estimation/aggregates.h"
 #include "estimation/metrics.h"
 #include "experiments/harness.h"
-#include "mcmc/transition.h"
 #include "util/string_util.h"
 #include "util/table.h"
 
@@ -22,7 +20,6 @@ int main() {
   const BenchEnv env = ReadBenchEnv(6, 0.2);
   const SocialDataset ds = MakeGPlusLike(env.scale, env.seed);
   const double truth = ds.graph.average_degree();
-  SimpleRandomWalk srw;
 
   TablePrinter table({"sampler", "stride", "samples", "samples_per_walk",
                       "effective_samples", "api_calls_per_sample",
@@ -49,14 +46,18 @@ int main() {
                   TablePrinter::CellPrec(acc.err / c, 3)});
   };
 
-  // Returns true when the trial produced samples; *acc gets everything but
-  // the samples-per-walk figure (sampler-type specific, added by callers).
-  auto measure = [&](Sampler& sampler, AccessInterface& access,
+  // Returns true when the trial produced samples; *acc also gets the
+  // samples-per-walk amortization figure from the session stats.
+  auto measure = [&](const std::string& spec, uint64_t seed,
                      Acc* acc) -> bool {
+    SessionOptions sopts;
+    sopts.seed = seed;
+    auto session =
+        std::move(SamplingSession::Open(&ds.graph, spec, sopts)).value();
     std::vector<NodeId> samples;
     std::vector<double> chain;
     for (int i = 0; i < kSamples; ++i) {
-      const auto s = sampler.Draw();
+      const auto s = session->Draw();
       if (!s.ok()) break;
       samples.push_back(s.value());
       chain.push_back(static_cast<double>(ds.graph.Degree(s.value())));
@@ -65,51 +66,35 @@ int main() {
     auto deg = [&](NodeId u) {
       return static_cast<double>(ds.graph.Degree(u));
     };
-    const double est =
-        EstimateAverage(samples, TargetBias::kStationaryWeighted, deg, deg);
+    const double est = EstimateAverage(samples, session->bias(), deg, deg);
+    const SessionStats stats = session->Stats();
     acc->ess += chain.size() >= 4 ? EffectiveSampleSize(chain)
                                   : static_cast<double>(chain.size());
-    acc->calls += static_cast<double>(access.total_queries()) /
+    acc->calls += static_cast<double>(stats.total_queries) /
                   static_cast<double>(samples.size());
     acc->err += RelativeError(est, truth);
+    acc->spw += stats.samples_per_walk;
     acc->completed++;
     return true;
   };
 
   Acc plain_acc;
+  const std::string plain_spec = StrFormat(
+      "we:srw?diameter=%u&crawl_hops=1", ds.diameter_estimate);
   for (int trial = 0; trial < env.trials; ++trial) {
     const uint64_t seed = Mix64(env.seed + trial);
-    Rng start_rng(seed);
-    const NodeId start =
-        static_cast<NodeId>(start_rng.NextBounded(ds.graph.num_nodes()));
-    AccessInterface access(&ds.graph);
-    WalkEstimateOptions opts;
-    opts.diameter_bound = static_cast<int>(ds.diameter_estimate);
-    opts.estimate.crawl_hops = 1;
-    WalkEstimateSampler sampler(&access, &srw, start, opts, seed + 1);
-    if (measure(sampler, access, &plain_acc)) {
-      // Plain WE: one candidate per walk, so samples/walk = acceptance.
-      plain_acc.spw += sampler.acceptance_rate();
-    }
+    measure(plain_spec, seed + 1, &plain_acc);
   }
   finish("WE(plain)", 1, plain_acc);
 
   for (const int stride : {1, 2, 4}) {
     Acc acc;
+    const std::string path_spec = StrFormat(
+        "we-path:srw?diameter=%u&crawl_hops=1&stride=%d",
+        ds.diameter_estimate, stride);
     for (int trial = 0; trial < env.trials; ++trial) {
       const uint64_t seed = Mix64(env.seed + 100 + trial + stride);
-      Rng start_rng(seed);
-      const NodeId start =
-          static_cast<NodeId>(start_rng.NextBounded(ds.graph.num_nodes()));
-      AccessInterface access(&ds.graph);
-      WalkEstimatePathSampler::Options opts;
-      opts.base.diameter_bound = static_cast<int>(ds.diameter_estimate);
-      opts.base.estimate.crawl_hops = 1;
-      opts.stride = stride;
-      WalkEstimatePathSampler sampler(&access, &srw, start, opts, seed + 1);
-      if (measure(sampler, access, &acc)) {
-        acc.spw += sampler.samples_per_walk();
-      }
+      measure(path_spec, seed + 1, &acc);
     }
     finish("WE-Path", stride, acc);
   }

@@ -11,11 +11,10 @@
 #include <cstdio>
 #include <vector>
 
-#include "core/walk_estimate.h"
+#include "core/session.h"
 #include "datasets/social_datasets.h"
 #include "estimation/aggregates.h"
 #include "experiments/harness.h"
-#include "mcmc/transition.h"
 #include "util/string_util.h"
 #include "util/table.h"
 
@@ -25,7 +24,6 @@ int main() {
   const SocialDataset ds = MakeGPlusLike(env.scale, env.seed);
   const int d = static_cast<int>(ds.diameter_estimate);
   const double truth = ds.graph.average_degree();
-  SimpleRandomWalk srw;
 
   TablePrinter table({"walk_length", "acceptance_rate", "cost_per_sample",
                       "api_calls_per_sample", "rel_error"});
@@ -45,29 +43,27 @@ int main() {
     int completed = 0;
     for (int trial = 0; trial < env.trials; ++trial) {
       const uint64_t seed = Mix64(env.seed + 31 * trial + length);
-      Rng start_rng(seed);
-      const NodeId start =
-          static_cast<NodeId>(start_rng.NextBounded(ds.graph.num_nodes()));
-      AccessInterface access(&ds.graph);
-      WalkEstimateOptions opts;
-      opts.walk_length = length;
-      opts.estimate.crawl_hops = 1;
-      WalkEstimateSampler sampler(&access, &srw, start, opts, seed + 1);
+      SessionOptions sopts;
+      sopts.seed = seed + 1;
+      auto session =
+          std::move(SamplingSession::Open(
+                        &ds.graph,
+                        StrFormat("we:srw?walk_length=%d&crawl_hops=1",
+                                  length),
+                        sopts))
+              .value();
       std::vector<NodeId> samples;
-      for (int i = 0; i < kSamples; ++i) {
-        const auto s = sampler.Draw();
-        if (!s.ok()) break;
-        samples.push_back(s.value());
-      }
+      (void)session->DrawInto(&samples, kSamples);
       if (samples.empty()) continue;
       auto deg = [&](NodeId u) {
         return static_cast<double>(ds.graph.Degree(u));
       };
       const double est =
-          EstimateAverage(samples, TargetBias::kStationaryWeighted, deg, deg);
-      acc_rate += sampler.acceptance_rate();
-      cost += static_cast<double>(access.query_cost()) / samples.size();
-      calls += static_cast<double>(access.total_queries()) / samples.size();
+          EstimateAverage(samples, session->bias(), deg, deg);
+      const SessionStats stats = session->Stats();
+      acc_rate += stats.acceptance_rate;
+      cost += static_cast<double>(stats.query_cost) / samples.size();
+      calls += static_cast<double>(stats.total_queries) / samples.size();
       err += RelativeError(est, truth);
       ++completed;
     }

@@ -14,11 +14,9 @@
 #include <cstdio>
 #include <vector>
 
-#include "core/samplers.h"
-#include "core/walk_estimate.h"
+#include "core/session.h"
 #include "experiments/harness.h"
 #include "graph/generators.h"
-#include "mcmc/transition.h"
 #include "util/string_util.h"
 #include "util/table.h"
 
@@ -33,39 +31,41 @@ int main() {
   table.AddComment(StrFormat("%d trials x %llu samples",
                              env.trials,
                              static_cast<unsigned long long>(env.samples)));
-  SimpleRandomWalk srw;
   for (NodeId n : {11u, 21u, 31u, 41u, 51u}) {
     const Graph g = MakeCycle(n).value();
     const uint32_t diameter = n / 2;
+    const std::string we_spec = StrFormat(
+        "we:srw?diameter=%u&base_reps=4&max_extra_reps=8", diameter);
     double srw_steps = 0, srw_unique = 0, we_steps = 0, we_unique = 0;
     for (int trial = 0; trial < env.trials; ++trial) {
       const uint64_t seed = Mix64(env.seed ^ (n * 1000 + trial));
+      SessionOptions sopts;
+      sopts.start = 0;
       {
-        AccessInterface access(&g);
-        BurnInSampler::Options opts;
-        BurnInSampler sampler(&access, &srw, 0, opts, seed);
+        sopts.seed = seed;
+        auto session = std::move(SamplingSession::Open(&g, "burnin:srw",
+                                                       sopts))
+                           .value();
         for (uint64_t i = 0; i < env.samples; ++i) {
-          (void)sampler.Draw();
+          (void)session->Draw();
         }
-        srw_steps += static_cast<double>(access.total_queries()) /
+        const SessionStats stats = session->Stats();
+        srw_steps += static_cast<double>(stats.total_queries) /
                      static_cast<double>(env.samples);
-        srw_unique += static_cast<double>(access.query_cost()) /
+        srw_unique += static_cast<double>(stats.query_cost) /
                       static_cast<double>(env.samples);
       }
       {
-        AccessInterface access(&g);
-        WalkEstimateOptions opts;
-        opts.diameter_bound = static_cast<int>(diameter);
-        opts.estimate.crawl_hops = 2;
-        opts.estimate.base_reps = 4;
-        opts.estimate.max_extra_reps = 8;
-        WalkEstimateSampler sampler(&access, &srw, 0, opts, seed + 1);
+        sopts.seed = seed + 1;
+        auto session =
+            std::move(SamplingSession::Open(&g, we_spec, sopts)).value();
         for (uint64_t i = 0; i < env.samples; ++i) {
-          if (!sampler.Draw().ok()) break;
+          if (!session->Draw().ok()) break;
         }
-        we_steps += static_cast<double>(access.total_queries()) /
+        const SessionStats stats = session->Stats();
+        we_steps += static_cast<double>(stats.total_queries) /
                     static_cast<double>(env.samples);
-        we_unique += static_cast<double>(access.query_cost()) /
+        we_unique += static_cast<double>(stats.query_cost) /
                      static_cast<double>(env.samples);
       }
     }

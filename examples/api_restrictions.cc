@@ -3,14 +3,13 @@
 // mark-recapture degree estimator for random-subset APIs, and rate-limit
 // time accounting.
 //
-//   ./build/examples/api_restrictions
+//   ./build/api_restrictions
 #include <cstdio>
 
 #include "access/access_interface.h"
-#include "core/walk_estimate.h"
+#include "core/session.h"
 #include "datasets/social_datasets.h"
 #include "estimation/aggregates.h"
-#include "mcmc/transition.h"
 #include "util/table.h"
 
 int main() {
@@ -46,7 +45,8 @@ int main() {
   limited.rate_limit = {15, 900.0};  // Twitter: 15 requests / 15 min
   scenarios.push_back({"rate-limited 15/15min", limited});
 
-  SimpleRandomWalk srw;
+  const std::string spec =
+      "we:srw?diameter=" + std::to_string(ds.diameter_estimate);
   for (const auto& scenario : scenarios) {
     // Truncation changes what "degree" even means: the fair ground truth is
     // the average visible (effective-graph) degree, computed here with a
@@ -60,29 +60,34 @@ int main() {
       }
       scenario_truth = sum / ds.graph.num_nodes();
     }
-    AccessInterface access(&ds.graph, scenario.options);
-    WalkEstimateOptions wopts;
-    wopts.diameter_bound = ds.diameter_estimate;
-    WalkEstimateSampler sampler(&access, &srw, /*start=*/5, wopts, 7);
-    std::vector<NodeId> samples;
-    while (samples.size() < 150) {
-      const auto s = sampler.Draw();
-      if (!s.ok()) break;
-      samples.push_back(s.value());
+    SessionOptions session_opts;
+    session_opts.access = scenario.options;
+    session_opts.start = 5;
+    session_opts.seed = 7;
+    auto session_or = SamplingSession::Open(&ds.graph, spec, session_opts);
+    if (!session_or.ok()) {
+      std::fprintf(stderr, "open failed: %s\n",
+                   session_or.status().ToString().c_str());
+      return 1;
     }
+    SamplingSession& session = **session_or;
+    std::vector<NodeId> samples;
+    (void)session.DrawInto(&samples, 150);  // keep partial draws on failure
     // Degrees as seen through the restricted interface.
+    AccessInterface& access = session.access();
     const double est = EstimateAverage(
-        samples, TargetBias::kStationaryWeighted,
+        samples, session.bias(),
         [&](NodeId u) { return static_cast<double>(access.EffectiveDegree(u)); },
         [&](NodeId u) { return static_cast<double>(access.EffectiveDegree(u)); });
+    const SessionStats stats = session.Stats();
     table.AddRow(
         {scenario.label,
          TablePrinter::Cell(
              static_cast<uint64_t>(scenario.options.max_neighbors)),
          TablePrinter::Cell(est),
          TablePrinter::Cell(RelativeError(est, scenario_truth)),
-         TablePrinter::Cell(access.query_cost()),
-         TablePrinter::Cell(access.waited_seconds())});
+         TablePrinter::Cell(stats.query_cost),
+         TablePrinter::Cell(stats.waited_seconds)});
   }
   table.Print(stdout);
 

@@ -23,9 +23,10 @@ int main() {
   const std::vector<double> uniform(ds.graph.num_nodes(),
                                     1.0 / ds.graph.num_nodes());
 
-  WalkEstimateOptions wopts;
-  wopts.diameter_bound = ds.diameter_estimate;
-  const SamplerSpec we = MakeWalkEstimateSpec("mhrw", wopts);
+  const SamplerSpec we =
+      MakeSamplerSpec("we:mhrw?diameter=" +
+                      std::to_string(ds.diameter_estimate))
+          .value();
   const auto we_run = RunEmpiricalDistribution(ds, we, /*num_samples=*/50000,
                                                /*seed=*/11);
 

@@ -2,14 +2,12 @@
 // with WALK-ESTIMATE and estimate the average degree — the library's
 // one-screen tour.
 //
-//   ./build/examples/quickstart
+//   ./build/quickstart
 #include <cstdio>
 
-#include "access/access_interface.h"
-#include "core/walk_estimate.h"
+#include "core/session.h"
 #include "datasets/social_datasets.h"
 #include "estimation/aggregates.h"
-#include "mcmc/transition.h"
 
 int main() {
   using namespace wnw;
@@ -19,40 +17,43 @@ int main() {
   std::printf("network: %s  (%s)\n", ds.name.c_str(),
               ds.graph.DebugString().c_str());
 
-  // 2. The restricted web interface: local-neighborhood queries only.
-  AccessInterface access(&ds.graph);
-
-  // 3. WALK-ESTIMATE over Metropolis-Hastings: uniform node samples with no
-  //    burn-in wait. The walk length defaults to 2 * diameter_bound + 1.
-  MetropolisHastingsWalk mhrw;
-  WalkEstimateOptions options;
-  options.diameter_bound = ds.diameter_estimate;  // conservative bound
-  WalkEstimateSampler sampler(&access, &mhrw, /*start=*/0, options,
-                              /*seed=*/7);
+  // 2. One spec string opens the whole sampling stack: the restricted web
+  //    interface, a Metropolis-Hastings input walk, and WALK-ESTIMATE on
+  //    top — uniform node samples with no burn-in wait.
+  const std::string spec =
+      "we:mhrw?diameter=" + std::to_string(ds.diameter_estimate);
+  SessionOptions opts;
+  opts.seed = 7;
+  auto session_or = SamplingSession::Open(&ds.graph, spec, opts);
+  if (!session_or.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 session_or.status().ToString().c_str());
+    return 1;
+  }
+  SamplingSession& session = **session_or;
 
   std::vector<NodeId> samples;
-  constexpr int kSamples = 200;
-  while (samples.size() < kSamples) {
-    const auto drawn = sampler.Draw();
-    if (!drawn.ok()) {
-      std::fprintf(stderr, "draw failed: %s\n",
-                   drawn.status().ToString().c_str());
-      return 1;
-    }
-    samples.push_back(drawn.value());
+  constexpr size_t kSamples = 200;
+  if (Status s = session.DrawInto(&samples, kSamples); !s.ok()) {
+    std::fprintf(stderr, "draw failed: %s\n", s.ToString().c_str());
+    return 1;
   }
 
-  // 4. Uniform samples -> plain arithmetic mean estimates the average degree.
+  // 3. Uniform samples -> plain arithmetic mean estimates the average
+  //    degree (session.bias() knows which correction the walk needs).
   const double estimate = EstimateAverage(
-      samples, TargetBias::kUniform,
+      samples, session.bias(),
       [&](NodeId u) { return static_cast<double>(ds.graph.Degree(u)); },
-      [](NodeId) { return 1.0; });
+      [&](NodeId u) { return static_cast<double>(ds.graph.Degree(u)); });
 
-  std::printf("samples drawn      : %d\n", kSamples);
+  const SessionStats stats = session.Stats();
+  std::printf("sampler            : %s\n", stats.spec.c_str());
+  std::printf("samples drawn      : %llu\n",
+              static_cast<unsigned long long>(stats.samples_drawn));
   std::printf("query cost         : %llu unique nodes (%llu API calls)\n",
-              static_cast<unsigned long long>(access.query_cost()),
-              static_cast<unsigned long long>(access.total_queries()));
-  std::printf("acceptance rate    : %.2f\n", sampler.acceptance_rate());
+              static_cast<unsigned long long>(stats.query_cost),
+              static_cast<unsigned long long>(stats.total_queries));
+  std::printf("acceptance rate    : %.2f\n", stats.acceptance_rate);
   std::printf("avg degree estimate: %.3f  (truth: %.3f, rel err %.3f)\n",
               estimate, ds.graph.average_degree(),
               RelativeError(estimate, ds.graph.average_degree()));

@@ -8,8 +8,6 @@
 #include <memory>
 #include <vector>
 
-#include "core/samplers.h"
-#include "core/walk_estimate.h"
 #include "datasets/social_datasets.h"
 #include "estimation/aggregates.h"
 #include "experiments/harness.h"
@@ -28,12 +26,14 @@ int main() {
       {"avg_path_len", "path_len"},
   };
 
-  BurnInSampler::Options bopts;
-  bopts.max_steps = 5000;
-  const SamplerSpec baseline = MakeBurnInSpec("srw", bopts);
-  WalkEstimateOptions wopts;
-  wopts.diameter_bound = ds.diameter_estimate;
-  const SamplerSpec we = MakeWalkEstimateSpec("srw", wopts);
+  // Both contenders are registry spec strings — swapping samplers is a
+  // one-line edit (try "longrun:srw?thinning=4" or "we-path:srw").
+  const SamplerSpec baseline =
+      MakeSamplerSpec("burnin:srw?max_steps=5000").value();
+  const SamplerSpec we =
+      MakeSamplerSpec("we:srw?diameter=" +
+                      std::to_string(ds.diameter_estimate))
+          .value();
 
   ErrorVsCostConfig config;
   config.sample_counts = {50};

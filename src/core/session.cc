@@ -1,0 +1,103 @@
+#include "core/session.h"
+
+#include "core/path_sampler.h"
+#include "core/samplers.h"
+#include "core/walk_estimate.h"
+#include "random/rng.h"
+
+namespace wnw {
+
+Result<std::unique_ptr<SamplingSession>> SamplingSession::Open(
+    const Graph* graph, std::string_view spec, SessionOptions options) {
+  WNW_ASSIGN_OR_RETURN(SamplerConfig config, SamplerConfig::Parse(spec));
+  return Open(graph, config, options);
+}
+
+Result<std::unique_ptr<SamplingSession>> SamplingSession::Open(
+    const Graph* graph, const SamplerConfig& config, SessionOptions options) {
+  if (graph == nullptr || graph->num_nodes() == 0) {
+    return Status::InvalidArgument("sampling session needs a non-empty graph");
+  }
+  std::unique_ptr<TransitionDesign> design = MakeTransitionDesign(config.walk);
+  if (design == nullptr) {
+    return Status::InvalidArgument(
+        "unknown walk design '" + config.walk +
+        "' (expected srw | mhrw | lazy | maxdeg:<bound>)");
+  }
+
+  Rng rng(Mix64(options.seed));
+  const uint64_t sampler_seed = rng.Next();
+  NodeId start;
+  if (options.start.has_value()) {
+    start = *options.start;
+    if (start >= graph->num_nodes()) {
+      return Status::OutOfRange("start node " + std::to_string(start) +
+                                " outside graph with " +
+                                std::to_string(graph->num_nodes()) + " nodes");
+    }
+  } else {
+    start = static_cast<NodeId>(rng.NextBounded(graph->num_nodes()));
+  }
+
+  auto access = std::make_unique<AccessInterface>(graph, options.access);
+  WNW_ASSIGN_OR_RETURN(
+      std::unique_ptr<Sampler> sampler,
+      SamplerRegistry::Global().Create(config, access.get(), design.get(),
+                                       start, sampler_seed));
+  return std::unique_ptr<SamplingSession>(
+      new SamplingSession(config, start, std::move(access), std::move(design),
+                          std::move(sampler)));
+}
+
+Result<NodeId> SamplingSession::Draw() {
+  auto drawn = sampler_->Draw();
+  if (drawn.ok()) ++samples_drawn_;
+  return drawn;
+}
+
+Status SamplingSession::DrawInto(std::vector<NodeId>* out, size_t count) {
+  for (size_t i = 0; i < count; ++i) {
+    auto drawn = Draw();
+    if (!drawn.ok()) return drawn.status();
+    out->push_back(drawn.value());
+  }
+  return Status::OK();
+}
+
+SessionStats SamplingSession::Stats() const {
+  SessionStats stats;
+  stats.spec = config_.ToSpec();
+  stats.sampler = std::string(sampler_->name());
+  stats.query_cost = access_->query_cost();
+  stats.total_queries = access_->total_queries();
+  stats.waited_seconds = access_->waited_seconds();
+  stats.samples_drawn = samples_drawn_;
+
+  // Sampler-family telemetry. The built-ins are matched by type; samplers
+  // registered externally contribute the generic fields above.
+  if (const auto* burnin = dynamic_cast<const BurnInSampler*>(sampler_.get())) {
+    stats.last_burn_in = burnin->last_burn_in();
+    stats.average_burn_in = burnin->average_burn_in();
+    stats.burned_in = stats.samples_drawn > 0;
+  } else if (const auto* longrun =
+                 dynamic_cast<const OneLongRunSampler*>(sampler_.get())) {
+    stats.burned_in = longrun->burned_in();
+  } else if (const auto* we =
+                 dynamic_cast<const WalkEstimateSampler*>(sampler_.get())) {
+    stats.candidates_tried = we->candidates_tried();
+    stats.samples_accepted = we->samples_accepted();
+    stats.acceptance_rate = we->acceptance_rate();
+    stats.forward_steps = we->forward_steps();
+    stats.backward_walks = we->estimator().total_backward_walks();
+    stats.walks_run = we->candidates_tried();  // one candidate per walk
+    stats.samples_per_walk = we->acceptance_rate();
+  } else if (const auto* path =
+                 dynamic_cast<const WalkEstimatePathSampler*>(sampler_.get())) {
+    stats.walks_run = path->walks_run();
+    stats.samples_accepted = path->samples_accepted();
+    stats.samples_per_walk = path->samples_per_walk();
+  }
+  return stats;
+}
+
+}  // namespace wnw

@@ -1,0 +1,122 @@
+// SamplingSession: the one-stop facade over a sampling run. Owns the
+// access interface (the simulated OSN web API), the transition design, and
+// the registry-built sampler, and folds their scattered telemetry into one
+// SessionStats — callers no longer reach into three objects for metrics or
+// hand-wire constructors. Open a session from a spec string:
+//
+//   auto session = SamplingSession::Open(&graph, "we:mhrw?diameter=8");
+//   if (!session.ok()) { ... }
+//   auto node = (*session)->Draw();
+//   SessionStats stats = (*session)->Stats();
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "access/access_interface.h"
+#include "core/registry.h"
+#include "mcmc/transition.h"
+
+namespace wnw {
+
+struct SessionOptions {
+  /// Access-restriction / rate-limit scenario for the simulated OSN.
+  AccessOptions access;
+
+  /// Walk start node; unset picks one uniformly at random from the seed.
+  std::optional<NodeId> start;
+
+  /// Seeds the start-node choice and the sampler's randomness.
+  uint64_t seed = 20260611;
+};
+
+/// Unified per-session telemetry. Generic fields are always filled;
+/// sampler-family fields are zero when they do not apply.
+struct SessionStats {
+  std::string spec;     // canonical spec of the running config
+  std::string sampler;  // Sampler::name() of the bound instance
+
+  // Access accounting (the paper's cost metrics).
+  uint64_t query_cost = 0;      // distinct nodes accessed
+  uint64_t total_queries = 0;   // all API invocations incl. cache hits
+  double waited_seconds = 0.0;  // simulated rate-limit waiting
+
+  uint64_t samples_drawn = 0;  // successful Draw()s through this session
+
+  // Burn-in telemetry (burnin / longrun).
+  int last_burn_in = 0;
+  double average_burn_in = 0.0;
+  bool burned_in = false;
+
+  // Acceptance-rejection telemetry (we / we-path).
+  uint64_t candidates_tried = 0;
+  uint64_t samples_accepted = 0;
+  double acceptance_rate = 0.0;
+  uint64_t forward_steps = 0;
+  uint64_t backward_walks = 0;
+
+  // Path-sampler amortization (we-path).
+  uint64_t walks_run = 0;
+  double samples_per_walk = 0.0;
+};
+
+class SamplingSession {
+ public:
+  /// Opens a session from a spec string ("we:mhrw?diameter=10", ...) or a
+  /// parsed config. The graph must outlive the session. Errors (malformed
+  /// spec, unknown sampler or walk design, bad options, invalid start node)
+  /// come back as Status — nothing crashes on user input.
+  static Result<std::unique_ptr<SamplingSession>> Open(
+      const Graph* graph, std::string_view spec, SessionOptions options = {});
+  static Result<std::unique_ptr<SamplingSession>> Open(
+      const Graph* graph, const SamplerConfig& config,
+      SessionOptions options = {});
+
+  /// Draws the next sample node.
+  Result<NodeId> Draw();
+
+  /// Appends up to `count` samples to *out; stops at the first draw error
+  /// and returns it (already-appended samples are kept).
+  Status DrawInto(std::vector<NodeId>* out, size_t count);
+
+  /// Snapshot of the unified telemetry.
+  SessionStats Stats() const;
+
+  /// Which aggregate correction applies to this session's samples.
+  TargetBias bias() const { return BiasForWalkSpec(config_.walk); }
+
+  /// The stationary/target weight w(u) the sampler corrects to.
+  double TargetWeight(NodeId u) { return sampler_->TargetWeight(u); }
+
+  const SamplerConfig& config() const { return config_; }
+  NodeId start() const { return start_; }
+
+  // Escape hatches for code that needs the underlying pieces (restricted
+  // neighbor views, design probabilities); prefer Stats() for metrics.
+  AccessInterface& access() { return *access_; }
+  const AccessInterface& access() const { return *access_; }
+  Sampler& sampler() { return *sampler_; }
+  const TransitionDesign& design() const { return *design_; }
+
+ private:
+  SamplingSession(SamplerConfig config, NodeId start,
+                  std::unique_ptr<AccessInterface> access,
+                  std::unique_ptr<TransitionDesign> design,
+                  std::unique_ptr<Sampler> sampler)
+      : config_(std::move(config)),
+        start_(start),
+        access_(std::move(access)),
+        design_(std::move(design)),
+        sampler_(std::move(sampler)) {}
+
+  SamplerConfig config_;
+  NodeId start_;
+  std::unique_ptr<AccessInterface> access_;
+  std::unique_ptr<TransitionDesign> design_;
+  std::unique_ptr<Sampler> sampler_;
+  uint64_t samples_drawn_ = 0;
+};
+
+}  // namespace wnw

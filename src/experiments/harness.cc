@@ -11,20 +11,33 @@
 
 namespace wnw {
 
+Result<SamplerSpec> MakeSamplerSpec(const std::string& spec_string) {
+  WNW_ASSIGN_OR_RETURN(SamplerConfig config,
+                       SamplerConfig::Parse(spec_string));
+  // Validate beyond syntax so callers get an error here instead of a
+  // warning-logged zero-trial run later.
+  if (!SamplerRegistry::Global().Contains(config.sampler)) {
+    return Status::NotFound("unknown sampler '" + config.sampler + "' in '" +
+                            spec_string + "'");
+  }
+  if (MakeTransitionDesign(config.walk) == nullptr) {
+    return Status::InvalidArgument(
+        "unknown walk design '" + config.walk + "' in '" + spec_string +
+        "' (expected srw | mhrw | lazy | maxdeg:<bound>)");
+  }
+  SamplerSpec spec;
+  spec.label = config.ToSpec();
+  spec.config = std::move(config);
+  return spec;
+}
+
 SamplerSpec MakeBurnInSpec(const std::string& design_spec,
                            BurnInSampler::Options options) {
-  std::shared_ptr<TransitionDesign> design = MakeTransitionDesign(design_spec);
+  std::unique_ptr<TransitionDesign> design = MakeTransitionDesign(design_spec);
   WNW_CHECK(design != nullptr);
   SamplerSpec spec;
   spec.label = std::string(design->name());
-  spec.bias = design_spec == "srw" || design_spec == "lazy"
-                  ? TargetBias::kStationaryWeighted
-                  : TargetBias::kUniform;
-  spec.make = [design, options](AccessInterface* access, NodeId start,
-                                uint64_t seed) -> std::unique_ptr<Sampler> {
-    return std::make_unique<BurnInSampler>(access, design.get(), start,
-                                           options, seed);
-  };
+  spec.config = MakeBurnInConfig(design_spec, options);
   return spec;
 }
 
@@ -32,20 +45,11 @@ SamplerSpec MakeWalkEstimateSpec(const std::string& design_spec,
                                  WalkEstimateOptions options,
                                  WalkEstimateVariant variant,
                                  const std::string& label_suffix) {
-  std::shared_ptr<TransitionDesign> design = MakeTransitionDesign(design_spec);
-  WNW_CHECK(design != nullptr);
-  ApplyVariant(variant, &options);
+  WNW_CHECK(MakeTransitionDesign(design_spec) != nullptr);
   SamplerSpec spec;
   spec.label = std::string(VariantName(variant)) +
                (label_suffix.empty() ? "" : "-" + label_suffix);
-  spec.bias = design_spec == "srw" || design_spec == "lazy"
-                  ? TargetBias::kStationaryWeighted
-                  : TargetBias::kUniform;
-  spec.make = [design, options](AccessInterface* access, NodeId start,
-                                uint64_t seed) -> std::unique_ptr<Sampler> {
-    return std::make_unique<WalkEstimateSampler>(access, design.get(), start,
-                                                 options, seed);
-  };
+  spec.config = MakeWalkEstimateConfig(design_spec, options, variant);
   return spec;
 }
 
@@ -90,12 +94,18 @@ std::vector<CurvePoint> RunErrorVsCost(const SocialDataset& dataset,
       static_cast<size_t>(config.trials),
       [&](size_t trial) {
         Rng trial_rng(Mix64(config.seed ^ (0xabcd0000u + trial)));
-        const NodeId start =
-            static_cast<NodeId>(trial_rng.NextBounded(graph.num_nodes()));
-        AccessOptions access_opts = config.access;
-        access_opts.seed = trial_rng.Next();
-        AccessInterface access(&graph, access_opts);
-        auto session = sampler.make(&access, start, trial_rng.Next());
+        SessionOptions session_opts;
+        session_opts.access = config.access;
+        session_opts.access.seed = trial_rng.Next();
+        session_opts.seed = trial_rng.Next();
+        auto session_or = SamplingSession::Open(&graph, sampler.config,
+                                                session_opts);
+        if (!session_or.ok()) {
+          WNW_LOG(kWarning) << sampler.label << ": session open failed: "
+                            << session_or.status().ToString();
+          return;
+        }
+        SamplingSession& session = **session_or;
 
         std::vector<NodeId> samples;
         samples.reserve(static_cast<size_t>(max_samples));
@@ -104,7 +114,7 @@ std::vector<CurvePoint> RunErrorVsCost(const SocialDataset& dataset,
         std::vector<double> errors(points.size(),
                                    std::numeric_limits<double>::quiet_NaN());
         while (samples.size() < static_cast<size_t>(max_samples)) {
-          auto drawn = session->Draw();
+          auto drawn = session.Draw();
           if (!drawn.ok()) {
             WNW_LOG(kWarning) << sampler.label
                               << ": draw failed: " << drawn.status().ToString();
@@ -115,8 +125,9 @@ std::vector<CurvePoint> RunErrorVsCost(const SocialDataset& dataset,
                  samples.size() ==
                      static_cast<size_t>(points[checkpoint].samples)) {
             const double estimate =
-                EstimateAverage(samples, sampler.bias, theta, weight);
-            costs[checkpoint] = {access.query_cost(), access.total_queries()};
+                EstimateAverage(samples, sampler.bias(), theta, weight);
+            costs[checkpoint] = {session.access().query_cost(),
+                                 session.access().total_queries()};
             errors[checkpoint] = RelativeError(estimate, truth);
             ++checkpoint;
           }
@@ -143,6 +154,18 @@ std::vector<CurvePoint> RunErrorVsCost(const SocialDataset& dataset,
   return points;
 }
 
+Result<std::vector<CurvePoint>> RunErrorVsCost(
+    const SocialDataset& dataset, const AggregateSpec& aggregate,
+    const ErrorVsCostConfig& config) {
+  if (config.sampler_spec.empty()) {
+    return Status::InvalidArgument(
+        "ErrorVsCostConfig::sampler_spec is empty; set it or pass a "
+        "SamplerSpec explicitly");
+  }
+  WNW_ASSIGN_OR_RETURN(SamplerSpec spec, MakeSamplerSpec(config.sampler_spec));
+  return RunErrorVsCost(dataset, spec, aggregate, config);
+}
+
 BiasRunResult RunEmpiricalDistribution(const SocialDataset& dataset,
                                        const SamplerSpec& sampler,
                                        uint64_t num_samples, uint64_t seed,
@@ -163,16 +186,22 @@ BiasRunResult RunEmpiricalDistribution(const SocialDataset& dataset,
             num_samples / workers + (w < num_samples % workers ? 1 : 0);
         if (quota == 0) return;
         Rng rng(Mix64(seed ^ (0xb1a5'0000u + w)));
-        const NodeId start =
-            static_cast<NodeId>(rng.NextBounded(graph.num_nodes()));
-        AccessInterface access(&graph);
-        auto session = sampler.make(&access, start, rng.Next());
+        SessionOptions session_opts;
+        session_opts.seed = rng.Next();
+        auto session_or =
+            SamplingSession::Open(&graph, sampler.config, session_opts);
+        if (!session_or.ok()) {
+          WNW_LOG(kWarning) << sampler.label << ": session open failed: "
+                            << session_or.status().ToString();
+          return;
+        }
+        SamplingSession& session = **session_or;
         for (uint64_t i = 0; i < quota; ++i) {
-          auto drawn = session->Draw();
+          auto drawn = session.Draw();
           if (!drawn.ok()) break;
           partials[w].Add(drawn.value());
         }
-        costs[w] = access.query_cost();
+        costs[w] = session.access().query_cost();
       },
       static_cast<int>(workers));
 

@@ -5,34 +5,36 @@
 // averages 100 runs per data point; trials are configurable via WNW_TRIALS).
 #pragma once
 
-#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "access/access_interface.h"
-#include "core/samplers.h"
-#include "core/walk_estimate.h"
+#include "core/registry.h"
+#include "core/session.h"
 #include "datasets/social_datasets.h"
 #include "estimation/aggregates.h"
 #include "estimation/empirical.h"
-#include "mcmc/transition.h"
 
 namespace wnw {
 
-/// Factory for a sampling session bound to a fresh access interface.
-using SamplerFactory = std::function<std::unique_ptr<Sampler>(
-    AccessInterface* access, NodeId start, uint64_t seed)>;
-
+/// A labelled sampler configuration for experiment tables. Each trial opens
+/// a fresh SamplingSession from `config` through the registry.
 struct SamplerSpec {
   std::string label;
-  SamplerFactory make;
-  /// Which aggregate correction applies to this sampler's output.
-  TargetBias bias = TargetBias::kUniform;
+  SamplerConfig config;
+
+  /// Which aggregate correction applies to this sampler's output. Derived
+  /// from the walk design so it can never disagree with `config`.
+  TargetBias bias() const { return BiasForWalkSpec(config.walk); }
 };
 
-/// Ready-made specs for the paper's contenders. The returned spec owns its
-/// TransitionDesign via shared_ptr captured in the factory closure.
+/// Builds a SamplerSpec from a registry spec string ("we:mhrw?diameter=8");
+/// the label is the canonical spec and the bias follows the walk design.
+Result<SamplerSpec> MakeSamplerSpec(const std::string& spec_string);
+
+/// Ready-made specs for the paper's contenders — thin wrappers over the
+/// registry config builders, with the paper's figure labels.
 SamplerSpec MakeBurnInSpec(const std::string& design_spec,
                            BurnInSampler::Options options = {});
 SamplerSpec MakeWalkEstimateSpec(const std::string& design_spec,
@@ -53,6 +55,9 @@ struct ErrorVsCostConfig {
   uint64_t seed = 42;
   int threads = 0;  // 0 = hardware default
   AccessOptions access;  // restriction / rate-limit scenario
+  /// Registry spec string ("we:mhrw?diameter=8") used by the overload of
+  /// RunErrorVsCost that takes no SamplerSpec.
+  std::string sampler_spec;
 };
 
 struct CurvePoint {
@@ -70,6 +75,11 @@ std::vector<CurvePoint> RunErrorVsCost(const SocialDataset& dataset,
                                        const SamplerSpec& sampler,
                                        const AggregateSpec& aggregate,
                                        const ErrorVsCostConfig& config);
+
+/// Spec-string convenience: runs config.sampler_spec through the registry.
+Result<std::vector<CurvePoint>> RunErrorVsCost(const SocialDataset& dataset,
+                                               const AggregateSpec& aggregate,
+                                               const ErrorVsCostConfig& config);
 
 /// Exact ground truth for an AggregateSpec on a dataset.
 double GroundTruth(const SocialDataset& dataset,

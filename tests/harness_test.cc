@@ -14,10 +14,44 @@ SocialDataset TinyDataset() { return MakeSyntheticBA(400, 3, 11); }
 TEST(HarnessTest, BurnInSpecLabelsAndBias) {
   const auto srw = MakeBurnInSpec("srw");
   EXPECT_EQ(srw.label, "SRW");
-  EXPECT_EQ(srw.bias, TargetBias::kStationaryWeighted);
+  EXPECT_EQ(srw.bias(), TargetBias::kStationaryWeighted);
+  EXPECT_EQ(srw.config.ToSpec(), "burnin:srw");
   const auto mhrw = MakeBurnInSpec("mhrw");
   EXPECT_EQ(mhrw.label, "MHRW");
-  EXPECT_EQ(mhrw.bias, TargetBias::kUniform);
+  EXPECT_EQ(mhrw.bias(), TargetBias::kUniform);
+  EXPECT_EQ(mhrw.config.ToSpec(), "burnin:mhrw");
+}
+
+TEST(HarnessTest, SpecStringWrapper) {
+  const auto spec = MakeSamplerSpec("we:mhrw?diameter=8");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->label, "we:mhrw?diameter=8");
+  EXPECT_EQ(spec->bias(), TargetBias::kUniform);
+  EXPECT_EQ(spec->config.sampler, "we");
+  EXPECT_FALSE(MakeSamplerSpec("we?bad").ok());
+  // Validation goes beyond syntax: unknown sampler names and walk designs
+  // are rejected here, not warning-logged later.
+  EXPECT_EQ(MakeSamplerSpec("wee:srw").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(MakeSamplerSpec("we:mrhw").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(HarnessTest, ErrorVsCostFromSpecString) {
+  const SocialDataset ds = TinyDataset();
+  ErrorVsCostConfig config;
+  config.sample_counts = {5};
+  config.trials = 2;
+  config.seed = 3;
+  // Missing spec is an error, not a crash.
+  EXPECT_FALSE(RunErrorVsCost(ds, {"avg_deg", ""}, config).ok());
+  config.sampler_spec =
+      "we:srw?diameter=" + std::to_string(ds.diameter_estimate);
+  const auto curve = RunErrorVsCost(ds, {"avg_deg", ""}, config);
+  ASSERT_TRUE(curve.ok());
+  ASSERT_EQ(curve->size(), 1u);
+  EXPECT_EQ((*curve)[0].completed_trials, 2);
+  EXPECT_GT((*curve)[0].mean_query_cost, 0.0);
 }
 
 TEST(HarnessTest, WalkEstimateSpecLabels) {

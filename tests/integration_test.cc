@@ -6,8 +6,7 @@
 
 #include <memory>
 
-#include "core/samplers.h"
-#include "core/walk_estimate.h"
+#include "core/session.h"
 #include "datasets/social_datasets.h"
 #include "estimation/aggregates.h"
 #include "estimation/empirical.h"
@@ -47,17 +46,19 @@ TEST(IntegrationTest, Table1ShapeOnSmallScaleFree) {
 
 TEST(IntegrationTest, WeEstimatesDegreeOnSocialDataset) {
   const SocialDataset ds = MakeYelpLike(0.02, 9, false);
-  AccessInterface access(&ds.graph);
-  SimpleRandomWalk srw;
-  WalkEstimateOptions opts;
-  opts.diameter_bound = ds.diameter_estimate;
-  WalkEstimateSampler sampler(&access, &srw, 17, opts, 13);
+  SessionOptions sopts;
+  sopts.start = 17;
+  sopts.seed = 13;
+  auto session =
+      std::move(SamplingSession::Open(
+                    &ds.graph,
+                    "we:srw?diameter=" + std::to_string(ds.diameter_estimate),
+                    sopts))
+          .value();
   std::vector<NodeId> samples;
-  for (int i = 0; i < 400; ++i) {
-    samples.push_back(sampler.Draw().value());
-  }
+  ASSERT_TRUE(session->DrawInto(&samples, 400).ok());
   const double est = EstimateAverage(
-      samples, TargetBias::kStationaryWeighted,
+      samples, session->bias(),
       [&](NodeId u) { return static_cast<double>(ds.graph.Degree(u)); },
       [&](NodeId u) { return static_cast<double>(ds.graph.Degree(u)); });
   EXPECT_NEAR(est, ds.graph.average_degree(),
@@ -73,7 +74,6 @@ TEST(IntegrationTest, WeBeatsUncorrectedWalkBiasOnDegreeEstimate) {
   const double truth = ds.graph.average_degree();
 
   SimpleRandomWalk srw;
-  AccessInterface access(&ds.graph);
 
   // The uncorrected walk's limit (exact, no sampling noise).
   const auto pi = StationaryDistribution(ds.graph, srw);
@@ -84,13 +84,19 @@ TEST(IntegrationTest, WeBeatsUncorrectedWalkBiasOnDegreeEstimate) {
   ASSERT_GT(raw_est, 1.3 * truth);  // the bias WE must beat
 
   // WE over SRW with the proper Hansen-Hurwitz correction.
-  WalkEstimateOptions opts;
-  opts.diameter_bound = ds.diameter_estimate;
-  WalkEstimateSampler sampler(&access, &srw, 0, opts, 5);
+  SessionOptions sopts;
+  sopts.start = 0;
+  sopts.seed = 5;
+  auto session =
+      std::move(SamplingSession::Open(
+                    &ds.graph,
+                    "we:srw?diameter=" + std::to_string(ds.diameter_estimate),
+                    sopts))
+          .value();
   std::vector<NodeId> samples;
-  for (int i = 0; i < 500; ++i) samples.push_back(sampler.Draw().value());
+  ASSERT_TRUE(session->DrawInto(&samples, 500).ok());
   const double we_est = EstimateAverage(
-      samples, TargetBias::kStationaryWeighted,
+      samples, session->bias(),
       [&](NodeId u) { return static_cast<double>(ds.graph.Degree(u)); },
       [&](NodeId u) { return static_cast<double>(ds.graph.Degree(u)); });
 
@@ -101,17 +107,17 @@ TEST(IntegrationTest, FullPipelineUnderTruncatedAccess) {
   // §6.3.1: with bidirectional-check semantics and a generous cap, WE keeps
   // producing target-distributed samples on the *effective* graph.
   const Graph g = testing::MakeTestBA(120, 4);
-  AccessOptions aopts;
-  aopts.restriction = NeighborRestriction::kTruncated;
-  aopts.max_neighbors = 60;
-  AccessInterface access(&g, aopts);
-  MetropolisHastingsWalk mhrw;
-  WalkEstimateOptions opts;
-  opts.diameter_bound = 5;
-  WalkEstimateSampler sampler(&access, &mhrw, 3, opts, 21);
+  SessionOptions sopts;
+  sopts.access.restriction = NeighborRestriction::kTruncated;
+  sopts.access.max_neighbors = 60;
+  sopts.start = 3;
+  sopts.seed = 21;
+  auto session =
+      std::move(SamplingSession::Open(&g, "we:mhrw?diameter=5", sopts))
+          .value();
   EmpiricalDistribution dist(g.num_nodes());
   for (int i = 0; i < 4000; ++i) {
-    const auto s = sampler.Draw();
+    const auto s = session->Draw();
     ASSERT_TRUE(s.ok());
     dist.Add(s.value());
   }
@@ -121,18 +127,20 @@ TEST(IntegrationTest, FullPipelineUnderTruncatedAccess) {
 
 TEST(IntegrationTest, RateLimitedSessionAccountsWaiting) {
   const Graph g = testing::MakeTestBA(100, 3);
-  AccessOptions aopts;
-  aopts.rate_limit = {15, 900.0};  // Twitter-style
-  AccessInterface access(&g, aopts);
-  SimpleRandomWalk srw;
-  WalkEstimateOptions opts;
-  opts.diameter_bound = 4;
-  WalkEstimateSampler sampler(&access, &srw, 0, opts, 23);
-  for (int i = 0; i < 10; ++i) ASSERT_TRUE(sampler.Draw().ok());
+  SessionOptions sopts;
+  sopts.access.rate_limit = {15, 900.0};  // Twitter-style
+  sopts.start = 0;
+  sopts.seed = 23;
+  auto session =
+      std::move(SamplingSession::Open(&g, "we:srw?diameter=4", sopts))
+          .value();
+  std::vector<NodeId> samples;
+  ASSERT_TRUE(session->DrawInto(&samples, 10).ok());
   // Enough unique queries to trip the limiter several times.
-  EXPECT_GT(access.waited_seconds(), 0.0);
-  EXPECT_DOUBLE_EQ(access.waited_seconds(),
-                   900.0 * ((access.query_cost() - 1) / 15));
+  const SessionStats stats = session->Stats();
+  EXPECT_GT(stats.waited_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(stats.waited_seconds,
+                   900.0 * ((stats.query_cost - 1) / 15));
 }
 
 TEST(IntegrationTest, GewekeBaselineAndWeAgreeOnTruth) {
@@ -141,26 +149,26 @@ TEST(IntegrationTest, GewekeBaselineAndWeAgreeOnTruth) {
   const SocialDataset ds = MakeSyntheticBA(500, 4, 31);
   const double truth = ds.graph.average_degree();
 
-  AccessInterface a1(&ds.graph), a2(&ds.graph);
-  SimpleRandomWalk srw;
-  BurnInSampler::Options bopts;
-  bopts.min_steps = 80;
-  bopts.max_steps = 4000;
-  BurnInSampler baseline(&a1, &srw, 7, bopts, 33);
-  WalkEstimateOptions wopts;
-  wopts.diameter_bound = ds.diameter_estimate;
-  WalkEstimateSampler we(&a2, &srw, 7, wopts, 35);
-
-  auto estimate_with = [&](Sampler& s, int n) {
+  auto estimate_with = [&](const std::string& spec, uint64_t seed, int n) {
+    SessionOptions sopts;
+    sopts.start = 7;
+    sopts.seed = seed;
+    auto session =
+        std::move(SamplingSession::Open(&ds.graph, spec, sopts)).value();
     std::vector<NodeId> samples;
-    for (int i = 0; i < n; ++i) samples.push_back(s.Draw().value());
+    EXPECT_TRUE(session->DrawInto(&samples, n).ok());
     return EstimateAverage(
-        samples, TargetBias::kStationaryWeighted,
+        samples, session->bias(),
         [&](NodeId u) { return static_cast<double>(ds.graph.Degree(u)); },
         [&](NodeId u) { return static_cast<double>(ds.graph.Degree(u)); });
   };
-  EXPECT_NEAR(estimate_with(baseline, 300), truth, 0.3 * truth);
-  EXPECT_NEAR(estimate_with(we, 300), truth, 0.3 * truth);
+  EXPECT_NEAR(
+      estimate_with("burnin:srw?min_steps=80&max_steps=4000", 33, 300),
+      truth, 0.3 * truth);
+  EXPECT_NEAR(estimate_with(
+                  "we:srw?diameter=" + std::to_string(ds.diameter_estimate),
+                  35, 300),
+              truth, 0.3 * truth);
 }
 
 }  // namespace

@@ -1,0 +1,131 @@
+#include "core/session.h"
+
+#include <gtest/gtest.h>
+
+#include "estimation/aggregates.h"
+#include "test_util.h"
+
+namespace wnw {
+namespace {
+
+TEST(SamplingSessionTest, OpenRejectsBadInput) {
+  const Graph g = testing::MakeTestBA(60, 3);
+  // Null / empty graph.
+  EXPECT_FALSE(SamplingSession::Open(nullptr, "we:srw").ok());
+  // Malformed spec propagates the parse error.
+  EXPECT_EQ(SamplingSession::Open(&g, "we?diameter").status().code(),
+            StatusCode::kInvalidArgument);
+  // Unknown walk design.
+  EXPECT_EQ(SamplingSession::Open(&g, "we:zigzag").status().code(),
+            StatusCode::kInvalidArgument);
+  // Start node outside the graph.
+  SessionOptions opts;
+  opts.start = 1000;
+  EXPECT_EQ(SamplingSession::Open(&g, "burnin:srw", opts).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(SamplingSessionTest, HonorsExplicitStartNode) {
+  const Graph g = testing::MakeTestBA(60, 3);
+  SessionOptions opts;
+  opts.start = 17;
+  auto session = std::move(SamplingSession::Open(&g, "burnin:srw", opts))
+                     .value();
+  EXPECT_EQ(session->start(), 17u);
+}
+
+TEST(SamplingSessionTest, SameSeedSameSamples) {
+  const Graph g = testing::MakeTestBA(80, 3);
+  SessionOptions opts;
+  opts.seed = 99;
+  auto a = std::move(SamplingSession::Open(&g, "we:srw?diameter=4", opts))
+               .value();
+  auto b = std::move(SamplingSession::Open(&g, "we:srw?diameter=4", opts))
+               .value();
+  EXPECT_EQ(a->start(), b->start());
+  std::vector<NodeId> sa, sb;
+  ASSERT_TRUE(a->DrawInto(&sa, 20).ok());
+  ASSERT_TRUE(b->DrawInto(&sb, 20).ok());
+  EXPECT_EQ(sa, sb);
+}
+
+TEST(SamplingSessionTest, BiasFollowsWalkDesign) {
+  const Graph g = testing::MakeTestBA(60, 3);
+  auto srw = std::move(SamplingSession::Open(&g, "we:srw?diameter=4")).value();
+  auto mhrw =
+      std::move(SamplingSession::Open(&g, "we:mhrw?diameter=4")).value();
+  EXPECT_EQ(srw->bias(), TargetBias::kStationaryWeighted);
+  EXPECT_EQ(mhrw->bias(), TargetBias::kUniform);
+  // TargetWeight is the sampler's, surfaced through the facade: degree for
+  // SRW, constant for MHRW.
+  EXPECT_DOUBLE_EQ(srw->TargetWeight(0), static_cast<double>(g.Degree(0)));
+  EXPECT_DOUBLE_EQ(mhrw->TargetWeight(0), mhrw->TargetWeight(1));
+}
+
+TEST(SamplingSessionTest, StatsUnifyAccessAndSamplerTelemetry) {
+  const Graph g = testing::MakeTestBA(80, 3);
+  SessionOptions opts;
+  opts.seed = 5;
+  auto session =
+      std::move(SamplingSession::Open(&g, "we:srw?diameter=4", opts)).value();
+  std::vector<NodeId> samples;
+  ASSERT_TRUE(session->DrawInto(&samples, 25).ok());
+
+  const SessionStats stats = session->Stats();
+  EXPECT_EQ(stats.spec, "we:srw?diameter=4");
+  EXPECT_EQ(stats.samples_drawn, 25u);
+  EXPECT_GT(stats.query_cost, 0u);
+  EXPECT_GE(stats.total_queries, stats.query_cost);
+  EXPECT_GE(stats.candidates_tried, stats.samples_accepted);
+  EXPECT_EQ(stats.samples_accepted, 25u);
+  EXPECT_GT(stats.acceptance_rate, 0.0);
+  EXPECT_LE(stats.acceptance_rate, 1.0);
+  EXPECT_GT(stats.forward_steps, 0u);
+  EXPECT_GT(stats.backward_walks, 0u);
+  // The facade's numbers match the underlying access interface.
+  EXPECT_EQ(stats.query_cost, session->access().query_cost());
+  EXPECT_EQ(stats.total_queries, session->access().total_queries());
+}
+
+TEST(SamplingSessionTest, BurnInTelemetryFlowsThroughStats) {
+  const Graph g = testing::MakeTestBA(60, 3);
+  auto session = std::move(SamplingSession::Open(
+                               &g, "burnin:srw?min_steps=30&max_steps=500"))
+                     .value();
+  std::vector<NodeId> samples;
+  ASSERT_TRUE(session->DrawInto(&samples, 5).ok());
+  const SessionStats stats = session->Stats();
+  EXPECT_GE(stats.last_burn_in, 30);
+  EXPECT_GE(stats.average_burn_in, 30.0);
+  EXPECT_TRUE(stats.burned_in);
+  EXPECT_EQ(stats.candidates_tried, 0u);  // not a rejection sampler
+}
+
+TEST(SamplingSessionTest, PathSamplerReportsAmortization) {
+  const Graph g = testing::MakeTestBA(80, 3);
+  auto session =
+      std::move(SamplingSession::Open(&g, "we-path:srw?diameter=4")).value();
+  std::vector<NodeId> samples;
+  ASSERT_TRUE(session->DrawInto(&samples, 30).ok());
+  const SessionStats stats = session->Stats();
+  EXPECT_GT(stats.walks_run, 0u);
+  EXPECT_GT(stats.samples_per_walk, 0.0);
+  EXPECT_EQ(stats.samples_accepted, 30u);
+}
+
+TEST(SamplingSessionTest, RestrictedAccessScenarioApplies) {
+  const Graph g = testing::MakeTestBA(100, 4);
+  SessionOptions opts;
+  opts.access.restriction = NeighborRestriction::kTruncated;
+  opts.access.max_neighbors = 50;
+  auto session =
+      std::move(SamplingSession::Open(&g, "we:srw?diameter=5", opts)).value();
+  EXPECT_EQ(session->access().options().restriction,
+            NeighborRestriction::kTruncated);
+  std::vector<NodeId> samples;
+  ASSERT_TRUE(session->DrawInto(&samples, 10).ok());
+  EXPECT_EQ(samples.size(), 10u);
+}
+
+}  // namespace
+}  // namespace wnw

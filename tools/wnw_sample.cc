@@ -1,15 +1,19 @@
 // wnw_sample: command-line node sampler over an edge-list graph or a
 // built-in synthetic dataset, exercising the library end to end.
 //
+// The sampler is chosen with a registry spec string:
+//   <sampler>[:<walk>][?key=value&...]
+// e.g. "we:mhrw", "we:mhrw?variant=crawl&diameter=10",
+//      "burnin:srw?max_steps=20000", "longrun:srw?thinning=4", "we-path:mhrw"
+//
 // Usage:
 //   wnw_sample [--graph FILE | --dataset ba:N,M|gplus|yelp|twitter|small]
-//              [--sampler we|we-path|burnin|longrun] [--walk srw|mhrw]
-//              [--samples N] [--seed S] [--scale X]
+//              [--spec SPEC] [--samples N] [--seed S] [--scale X]
 //              [--diameter-bound D] [--estimate-degree] [--quiet]
 //
 // Examples:
-//   wnw_sample --dataset ba:20000,5 --sampler we --walk mhrw --samples 100
-//   wnw_sample --graph my_edges.txt --sampler burnin --walk srw \
+//   wnw_sample --dataset ba:20000,5 --spec we:mhrw --samples 100
+//   wnw_sample --graph my_edges.txt --spec "burnin:srw?max_steps=5000" \
 //              --samples 50 --estimate-degree
 #include <cstdio>
 #include <cstring>
@@ -17,15 +21,13 @@
 #include <string>
 #include <vector>
 
-#include "core/path_sampler.h"
-#include "core/samplers.h"
-#include "core/walk_estimate.h"
+#include "core/registry.h"
+#include "core/session.h"
 #include "datasets/social_datasets.h"
 #include "estimation/aggregates.h"
 #include "graph/algorithms.h"
 #include "graph/generators.h"
 #include "graph/io.h"
-#include "mcmc/transition.h"
 #include "util/string_util.h"
 
 namespace {
@@ -35,8 +37,7 @@ using namespace wnw;
 struct Args {
   std::string graph_path;
   std::string dataset = "ba:10000,5";
-  std::string sampler = "we";
-  std::string walk = "srw";
+  std::string spec = "we:srw";
   uint64_t samples = 100;
   uint64_t seed = 20260611;
   double scale = 0.25;
@@ -48,12 +49,17 @@ struct Args {
 void PrintUsage() {
   std::fprintf(
       stderr,
-      "usage: wnw_sample [--graph FILE | --dataset SPEC] [--sampler "
-      "we|we-path|burnin|longrun]\n"
-      "                  [--walk srw|mhrw] [--samples N] [--seed S]\n"
-      "                  [--scale X] [--diameter-bound D]\n"
-      "                  [--estimate-degree] [--quiet]\n"
-      "dataset SPEC: ba:N,M | gplus | yelp | twitter | small\n");
+      "usage: wnw_sample [--graph FILE | --dataset SPEC] [--spec SAMPLER]\n"
+      "                  [--samples N] [--seed S] [--scale X]\n"
+      "                  [--diameter-bound D] [--estimate-degree] [--quiet]\n"
+      "dataset SPEC: ba:N,M | gplus | yelp | twitter | small\n"
+      "sampler SPEC: <sampler>[:<walk>][?key=value&...], "
+      "walk = srw|mhrw|lazy|maxdeg:<bound>\n"
+      "registered samplers:\n");
+  for (const auto& name : SamplerRegistry::Global().Names()) {
+    std::fprintf(stderr, "  %-8s %s\n", name.c_str(),
+                 SamplerRegistry::Global().Summary(name).c_str());
+  }
 }
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -70,14 +76,10 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       const char* v = next();
       if (v == nullptr) return false;
       args->dataset = v;
-    } else if (flag == "--sampler") {
+    } else if (flag == "--spec") {
       const char* v = next();
       if (v == nullptr) return false;
-      args->sampler = v;
-    } else if (flag == "--walk") {
-      const char* v = next();
-      if (v == nullptr) return false;
-      args->walk = v;
+      args->spec = v;
     } else if (flag == "--samples") {
       const char* v = next();
       if (v == nullptr || !ParseUint64(v, &args->samples)) return false;
@@ -158,56 +160,46 @@ int main(int argc, char** argv) {
   const Graph graph = std::move(graph_result).value();
   std::fprintf(stderr, "graph: %s\n", graph.DebugString().c_str());
 
-  auto design = MakeTransitionDesign(args.walk);
-  if (design == nullptr) {
-    std::fprintf(stderr, "error: unknown walk design '%s'\n",
-                 args.walk.c_str());
+  auto config_result = SamplerConfig::Parse(args.spec);
+  if (!config_result.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 config_result.status().ToString().c_str());
+    PrintUsage();
     return 2;
   }
+  SamplerConfig config = std::move(config_result).value();
 
-  int diameter_bound = args.diameter_bound;
-  if (diameter_bound == 0) {
-    Rng rng(args.seed + 1);
-    diameter_bound = static_cast<int>(
-        EstimateDiameterDoubleSweep(graph, rng).value_or(10));
-    std::fprintf(stderr, "diameter bound (double sweep): %d\n",
-                 diameter_bound);
+  // WALK-ESTIMATE family: fill in the diameter bound when the spec does not
+  // pin one, from --diameter-bound or a double-sweep estimate.
+  if (config.sampler.rfind("we", 0) == 0 && !config.params.contains("diameter")) {
+    int diameter_bound = args.diameter_bound;
+    if (diameter_bound == 0) {
+      Rng rng(args.seed + 1);
+      diameter_bound = static_cast<int>(
+          EstimateDiameterDoubleSweep(graph, rng).value_or(10));
+      std::fprintf(stderr, "diameter bound (double sweep): %d\n",
+                   diameter_bound);
+    }
+    config.SetInt("diameter", diameter_bound);
   }
 
-  AccessInterface access(&graph);
-  Rng start_rng(args.seed + 2);
-  const NodeId start =
-      static_cast<NodeId>(start_rng.NextBounded(graph.num_nodes()));
-
-  std::unique_ptr<Sampler> sampler;
-  WalkEstimateOptions wopts;
-  wopts.diameter_bound = diameter_bound;
-  if (args.sampler == "we") {
-    sampler = std::make_unique<WalkEstimateSampler>(&access, design.get(),
-                                                    start, wopts, args.seed);
-  } else if (args.sampler == "we-path") {
-    WalkEstimatePathSampler::Options popts;
-    popts.base = wopts;
-    sampler = std::make_unique<WalkEstimatePathSampler>(
-        &access, design.get(), start, popts, args.seed);
-  } else if (args.sampler == "burnin") {
-    sampler = std::make_unique<BurnInSampler>(&access, design.get(), start,
-                                              BurnInSampler::Options{},
-                                              args.seed);
-  } else if (args.sampler == "longrun") {
-    sampler = std::make_unique<OneLongRunSampler>(
-        &access, design.get(), start, OneLongRunSampler::Options{},
-        args.seed);
-  } else {
-    std::fprintf(stderr, "error: unknown sampler '%s'\n",
-                 args.sampler.c_str());
+  SessionOptions session_opts;
+  session_opts.seed = args.seed + 2;
+  auto session_result = SamplingSession::Open(&graph, config, session_opts);
+  if (!session_result.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 session_result.status().ToString().c_str());
+    PrintUsage();
     return 2;
   }
+  SamplingSession& session = **session_result;
+  std::fprintf(stderr, "sampler: %s (start node %u)\n",
+               session.config().ToSpec().c_str(), session.start());
 
   std::vector<NodeId> samples;
   samples.reserve(args.samples);
   while (samples.size() < args.samples) {
-    const auto s = sampler->Draw();
+    const auto s = session.Draw();
     if (!s.ok()) {
       std::fprintf(stderr, "draw failed: %s\n", s.status().ToString().c_str());
       break;
@@ -216,18 +208,25 @@ int main(int argc, char** argv) {
     if (!args.quiet) std::printf("%u\n", s.value());
   }
 
+  const SessionStats stats = session.Stats();
   std::fprintf(stderr,
-               "drawn: %zu samples  query cost: %llu unique nodes "
+               "drawn: %llu samples  query cost: %llu unique nodes "
                "(%llu API calls)\n",
-               samples.size(),
-               static_cast<unsigned long long>(access.query_cost()),
-               static_cast<unsigned long long>(access.total_queries()));
+               static_cast<unsigned long long>(stats.samples_drawn),
+               static_cast<unsigned long long>(stats.query_cost),
+               static_cast<unsigned long long>(stats.total_queries));
+  if (stats.candidates_tried > 0) {
+    std::fprintf(stderr, "acceptance rate: %.3f (%llu candidates)\n",
+                 stats.acceptance_rate,
+                 static_cast<unsigned long long>(stats.candidates_tried));
+  }
+  if (stats.average_burn_in > 0) {
+    std::fprintf(stderr, "average burn-in: %.1f steps\n",
+                 stats.average_burn_in);
+  }
   if (args.estimate_degree && !samples.empty()) {
-    const bool uniform_target = args.walk == "mhrw";
     const double est = EstimateAverage(
-        samples,
-        uniform_target ? TargetBias::kUniform
-                       : TargetBias::kStationaryWeighted,
+        samples, session.bias(),
         [&](NodeId u) { return static_cast<double>(graph.Degree(u)); },
         [&](NodeId u) { return static_cast<double>(graph.Degree(u)); });
     std::fprintf(stderr, "avg degree estimate: %.4f (true %.4f)\n", est,
