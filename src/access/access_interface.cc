@@ -2,97 +2,118 @@
 
 #include <algorithm>
 
-#include "random/sampling.h"
+#include "access/decorators.h"
 #include "util/check.h"
+#include "util/logging.h"
 
 namespace wnw {
 
 AccessInterface::AccessInterface(const Graph* graph, AccessOptions options)
-    : graph_(graph),
-      options_(options),
-      limiter_(options.rate_limit),
-      server_rng_(Mix64(options.seed)),
-      seen_(graph->num_nodes(), 0) {
-  if (options_.restriction != NeighborRestriction::kNone) {
-    WNW_CHECK(options_.max_neighbors > 0);
-  }
+    : AccessInterface(BuildBackendStack(graph, {.access = options,
+                                                .latency = std::nullopt})) {}
+
+AccessInterface::AccessInterface(std::shared_ptr<AccessBackend> backend,
+                                 std::shared_ptr<QueryCache> cache)
+    : backend_(std::move(backend)),
+      cache_(std::move(cache)),
+      cacheable_(false),
+      seen_(0) {
+  WNW_CHECK(backend_ != nullptr);
+  cacheable_ = backend_->deterministic();
+  seen_.assign(backend_->num_nodes(), 0);
 }
 
-void AccessInterface::Touch(NodeId u) {
-  WNW_DCHECK(u < graph_->num_nodes());
-  ++total_queries_;
+std::span<const NodeId> AccessInterface::FetchLocal(NodeId u) {
+  WNW_DCHECK(u < seen_.size());
+  if (cacheable_) {
+    const auto it = local_cache_.find(u);
+    if (it != local_cache_.end()) return it->second;
+    if (cache_ != nullptr) {
+      std::vector<NodeId> list;
+      if (cache_->Lookup(u, &list)) {
+        // History reuse: another session already paid for this node.
+        ++meter_.shared_cache_hits;
+        seen_[u] = 1;
+        return local_cache_.emplace(u, std::move(list)).first->second;
+      }
+    }
+  }
+  auto reply = backend_->FetchNeighbors(u);
+  if (!reply.ok()) {
+    // Backends only fail on programmer error or an exhausted simulated
+    // retry budget; neither is recoverable mid-walk.
+    WNW_LOG(kError) << "backend fetch failed: " << reply.status().ToString();
+    WNW_CHECK(reply.ok());
+  }
+  ++meter_.backend_fetches;
+  meter_.waited_seconds += reply->simulated_seconds;
   if (seen_[u] == 0) {
     seen_[u] = 1;
-    ++unique_queries_;
-    limiter_.OnQuery();
+    ++meter_.unique_cost;
   }
+  if (cacheable_) {
+    if (cache_ != nullptr) cache_->Insert(u, reply->neighbors);
+    return local_cache_.emplace(u, std::move(reply->neighbors)).first->second;
+  }
+  scratch_ = std::move(reply->neighbors);
+  return scratch_;
 }
 
-std::span<const NodeId> AccessInterface::TruncatedList(NodeId u) {
-  const auto full = graph_->Neighbors(u);
-  const uint32_t cap = options_.max_neighbors;
-  if (full.size() <= cap) return full;
-
-  auto it = fixed_subsets_.find(u);
-  if (it == fixed_subsets_.end()) {
-    std::vector<NodeId> subset;
-    subset.reserve(cap);
-    if (options_.restriction == NeighborRestriction::kTruncated) {
-      // Type 3: a fixed arbitrary prefix of the neighbor list.
-      subset.assign(full.begin(), full.begin() + cap);
-    } else {
-      // Type 2: a fixed random k-subset, deterministic per node given the
-      // server seed (the remote service always answers the same way).
-      Rng node_rng(Mix64(options_.seed ^ (0x9e3779b97f4a7c15ull * (u + 1))));
-      const auto picks = SampleWithoutReplacement(
-          static_cast<uint32_t>(full.size()), cap, node_rng);
-      for (uint32_t idx : picks) subset.push_back(full[idx]);
-      std::sort(subset.begin(), subset.end());
+void AccessInterface::Prefetch(std::span<const NodeId> nodes) {
+  if (!cacheable_) return;  // nothing stable to hold on to
+  batch_buf_.clear();
+  for (NodeId u : nodes) {
+    WNW_DCHECK(u < seen_.size());
+    if (local_cache_.find(u) != local_cache_.end()) continue;
+    if (cache_ != nullptr) {
+      std::vector<NodeId> list;
+      if (cache_->Lookup(u, &list)) {
+        ++meter_.shared_cache_hits;
+        seen_[u] = 1;
+        local_cache_.emplace(u, std::move(list));
+        continue;
+      }
     }
-    it = fixed_subsets_.emplace(u, std::move(subset)).first;
+    batch_buf_.push_back(u);
   }
-  return it->second;
+  if (batch_buf_.empty()) return;
+  std::sort(batch_buf_.begin(), batch_buf_.end());
+  batch_buf_.erase(std::unique(batch_buf_.begin(), batch_buf_.end()),
+                   batch_buf_.end());
+
+  auto reply = backend_->FetchBatch(batch_buf_);
+  if (!reply.ok()) {
+    WNW_LOG(kError) << "backend batch fetch failed: "
+                    << reply.status().ToString();
+    WNW_CHECK(reply.ok());
+  }
+  meter_.backend_fetches += batch_buf_.size();
+  meter_.waited_seconds += reply->simulated_seconds;
+  for (size_t i = 0; i < batch_buf_.size(); ++i) {
+    const NodeId u = batch_buf_[i];
+    if (seen_[u] == 0) {
+      seen_[u] = 1;
+      ++meter_.unique_cost;
+    }
+    if (cache_ != nullptr) cache_->Insert(u, reply->lists[i]);
+    local_cache_.emplace(u, std::move(reply->lists[i]));
+  }
 }
 
 std::span<const NodeId> AccessInterface::Neighbors(NodeId u) {
-  Touch(u);
-  const auto full = graph_->Neighbors(u);
-  switch (options_.restriction) {
-    case NeighborRestriction::kNone:
-      return full;
-    case NeighborRestriction::kRandomSubset: {
-      const uint32_t cap = options_.max_neighbors;
-      if (full.size() <= cap) return full;
-      scratch_.clear();
-      const auto picks = SampleWithoutReplacement(
-          static_cast<uint32_t>(full.size()), cap, server_rng_);
-      for (uint32_t idx : picks) scratch_.push_back(full[idx]);
-      return scratch_;
-    }
-    case NeighborRestriction::kFixedSubset:
-    case NeighborRestriction::kTruncated:
-      return TruncatedList(u);
-  }
-  return full;
+  ++meter_.total_queries;
+  return FetchLocal(u);
 }
 
 uint32_t AccessInterface::Degree(NodeId u) {
   return static_cast<uint32_t>(Neighbors(u).size());
 }
 
-bool AccessInterface::VisibleFrom(NodeId v, NodeId u) {
-  Touch(v);
-  const auto full = graph_->Neighbors(v);
-  if (full.size() <= options_.max_neighbors) return true;
-  const auto list = TruncatedList(v);
-  return std::binary_search(list.begin(), list.end(), u);
-}
-
 std::span<const NodeId> AccessInterface::EffectiveNeighbors(NodeId u) {
-  switch (options_.restriction) {
+  const AccessOptions& opts = backend_->options();
+  switch (opts.restriction) {
     case NeighborRestriction::kNone:
-      Touch(u);
-      return graph_->Neighbors(u);
+      return Neighbors(u);
     case NeighborRestriction::kRandomSubset:
       WNW_CHECK(false &&
                 "EffectiveNeighbors undefined under kRandomSubset; use "
@@ -102,23 +123,31 @@ std::span<const NodeId> AccessInterface::EffectiveNeighbors(NodeId u) {
     case NeighborRestriction::kTruncated:
       break;
   }
-  Touch(u);
-  if (!options_.bidirectional_check) return TruncatedList(u);
-  auto it = effective_cache_.find(u);
-  if (it == effective_cache_.end()) {
-    std::vector<NodeId> effective;
-    const auto candidates = TruncatedList(u);
-    effective.reserve(candidates.size());
-    for (NodeId v : candidates) {
-      if (VisibleFrom(v, u)) effective.push_back(v);
+  ++meter_.total_queries;
+  const auto raw = FetchLocal(u);
+  if (!opts.bidirectional_check) return raw;
+  const auto it = effective_cache_.find(u);
+  if (it != effective_cache_.end()) return it->second;
+  // Mutual-visibility filter: every candidate endpoint is probed (and
+  // billed); the probes are independent, so batch them — a latency backend
+  // serves the whole ring in one simulated round trip.
+  Prefetch(raw);
+  std::vector<NodeId> effective;
+  effective.reserve(raw.size());
+  for (NodeId v : raw) {
+    ++meter_.total_queries;  // the probe of v's list
+    const auto vlist = FetchLocal(v);
+    // u is visible from v iff v's (possibly truncated) response lists it;
+    // untruncated responses always do (u and v are graph neighbors).
+    if (std::find(vlist.begin(), vlist.end(), u) != vlist.end()) {
+      effective.push_back(v);
     }
-    it = effective_cache_.emplace(u, std::move(effective)).first;
   }
-  return it->second;
+  return effective_cache_.emplace(u, std::move(effective)).first->second;
 }
 
 NodeId AccessInterface::SampleNeighbor(NodeId u, Rng& rng) {
-  if (options_.restriction == NeighborRestriction::kRandomSubset) {
+  if (backend_->options().restriction == NeighborRestriction::kRandomSubset) {
     const auto list = Neighbors(u);
     if (list.empty()) return kInvalidNode;
     return list[rng.NextBounded(list.size())];
@@ -130,9 +159,10 @@ NodeId AccessInterface::SampleNeighbor(NodeId u, Rng& rng) {
 
 void AccessInterface::ResetCounters() {
   std::fill(seen_.begin(), seen_.end(), 0);
-  unique_queries_ = 0;
-  total_queries_ = 0;
-  limiter_.Reset();
+  meter_.Reset();
+  local_cache_.clear();
+  effective_cache_.clear();
+  backend_->ResetSimulation();
 }
 
 double EstimateDegreeMarkRecapture(AccessInterface& access, NodeId u,

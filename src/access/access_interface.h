@@ -1,57 +1,56 @@
-// The simulated online-social-network web interface (paper §2.1): the ONLY
-// way samplers may observe the graph. It answers local-neighborhood queries
-// ("given node v, return N(v)"), counts the paper's cost metric (number of
-// distinct nodes accessed), and can impose the §6.3.1 access restrictions:
+// The per-session view of the simulated online-social-network web interface
+// (paper §2.1): the ONLY way samplers may observe the graph. It answers
+// local-neighborhood queries ("given node v, return N(v)"), counts the
+// paper's cost metric (number of distinct nodes accessed) in a CostMeter,
+// and layers per-session caches over a pluggable, thread-safe AccessBackend:
+//
+//   AccessInterface (this class: CostMeter + per-session caches, NOT
+//   thread-safe — one per concurrent trial)
+//     -> optional shared QueryCache (cross-session history reuse; hits are
+//        free: no backend fetch, no distinct-node cost, no simulated wait)
+//       -> AccessBackend stack (rate limit / latency decorators over the
+//          InMemoryBackend restriction simulation; see access/backend.h)
+//
+// The §6.3.1 access restrictions are implemented by the backend:
 //
 //   type 1 (kRandomSubset) — each invocation returns a fresh random k-subset,
 //   type 2 (kFixedSubset)  — a fixed random k-subset per node,
 //   type 3 (kTruncated)    — the first l neighbors (arbitrary but fixed).
 //
 // Under types 2/3, traversable edges use the paper's bidirectional-check
-// semantics: edge (u,v) is usable iff v ∈ T(u) and u ∈ T(v).
+// semantics: edge (u,v) is usable iff v ∈ T(u) and u ∈ T(v); the probe of
+// every candidate is billed — and batched through FetchBatch, so a
+// latency-simulating backend serves the probes concurrently.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
-#include "access/rate_limiter.h"
+#include "access/backend.h"
+#include "access/cost_meter.h"
+#include "access/query_cache.h"
 #include "graph/graph.h"
 #include "random/rng.h"
 
 namespace wnw {
 
-enum class NeighborRestriction {
-  kNone = 0,      // full neighbor lists (the common case in the paper)
-  kRandomSubset,  // type 1
-  kFixedSubset,   // type 2
-  kTruncated,     // type 3
-};
-
-struct AccessOptions {
-  NeighborRestriction restriction = NeighborRestriction::kNone;
-
-  /// k (types 1/2) or l (type 3); ignored for kNone. Lists shorter than the
-  /// cap are returned in full.
-  uint32_t max_neighbors = 0;
-
-  /// §6.3.1: only traverse mutually visible edges (types 2/3).
-  bool bidirectional_check = true;
-
-  /// Optional rate-limit simulation ({0,0} disables).
-  RateLimitConfig rate_limit;
-
-  /// Server-side randomness (type-1 subsets, type-2 per-node subsets).
-  uint64_t seed = 0x5eedu;
-};
-
 /// A sampling session against one simulated OSN. Not thread-safe; create one
-/// interface per concurrent trial (the underlying Graph is shared and
-/// immutable).
+/// interface per concurrent trial (the backend and the optional QueryCache
+/// are thread-safe and shared).
 class AccessInterface {
  public:
+  /// Convenience: builds and owns a private InMemoryBackend (wrapped in a
+  /// RateLimitBackend when options.rate_limit is set). This is the
+  /// pre-backend constructor every in-process consumer already uses.
   explicit AccessInterface(const Graph* graph, AccessOptions options = {});
+
+  /// The pluggable path: a session view over a shared backend stack, with an
+  /// optional cross-session QueryCache.
+  explicit AccessInterface(std::shared_ptr<AccessBackend> backend,
+                           std::shared_ptr<QueryCache> cache = nullptr);
 
   // --- the web API ---------------------------------------------------------
 
@@ -64,6 +63,16 @@ class AccessInterface {
   /// mark–recapture estimate should be used for analytics instead.
   uint32_t Degree(NodeId u);
 
+  /// Batched warm-up: fetches every not-yet-cached node in `nodes` through
+  /// one AccessBackend::FetchBatch call. Distinct-node cost and simulated
+  /// waiting are billed exactly as if each node were queried individually —
+  /// but a latency-simulating backend serves the batch concurrently, so the
+  /// session waits for the slowest request instead of the sum. Only call on
+  /// node sets the algorithm is guaranteed to query anyway (crawl frontiers,
+  /// bidirectional probes, candidate batches); no-op under kRandomSubset
+  /// (responses are not stable enough to hold on to).
+  void Prefetch(std::span<const NodeId> nodes);
+
   // --- traversal view ------------------------------------------------------
 
   /// The traversable neighbor list of u: full list (kNone), the fixed
@@ -73,7 +82,9 @@ class AccessInterface {
   /// not stable) — use SampleNeighbor there.
   std::span<const NodeId> EffectiveNeighbors(NodeId u);
 
-  uint32_t EffectiveDegree(NodeId u) { return static_cast<uint32_t>(EffectiveNeighbors(u).size()); }
+  uint32_t EffectiveDegree(NodeId u) {
+    return static_cast<uint32_t>(EffectiveNeighbors(u).size());
+  }
 
   /// Uniform draw from the traversable neighbors; under kRandomSubset draws
   /// from a fresh server-sampled subset (uniform over N(u) overall).
@@ -82,45 +93,49 @@ class AccessInterface {
 
   // --- accounting ----------------------------------------------------------
 
-  /// The paper's cost metric: number of distinct nodes accessed so far.
-  uint64_t query_cost() const { return unique_queries_; }
+  /// The paper's cost metric: distinct nodes this session queried the
+  /// backend for (shared-cache hits are free).
+  uint64_t query_cost() const { return meter_.unique_cost; }
 
   /// All API invocations including repeat visits (cache hits).
-  uint64_t total_queries() const { return total_queries_; }
+  uint64_t total_queries() const { return meter_.total_queries; }
 
-  /// Simulated seconds spent blocked by the rate limiter.
-  double waited_seconds() const { return limiter_.waited_seconds(); }
+  /// Simulated seconds this session's requests would have taken (network
+  /// latency, retry backoff, rate-limit waiting).
+  double waited_seconds() const { return meter_.waited_seconds; }
+
+  /// Full per-session accounting.
+  const CostMeter& meter() const { return meter_; }
 
   bool Seen(NodeId u) const { return seen_[u] != 0; }
 
-  /// Resets counters (not the server-side subset choices, which model the
-  /// remote service and persist).
+  /// Resets per-session counters and caches, and the simulated client state
+  /// of the backend (rate-limit windows). Server-side subset choices
+  /// persist — they model the remote service. Avoid mid-experiment when the
+  /// backend is shared with live sessions.
   void ResetCounters();
 
-  const Graph& graph() const { return *graph_; }
-  const AccessOptions& options() const { return options_; }
+  const AccessOptions& options() const { return backend_->options(); }
+  AccessBackend& backend() { return *backend_; }
+  const AccessBackend& backend() const { return *backend_; }
+  const std::shared_ptr<QueryCache>& query_cache() const { return cache_; }
 
  private:
-  // Marks u accessed; bills cost/rate-limit on first touch.
-  void Touch(NodeId u);
+  /// Serves u's raw (restricted) neighbor list, billing distinct-node cost
+  /// and simulated waiting on the first backend fetch. Does NOT bill a
+  /// logical query — callers owning an API entry point do that.
+  std::span<const NodeId> FetchLocal(NodeId u);
 
-  // The fixed (type 2/3) truncated list for u, built on first use.
-  std::span<const NodeId> TruncatedList(NodeId u);
+  std::shared_ptr<AccessBackend> backend_;
+  std::shared_ptr<QueryCache> cache_;
+  bool cacheable_;  // backend_->deterministic()
 
-  // Whether u appears in v's truncated list.
-  bool VisibleFrom(NodeId v, NodeId u);
-
-  const Graph* graph_;
-  AccessOptions options_;
-  SimulatedRateLimiter limiter_;
-  Rng server_rng_;
-
+  CostMeter meter_;
   std::vector<uint8_t> seen_;
-  uint64_t unique_queries_ = 0;
-  uint64_t total_queries_ = 0;
 
-  std::vector<NodeId> scratch_;  // kRandomSubset response buffer
-  std::unordered_map<NodeId, std::vector<NodeId>> fixed_subsets_;
+  std::vector<NodeId> scratch_;     // kRandomSubset response buffer
+  std::vector<NodeId> batch_buf_;   // Prefetch request assembly
+  std::unordered_map<NodeId, std::vector<NodeId>> local_cache_;
   std::unordered_map<NodeId, std::vector<NodeId>> effective_cache_;
 };
 

@@ -1,0 +1,91 @@
+#include "access/backend.h"
+
+#include <algorithm>
+
+#include "random/sampling.h"
+#include "util/check.h"
+
+namespace wnw {
+
+Result<BatchReply> AccessBackend::FetchBatch(std::span<const NodeId> nodes) {
+  BatchReply reply;
+  reply.lists.reserve(nodes.size());
+  for (NodeId u : nodes) {
+    WNW_ASSIGN_OR_RETURN(FetchReply one, FetchNeighbors(u));
+    reply.simulated_seconds += one.simulated_seconds;
+    reply.lists.push_back(std::move(one.neighbors));
+  }
+  return reply;
+}
+
+InMemoryBackend::InMemoryBackend(const Graph* graph, AccessOptions options)
+    : graph_(graph), options_(options), server_rng_(Mix64(options.seed)) {
+  WNW_CHECK(graph_ != nullptr);
+  if (options_.restriction != NeighborRestriction::kNone) {
+    WNW_CHECK(options_.max_neighbors > 0);
+  }
+}
+
+const std::vector<NodeId>& InMemoryBackend::TruncatedList(NodeId u) {
+  auto it = fixed_subsets_.find(u);
+  if (it == fixed_subsets_.end()) {
+    const auto full = graph_->Neighbors(u);
+    const uint32_t cap = options_.max_neighbors;
+    std::vector<NodeId> subset;
+    if (full.size() <= cap) {
+      subset.assign(full.begin(), full.end());
+    } else if (options_.restriction == NeighborRestriction::kTruncated) {
+      // Type 3: a fixed arbitrary prefix of the neighbor list.
+      subset.assign(full.begin(), full.begin() + cap);
+    } else {
+      // Type 2: a fixed random k-subset, deterministic per node given the
+      // server seed (the remote service always answers the same way).
+      Rng node_rng(Mix64(options_.seed ^ (0x9e3779b97f4a7c15ull * (u + 1))));
+      subset.reserve(cap);
+      const auto picks = SampleWithoutReplacement(
+          static_cast<uint32_t>(full.size()), cap, node_rng);
+      for (uint32_t idx : picks) subset.push_back(full[idx]);
+      std::sort(subset.begin(), subset.end());
+    }
+    it = fixed_subsets_.emplace(u, std::move(subset)).first;
+  }
+  return it->second;
+}
+
+Result<FetchReply> InMemoryBackend::FetchNeighbors(NodeId u) {
+  if (u >= graph_->num_nodes()) {
+    return Status::OutOfRange("neighbor query for node " + std::to_string(u) +
+                              " outside graph with " +
+                              std::to_string(graph_->num_nodes()) + " nodes");
+  }
+  FetchReply reply;
+  const auto full = graph_->Neighbors(u);
+  switch (options_.restriction) {
+    case NeighborRestriction::kNone:
+      reply.neighbors.assign(full.begin(), full.end());
+      break;
+    case NeighborRestriction::kRandomSubset: {
+      const uint32_t cap = options_.max_neighbors;
+      if (full.size() <= cap) {
+        reply.neighbors.assign(full.begin(), full.end());
+        break;
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      reply.neighbors.reserve(cap);
+      const auto picks = SampleWithoutReplacement(
+          static_cast<uint32_t>(full.size()), cap, server_rng_);
+      for (uint32_t idx : picks) reply.neighbors.push_back(full[idx]);
+      break;
+    }
+    case NeighborRestriction::kFixedSubset:
+    case NeighborRestriction::kTruncated: {
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto& list = TruncatedList(u);
+      reply.neighbors.assign(list.begin(), list.end());
+      break;
+    }
+  }
+  return reply;
+}
+
+}  // namespace wnw

@@ -1,0 +1,140 @@
+// The pluggable access backend: where neighbor-list queries are actually
+// answered. The paper's whole cost model lives in the OSN web interface
+// (§2.1 local-neighborhood queries, §6.3.1 access restrictions), so the
+// backend is the system's hottest seam:
+//
+//   session view (AccessInterface: CostMeter + per-session caches)
+//     -> optional shared QueryCache (cross-session history reuse)
+//       -> decorator backends (rate limiting, simulated latency/failures)
+//         -> origin backend (InMemoryBackend: Graph + restriction simulation)
+//
+// Backends are thread-safe (one simulated remote service shared by many
+// concurrent sampling sessions) and Result<>-based; the decorators report the
+// simulated wall-clock seconds each request would have taken, which is how
+// "walk, not wait" tradeoffs become measurable. Batched fetches let a
+// latency-simulating backend serve independent probes concurrently: a batch
+// pays the slowest round trip instead of the sum.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "access/rate_limiter.h"
+#include "graph/graph.h"
+#include "random/rng.h"
+#include "util/status.h"
+
+namespace wnw {
+
+enum class NeighborRestriction {
+  kNone = 0,      // full neighbor lists (the common case in the paper)
+  kRandomSubset,  // type 1: fresh random k-subset per invocation
+  kFixedSubset,   // type 2: a fixed random k-subset per node
+  kTruncated,     // type 3: the first l neighbors (arbitrary but fixed)
+};
+
+/// The simulated-OSN scenario: which §6.3.1 restriction the server imposes
+/// and how the edge-traversal semantics behave under it.
+struct AccessOptions {
+  NeighborRestriction restriction = NeighborRestriction::kNone;
+
+  /// k (types 1/2) or l (type 3); ignored for kNone. Lists shorter than the
+  /// cap are returned in full.
+  uint32_t max_neighbors = 0;
+
+  /// §6.3.1: only traverse mutually visible edges (types 2/3).
+  bool bidirectional_check = true;
+
+  /// Optional rate-limit simulation ({0,0} disables); applied as a
+  /// RateLimitBackend decorator by BuildBackendStack.
+  RateLimitConfig rate_limit;
+
+  /// Server-side randomness (type-1 subsets, type-2 per-node subsets).
+  uint64_t seed = 0x5eedu;
+};
+
+/// One answered neighbor query. `simulated_seconds` is the wall-clock time
+/// this request would have taken against the real service (network round
+/// trip, retry backoff, rate-limit waiting); the in-memory origin reports 0.
+struct FetchReply {
+  std::vector<NodeId> neighbors;
+  double simulated_seconds = 0.0;
+};
+
+/// One answered batch. `lists` is parallel to the requested node span;
+/// `simulated_seconds` is the time until the *whole* batch completed.
+struct BatchReply {
+  std::vector<std::vector<NodeId>> lists;
+  double simulated_seconds = 0.0;
+};
+
+/// Abstract neighbor-query service. Implementations and decorators must be
+/// thread-safe: one backend instance models one remote service shared by all
+/// concurrent sampling sessions. Per-session accounting (the paper's
+/// distinct-node cost) lives in AccessInterface, not here.
+class AccessBackend {
+ public:
+  virtual ~AccessBackend() = default;
+
+  /// Composed stack name, e.g. "ratelimit(latency(memory))".
+  virtual std::string_view name() const = 0;
+
+  /// Node-id domain served by this backend.
+  virtual uint64_t num_nodes() const = 0;
+
+  /// The origin server's scenario descriptor (restriction semantics).
+  /// Decorators forward to the wrapped backend.
+  virtual const AccessOptions& options() const = 0;
+
+  /// True when responses are stable per node — the precondition for any
+  /// caching layer. False under kRandomSubset (fresh subsets per call).
+  bool deterministic() const {
+    return options().restriction != NeighborRestriction::kRandomSubset;
+  }
+
+  /// Local-neighborhood query for one node.
+  virtual Result<FetchReply> FetchNeighbors(NodeId u) = 0;
+
+  /// Batched query: semantically equivalent to one FetchNeighbors per node,
+  /// but decorators may serve the requests concurrently (latency pays the
+  /// slowest round trip, not the sum). Default: a sequential loop.
+  virtual Result<BatchReply> FetchBatch(std::span<const NodeId> nodes);
+
+  /// Resets simulated client-facing state (rate-limit windows, latency RNG
+  /// position). Server-side subset choices persist — they model the remote
+  /// service. Default no-op.
+  virtual void ResetSimulation() {}
+};
+
+/// The origin server: today's Graph plus the §6.3.1 restriction simulation.
+/// Thread-safe; the fixed per-node subsets (types 2/3) are lazily
+/// materialized under a mutex and then stable for the backend's lifetime.
+class InMemoryBackend final : public AccessBackend {
+ public:
+  explicit InMemoryBackend(const Graph* graph, AccessOptions options = {});
+
+  std::string_view name() const override { return "memory"; }
+  uint64_t num_nodes() const override { return graph_->num_nodes(); }
+  const AccessOptions& options() const override { return options_; }
+  Result<FetchReply> FetchNeighbors(NodeId u) override;
+
+  const Graph& graph() const { return *graph_; }
+
+ private:
+  // The fixed (type 2/3) truncated list for u, built on first use. Caller
+  // must hold mu_.
+  const std::vector<NodeId>& TruncatedList(NodeId u);
+
+  const Graph* graph_;
+  AccessOptions options_;
+
+  mutable std::mutex mu_;
+  Rng server_rng_;  // type-1 per-call subsets; guarded by mu_
+  std::unordered_map<NodeId, std::vector<NodeId>> fixed_subsets_;
+};
+
+}  // namespace wnw

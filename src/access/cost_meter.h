@@ -1,0 +1,33 @@
+// Per-session query accounting: the paper's §2.1 cost metric plus the
+// simulated-time view the latency/rate-limit decorators enable. One meter
+// per sampling session; the shared backend and QueryCache carry no
+// per-session state.
+#pragma once
+
+#include <cstdint>
+
+namespace wnw {
+
+struct CostMeter {
+  /// The paper's cost metric: distinct nodes this session had to query the
+  /// backend for. Nodes served by the shared QueryCache are free — that is
+  /// the history-reuse saving the cache exists to measure.
+  uint64_t unique_cost = 0;
+
+  /// All logical API invocations including repeat visits (cache hits).
+  uint64_t total_queries = 0;
+
+  /// Requests that actually reached the backend stack.
+  uint64_t backend_fetches = 0;
+
+  /// Lookups served by the cross-session QueryCache.
+  uint64_t shared_cache_hits = 0;
+
+  /// Simulated seconds this session's requests would have taken against the
+  /// real service (network latency, retry backoff, rate-limit waiting).
+  double waited_seconds = 0.0;
+
+  void Reset() { *this = CostMeter(); }
+};
+
+}  // namespace wnw

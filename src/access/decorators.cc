@@ -1,0 +1,145 @@
+#include "access/decorators.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace wnw {
+
+namespace {
+
+std::string WrapName(std::string_view outer, std::string_view inner) {
+  std::string name(outer);
+  name += '(';
+  name += inner;
+  name += ')';
+  return name;
+}
+
+}  // namespace
+
+// --- LatencyBackend ----------------------------------------------------------
+
+LatencyBackend::LatencyBackend(std::shared_ptr<AccessBackend> inner,
+                               LatencyConfig config)
+    : inner_(std::move(inner)),
+      config_(config),
+      name_(WrapName("latency", inner_->name())),
+      rng_(Mix64(config.seed)) {
+  WNW_CHECK(inner_ != nullptr);
+  WNW_CHECK(config_.mean_ms >= 0.0 && config_.jitter_ms >= 0.0);
+  WNW_CHECK(config_.failure_rate >= 0.0 && config_.failure_rate < 1.0);
+  WNW_CHECK(config_.retry_backoff_ms >= 0.0 && config_.max_retries >= 0);
+}
+
+Result<double> LatencyBackend::SimulateRequestSeconds() {
+  std::lock_guard<std::mutex> lock(mu_);
+  double seconds = 0.0;
+  for (int attempt = 0;; ++attempt) {
+    double rtt_ms = config_.mean_ms;
+    if (config_.jitter_ms > 0.0) {
+      rtt_ms += rng_.NextDouble(-config_.jitter_ms, config_.jitter_ms);
+    }
+    seconds += std::max(0.0, rtt_ms) * 1e-3;
+    if (config_.failure_rate <= 0.0 || !rng_.NextBool(config_.failure_rate)) {
+      return seconds;
+    }
+    if (attempt >= config_.max_retries) {
+      return Status::ResourceExhausted(
+          "simulated network request failed after " +
+          std::to_string(config_.max_retries + 1) + " attempts");
+    }
+    seconds += config_.retry_backoff_ms * 1e-3;
+  }
+}
+
+Result<FetchReply> LatencyBackend::FetchNeighbors(NodeId u) {
+  WNW_ASSIGN_OR_RETURN(FetchReply reply, inner_->FetchNeighbors(u));
+  WNW_ASSIGN_OR_RETURN(double seconds, SimulateRequestSeconds());
+  reply.simulated_seconds += seconds;
+  return reply;
+}
+
+Result<BatchReply> LatencyBackend::FetchBatch(std::span<const NodeId> nodes) {
+  WNW_ASSIGN_OR_RETURN(BatchReply reply, inner_->FetchBatch(nodes));
+  // The batch is dispatched concurrently: it completes when the slowest
+  // request (including its retries) does.
+  double slowest = 0.0;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    WNW_ASSIGN_OR_RETURN(double seconds, SimulateRequestSeconds());
+    slowest = std::max(slowest, seconds);
+  }
+  reply.simulated_seconds += slowest;
+  return reply;
+}
+
+void LatencyBackend::ResetSimulation() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    rng_ = Rng(Mix64(config_.seed));
+  }
+  inner_->ResetSimulation();
+}
+
+// --- RateLimitBackend --------------------------------------------------------
+
+RateLimitBackend::RateLimitBackend(std::shared_ptr<AccessBackend> inner,
+                                   RateLimitConfig config)
+    : inner_(std::move(inner)),
+      name_(WrapName("ratelimit", inner_->name())),
+      limiter_(config) {
+  WNW_CHECK(inner_ != nullptr);
+}
+
+double RateLimitBackend::Consume(uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const double before = limiter_.waited_seconds();
+  for (uint64_t i = 0; i < n; ++i) limiter_.OnQuery();
+  return limiter_.waited_seconds() - before;
+}
+
+Result<FetchReply> RateLimitBackend::FetchNeighbors(NodeId u) {
+  WNW_ASSIGN_OR_RETURN(FetchReply reply, inner_->FetchNeighbors(u));
+  reply.simulated_seconds += Consume(1);
+  return reply;
+}
+
+Result<BatchReply> RateLimitBackend::FetchBatch(std::span<const NodeId> nodes) {
+  WNW_ASSIGN_OR_RETURN(BatchReply reply, inner_->FetchBatch(nodes));
+  // Token waits are server-enforced per query: a batch larger than the
+  // remaining budget still stalls for every window it straddles.
+  reply.simulated_seconds += Consume(nodes.size());
+  return reply;
+}
+
+void RateLimitBackend::ResetSimulation() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    limiter_.Reset();
+  }
+  inner_->ResetSimulation();
+}
+
+double RateLimitBackend::total_waited_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return limiter_.waited_seconds();
+}
+
+// --- stack builder -----------------------------------------------------------
+
+std::shared_ptr<AccessBackend> BuildBackendStack(
+    const Graph* graph, const BackendStackOptions& options) {
+  std::shared_ptr<AccessBackend> backend =
+      std::make_shared<InMemoryBackend>(graph, options.access);
+  if (options.latency.has_value()) {
+    backend = std::make_shared<LatencyBackend>(std::move(backend),
+                                               *options.latency);
+  }
+  if (options.access.rate_limit.queries_per_window > 0) {
+    backend = std::make_shared<RateLimitBackend>(std::move(backend),
+                                                 options.access.rate_limit);
+  }
+  return backend;
+}
+
+}  // namespace wnw

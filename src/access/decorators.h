@@ -1,0 +1,113 @@
+// Decorator backends: cross-cutting behaviors of the simulated OSN service
+// layered over any origin backend.
+//
+//   LatencyBackend   — simulated network round trips with jitter and
+//                      injected request failures (each failed attempt costs a
+//                      retry backoff). Batches are dispatched concurrently,
+//                      so a batch pays the slowest request, not the sum —
+//                      this is what makes Prefetch() calls from the samplers
+//                      pay off.
+//   RateLimitBackend — the paper §1 query budget (e.g. Twitter's 15 requests
+//                      per 15 minutes) as a decorator around the token-bucket
+//                      SimulatedRateLimiter. Rate-limit waits are server-
+//                      enforced and do NOT parallelize across a batch.
+//
+// Both decorators are thread-safe and attribute their simulated waiting to
+// the individual FetchReply, so each concurrent session sees exactly the
+// time its own requests would have cost.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "access/backend.h"
+
+namespace wnw {
+
+struct LatencyConfig {
+  /// Mean simulated round-trip time per request.
+  double mean_ms = 50.0;
+
+  /// Uniform jitter: each round trip draws from mean ± jitter.
+  double jitter_ms = 0.0;
+
+  /// Probability that a request attempt fails and must be retried.
+  double failure_rate = 0.0;
+
+  /// Simulated backoff before retrying a failed attempt.
+  double retry_backoff_ms = 200.0;
+
+  /// Attempts beyond the first before the request errors out
+  /// (ResourceExhausted) — the simulated crawler giving up. A request
+  /// aborts with probability failure_rate^(max_retries+1); the default
+  /// budget makes that effectively unreachable for any sane failure_rate
+  /// (0.5^65 ≈ 3e-20), so long experiments never die mid-run.
+  int max_retries = 64;
+
+  /// Seeds the latency/failure randomness (independent of the walk RNG).
+  uint64_t seed = 0xfeedu;
+};
+
+class LatencyBackend final : public AccessBackend {
+ public:
+  LatencyBackend(std::shared_ptr<AccessBackend> inner, LatencyConfig config);
+
+  std::string_view name() const override { return name_; }
+  uint64_t num_nodes() const override { return inner_->num_nodes(); }
+  const AccessOptions& options() const override { return inner_->options(); }
+  Result<FetchReply> FetchNeighbors(NodeId u) override;
+  Result<BatchReply> FetchBatch(std::span<const NodeId> nodes) override;
+  void ResetSimulation() override;
+
+  const LatencyConfig& config() const { return config_; }
+
+ private:
+  /// Simulated completion time of one request: per-attempt round trips plus
+  /// retry backoffs. Errors out past max_retries.
+  Result<double> SimulateRequestSeconds();
+
+  std::shared_ptr<AccessBackend> inner_;
+  LatencyConfig config_;
+  std::string name_;
+  std::mutex mu_;
+  Rng rng_;  // guarded by mu_
+};
+
+class RateLimitBackend final : public AccessBackend {
+ public:
+  RateLimitBackend(std::shared_ptr<AccessBackend> inner,
+                   RateLimitConfig config);
+
+  std::string_view name() const override { return name_; }
+  uint64_t num_nodes() const override { return inner_->num_nodes(); }
+  const AccessOptions& options() const override { return inner_->options(); }
+  Result<FetchReply> FetchNeighbors(NodeId u) override;
+  Result<BatchReply> FetchBatch(std::span<const NodeId> nodes) override;
+  void ResetSimulation() override;
+
+  /// Total simulated seconds all sessions together spent rate-limited.
+  double total_waited_seconds() const;
+
+ private:
+  // Consumes `n` tokens and returns the simulated wait incurred.
+  double Consume(uint64_t n);
+
+  std::shared_ptr<AccessBackend> inner_;
+  std::string name_;
+  mutable std::mutex mu_;
+  SimulatedRateLimiter limiter_;  // guarded by mu_
+};
+
+/// Declarative backend-stack recipe: origin scenario plus optional
+/// decorators. BuildBackendStack wires memory -> latency -> rate limit
+/// (outermost), matching a crawler that throttles itself before the network.
+struct BackendStackOptions {
+  AccessOptions access;
+  std::optional<LatencyConfig> latency;
+};
+
+std::shared_ptr<AccessBackend> BuildBackendStack(
+    const Graph* graph, const BackendStackOptions& options);
+
+}  // namespace wnw

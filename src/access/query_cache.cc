@@ -1,0 +1,67 @@
+#include "access/query_cache.h"
+
+#include "util/check.h"
+
+namespace wnw {
+
+namespace {
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+QueryCache::QueryCache(size_t num_shards) {
+  WNW_CHECK(num_shards > 0);
+  const size_t shards = RoundUpPow2(num_shards);
+  shard_mask_ = shards - 1;
+  shards_ = std::make_unique<Shard[]>(shards);
+}
+
+bool QueryCache::Lookup(NodeId u, std::vector<NodeId>* out) const {
+  Shard& shard = ShardFor(u);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.map.find(u);
+  if (it == shard.map.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  *out = it->second;
+  return true;
+}
+
+void QueryCache::Insert(NodeId u, std::span<const NodeId> neighbors) {
+  Shard& shard = ShardFor(u);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.map.try_emplace(u, neighbors.begin(), neighbors.end());
+}
+
+bool QueryCache::Contains(NodeId u) const {
+  Shard& shard = ShardFor(u);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.map.find(u) != shard.map.end();
+}
+
+uint64_t QueryCache::size() const {
+  uint64_t total = 0;
+  for (size_t i = 0; i <= shard_mask_; ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i].mu);
+    total += shards_[i].map.size();
+  }
+  return total;
+}
+
+void QueryCache::Clear() {
+  for (size_t i = 0; i <= shard_mask_; ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i].mu);
+    shards_[i].map.clear();
+  }
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace wnw

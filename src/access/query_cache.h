@@ -1,0 +1,75 @@
+// A thread-safe, sharded cross-session query cache. "Leveraging History for
+// Faster Sampling of Online Social Networks" (Zhou et al., PVLDB 2015) shows
+// that reusing query history across estimation tasks cuts query cost
+// substantially; this cache is our mechanism for it: concurrent trials and
+// walkers hand each other neighbor lists, so a node anyone already fetched
+// is free for everyone else (it never reaches the backend, never pays the
+// paper's distinct-node cost, and never waits on simulated latency).
+//
+// Only deterministic backend responses may be cached —
+// AccessInterface consults AccessBackend::deterministic() and bypasses the
+// cache entirely under kRandomSubset (fresh subsets per call carry
+// information a cache would destroy).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace wnw {
+
+class QueryCache {
+ public:
+  /// `num_shards` bounds lock contention across concurrent sessions; it is
+  /// rounded up to a power of two.
+  explicit QueryCache(size_t num_shards = 16);
+
+  QueryCache(const QueryCache&) = delete;
+  QueryCache& operator=(const QueryCache&) = delete;
+
+  /// Copies u's cached neighbor list into *out and returns true on a hit.
+  bool Lookup(NodeId u, std::vector<NodeId>* out) const;
+
+  /// Stores u's neighbor list (first writer wins; concurrent duplicate
+  /// inserts of the same deterministic response are harmless).
+  void Insert(NodeId u, std::span<const NodeId> neighbors);
+
+  bool Contains(NodeId u) const;
+
+  /// Number of cached nodes.
+  uint64_t size() const;
+
+  // --- statistics (cumulative across all sessions) ---------------------------
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  double hit_rate() const {
+    const uint64_t h = hits(), m = misses();
+    return h + m == 0 ? 0.0
+                      : static_cast<double>(h) / static_cast<double>(h + m);
+  }
+
+  void Clear();
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<NodeId, std::vector<NodeId>> map;
+  };
+
+  Shard& ShardFor(NodeId u) const {
+    return shards_[static_cast<size_t>(u) & shard_mask_];
+  }
+
+  size_t shard_mask_;
+  std::unique_ptr<Shard[]> shards_;
+  mutable std::atomic<uint64_t> hits_{0};
+  mutable std::atomic<uint64_t> misses_{0};
+};
+
+}  // namespace wnw

@@ -1,7 +1,5 @@
 #include "core/crawler.h"
 
-#include <deque>
-
 #include "util/check.h"
 
 namespace wnw {
@@ -14,29 +12,33 @@ CrawlBall CrawlBall::Crawl(AccessInterface& access,
   ball.start_ = start;
   ball.radius_ = hops;
 
-  // BFS to depth `hops`, querying every node encountered at distance <= hops.
+  // Level-order BFS to depth `hops`, querying every node encountered at
+  // distance <= hops. Every node of a level is guaranteed to be queried, so
+  // each level is prefetched as one backend batch — under a
+  // latency-simulating backend the crawl pays one round trip per level
+  // instead of one per node.
   ball.index_.emplace(start, 0);
   ball.nodes_.push_back(start);
   ball.distance_.push_back(0);
-  std::deque<uint32_t> frontier{0};
-  while (!frontier.empty()) {
-    const uint32_t li = frontier.front();
-    frontier.pop_front();
-    const uint32_t d = ball.distance_[li];
-    if (static_cast<int>(d) >= hops) {
-      // Still query the boundary node: its degree (and adjacency back into
-      // the ball) is needed for exact MHRW transition probabilities.
-      access.EffectiveNeighbors(ball.nodes_[li]);
-      continue;
+  std::vector<NodeId> frontier{start};
+  for (int d = 0; d <= hops && !frontier.empty(); ++d) {
+    access.Prefetch(frontier);
+    std::vector<NodeId> next;
+    for (NodeId u : frontier) {
+      // Boundary nodes (d == hops) are still queried: their degree (and
+      // adjacency back into the ball) is needed for exact MHRW transition
+      // probabilities.
+      const auto nbrs = access.EffectiveNeighbors(u);
+      if (d == hops) continue;
+      for (NodeId v : nbrs) {
+        if (ball.index_.count(v) > 0) continue;
+        ball.index_.emplace(v, static_cast<uint32_t>(ball.nodes_.size()));
+        ball.nodes_.push_back(v);
+        ball.distance_.push_back(static_cast<uint32_t>(d) + 1);
+        next.push_back(v);
+      }
     }
-    for (NodeId v : access.EffectiveNeighbors(ball.nodes_[li])) {
-      if (ball.index_.count(v) > 0) continue;
-      const uint32_t vi = static_cast<uint32_t>(ball.nodes_.size());
-      ball.index_.emplace(v, vi);
-      ball.nodes_.push_back(v);
-      ball.distance_.push_back(d + 1);
-      frontier.push_back(vi);
-    }
+    frontier = std::move(next);
   }
 
   // Exact step distributions p_0..p_hops inside the ball.

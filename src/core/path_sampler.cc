@@ -45,7 +45,14 @@ Result<NodeId> WalkEstimatePathSampler::Draw() {
     estimator_.RecordForwardWalk(path_buf_);
     ++walks_;
     // Every stride-th node from s_min to t is a candidate with its own
-    // per-step sampling probability.
+    // per-step sampling probability. Each candidate's backward walks start
+    // by enumerating its neighbors, so batch-prefetch the whole candidate
+    // set — one simulated round trip instead of one per candidate.
+    candidate_buf_.clear();
+    for (int s = s_min; s <= t; s += options_.stride) {
+      candidate_buf_.push_back(path_buf_[static_cast<size_t>(s)]);
+    }
+    access_->Prefetch(candidate_buf_);
     for (int s = s_min; s <= t; s += options_.stride) {
       const NodeId v = path_buf_[static_cast<size_t>(s)];
       const PtEstimate est = estimator_.EstimateAtStep(*access_, v, s, rng_);

@@ -70,6 +70,7 @@ class WalkEstimatePathSampler final : public Sampler {
   RejectionSampler rejection_;
   bool prepared_ = false;
   std::vector<NodeId> path_buf_;
+  std::vector<NodeId> candidate_buf_;  // per-walk Prefetch batch
   std::deque<NodeId> pending_;
   uint64_t walks_ = 0;
   uint64_t accepted_ = 0;

@@ -1,11 +1,109 @@
 #include "core/session.h"
 
+#include <algorithm>
+#include <cstdint>
+
 #include "core/path_sampler.h"
 #include "core/samplers.h"
 #include "core/walk_estimate.h"
 #include "random/rng.h"
+#include "util/string_util.h"
 
 namespace wnw {
+
+namespace {
+
+// Pops params[key] (if present) parsed as a double into *out.
+Result<bool> PopDouble(SamplerConfig* config, const char* key, double* out) {
+  const auto it = config->params.find(key);
+  if (it == config->params.end()) return false;
+  if (!ParseDouble(it->second, out)) {
+    return Status::InvalidArgument("backend parameter '" + std::string(key) +
+                                   "=" + it->second + "' is not a number");
+  }
+  config->params.erase(it);
+  return true;
+}
+
+Result<bool> PopUint(SamplerConfig* config, const char* key, uint64_t* out) {
+  const auto it = config->params.find(key);
+  if (it == config->params.end()) return false;
+  if (!ParseUint64(it->second, out)) {
+    return Status::InvalidArgument("backend parameter '" + std::string(key) +
+                                   "=" + it->second +
+                                   "' is not a non-negative integer");
+  }
+  config->params.erase(it);
+  return true;
+}
+
+// Extracts the reserved backend parameters from a spec config
+// (?backend=latency&mean_ms=50&jitter_ms=10&fail_rate=0.1&retry_ms=200&
+//  retries=64&net_seed=7) so the sampler factory never sees them. Overrides
+// options->latency when present. Returns whether the spec carried any
+// backend-reserved key at all (so a conflict with an explicit
+// SessionOptions::backend can fail loudly instead of silently dropping the
+// spec's request).
+Result<bool> ExtractBackendParams(SamplerConfig* config,
+                                  SessionOptions* options) {
+  std::string kind;
+  const auto it = config->params.find("backend");
+  const bool kind_present = it != config->params.end();
+  if (kind_present) {
+    kind = it->second;
+    config->params.erase(it);
+  }
+  if (kind_present && kind != "memory" && kind != "latency") {
+    return Status::InvalidArgument("unknown backend '" + kind +
+                                   "' (expected memory | latency)");
+  }
+  LatencyConfig latency;
+  bool any_latency_param = false;
+  uint64_t net_seed = latency.seed;
+  uint64_t retries = static_cast<uint64_t>(latency.max_retries);
+  for (const auto& [key, target] :
+       std::initializer_list<std::pair<const char*, double*>>{
+           {"mean_ms", &latency.mean_ms},
+           {"jitter_ms", &latency.jitter_ms},
+           {"fail_rate", &latency.failure_rate},
+           {"retry_ms", &latency.retry_backoff_ms}}) {
+    WNW_ASSIGN_OR_RETURN(const bool present, PopDouble(config, key, target));
+    any_latency_param = any_latency_param || present;
+  }
+  for (const auto& [key, target] :
+       std::initializer_list<std::pair<const char*, uint64_t*>>{
+           {"net_seed", &net_seed}, {"retries", &retries}}) {
+    WNW_ASSIGN_OR_RETURN(const bool present, PopUint(config, key, target));
+    any_latency_param = any_latency_param || present;
+  }
+  latency.seed = net_seed;
+  latency.max_retries = static_cast<int>(
+      std::min<uint64_t>(retries, static_cast<uint64_t>(INT32_MAX)));
+
+  // Range-check user input here so malformed specs come back as Status like
+  // every other spec error, instead of tripping the constructor CHECKs.
+  if (latency.mean_ms < 0.0 || latency.jitter_ms < 0.0 ||
+      latency.retry_backoff_ms < 0.0) {
+    return Status::InvalidArgument(
+        "latency parameters mean_ms, jitter_ms, retry_ms must be >= 0");
+  }
+  if (latency.failure_rate < 0.0 || latency.failure_rate >= 1.0) {
+    return Status::InvalidArgument("fail_rate must be in [0, 1)");
+  }
+
+  if (kind == "latency") {
+    options->latency = latency;
+  } else if (any_latency_param) {
+    return Status::InvalidArgument(
+        "latency parameters (mean_ms, jitter_ms, fail_rate, retry_ms, "
+        "retries, net_seed) require backend=latency");
+  } else if (kind == "memory") {
+    options->latency.reset();
+  }
+  return kind_present || any_latency_param;
+}
+
+}  // namespace
 
 Result<std::unique_ptr<SamplingSession>> SamplingSession::Open(
     const Graph* graph, std::string_view spec, SessionOptions options) {
@@ -18,6 +116,19 @@ Result<std::unique_ptr<SamplingSession>> SamplingSession::Open(
   if (graph == nullptr || graph->num_nodes() == 0) {
     return Status::InvalidArgument("sampling session needs a non-empty graph");
   }
+  // The sampler factory validates every remaining parameter, so the
+  // backend-reserved keys are peeled off a copy first; the original config
+  // (backend params included) stays on the session for spec round-trips.
+  SamplerConfig sampler_config = config;
+  WNW_ASSIGN_OR_RETURN(const bool spec_selects_backend,
+                       ExtractBackendParams(&sampler_config, &options));
+  if (spec_selects_backend && options.backend != nullptr) {
+    return Status::InvalidArgument(
+        "spec '" + config.ToSpec() +
+        "' selects a backend, but SessionOptions already provides an "
+        "explicit backend — drop one of the two");
+  }
+
   std::unique_ptr<TransitionDesign> design = MakeTransitionDesign(config.walk);
   if (design == nullptr) {
     return Status::InvalidArgument(
@@ -39,11 +150,26 @@ Result<std::unique_ptr<SamplingSession>> SamplingSession::Open(
     start = static_cast<NodeId>(rng.NextBounded(graph->num_nodes()));
   }
 
-  auto access = std::make_unique<AccessInterface>(graph, options.access);
+  std::shared_ptr<AccessBackend> backend = options.backend;
+  if (backend == nullptr) {
+    backend = BuildBackendStack(
+        graph, {.access = options.access, .latency = options.latency});
+  } else if (backend->num_nodes() != graph->num_nodes()) {
+    return Status::InvalidArgument(
+        "explicit backend serves " + std::to_string(backend->num_nodes()) +
+        " nodes but the graph has " + std::to_string(graph->num_nodes()));
+  }
+  // Note: under kRandomSubset (non-deterministic responses) a provided
+  // query_cache is simply never consulted — AccessInterface bypasses
+  // caching entirely rather than erroring, so one harness config can span
+  // restriction scenarios.
+  auto access =
+      std::make_unique<AccessInterface>(std::move(backend),
+                                        options.query_cache);
   WNW_ASSIGN_OR_RETURN(
       std::unique_ptr<Sampler> sampler,
-      SamplerRegistry::Global().Create(config, access.get(), design.get(),
-                                       start, sampler_seed));
+      SamplerRegistry::Global().Create(sampler_config, access.get(),
+                                       design.get(), start, sampler_seed));
   return std::unique_ptr<SamplingSession>(
       new SamplingSession(config, start, std::move(access), std::move(design),
                           std::move(sampler)));
@@ -68,9 +194,14 @@ SessionStats SamplingSession::Stats() const {
   SessionStats stats;
   stats.spec = config_.ToSpec();
   stats.sampler = std::string(sampler_->name());
-  stats.query_cost = access_->query_cost();
-  stats.total_queries = access_->total_queries();
-  stats.waited_seconds = access_->waited_seconds();
+  stats.backend = std::string(access_->backend().name());
+  const CostMeter& meter = access_->meter();
+  stats.query_cost = meter.unique_cost;
+  stats.total_queries = meter.total_queries;
+  stats.backend_fetches = meter.backend_fetches;
+  stats.shared_cache_hits = meter.shared_cache_hits;
+  stats.waited_seconds = meter.waited_seconds;
+  stats.elapsed_seconds = timer_.ElapsedSeconds();
   stats.samples_drawn = samples_drawn_;
 
   // Sampler-family telemetry. The built-ins are matched by type; samplers

@@ -1,13 +1,23 @@
 // SamplingSession: the one-stop facade over a sampling run. Owns the
-// access interface (the simulated OSN web API), the transition design, and
-// the registry-built sampler, and folds their scattered telemetry into one
-// SessionStats — callers no longer reach into three objects for metrics or
-// hand-wire constructors. Open a session from a spec string:
+// access view (CostMeter + caches over a pluggable AccessBackend), the
+// transition design, and the registry-built sampler, and folds their
+// scattered telemetry into one SessionStats — callers no longer reach into
+// three objects for metrics or hand-wire constructors. Open a session from a
+// spec string:
 //
 //   auto session = SamplingSession::Open(&graph, "we:mhrw?diameter=8");
 //   if (!session.ok()) { ... }
 //   auto node = (*session)->Draw();
 //   SessionStats stats = (*session)->Stats();
+//
+// Backend selection rides in the same spec string via reserved parameters
+// (consumed before the sampler factory sees the config):
+//
+//   "we:mhrw?diameter=8&backend=latency&mean_ms=50&jitter_ms=10"
+//
+// or programmatically through SessionOptions: an explicit shared backend
+// stack, a LatencyConfig, and/or a cross-session QueryCache so concurrent
+// trials reuse each other's neighbor lists.
 #pragma once
 
 #include <memory>
@@ -16,14 +26,28 @@
 #include <vector>
 
 #include "access/access_interface.h"
+#include "access/decorators.h"
 #include "core/registry.h"
 #include "mcmc/transition.h"
+#include "util/timer.h"
 
 namespace wnw {
 
 struct SessionOptions {
   /// Access-restriction / rate-limit scenario for the simulated OSN.
   AccessOptions access;
+
+  /// Simulated network latency decorator (also reachable via the
+  /// ?backend=latency spec parameters, which take precedence).
+  std::optional<LatencyConfig> latency;
+
+  /// Explicit backend stack shared across sessions. When set, `access` and
+  /// `latency` are ignored — the backend already embodies the scenario.
+  std::shared_ptr<AccessBackend> backend;
+
+  /// Cross-session query cache: sessions sharing one cache reuse each
+  /// other's neighbor lists (cache hits cost no queries and no waiting).
+  std::shared_ptr<QueryCache> query_cache;
 
   /// Walk start node; unset picks one uniformly at random from the seed.
   std::optional<NodeId> start;
@@ -37,11 +61,15 @@ struct SessionOptions {
 struct SessionStats {
   std::string spec;     // canonical spec of the running config
   std::string sampler;  // Sampler::name() of the bound instance
+  std::string backend;  // backend stack, e.g. "ratelimit(latency(memory))"
 
   // Access accounting (the paper's cost metrics).
-  uint64_t query_cost = 0;      // distinct nodes accessed
+  uint64_t query_cost = 0;      // distinct nodes fetched from the backend
   uint64_t total_queries = 0;   // all API invocations incl. cache hits
-  double waited_seconds = 0.0;  // simulated rate-limit waiting
+  uint64_t backend_fetches = 0;    // requests that reached the backend
+  uint64_t shared_cache_hits = 0;  // served by the cross-session cache
+  double waited_seconds = 0.0;  // simulated latency + rate-limit waiting
+  double elapsed_seconds = 0.0; // wall clock since Open()
 
   uint64_t samples_drawn = 0;  // successful Draw()s through this session
 
@@ -111,12 +139,13 @@ class SamplingSession {
         design_(std::move(design)),
         sampler_(std::move(sampler)) {}
 
-  SamplerConfig config_;
+  SamplerConfig config_;  // includes any backend=... spec parameters
   NodeId start_;
   std::unique_ptr<AccessInterface> access_;
   std::unique_ptr<TransitionDesign> design_;
   std::unique_ptr<Sampler> sampler_;
   uint64_t samples_drawn_ = 0;
+  Timer timer_;  // wall clock since Open()
 };
 
 }  // namespace wnw

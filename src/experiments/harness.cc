@@ -90,6 +90,20 @@ std::vector<CurvePoint> RunErrorVsCost(const SocialDataset& dataset,
   }
   std::mutex mu;
 
+  // A shared cache (or an explicit backend) means all trials talk to ONE
+  // simulated service: build the (thread-safe) backend stack once.
+  // Otherwise keep the paper's protocol of fully isolated per-trial
+  // backends with per-trial server randomness — a latency scenario alone
+  // still applies to each trial's private stack, so "isolated but slow" is
+  // expressible as a baseline.
+  std::shared_ptr<AccessBackend> shared_backend = config.backend;
+  if (shared_backend == nullptr && config.shared_cache != nullptr) {
+    BackendStackOptions stack;
+    stack.access = config.access;
+    stack.latency = config.latency;
+    shared_backend = BuildBackendStack(&graph, stack);
+  }
+
   ParallelFor(
       static_cast<size_t>(config.trials),
       [&](size_t trial) {
@@ -98,6 +112,9 @@ std::vector<CurvePoint> RunErrorVsCost(const SocialDataset& dataset,
         session_opts.access = config.access;
         session_opts.access.seed = trial_rng.Next();
         session_opts.seed = trial_rng.Next();
+        session_opts.backend = shared_backend;  // null = private per trial
+        session_opts.latency = config.latency;  // used on private stacks
+        session_opts.query_cache = config.shared_cache;
         auto session_or = SamplingSession::Open(&graph, sampler.config,
                                                 session_opts);
         if (!session_or.ok()) {
@@ -110,7 +127,12 @@ std::vector<CurvePoint> RunErrorVsCost(const SocialDataset& dataset,
         std::vector<NodeId> samples;
         samples.reserve(static_cast<size_t>(max_samples));
         size_t checkpoint = 0;
-        std::vector<std::pair<uint64_t, uint64_t>> costs(points.size());
+        struct TrialCosts {
+          uint64_t unique = 0;
+          uint64_t total = 0;
+          double waited = 0.0;
+        };
+        std::vector<TrialCosts> costs(points.size());
         std::vector<double> errors(points.size(),
                                    std::numeric_limits<double>::quiet_NaN());
         while (samples.size() < static_cast<size_t>(max_samples)) {
@@ -126,8 +148,9 @@ std::vector<CurvePoint> RunErrorVsCost(const SocialDataset& dataset,
                      static_cast<size_t>(points[checkpoint].samples)) {
             const double estimate =
                 EstimateAverage(samples, sampler.bias(), theta, weight);
-            costs[checkpoint] = {session.access().query_cost(),
-                                 session.access().total_queries()};
+            const CostMeter& meter = session.access().meter();
+            costs[checkpoint] = {meter.unique_cost, meter.total_queries,
+                                 meter.waited_seconds};
             errors[checkpoint] = RelativeError(estimate, truth);
             ++checkpoint;
           }
@@ -135,9 +158,9 @@ std::vector<CurvePoint> RunErrorVsCost(const SocialDataset& dataset,
 
         std::lock_guard<std::mutex> lock(mu);
         for (size_t i = 0; i < checkpoint; ++i) {
-          points[i].mean_query_cost += static_cast<double>(costs[i].first);
-          points[i].mean_total_queries +=
-              static_cast<double>(costs[i].second);
+          points[i].mean_query_cost += static_cast<double>(costs[i].unique);
+          points[i].mean_total_queries += static_cast<double>(costs[i].total);
+          points[i].mean_waited_seconds += costs[i].waited;
           points[i].mean_rel_error += errors[i];
           points[i].completed_trials += 1;
         }
@@ -148,6 +171,7 @@ std::vector<CurvePoint> RunErrorVsCost(const SocialDataset& dataset,
     if (p.completed_trials > 0) {
       p.mean_query_cost /= p.completed_trials;
       p.mean_total_queries /= p.completed_trials;
+      p.mean_waited_seconds /= p.completed_trials;
       p.mean_rel_error /= p.completed_trials;
     }
   }

@@ -6,10 +6,13 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "access/access_interface.h"
+#include "access/decorators.h"
+#include "access/query_cache.h"
 #include "core/registry.h"
 #include "core/session.h"
 #include "datasets/social_datasets.h"
@@ -55,6 +58,21 @@ struct ErrorVsCostConfig {
   uint64_t seed = 42;
   int threads = 0;  // 0 = hardware default
   AccessOptions access;  // restriction / rate-limit scenario
+
+  /// Simulated network latency scenario, applied to every trial's backend —
+  /// the per-trial private stacks, or the one shared stack when
+  /// `shared_cache`/`backend` is set.
+  std::optional<LatencyConfig> latency;
+
+  /// Cross-session query cache shared by all (parallel) trials: trials
+  /// reuse each other's neighbor lists, so later trials pay measurably
+  /// fewer queries (Zhou et al.-style history reuse). Null = isolated
+  /// trials, the paper's original protocol.
+  std::shared_ptr<QueryCache> shared_cache;
+
+  /// Explicit backend stack for all trials; overrides `access`/`latency`.
+  std::shared_ptr<AccessBackend> backend;
+
   /// Registry spec string ("we:mhrw?diameter=8") used by the overload of
   /// RunErrorVsCost that takes no SamplerSpec.
   std::string sampler_spec;
@@ -62,8 +80,9 @@ struct ErrorVsCostConfig {
 
 struct CurvePoint {
   int samples = 0;
-  double mean_query_cost = 0.0;     // unique nodes accessed (paper metric)
+  double mean_query_cost = 0.0;     // unique backend fetches (paper metric)
   double mean_total_queries = 0.0;  // all API invocations incl. cache hits
+  double mean_waited_seconds = 0.0; // simulated latency + rate-limit waiting
   double mean_rel_error = 0.0;
   int completed_trials = 0;
 };

@@ -29,8 +29,10 @@ TEST(DatasetsTest, YelpLikeShape) {
   EXPECT_TRUE(ds.attrs.HasColumn("stars"));
   EXPECT_TRUE(ds.attrs.HasColumn("path_len"));
   EXPECT_TRUE(ds.attrs.HasColumn("clustering"));
-  // Stars live in Yelp's 1..5 range.
-  for (double s : ds.attrs.Column("stars").value()) {
+  // Stars live in Yelp's 1..5 range. (Copy the span out of the temporary
+  // Result first — range-for does not lifetime-extend through .value().)
+  const auto stars = ds.attrs.Column("stars").value();
+  for (double s : stars) {
     EXPECT_GE(s, 1.0);
     EXPECT_LE(s, 5.0);
   }

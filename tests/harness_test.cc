@@ -137,6 +137,51 @@ TEST(HarnessTest, ReadBenchEnvDefaults) {
   EXPECT_GT(env.seed, 0u);
 }
 
+TEST(HarnessTest, SharedCacheCutsMeanQueryCost) {
+  // The acceptance bar for the backend redesign: parallel trials sharing
+  // one QueryCache pay measurably fewer queries than isolated trials.
+  const SocialDataset ds = TinyDataset();
+  ErrorVsCostConfig config;
+  config.sample_counts = {5, 10};
+  config.trials = 6;
+  config.seed = 7;
+  config.sampler_spec =
+      "we:srw?diameter=" + std::to_string(ds.diameter_estimate);
+
+  const auto isolated = RunErrorVsCost(ds, {"avg_deg", ""}, config);
+  ASSERT_TRUE(isolated.ok());
+
+  config.shared_cache = std::make_shared<QueryCache>();
+  const auto shared = RunErrorVsCost(ds, {"avg_deg", ""}, config);
+  ASSERT_TRUE(shared.ok());
+
+  ASSERT_EQ(isolated->size(), shared->size());
+  for (size_t i = 0; i < shared->size(); ++i) {
+    EXPECT_EQ((*shared)[i].completed_trials, config.trials);
+    EXPECT_LT((*shared)[i].mean_query_cost,
+              0.7 * (*isolated)[i].mean_query_cost);
+  }
+  EXPECT_GT(config.shared_cache->hits(), 0u);
+}
+
+TEST(HarnessTest, LatencyScenarioShowsUpInWaitedSeconds) {
+  const SocialDataset ds = TinyDataset();
+  ErrorVsCostConfig config;
+  config.sample_counts = {5};
+  config.trials = 2;
+  config.seed = 11;
+  config.sampler_spec =
+      "we:srw?diameter=" + std::to_string(ds.diameter_estimate);
+  LatencyConfig latency;
+  latency.mean_ms = 25.0;
+  config.latency = latency;
+  const auto curve = RunErrorVsCost(ds, {"avg_deg", ""}, config);
+  ASSERT_TRUE(curve.ok());
+  ASSERT_EQ(curve->size(), 1u);
+  EXPECT_EQ((*curve)[0].completed_trials, 2);
+  EXPECT_GT((*curve)[0].mean_waited_seconds, 0.0);
+}
+
 TEST(HarnessTest, RestrictedAccessStillSamples) {
   const SocialDataset ds = TinyDataset();
   WalkEstimateOptions wopts;

@@ -1,0 +1,149 @@
+// The cross-session QueryCache: hit/miss accounting, cache-aware cost
+// billing in AccessInterface, and thread-safety under genuinely concurrent
+// sampling sessions (the configuration the harness runs parallel trials
+// in). The sanitizer CI job makes the concurrency tests load-bearing.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "access/access_interface.h"
+#include "access/query_cache.h"
+#include "core/session.h"
+#include "test_util.h"
+#include "util/parallel.h"
+
+namespace wnw {
+namespace {
+
+TEST(QueryCacheTest, LookupInsertAndStats) {
+  QueryCache cache;
+  std::vector<NodeId> out;
+  EXPECT_FALSE(cache.Lookup(7, &out));
+  EXPECT_EQ(cache.misses(), 1u);
+  const std::vector<NodeId> list = {1, 2, 3};
+  cache.Insert(7, list);
+  EXPECT_TRUE(cache.Contains(7));
+  EXPECT_EQ(cache.size(), 1u);
+  ASSERT_TRUE(cache.Lookup(7, &out));
+  EXPECT_EQ(out, list);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_NEAR(cache.hit_rate(), 0.5, 1e-12);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(QueryCacheTest, FirstWriterWins) {
+  QueryCache cache;
+  cache.Insert(3, std::vector<NodeId>{1, 2});
+  cache.Insert(3, std::vector<NodeId>{9});
+  std::vector<NodeId> out;
+  ASSERT_TRUE(cache.Lookup(3, &out));
+  EXPECT_EQ(out, (std::vector<NodeId>{1, 2}));
+}
+
+TEST(QueryCacheTest, SecondSessionRidesOnFirstSessionsQueries) {
+  const Graph g = testing::MakeTestBA(80, 3);
+  auto backend = std::make_shared<InMemoryBackend>(&g);
+  auto cache = std::make_shared<QueryCache>();
+
+  AccessInterface first(backend, cache);
+  for (NodeId u = 0; u < 40; ++u) first.Neighbors(u);
+  EXPECT_EQ(first.query_cost(), 40u);
+  EXPECT_EQ(first.meter().shared_cache_hits, 0u);
+
+  AccessInterface second(backend, cache);
+  for (NodeId u = 0; u < 40; ++u) second.Neighbors(u);
+  // Every node came out of the shared cache: zero distinct-node cost.
+  EXPECT_EQ(second.query_cost(), 0u);
+  EXPECT_EQ(second.meter().backend_fetches, 0u);
+  EXPECT_EQ(second.meter().shared_cache_hits, 40u);
+  EXPECT_EQ(second.total_queries(), 40u);
+  // Responses are identical to the backend's.
+  const auto direct = backend->FetchNeighbors(5);
+  const auto via_cache = second.Neighbors(5);
+  EXPECT_EQ(std::vector<NodeId>(via_cache.begin(), via_cache.end()),
+            direct->neighbors);
+}
+
+TEST(QueryCacheTest, ConcurrentSessionsShareOneCacheSafely) {
+  const Graph g = testing::MakeTestBA(300, 3, 13);
+  auto backend = std::make_shared<InMemoryBackend>(&g);
+  auto cache = std::make_shared<QueryCache>(4);
+
+  constexpr int kSessions = 8;
+  std::vector<uint64_t> costs(kSessions, 0);
+  ParallelFor(
+      kSessions,
+      [&](size_t i) {
+        AccessInterface access(backend, cache);
+        Rng rng(Mix64(1000 + i));
+        NodeId cur = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+        for (int step = 0; step < 2000; ++step) {
+          const NodeId next = access.SampleNeighbor(cur, rng);
+          if (next == kInvalidNode) break;
+          cur = next;
+        }
+        costs[i] = access.query_cost();
+      },
+      kSessions);
+
+  // Every cached list must match the graph exactly — a torn or corrupted
+  // entry would surface here (and under ASan in CI).
+  uint64_t cached = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    std::vector<NodeId> out;
+    if (!cache->Lookup(u, &out)) continue;
+    ++cached;
+    const auto truth = g.Neighbors(u);
+    EXPECT_EQ(out, std::vector<NodeId>(truth.begin(), truth.end())) << u;
+  }
+  EXPECT_GT(cached, 0u);
+  // Every cached node was fetched (and billed) by at least one session;
+  // concurrent duplicate fetches of a node can only add to the bill.
+  uint64_t total_cost = 0;
+  for (uint64_t c : costs) total_cost += c;
+  EXPECT_GE(total_cost, cached);
+}
+
+TEST(QueryCacheTest, ConcurrentSessionsViaSessionApi) {
+  const Graph g = testing::MakeTestBA(200, 3, 17);
+  auto cache = std::make_shared<QueryCache>();
+  auto backend = std::make_shared<InMemoryBackend>(&g);
+
+  constexpr int kTrials = 6;
+  std::vector<uint64_t> costs(kTrials, 0);
+  ParallelFor(
+      kTrials,
+      [&](size_t i) {
+        SessionOptions opts;
+        opts.backend = backend;
+        opts.query_cache = cache;
+        opts.seed = 500 + i;
+        auto session = SamplingSession::Open(&g, "we:srw?diameter=4", opts);
+        ASSERT_TRUE(session.ok());
+        std::vector<NodeId> samples;
+        ASSERT_TRUE((*session)->DrawInto(&samples, 20).ok());
+        costs[i] = (*session)->Stats().query_cost;
+      },
+      kTrials);
+
+  // Isolated baseline for the same seeds: strictly more expensive in total.
+  uint64_t isolated_total = 0, shared_total = 0;
+  for (int i = 0; i < kTrials; ++i) {
+    SessionOptions opts;
+    opts.seed = 500 + static_cast<uint64_t>(i);
+    auto session = SamplingSession::Open(&g, "we:srw?diameter=4", opts);
+    ASSERT_TRUE(session.ok());
+    std::vector<NodeId> samples;
+    ASSERT_TRUE((*session)->DrawInto(&samples, 20).ok());
+    isolated_total += (*session)->Stats().query_cost;
+    shared_total += costs[i];
+  }
+  EXPECT_LT(shared_total, isolated_total);
+}
+
+}  // namespace
+}  // namespace wnw

@@ -113,6 +113,39 @@ TEST(SamplingSessionTest, PathSamplerReportsAmortization) {
   EXPECT_EQ(stats.samples_accepted, 30u);
 }
 
+TEST(SamplingSessionTest, StatsTrackWallClockAndBackend) {
+  const Graph g = testing::MakeTestBA(60, 3);
+  auto session = std::move(SamplingSession::Open(&g, "we:srw?diameter=4"))
+                     .value();
+  std::vector<NodeId> samples;
+  ASSERT_TRUE(session->DrawInto(&samples, 5).ok());
+  const SessionStats stats = session->Stats();
+  EXPECT_GT(stats.elapsed_seconds, 0.0);
+  EXPECT_EQ(stats.backend, "memory");
+  EXPECT_EQ(stats.backend_fetches, stats.query_cost);
+  EXPECT_EQ(stats.shared_cache_hits, 0u);
+  EXPECT_DOUBLE_EQ(stats.waited_seconds, 0.0);
+}
+
+TEST(SamplingSessionTest, SpecBackendParamsRoundTripAndSimulateLatency) {
+  const Graph g = testing::MakeTestBA(60, 3);
+  auto session =
+      std::move(SamplingSession::Open(
+                    &g, "we:srw?backend=latency&diameter=4&mean_ms=20"))
+          .value();
+  std::vector<NodeId> samples;
+  ASSERT_TRUE(session->DrawInto(&samples, 5).ok());
+  const SessionStats stats = session->Stats();
+  // The canonical spec keeps the backend parameters (sorted), so a session
+  // reopened from stats.spec reproduces the whole scenario.
+  EXPECT_EQ(stats.spec, "we:srw?backend=latency&diameter=4&mean_ms=20");
+  EXPECT_EQ(stats.backend, "latency(memory)");
+  // Every backend fetch paid the simulated 20ms round trip (batched
+  // fetches pay it once per batch, so waiting is at most fetches * rtt).
+  EXPECT_GT(stats.waited_seconds, 0.0);
+  EXPECT_LE(stats.waited_seconds, stats.backend_fetches * 0.020 + 1e-9);
+}
+
 TEST(SamplingSessionTest, RestrictedAccessScenarioApplies) {
   const Graph g = testing::MakeTestBA(100, 4);
   SessionOptions opts;

@@ -9,12 +9,18 @@
 // Usage:
 //   wnw_sample [--graph FILE | --dataset ba:N,M|gplus|yelp|twitter|small]
 //              [--spec SPEC] [--samples N] [--seed S] [--scale X]
-//              [--diameter-bound D] [--estimate-degree] [--quiet]
+//              [--diameter-bound D] [--estimate-degree] [--quiet] [--json]
 //
 // Examples:
 //   wnw_sample --dataset ba:20000,5 --spec we:mhrw --samples 100
 //   wnw_sample --graph my_edges.txt --spec "burnin:srw?max_steps=5000" \
 //              --samples 50 --estimate-degree
+//   wnw_sample --dataset small --samples 20 --json \
+//              --spec "we:mhrw?backend=latency&mean_ms=50"
+//
+// --json replaces the per-line sample output with one JSON object on stdout
+// ({"spec", "samples": [...], "stats": {...}}) for scripting; diagnostics
+// stay on stderr.
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -44,6 +50,7 @@ struct Args {
   int diameter_bound = 0;  // 0 = estimate via double sweep
   bool estimate_degree = false;
   bool quiet = false;
+  bool json = false;
 };
 
 void PrintUsage() {
@@ -52,6 +59,7 @@ void PrintUsage() {
       "usage: wnw_sample [--graph FILE | --dataset SPEC] [--spec SAMPLER]\n"
       "                  [--samples N] [--seed S] [--scale X]\n"
       "                  [--diameter-bound D] [--estimate-degree] [--quiet]\n"
+      "                  [--json]\n"
       "dataset SPEC: ba:N,M | gplus | yelp | twitter | small\n"
       "sampler SPEC: <sampler>[:<walk>][?key=value&...], "
       "walk = srw|mhrw|lazy|maxdeg:<bound>\n"
@@ -98,6 +106,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->estimate_degree = true;
     } else if (flag == "--quiet") {
       args->quiet = true;
+    } else if (flag == "--json") {
+      args->json = true;
     } else if (flag == "--help" || flag == "-h") {
       PrintUsage();
       std::exit(0);
@@ -140,6 +150,59 @@ Result<Graph> LoadInputGraph(const Args& args) {
     return MakeSmallScaleFree(args.seed).graph;
   }
   return Status::InvalidArgument("unknown dataset: " + args.dataset);
+}
+
+// Emits samples plus the full SessionStats as one JSON object. Spec strings
+// contain no characters needing escapes beyond quotes/backslashes (enforced
+// by escaping anyway, for arbitrary registry names).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+void PrintJson(const SessionStats& stats, const std::vector<NodeId>& samples) {
+  std::printf("{\n  \"spec\": \"%s\",\n", JsonEscape(stats.spec).c_str());
+  std::printf("  \"samples\": [");
+  for (size_t i = 0; i < samples.size(); ++i) {
+    std::printf("%s%u", i == 0 ? "" : ", ", samples[i]);
+  }
+  std::printf("],\n");
+  std::printf("  \"stats\": {\n");
+  std::printf("    \"sampler\": \"%s\",\n", JsonEscape(stats.sampler).c_str());
+  std::printf("    \"backend\": \"%s\",\n", JsonEscape(stats.backend).c_str());
+  std::printf("    \"samples_drawn\": %llu,\n",
+              static_cast<unsigned long long>(stats.samples_drawn));
+  std::printf("    \"query_cost\": %llu,\n",
+              static_cast<unsigned long long>(stats.query_cost));
+  std::printf("    \"total_queries\": %llu,\n",
+              static_cast<unsigned long long>(stats.total_queries));
+  std::printf("    \"backend_fetches\": %llu,\n",
+              static_cast<unsigned long long>(stats.backend_fetches));
+  std::printf("    \"shared_cache_hits\": %llu,\n",
+              static_cast<unsigned long long>(stats.shared_cache_hits));
+  std::printf("    \"waited_seconds\": %.6f,\n", stats.waited_seconds);
+  std::printf("    \"elapsed_seconds\": %.6f,\n", stats.elapsed_seconds);
+  std::printf("    \"last_burn_in\": %d,\n", stats.last_burn_in);
+  std::printf("    \"average_burn_in\": %.6f,\n", stats.average_burn_in);
+  std::printf("    \"burned_in\": %s,\n", stats.burned_in ? "true" : "false");
+  std::printf("    \"candidates_tried\": %llu,\n",
+              static_cast<unsigned long long>(stats.candidates_tried));
+  std::printf("    \"samples_accepted\": %llu,\n",
+              static_cast<unsigned long long>(stats.samples_accepted));
+  std::printf("    \"acceptance_rate\": %.6f,\n", stats.acceptance_rate);
+  std::printf("    \"forward_steps\": %llu,\n",
+              static_cast<unsigned long long>(stats.forward_steps));
+  std::printf("    \"backward_walks\": %llu,\n",
+              static_cast<unsigned long long>(stats.backward_walks));
+  std::printf("    \"walks_run\": %llu,\n",
+              static_cast<unsigned long long>(stats.walks_run));
+  std::printf("    \"samples_per_walk\": %.6f\n", stats.samples_per_walk);
+  std::printf("  }\n}\n");
 }
 
 }  // namespace
@@ -205,10 +268,14 @@ int main(int argc, char** argv) {
       break;
     }
     samples.push_back(s.value());
-    if (!args.quiet) std::printf("%u\n", s.value());
+    if (!args.quiet && !args.json) std::printf("%u\n", s.value());
   }
 
   const SessionStats stats = session.Stats();
+  if (args.json) {
+    PrintJson(stats, samples);
+    return 0;
+  }
   std::fprintf(stderr,
                "drawn: %llu samples  query cost: %llu unique nodes "
                "(%llu API calls)\n",
