@@ -10,12 +10,15 @@ namespace wnw {
 
 AccessInterface::AccessInterface(const Graph* graph, AccessOptions options)
     : AccessInterface(BuildBackendStack(graph, {.access = options,
-                                                .latency = std::nullopt})) {}
+                                                .latency = std::nullopt,
+                                                .executor = nullptr})) {}
 
 AccessInterface::AccessInterface(std::shared_ptr<AccessBackend> backend,
-                                 std::shared_ptr<QueryCache> cache)
+                                 std::shared_ptr<QueryCache> cache,
+                                 std::shared_ptr<AsyncFetchExecutor> executor)
     : backend_(std::move(backend)),
       cache_(std::move(cache)),
+      executor_(std::move(executor)),
       cacheable_(false),
       seen_(0) {
   WNW_CHECK(backend_ != nullptr);
@@ -23,9 +26,25 @@ AccessInterface::AccessInterface(std::shared_ptr<AccessBackend> backend,
   seen_.assign(backend_->num_nodes(), 0);
 }
 
+AccessInterface::~AccessInterface() { Wait(); }
+
+void AccessInterface::Admit(NodeId u, std::vector<NodeId>&& list) {
+  if (seen_[u] == 0) {
+    seen_[u] = 1;
+    ++meter_.unique_cost;
+  }
+  if (cache_ != nullptr) cache_->Insert(u, list);
+  local_cache_.emplace(u, std::move(list));
+}
+
 std::span<const NodeId> AccessInterface::FetchLocal(NodeId u) {
   WNW_DCHECK(u < seen_.size());
   if (cacheable_) {
+    if (!pending_nodes_.empty() && pending_nodes_.count(u) > 0) {
+      // An in-flight prefetch covers u; fold just that batch.
+      const NodeId one[] = {u};
+      WaitFor(one);
+    }
     const auto it = local_cache_.find(u);
     if (it != local_cache_.end()) return it->second;
     if (cache_ != nullptr) {
@@ -38,7 +57,11 @@ std::span<const NodeId> AccessInterface::FetchLocal(NodeId u) {
       }
     }
   }
-  auto reply = backend_->FetchNeighbors(u);
+  // With an executor, even single fetches occupy an in-flight window slot:
+  // the bound holds across every concurrent session sharing the executor.
+  Result<FetchReply> reply =
+      executor_ != nullptr ? executor_->SubmitFetch(backend_, u).get()
+                           : backend_->FetchNeighbors(u);
   if (!reply.ok()) {
     // Backends only fail on programmer error or an exhausted simulated
     // retry budget; neither is recoverable mid-walk.
@@ -47,24 +70,25 @@ std::span<const NodeId> AccessInterface::FetchLocal(NodeId u) {
   }
   ++meter_.backend_fetches;
   meter_.waited_seconds += reply->simulated_seconds;
+  if (cacheable_) {
+    Admit(u, std::move(reply->neighbors));
+    return local_cache_.find(u)->second;
+  }
   if (seen_[u] == 0) {
     seen_[u] = 1;
     ++meter_.unique_cost;
-  }
-  if (cacheable_) {
-    if (cache_ != nullptr) cache_->Insert(u, reply->neighbors);
-    return local_cache_.emplace(u, std::move(reply->neighbors)).first->second;
   }
   scratch_ = std::move(reply->neighbors);
   return scratch_;
 }
 
-void AccessInterface::Prefetch(std::span<const NodeId> nodes) {
+void AccessInterface::PrefetchAsync(std::span<const NodeId> nodes) {
   if (!cacheable_) return;  // nothing stable to hold on to
   batch_buf_.clear();
   for (NodeId u : nodes) {
     WNW_DCHECK(u < seen_.size());
     if (local_cache_.find(u) != local_cache_.end()) continue;
+    if (!pending_nodes_.empty() && pending_nodes_.count(u) > 0) continue;
     if (cache_ != nullptr) {
       std::vector<NodeId> list;
       if (cache_->Lookup(u, &list)) {
@@ -80,24 +104,70 @@ void AccessInterface::Prefetch(std::span<const NodeId> nodes) {
   std::sort(batch_buf_.begin(), batch_buf_.end());
   batch_buf_.erase(std::unique(batch_buf_.begin(), batch_buf_.end()),
                    batch_buf_.end());
+  ++meter_.prefetch_batches;
 
-  auto reply = backend_->FetchBatch(batch_buf_);
+  if (executor_ == nullptr) {
+    // No executor: the synchronous FetchBatch path (decorators account the
+    // batch as concurrently dispatched — it pays the slowest round trip).
+    auto reply = backend_->FetchBatch(batch_buf_);
+    if (!reply.ok()) {
+      WNW_LOG(kError) << "backend batch fetch failed: "
+                      << reply.status().ToString();
+      WNW_CHECK(reply.ok());
+    }
+    meter_.backend_fetches += batch_buf_.size();
+    meter_.waited_seconds += reply->simulated_seconds;
+    for (size_t i = 0; i < batch_buf_.size(); ++i) {
+      Admit(batch_buf_[i], std::move(reply->lists[i]));
+    }
+    return;
+  }
+
+  PendingBatch pending;
+  pending.handle = executor_->SubmitBatch(backend_, batch_buf_);
+  pending_nodes_.insert(batch_buf_.begin(), batch_buf_.end());
+  pending.nodes = std::move(batch_buf_);  // next use clear()s the buffer
+  pending_.push_back(std::move(pending));
+}
+
+void AccessInterface::FoldPending(size_t index) {
+  WNW_DCHECK(index < pending_.size());
+  PendingBatch batch = std::move(pending_[index]);
+  pending_.erase(pending_.begin() + static_cast<ptrdiff_t>(index));
+  auto reply = batch.handle.Wait();
   if (!reply.ok()) {
-    WNW_LOG(kError) << "backend batch fetch failed: "
+    WNW_LOG(kError) << "async prefetch batch failed: "
                     << reply.status().ToString();
     WNW_CHECK(reply.ok());
   }
-  meter_.backend_fetches += batch_buf_.size();
+  // Billing matches the synchronous batch path: every node pays
+  // distinct-node cost, the session waits for the slowest request.
+  meter_.backend_fetches += batch.nodes.size();
   meter_.waited_seconds += reply->simulated_seconds;
-  for (size_t i = 0; i < batch_buf_.size(); ++i) {
-    const NodeId u = batch_buf_[i];
-    if (seen_[u] == 0) {
-      seen_[u] = 1;
-      ++meter_.unique_cost;
-    }
-    if (cache_ != nullptr) cache_->Insert(u, reply->lists[i]);
-    local_cache_.emplace(u, std::move(reply->lists[i]));
+  for (size_t i = 0; i < batch.nodes.size(); ++i) {
+    pending_nodes_.erase(batch.nodes[i]);
+    Admit(batch.nodes[i], std::move(reply->lists[i]));
   }
+}
+
+void AccessInterface::Wait() {
+  while (!pending_.empty()) FoldPending(pending_.size() - 1);
+}
+
+void AccessInterface::WaitFor(std::span<const NodeId> nodes) {
+  if (pending_.empty() || pending_nodes_.empty()) return;
+  for (size_t i = pending_.size(); i-- > 0;) {
+    const auto& batch_nodes = pending_[i].nodes;
+    const bool hit = std::any_of(nodes.begin(), nodes.end(), [&](NodeId u) {
+      return std::binary_search(batch_nodes.begin(), batch_nodes.end(), u);
+    });
+    if (hit) FoldPending(i);
+  }
+}
+
+void AccessInterface::Prefetch(std::span<const NodeId> nodes) {
+  PrefetchAsync(nodes);
+  WaitFor(nodes);
 }
 
 std::span<const NodeId> AccessInterface::Neighbors(NodeId u) {
@@ -158,6 +228,7 @@ NodeId AccessInterface::SampleNeighbor(NodeId u, Rng& rng) {
 }
 
 void AccessInterface::ResetCounters() {
+  Wait();
   std::fill(seen_.begin(), seen_.end(), 0);
   meter_.Reset();
   local_cache_.clear();

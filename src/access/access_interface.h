@@ -8,8 +8,10 @@
 //   thread-safe — one per concurrent trial)
 //     -> optional shared QueryCache (cross-session history reuse; hits are
 //        free: no backend fetch, no distinct-node cost, no simulated wait)
-//       -> AccessBackend stack (rate limit / latency decorators over the
-//          InMemoryBackend restriction simulation; see access/backend.h)
+//       -> optional shared AsyncFetchExecutor (window-bounded in-flight
+//          requests; PrefetchAsync overlaps fetches with compute)
+//         -> AccessBackend stack (rate limit / latency decorators over the
+//            InMemoryBackend restriction simulation; see access/backend.h)
 //
 // The §6.3.1 access restrictions are implemented by the backend:
 //
@@ -19,16 +21,19 @@
 //
 // Under types 2/3, traversable edges use the paper's bidirectional-check
 // semantics: edge (u,v) is usable iff v ∈ T(u) and u ∈ T(v); the probe of
-// every candidate is billed — and batched through FetchBatch, so a
-// latency-simulating backend serves the probes concurrently.
+// every candidate is billed — and batched through the executor (or
+// FetchBatch), so a latency-simulating backend serves the probes
+// concurrently.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <span>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
+#include "access/async_executor.h"
 #include "access/backend.h"
 #include "access/cost_meter.h"
 #include "access/query_cache.h"
@@ -38,8 +43,8 @@
 namespace wnw {
 
 /// A sampling session against one simulated OSN. Not thread-safe; create one
-/// interface per concurrent trial (the backend and the optional QueryCache
-/// are thread-safe and shared).
+/// interface per concurrent trial (the backend, the optional QueryCache, and
+/// the optional AsyncFetchExecutor are thread-safe and shared).
 class AccessInterface {
  public:
   /// Convenience: builds and owns a private InMemoryBackend (wrapped in a
@@ -48,9 +53,22 @@ class AccessInterface {
   explicit AccessInterface(const Graph* graph, AccessOptions options = {});
 
   /// The pluggable path: a session view over a shared backend stack, with an
-  /// optional cross-session QueryCache.
+  /// optional cross-session QueryCache and an optional fetch executor. With
+  /// an executor, every fetch — single or batched — occupies a slot of its
+  /// bounded in-flight window, so concurrent sessions sharing one executor
+  /// overlap their round trips while the simulated service never sees more
+  /// than `window` open requests.
   explicit AccessInterface(std::shared_ptr<AccessBackend> backend,
-                           std::shared_ptr<QueryCache> cache = nullptr);
+                           std::shared_ptr<QueryCache> cache = nullptr,
+                           std::shared_ptr<AsyncFetchExecutor> executor =
+                               nullptr);
+
+  /// Waits for any still-pending prefetch batches (their tasks reference the
+  /// shared backend; the results are folded and discarded).
+  ~AccessInterface();
+
+  AccessInterface(const AccessInterface&) = delete;
+  AccessInterface& operator=(const AccessInterface&) = delete;
 
   // --- the web API ---------------------------------------------------------
 
@@ -63,15 +81,31 @@ class AccessInterface {
   /// mark–recapture estimate should be used for analytics instead.
   uint32_t Degree(NodeId u);
 
-  /// Batched warm-up: fetches every not-yet-cached node in `nodes` through
-  /// one AccessBackend::FetchBatch call. Distinct-node cost and simulated
-  /// waiting are billed exactly as if each node were queried individually —
-  /// but a latency-simulating backend serves the batch concurrently, so the
-  /// session waits for the slowest request instead of the sum. Only call on
+  /// Non-blocking batched warm-up: kicks off the fetch of every
+  /// not-yet-cached (and not-yet-pending) node in `nodes` and returns
+  /// immediately when an executor is attached, so the session's compute
+  /// overlaps the round trips. Results fold into the session caches — and
+  /// bill distinct-node cost plus the batch's simulated waiting — on Wait(),
+  /// or lazily when a query first touches a pending node. Without an
+  /// executor this degrades to the synchronous FetchBatch path. Only call on
   /// node sets the algorithm is guaranteed to query anyway (crawl frontiers,
   /// bidirectional probes, candidate batches); no-op under kRandomSubset
   /// (responses are not stable enough to hold on to).
+  void PrefetchAsync(std::span<const NodeId> nodes);
+
+  /// Folds every pending prefetch batch into the session caches, blocking
+  /// until their requests complete. No-op when nothing is pending.
+  void Wait();
+
+  /// Synchronous batched warm-up: PrefetchAsync + a targeted wait for the
+  /// requested nodes (other pending batches stay in flight). Billing is
+  /// identical to querying each node individually, but a latency-simulating
+  /// backend serves the batch concurrently, so the session waits for the
+  /// slowest request instead of the sum.
   void Prefetch(std::span<const NodeId> nodes);
+
+  /// True while at least one PrefetchAsync batch has not been folded.
+  bool has_pending_prefetch() const { return !pending_.empty(); }
 
   // --- traversal view ------------------------------------------------------
 
@@ -109,32 +143,57 @@ class AccessInterface {
 
   bool Seen(NodeId u) const { return seen_[u] != 0; }
 
-  /// Resets per-session counters and caches, and the simulated client state
-  /// of the backend (rate-limit windows). Server-side subset choices
-  /// persist — they model the remote service. Avoid mid-experiment when the
-  /// backend is shared with live sessions.
+  /// Resets per-session counters and caches (folding any pending prefetch
+  /// first), and the simulated client state of the backend (rate-limit
+  /// windows). Server-side subset choices persist — they model the remote
+  /// service. Avoid mid-experiment when the backend is shared with live
+  /// sessions.
   void ResetCounters();
 
   const AccessOptions& options() const { return backend_->options(); }
   AccessBackend& backend() { return *backend_; }
   const AccessBackend& backend() const { return *backend_; }
   const std::shared_ptr<QueryCache>& query_cache() const { return cache_; }
+  const std::shared_ptr<AsyncFetchExecutor>& executor() const {
+    return executor_;
+  }
 
  private:
+  /// One in-flight PrefetchAsync batch: the (sorted, deduped) node set and
+  /// the executor handle joining its per-node tasks.
+  struct PendingBatch {
+    std::vector<NodeId> nodes;
+    AsyncFetchExecutor::BatchHandle handle;
+  };
+
   /// Serves u's raw (restricted) neighbor list, billing distinct-node cost
   /// and simulated waiting on the first backend fetch. Does NOT bill a
-  /// logical query — callers owning an API entry point do that.
+  /// logical query — callers owning an API entry point do that. Folds the
+  /// pending batch containing u first, if any.
   std::span<const NodeId> FetchLocal(NodeId u);
+
+  /// Folds pending_[index] into the session caches and meter.
+  void FoldPending(size_t index);
+
+  /// Folds every pending batch containing any of `nodes`.
+  void WaitFor(std::span<const NodeId> nodes);
+
+  /// Stores a fetched list in the session (and shared) caches and bills
+  /// distinct-node cost.
+  void Admit(NodeId u, std::vector<NodeId>&& list);
 
   std::shared_ptr<AccessBackend> backend_;
   std::shared_ptr<QueryCache> cache_;
+  std::shared_ptr<AsyncFetchExecutor> executor_;
   bool cacheable_;  // backend_->deterministic()
 
   CostMeter meter_;
   std::vector<uint8_t> seen_;
 
   std::vector<NodeId> scratch_;     // kRandomSubset response buffer
-  std::vector<NodeId> batch_buf_;   // Prefetch request assembly
+  std::vector<NodeId> batch_buf_;   // prefetch request assembly (reused)
+  std::vector<PendingBatch> pending_;
+  std::unordered_set<NodeId> pending_nodes_;  // union over pending_
   std::unordered_map<NodeId, std::vector<NodeId>> local_cache_;
   std::unordered_map<NodeId, std::vector<NodeId>> effective_cache_;
 };

@@ -1,0 +1,156 @@
+#include "access/async_executor.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.h"
+
+namespace wnw {
+
+Result<BatchReply> AsyncFetchExecutor::BatchHandle::Wait() {
+  BatchReply reply;
+  reply.lists.reserve(futures_.size());
+  Status first_error = Status::OK();
+  // The batch completes when its slowest parallelizable request does, plus
+  // every server-enforced serial stall (rate-limit tokens) — the same total
+  // the synchronous FetchBatch decorators account.
+  double slowest_parallel = 0.0;
+  double serial = 0.0;
+  for (auto& future : futures_) {
+    Result<FetchReply> one = future.get();
+    if (!one.ok()) {
+      // Keep draining: every future must be consumed so no task result is
+      // left dangling, and the caller gets the first failure.
+      if (first_error.ok()) first_error = one.status();
+      reply.lists.emplace_back();
+      continue;
+    }
+    slowest_parallel = std::max(
+        slowest_parallel, one->simulated_seconds - one->serial_seconds);
+    serial += one->serial_seconds;
+    reply.lists.push_back(std::move(one->neighbors));
+  }
+  futures_.clear();
+  if (!first_error.ok()) return first_error;
+  reply.simulated_seconds = slowest_parallel + serial;
+  return reply;
+}
+
+AsyncFetchExecutor::AsyncFetchExecutor(AsyncOptions options)
+    : options_(options) {
+  WNW_CHECK(options_.window >= 1);
+  WNW_CHECK(options_.threads >= 0);
+  if (options_.threads == 0) options_.threads = options_.window;
+  options_.threads = std::clamp(options_.threads, 1, 256);
+  workers_.reserve(static_cast<size_t>(options_.threads));
+  for (int i = 0; i < options_.threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+AsyncFetchExecutor::~AsyncFetchExecutor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    // Queued-but-unstarted requests are cancelled, not run: their promises
+    // resolve with a Status so any outstanding future (or BatchHandle)
+    // unblocks instead of hanging forever.
+    stats_.cancelled += queue_.size();
+    for (Task& task : queue_) {
+      task.promise.set_value(
+          Status::FailedPrecondition("fetch executor shut down before the "
+                                     "request was dispatched"));
+    }
+    queue_.clear();
+  }
+  task_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+AsyncFetchExecutor::FetchFuture AsyncFetchExecutor::Submit(
+    std::function<Result<FetchReply>()> fn) {
+  Task task;
+  task.fn = std::move(fn);
+  FetchFuture future = task.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      task.promise.set_value(Status::FailedPrecondition(
+          "fetch executor is shutting down; request rejected"));
+      return future;
+    }
+    ++stats_.submitted;
+    queue_.push_back(std::move(task));
+  }
+  task_cv_.notify_one();
+  return future;
+}
+
+AsyncFetchExecutor::FetchFuture AsyncFetchExecutor::SubmitFetch(
+    std::shared_ptr<AccessBackend> backend, NodeId node) {
+  WNW_CHECK(backend != nullptr);
+  return Submit([backend = std::move(backend), node] {
+    return backend->FetchNeighbors(node);
+  });
+}
+
+AsyncFetchExecutor::BatchHandle AsyncFetchExecutor::SubmitBatch(
+    std::function<Result<FetchReply>(NodeId)> fetch,
+    std::span<const NodeId> nodes) {
+  WNW_CHECK(fetch != nullptr);
+  BatchHandle handle;
+  handle.futures_.reserve(nodes.size());
+  for (NodeId node : nodes) {
+    handle.futures_.push_back(Submit([fetch, node] { return fetch(node); }));
+  }
+  return handle;
+}
+
+AsyncFetchExecutor::BatchHandle AsyncFetchExecutor::SubmitBatch(
+    std::shared_ptr<AccessBackend> backend, std::span<const NodeId> nodes) {
+  WNW_CHECK(backend != nullptr);
+  return SubmitBatch(
+      [backend = std::move(backend)](NodeId node) {
+        return backend->FetchNeighbors(node);
+      },
+      nodes);
+}
+
+AsyncFetchExecutor::Stats AsyncFetchExecutor::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void AsyncFetchExecutor::WorkerLoop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_cv_.wait(lock, [this] {
+        return stopping_ ||
+               (!queue_.empty() && in_flight_ < options_.window);
+      });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;  // lost a race for the task; wait again
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+      stats_.max_in_flight = std::max(stats_.max_in_flight, in_flight_);
+    }
+    Result<FetchReply> result = task.fn();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      ++stats_.completed;
+    }
+    // A window slot freed up; there may be both queued tasks and capacity.
+    task_cv_.notify_all();
+    // Publish last: the moment the future becomes ready, a waiter may read
+    // stats() and must see this task counted as completed.
+    task.promise.set_value(std::move(result));
+  }
+}
+
+}  // namespace wnw

@@ -60,9 +60,15 @@ struct AccessOptions {
 /// One answered neighbor query. `simulated_seconds` is the wall-clock time
 /// this request would have taken against the real service (network round
 /// trip, retry backoff, rate-limit waiting); the in-memory origin reports 0.
+/// `serial_seconds` is the subset of `simulated_seconds` that is
+/// server-enforced serially and does NOT parallelize across concurrent
+/// dispatch (rate-limit token stalls): concurrent aggregators take
+/// max(parallelizable part) + sum(serial part), matching the synchronous
+/// FetchBatch decorators.
 struct FetchReply {
   std::vector<NodeId> neighbors;
   double simulated_seconds = 0.0;
+  double serial_seconds = 0.0;
 };
 
 /// One answered batch. `lists` is parallel to the requested node span;

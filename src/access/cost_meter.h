@@ -23,6 +23,10 @@ struct CostMeter {
   /// Lookups served by the cross-session QueryCache.
   uint64_t shared_cache_hits = 0;
 
+  /// Prefetch batches issued to the backend (one per PrefetchAsync/Prefetch
+  /// call that had anything left to fetch).
+  uint64_t prefetch_batches = 0;
+
   /// Simulated seconds this session's requests would have taken against the
   /// real service (network latency, retry backoff, rate-limit waiting).
   double waited_seconds = 0.0;

@@ -1,7 +1,10 @@
 #include "access/decorators.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
+#include "access/async_executor.h"
 #include "util/check.h"
 
 namespace wnw {
@@ -30,27 +33,48 @@ LatencyBackend::LatencyBackend(std::shared_ptr<AccessBackend> inner,
   WNW_CHECK(config_.mean_ms >= 0.0 && config_.jitter_ms >= 0.0);
   WNW_CHECK(config_.failure_rate >= 0.0 && config_.failure_rate < 1.0);
   WNW_CHECK(config_.retry_backoff_ms >= 0.0 && config_.max_retries >= 0);
+  WNW_CHECK(config_.sleep_scale >= 0.0);
+}
+
+void LatencyBackend::AttachExecutor(
+    std::shared_ptr<AsyncFetchExecutor> executor) {
+  executor_ = std::move(executor);
 }
 
 Result<double> LatencyBackend::SimulateRequestSeconds() {
-  std::lock_guard<std::mutex> lock(mu_);
+  // Draw the whole request schedule (round trips + retry backoffs) under
+  // the RNG lock, then sleep outside it — concurrent requests must overlap
+  // their sleeps, not serialize on the mutex.
+  Status failed = Status::OK();
   double seconds = 0.0;
-  for (int attempt = 0;; ++attempt) {
-    double rtt_ms = config_.mean_ms;
-    if (config_.jitter_ms > 0.0) {
-      rtt_ms += rng_.NextDouble(-config_.jitter_ms, config_.jitter_ms);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int attempt = 0;; ++attempt) {
+      double rtt_ms = config_.mean_ms;
+      if (config_.jitter_ms > 0.0) {
+        rtt_ms += rng_.NextDouble(-config_.jitter_ms, config_.jitter_ms);
+      }
+      seconds += std::max(0.0, rtt_ms) * 1e-3;
+      if (config_.failure_rate <= 0.0 ||
+          !rng_.NextBool(config_.failure_rate)) {
+        break;
+      }
+      if (attempt >= config_.max_retries) {
+        failed = Status::ResourceExhausted(
+            "simulated network request failed after " +
+            std::to_string(config_.max_retries + 1) + " attempts");
+        break;
+      }
+      seconds += config_.retry_backoff_ms * 1e-3;
     }
-    seconds += std::max(0.0, rtt_ms) * 1e-3;
-    if (config_.failure_rate <= 0.0 || !rng_.NextBool(config_.failure_rate)) {
-      return seconds;
-    }
-    if (attempt >= config_.max_retries) {
-      return Status::ResourceExhausted(
-          "simulated network request failed after " +
-          std::to_string(config_.max_retries + 1) + " attempts");
-    }
-    seconds += config_.retry_backoff_ms * 1e-3;
   }
+  if (config_.sleep_scale > 0.0 && seconds > 0.0) {
+    // An aborted request still occupied the wire for its attempts.
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(seconds * config_.sleep_scale));
+  }
+  if (!failed.ok()) return failed;
+  return seconds;
 }
 
 Result<FetchReply> LatencyBackend::FetchNeighbors(NodeId u) {
@@ -61,9 +85,20 @@ Result<FetchReply> LatencyBackend::FetchNeighbors(NodeId u) {
 }
 
 Result<BatchReply> LatencyBackend::FetchBatch(std::span<const NodeId> nodes) {
+  if (executor_ != nullptr) {
+    // Truly concurrent dispatch: every request is an independent executor
+    // task (real sleeps on worker threads, bounded by the in-flight
+    // window). Safe against the window bound because these are leaf tasks:
+    // FetchNeighbors never submits further work, and this frame — never
+    // itself an executor task — just blocks until the batch drains.
+    return executor_
+        ->SubmitBatch([this](NodeId u) { return FetchNeighbors(u); }, nodes)
+        .Wait();
+  }
   WNW_ASSIGN_OR_RETURN(BatchReply reply, inner_->FetchBatch(nodes));
-  // The batch is dispatched concurrently: it completes when the slowest
-  // request (including its retries) does.
+  // Accounting-only concurrency: the batch completes when the slowest
+  // request (including its retries) does. With sleep_scale > 0 but no
+  // executor the sleeps serialize — attach an executor to overlap them.
   double slowest = 0.0;
   for (size_t i = 0; i < nodes.size(); ++i) {
     WNW_ASSIGN_OR_RETURN(double seconds, SimulateRequestSeconds());
@@ -100,7 +135,11 @@ double RateLimitBackend::Consume(uint64_t n) {
 
 Result<FetchReply> RateLimitBackend::FetchNeighbors(NodeId u) {
   WNW_ASSIGN_OR_RETURN(FetchReply reply, inner_->FetchNeighbors(u));
-  reply.simulated_seconds += Consume(1);
+  // Token stalls are server-enforced per query and do not parallelize:
+  // mark them serial so concurrent batch aggregation sums (not maxes) them.
+  const double stall = Consume(1);
+  reply.simulated_seconds += stall;
+  reply.serial_seconds += stall;
   return reply;
 }
 
@@ -132,8 +171,10 @@ std::shared_ptr<AccessBackend> BuildBackendStack(
   std::shared_ptr<AccessBackend> backend =
       std::make_shared<InMemoryBackend>(graph, options.access);
   if (options.latency.has_value()) {
-    backend = std::make_shared<LatencyBackend>(std::move(backend),
-                                               *options.latency);
+    auto latency = std::make_shared<LatencyBackend>(std::move(backend),
+                                                    *options.latency);
+    if (options.executor != nullptr) latency->AttachExecutor(options.executor);
+    backend = std::move(latency);
   }
   if (options.access.rate_limit.queries_per_window > 0) {
     backend = std::make_shared<RateLimitBackend>(std::move(backend),

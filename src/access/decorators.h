@@ -6,7 +6,12 @@
 //                      retry backoff). Batches are dispatched concurrently,
 //                      so a batch pays the slowest request, not the sum —
 //                      this is what makes Prefetch() calls from the samplers
-//                      pay off.
+//                      pay off. With sleep_scale > 0 each request genuinely
+//                      sleeps its simulated duration (retry backoffs
+//                      included), and with an AsyncFetchExecutor attached
+//                      batches dispatch as real concurrent tasks instead of
+//                      accounting-only concurrency — wall clock then tracks
+//                      simulated waiting.
 //   RateLimitBackend — the paper §1 query budget (e.g. Twitter's 15 requests
 //                      per 15 minutes) as a decorator around the token-bucket
 //                      SimulatedRateLimiter. Rate-limit waits are server-
@@ -47,7 +52,16 @@ struct LatencyConfig {
 
   /// Seeds the latency/failure randomness (independent of the walk RNG).
   uint64_t seed = 0xfeedu;
+
+  /// Real-sleep factor: when > 0, each request genuinely sleeps
+  /// simulated_seconds * sleep_scale on the thread serving it (an executor
+  /// worker under async dispatch), so wall clock tracks the simulated
+  /// service. 1 sleeps the full simulated time; 0.1 shrinks a 50ms RTT to a
+  /// 5ms sleep (same accounting, faster experiments). 0 = accounting only.
+  double sleep_scale = 0.0;
 };
+
+class AsyncFetchExecutor;
 
 class LatencyBackend final : public AccessBackend {
  public:
@@ -60,16 +74,26 @@ class LatencyBackend final : public AccessBackend {
   Result<BatchReply> FetchBatch(std::span<const NodeId> nodes) override;
   void ResetSimulation() override;
 
+  /// Truly concurrent batch dispatch: FetchBatch fans its requests out as
+  /// independent executor tasks (window-bounded, real sleeps overlapping)
+  /// instead of the accounting-only max(). Callers going through an
+  /// AccessInterface that owns an executor never reach this path — it serves
+  /// plain backend->FetchBatch users sharing the crawler's executor.
+  void AttachExecutor(std::shared_ptr<AsyncFetchExecutor> executor);
+
   const LatencyConfig& config() const { return config_; }
 
  private:
   /// Simulated completion time of one request: per-attempt round trips plus
-  /// retry backoffs. Errors out past max_retries.
+  /// retry backoffs. Errors out past max_retries. With sleep_scale > 0 the
+  /// calling thread really sleeps the (scaled) duration, outside the RNG
+  /// lock so concurrent requests overlap.
   Result<double> SimulateRequestSeconds();
 
   std::shared_ptr<AccessBackend> inner_;
   LatencyConfig config_;
   std::string name_;
+  std::shared_ptr<AsyncFetchExecutor> executor_;  // set once, before use
   std::mutex mu_;
   Rng rng_;  // guarded by mu_
 };
@@ -105,6 +129,10 @@ class RateLimitBackend final : public AccessBackend {
 struct BackendStackOptions {
   AccessOptions access;
   std::optional<LatencyConfig> latency;
+
+  /// Attached to the LatencyBackend (when one is built) for truly
+  /// concurrent batch dispatch; see LatencyBackend::AttachExecutor.
+  std::shared_ptr<AsyncFetchExecutor> executor;
 };
 
 std::shared_ptr<AccessBackend> BuildBackendStack(

@@ -1,5 +1,7 @@
 #include "access/query_cache.h"
 
+#include <algorithm>
+
 #include "util/check.h"
 
 namespace wnw {
@@ -14,10 +16,13 @@ size_t RoundUpPow2(size_t n) {
 
 }  // namespace
 
-QueryCache::QueryCache(size_t num_shards) {
+QueryCache::QueryCache(size_t num_shards, size_t max_entries)
+    : max_entries_(max_entries) {
   WNW_CHECK(num_shards > 0);
   const size_t shards = RoundUpPow2(num_shards);
   shard_mask_ = shards - 1;
+  per_shard_cap_ =
+      max_entries == 0 ? 0 : std::max<size_t>(1, max_entries / shards);
   shards_ = std::make_unique<Shard[]>(shards);
 }
 
@@ -29,15 +34,29 @@ bool QueryCache::Lookup(NodeId u, std::vector<NodeId>* out) const {
     misses_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
+  // Refresh recency: a node other sessions keep asking for must outlive
+  // one-off crawl frontier entries.
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second.pos);
   hits_.fetch_add(1, std::memory_order_relaxed);
-  *out = it->second;
+  *out = it->second.neighbors;
   return true;
 }
 
 void QueryCache::Insert(NodeId u, std::span<const NodeId> neighbors) {
   Shard& shard = ShardFor(u);
   std::lock_guard<std::mutex> lock(shard.mu);
-  shard.map.try_emplace(u, neighbors.begin(), neighbors.end());
+  if (shard.map.find(u) != shard.map.end()) return;  // first writer wins
+  shard.lru.push_front(u);
+  Shard::Entry entry;
+  entry.neighbors.assign(neighbors.begin(), neighbors.end());
+  entry.pos = shard.lru.begin();
+  shard.map.emplace(u, std::move(entry));
+  if (per_shard_cap_ > 0 && shard.map.size() > per_shard_cap_) {
+    const NodeId victim = shard.lru.back();
+    shard.lru.pop_back();
+    shard.map.erase(victim);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 bool QueryCache::Contains(NodeId u) const {
@@ -59,9 +78,11 @@ void QueryCache::Clear() {
   for (size_t i = 0; i <= shard_mask_; ++i) {
     std::lock_guard<std::mutex> lock(shards_[i].mu);
     shards_[i].map.clear();
+    shards_[i].lru.clear();
   }
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace wnw

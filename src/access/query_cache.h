@@ -6,6 +6,11 @@
 // is free for everyone else (it never reaches the backend, never pays the
 // paper's distinct-node cost, and never waits on simulated latency).
 //
+// Growth is bounded: an optional max_entries cap is enforced per shard with
+// LRU eviction (lookups refresh recency, inserts evict the coldest entry of
+// their shard), so long multi-experiment runs cannot grow the cache without
+// limit. Eviction counts are exposed alongside the hit/miss statistics.
+//
 // Only deterministic backend responses may be cached —
 // AccessInterface consults AccessBackend::deterministic() and bypasses the
 // cache entirely under kRandomSubset (fresh subsets per call carry
@@ -14,6 +19,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -27,27 +33,40 @@ namespace wnw {
 class QueryCache {
  public:
   /// `num_shards` bounds lock contention across concurrent sessions; it is
-  /// rounded up to a power of two.
-  explicit QueryCache(size_t num_shards = 16);
+  /// rounded up to a power of two. `max_entries` caps the total cached
+  /// nodes (0 = unbounded); the cap is apportioned per shard, so the
+  /// effective limit is max(1, max_entries / shards) * shards — treat it as
+  /// approximate.
+  explicit QueryCache(size_t num_shards = 16, size_t max_entries = 0);
 
   QueryCache(const QueryCache&) = delete;
   QueryCache& operator=(const QueryCache&) = delete;
 
   /// Copies u's cached neighbor list into *out and returns true on a hit.
+  /// A hit marks u most-recently-used in its shard.
   bool Lookup(NodeId u, std::vector<NodeId>* out) const;
 
   /// Stores u's neighbor list (first writer wins; concurrent duplicate
-  /// inserts of the same deterministic response are harmless).
+  /// inserts of the same deterministic response are harmless). May evict
+  /// the least-recently-used entry of u's shard when the shard is at
+  /// capacity.
   void Insert(NodeId u, std::span<const NodeId> neighbors);
 
+  /// Peek without refreshing recency.
   bool Contains(NodeId u) const;
 
   /// Number of cached nodes.
   uint64_t size() const;
 
+  /// Total entry cap this cache was built with (0 = unbounded).
+  size_t max_entries() const { return max_entries_; }
+
   // --- statistics (cumulative across all sessions) ---------------------------
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
   double hit_rate() const {
     const uint64_t h = hits(), m = misses();
     return h + m == 0 ? 0.0
@@ -59,7 +78,13 @@ class QueryCache {
  private:
   struct Shard {
     mutable std::mutex mu;
-    std::unordered_map<NodeId, std::vector<NodeId>> map;
+    // LRU order, front = most recently used; entries point back into it.
+    std::list<NodeId> lru;
+    struct Entry {
+      std::vector<NodeId> neighbors;
+      std::list<NodeId>::iterator pos;
+    };
+    std::unordered_map<NodeId, Entry> map;
   };
 
   Shard& ShardFor(NodeId u) const {
@@ -67,9 +92,12 @@ class QueryCache {
   }
 
   size_t shard_mask_;
+  size_t max_entries_;
+  size_t per_shard_cap_;  // 0 = unbounded
   std::unique_ptr<Shard[]> shards_;
   mutable std::atomic<uint64_t> hits_{0};
   mutable std::atomic<uint64_t> misses_{0};
+  mutable std::atomic<uint64_t> evictions_{0};
 };
 
 }  // namespace wnw

@@ -38,6 +38,11 @@ CrawlBall CrawlBall::Crawl(AccessInterface& access,
         next.push_back(v);
       }
     }
+    // Kick the next level's batch off now — still ONE round trip per level
+    // (identical billing to the synchronous crawl), but with a fetch
+    // executor the requests are already flying when the Prefetch at the top
+    // of the next iteration folds them in.
+    access.PrefetchAsync(next);
     frontier = std::move(next);
   }
 

@@ -124,8 +124,9 @@ std::vector<PtEstimate> ProbabilityEstimator::EstimateBatch(
             "call Prepare() before EstimateBatch() when crawling is enabled");
   // Every node gets base_reps backward walks, each of which starts by
   // enumerating the node's neighbors — so the whole batch is prefetched in
-  // one backend round trip.
-  access.Prefetch(nodes);
+  // one backend round trip, asynchronously: the replies fold in when the
+  // first backward walk touches a batched node.
+  access.PrefetchAsync(nodes);
   std::vector<Welford> accs(nodes.size());
   for (size_t i = 0; i < nodes.size(); ++i) {
     for (int r = 0; r < options_.base_reps; ++r) {

@@ -42,17 +42,19 @@ Result<NodeId> WalkEstimatePathSampler::Draw() {
                     options_.max_walks_per_draw));
     }
     Walk(*access_, *design_, start_, t, rng_, &path_buf_);
-    estimator_.RecordForwardWalk(path_buf_);
     ++walks_;
     // Every stride-th node from s_min to t is a candidate with its own
     // per-step sampling probability. Each candidate's backward walks start
     // by enumerating its neighbors, so batch-prefetch the whole candidate
-    // set — one simulated round trip instead of one per candidate.
+    // set — one simulated round trip instead of one per candidate, kicked
+    // off asynchronously so the fetches overlap the history bookkeeping
+    // (results fold in when the first estimate touches a candidate).
     candidate_buf_.clear();
     for (int s = s_min; s <= t; s += options_.stride) {
       candidate_buf_.push_back(path_buf_[static_cast<size_t>(s)]);
     }
-    access_->Prefetch(candidate_buf_);
+    access_->PrefetchAsync(candidate_buf_);
+    estimator_.RecordForwardWalk(path_buf_);
     for (int s = s_min; s <= t; s += options_.stride) {
       const NodeId v = path_buf_[static_cast<size_t>(s)];
       const PtEstimate est = estimator_.EstimateAtStep(*access_, v, s, rng_);

@@ -216,6 +216,30 @@ Result<WalkEstimateVariant> ParseVariantKey(std::string_view key) {
                                  "' (expected full|none|crawl|weighted)");
 }
 
+std::span<const ReservedKeyInfo> ReservedSessionKeys() {
+  // Keep in sync with ExtractBackendParams in core/session.cc and with
+  // docs/SPEC_STRINGS.md.
+  static constexpr ReservedKeyInfo kReserved[] = {
+      {"backend", "origin/decorator selection: memory (default) | latency"},
+      {"mean_ms", "mean simulated RTT per request, >= 0 (default 50)"},
+      {"jitter_ms", "uniform RTT jitter, >= 0 (default 0)"},
+      {"fail_rate", "per-attempt failure probability in [0, 1) (default 0)"},
+      {"retry_ms", "simulated backoff before a retry, >= 0 (default 200)"},
+      {"retries", "retry budget beyond the first attempt (default 64)"},
+      {"net_seed", "latency/failure RNG seed (default 0xfeed)"},
+      {"sleep_scale",
+       "real-sleep factor: requests sleep simulated*scale wall-clock "
+       "seconds, >= 0 (default 0 = accounting only)"},
+      {"window",
+       "async fetch executor: max in-flight requests, in [1, 1024] "
+       "(absent = synchronous fetching)"},
+      {"threads",
+       "executor worker threads, in [0, 256]; 0 sizes the pool to the "
+       "window (requires window)"},
+  };
+  return kReserved;
+}
+
 TargetBias BiasForWalkSpec(std::string_view walk_spec) {
   const std::string_view family = walk_spec.substr(0, walk_spec.find(':'));
   return family == "srw" || family == "lazy" ? TargetBias::kStationaryWeighted

@@ -7,6 +7,7 @@
 #include "core/samplers.h"
 #include "core/walk_estimate.h"
 #include "random/rng.h"
+#include "util/parallel.h"
 #include "util/string_util.h"
 
 namespace wnw {
@@ -37,15 +38,23 @@ Result<bool> PopUint(SamplerConfig* config, const char* key, uint64_t* out) {
   return true;
 }
 
-// Extracts the reserved backend parameters from a spec config
-// (?backend=latency&mean_ms=50&jitter_ms=10&fail_rate=0.1&retry_ms=200&
-//  retries=64&net_seed=7) so the sampler factory never sees them. Overrides
-// options->latency when present. Returns whether the spec carried any
-// backend-reserved key at all (so a conflict with an explicit
-// SessionOptions::backend can fail loudly instead of silently dropping the
-// spec's request).
-Result<bool> ExtractBackendParams(SamplerConfig* config,
-                                  SessionOptions* options) {
+// Which reserved spec-parameter families a spec string carried; used to
+// fail loudly on conflicts with explicit SessionOptions resources instead of
+// silently dropping the spec's request.
+struct ReservedSelections {
+  bool backend = false;   // backend=... or any latency parameter
+  bool executor = false;  // window=... (and threads=...)
+};
+
+// Extracts the reserved session parameters from a spec config — backend
+// selection (?backend=latency&mean_ms=50&jitter_ms=10&fail_rate=0.1&
+// retry_ms=200&retries=64&net_seed=7&sleep_scale=1) and fetch-executor
+// sizing (?window=8&threads=4) — so the sampler factory never sees them.
+// Overrides options->latency / options->async when present. The key list
+// must stay in sync with ReservedSessionKeys() in core/registry.cc.
+Result<ReservedSelections> ExtractReservedParams(SamplerConfig* config,
+                                                 SessionOptions* options) {
+  ReservedSelections selected;
   std::string kind;
   const auto it = config->params.find("backend");
   const bool kind_present = it != config->params.end();
@@ -66,7 +75,8 @@ Result<bool> ExtractBackendParams(SamplerConfig* config,
            {"mean_ms", &latency.mean_ms},
            {"jitter_ms", &latency.jitter_ms},
            {"fail_rate", &latency.failure_rate},
-           {"retry_ms", &latency.retry_backoff_ms}}) {
+           {"retry_ms", &latency.retry_backoff_ms},
+           {"sleep_scale", &latency.sleep_scale}}) {
     WNW_ASSIGN_OR_RETURN(const bool present, PopDouble(config, key, target));
     any_latency_param = any_latency_param || present;
   }
@@ -83,9 +93,10 @@ Result<bool> ExtractBackendParams(SamplerConfig* config,
   // Range-check user input here so malformed specs come back as Status like
   // every other spec error, instead of tripping the constructor CHECKs.
   if (latency.mean_ms < 0.0 || latency.jitter_ms < 0.0 ||
-      latency.retry_backoff_ms < 0.0) {
+      latency.retry_backoff_ms < 0.0 || latency.sleep_scale < 0.0) {
     return Status::InvalidArgument(
-        "latency parameters mean_ms, jitter_ms, retry_ms must be >= 0");
+        "latency parameters mean_ms, jitter_ms, retry_ms, sleep_scale must "
+        "be >= 0");
   }
   if (latency.failure_rate < 0.0 || latency.failure_rate >= 1.0) {
     return Status::InvalidArgument("fail_rate must be in [0, 1)");
@@ -96,11 +107,82 @@ Result<bool> ExtractBackendParams(SamplerConfig* config,
   } else if (any_latency_param) {
     return Status::InvalidArgument(
         "latency parameters (mean_ms, jitter_ms, fail_rate, retry_ms, "
-        "retries, net_seed) require backend=latency");
+        "retries, net_seed, sleep_scale) require backend=latency");
   } else if (kind == "memory") {
     options->latency.reset();
   }
-  return kind_present || any_latency_param;
+  selected.backend = kind_present || any_latency_param;
+
+  uint64_t window = 0;
+  uint64_t threads = 0;
+  WNW_ASSIGN_OR_RETURN(const bool window_present,
+                       PopUint(config, "window", &window));
+  WNW_ASSIGN_OR_RETURN(const bool threads_present,
+                       PopUint(config, "threads", &threads));
+  if (threads_present && !window_present) {
+    return Status::InvalidArgument(
+        "executor parameter threads requires window");
+  }
+  if (window_present) {
+    if (window < 1 || window > 1024) {
+      return Status::InvalidArgument("window must be in [1, 1024]");
+    }
+    if (threads > 256) {
+      return Status::InvalidArgument("threads must be in [0, 256]");
+    }
+    options->async = AsyncOptions{.window = static_cast<int>(window),
+                                  .threads = static_cast<int>(threads)};
+    selected.executor = true;
+  }
+  return selected;
+}
+
+// Peels the session-reserved spec keys off *config, enforces spec-vs-options
+// conflicts, and materializes the shared resources into *options: the fetch
+// executor (built from `async` unless an explicit one is provided) and the
+// backend stack (built from access/latency unless an explicit one is
+// provided, which is instead validated against the graph). The single
+// resolution path for SamplingSession::Open and RunWalkerPool; idempotent on
+// its own output.
+Status ResolveSessionResources(const Graph* graph, SamplerConfig* config,
+                               SessionOptions* options) {
+  const std::string spec = config->ToSpec();  // before the keys are peeled
+  auto selected_or = ExtractReservedParams(config, options);
+  if (!selected_or.ok()) return selected_or.status();
+  const ReservedSelections selected = *selected_or;
+  if (selected.backend && options->backend != nullptr) {
+    return Status::InvalidArgument(
+        "spec '" + spec +
+        "' selects a backend, but an explicit backend is already provided — "
+        "drop one of the two");
+  }
+  if (selected.executor && options->executor != nullptr) {
+    return Status::InvalidArgument(
+        "spec '" + spec +
+        "' sizes a fetch executor, but an explicit shared executor is "
+        "already provided — drop one of the two");
+  }
+  if (options->async.has_value() && options->executor != nullptr) {
+    return Status::InvalidArgument(
+        "both async (build a private executor) and an explicit shared "
+        "executor are set — drop one of the two");
+  }
+  if (options->executor == nullptr && options->async.has_value()) {
+    options->executor = std::make_shared<AsyncFetchExecutor>(*options->async);
+  }
+  options->async.reset();
+  if (options->backend == nullptr) {
+    options->backend = BuildBackendStack(graph, {.access = options->access,
+                                                 .latency = options->latency,
+                                                 .executor =
+                                                     options->executor});
+  } else if (options->backend->num_nodes() != graph->num_nodes()) {
+    return Status::InvalidArgument(
+        "explicit backend serves " +
+        std::to_string(options->backend->num_nodes()) +
+        " nodes but the graph has " + std::to_string(graph->num_nodes()));
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -117,17 +199,11 @@ Result<std::unique_ptr<SamplingSession>> SamplingSession::Open(
     return Status::InvalidArgument("sampling session needs a non-empty graph");
   }
   // The sampler factory validates every remaining parameter, so the
-  // backend-reserved keys are peeled off a copy first; the original config
-  // (backend params included) stays on the session for spec round-trips.
+  // session-reserved keys are peeled off a copy first; the original config
+  // (reserved params included) stays on the session for spec round-trips.
   SamplerConfig sampler_config = config;
-  WNW_ASSIGN_OR_RETURN(const bool spec_selects_backend,
-                       ExtractBackendParams(&sampler_config, &options));
-  if (spec_selects_backend && options.backend != nullptr) {
-    return Status::InvalidArgument(
-        "spec '" + config.ToSpec() +
-        "' selects a backend, but SessionOptions already provides an "
-        "explicit backend — drop one of the two");
-  }
+  WNW_RETURN_IF_ERROR(ResolveSessionResources(graph, &sampler_config,
+                                              &options));
 
   std::unique_ptr<TransitionDesign> design = MakeTransitionDesign(config.walk);
   if (design == nullptr) {
@@ -150,28 +226,20 @@ Result<std::unique_ptr<SamplingSession>> SamplingSession::Open(
     start = static_cast<NodeId>(rng.NextBounded(graph->num_nodes()));
   }
 
-  std::shared_ptr<AccessBackend> backend = options.backend;
-  if (backend == nullptr) {
-    backend = BuildBackendStack(
-        graph, {.access = options.access, .latency = options.latency});
-  } else if (backend->num_nodes() != graph->num_nodes()) {
-    return Status::InvalidArgument(
-        "explicit backend serves " + std::to_string(backend->num_nodes()) +
-        " nodes but the graph has " + std::to_string(graph->num_nodes()));
-  }
   // Note: under kRandomSubset (non-deterministic responses) a provided
   // query_cache is simply never consulted — AccessInterface bypasses
   // caching entirely rather than erroring, so one harness config can span
   // restriction scenarios.
-  auto access =
-      std::make_unique<AccessInterface>(std::move(backend),
-                                        options.query_cache);
+  std::shared_ptr<AsyncFetchExecutor> executor = options.executor;
+  auto access = std::make_unique<AccessInterface>(
+      options.backend, options.query_cache, executor);
   WNW_ASSIGN_OR_RETURN(
       std::unique_ptr<Sampler> sampler,
       SamplerRegistry::Global().Create(sampler_config, access.get(),
                                        design.get(), start, sampler_seed));
   return std::unique_ptr<SamplingSession>(
-      new SamplingSession(config, start, std::move(access), std::move(design),
+      new SamplingSession(config, start, std::move(executor),
+                          std::move(access), std::move(design),
                           std::move(sampler)));
 }
 
@@ -200,8 +268,10 @@ SessionStats SamplingSession::Stats() const {
   stats.total_queries = meter.total_queries;
   stats.backend_fetches = meter.backend_fetches;
   stats.shared_cache_hits = meter.shared_cache_hits;
+  stats.prefetch_batches = meter.prefetch_batches;
   stats.waited_seconds = meter.waited_seconds;
   stats.elapsed_seconds = timer_.ElapsedSeconds();
+  stats.async_window = executor_ != nullptr ? executor_->window() : 0;
   stats.samples_drawn = samples_drawn_;
 
   // Sampler-family telemetry. The built-ins are matched by type; samplers
@@ -229,6 +299,70 @@ SessionStats SamplingSession::Stats() const {
     stats.samples_per_walk = path->samples_per_walk();
   }
   return stats;
+}
+
+// --- concurrent walker pools -------------------------------------------------
+
+Result<WalkerPoolResult> RunWalkerPool(const Graph* graph,
+                                       const SamplerConfig& config,
+                                       const WalkerPoolOptions& options) {
+  if (options.walkers < 1 || options.walkers > 64) {
+    return Status::InvalidArgument("walker pool size must be in [1, 64]");
+  }
+  if (graph == nullptr || graph->num_nodes() == 0) {
+    return Status::InvalidArgument("walker pool needs a non-empty graph");
+  }
+  // Resolve the shared resources ONCE — same single path Open uses — so
+  // every walker shares one backend stack and one executor instead of
+  // building private ones per session. Each walker's Open re-resolves the
+  // already-materialized options, which is a no-op.
+  SamplerConfig stripped = config;
+  SessionOptions shared = options.session;
+  WNW_RETURN_IF_ERROR(ResolveSessionResources(graph, &stripped, &shared));
+
+  const size_t walkers = static_cast<size_t>(options.walkers);
+  std::vector<std::unique_ptr<SamplingSession>> sessions;
+  sessions.reserve(walkers);
+  for (size_t w = 0; w < walkers; ++w) {
+    SessionOptions session_opts = shared;
+    session_opts.seed = Mix64(shared.seed ^ (0x3a1c0000u + w));
+    WNW_ASSIGN_OR_RETURN(std::unique_ptr<SamplingSession> session,
+                         SamplingSession::Open(graph, stripped, session_opts));
+    sessions.push_back(std::move(session));
+  }
+
+  WalkerPoolResult result;
+  result.samples.resize(walkers);
+  std::vector<Status> statuses(walkers, Status::OK());
+  Timer timer;
+  ParallelFor(
+      walkers,
+      [&](size_t w) {
+        result.samples[w].reserve(options.samples_per_walker);
+        statuses[w] = sessions[w]->DrawInto(
+            &result.samples[w], options.samples_per_walker);
+      },
+      options.walkers);
+  result.elapsed_seconds = timer.ElapsedSeconds();
+  for (const Status& status : statuses) {
+    if (!status.ok()) return status;
+  }
+  result.stats.reserve(walkers);
+  for (const auto& session : sessions) {
+    result.stats.push_back(session->Stats());
+    // The walkers run the reserved-key-stripped config; report the caller's
+    // full spec (window=/backend= included) so pool telemetry round-trips
+    // like a directly opened session's does.
+    result.stats.back().spec = config.ToSpec();
+  }
+  return result;
+}
+
+Result<WalkerPoolResult> RunWalkerPool(const Graph* graph,
+                                       std::string_view spec,
+                                       const WalkerPoolOptions& options) {
+  WNW_ASSIGN_OR_RETURN(SamplerConfig config, SamplerConfig::Parse(spec));
+  return RunWalkerPool(graph, config, options);
 }
 
 }  // namespace wnw

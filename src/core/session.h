@@ -10,14 +10,17 @@
 //   auto node = (*session)->Draw();
 //   SessionStats stats = (*session)->Stats();
 //
-// Backend selection rides in the same spec string via reserved parameters
-// (consumed before the sampler factory sees the config):
+// Backend and fetch-executor selection ride in the same spec string via
+// reserved parameters (consumed before the sampler factory sees the config;
+// the full list is ReservedSessionKeys() / docs/SPEC_STRINGS.md):
 //
-//   "we:mhrw?diameter=8&backend=latency&mean_ms=50&jitter_ms=10"
+//   "we:mhrw?diameter=8&backend=latency&mean_ms=50&window=8&threads=4"
 //
 // or programmatically through SessionOptions: an explicit shared backend
-// stack, a LatencyConfig, and/or a cross-session QueryCache so concurrent
-// trials reuse each other's neighbor lists.
+// stack, a LatencyConfig, a cross-session QueryCache so concurrent trials
+// reuse each other's neighbor lists, and/or a shared AsyncFetchExecutor so
+// concurrent walkers overlap round trips inside one bounded in-flight
+// window.
 #pragma once
 
 #include <memory>
@@ -26,6 +29,7 @@
 #include <vector>
 
 #include "access/access_interface.h"
+#include "access/async_executor.h"
 #include "access/decorators.h"
 #include "core/registry.h"
 #include "mcmc/transition.h"
@@ -49,6 +53,18 @@ struct SessionOptions {
   /// other's neighbor lists (cache hits cost no queries and no waiting).
   std::shared_ptr<QueryCache> query_cache;
 
+  /// Builds a private AsyncFetchExecutor for this session (also reachable
+  /// via the ?window=&threads= spec parameters). Fetches then flow through
+  /// a bounded in-flight window and PrefetchAsync overlaps compute with
+  /// round trips.
+  std::optional<AsyncOptions> async;
+
+  /// Explicit executor shared across sessions (e.g. one crawler frontend
+  /// serving N walkers). Mutually exclusive with `async` and with the spec
+  /// window parameters — a shared executor's sizing is not negotiable per
+  /// session.
+  std::shared_ptr<AsyncFetchExecutor> executor;
+
   /// Walk start node; unset picks one uniformly at random from the seed.
   std::optional<NodeId> start;
 
@@ -68,8 +84,10 @@ struct SessionStats {
   uint64_t total_queries = 0;   // all API invocations incl. cache hits
   uint64_t backend_fetches = 0;    // requests that reached the backend
   uint64_t shared_cache_hits = 0;  // served by the cross-session cache
+  uint64_t prefetch_batches = 0;   // batched warm-ups issued
   double waited_seconds = 0.0;  // simulated latency + rate-limit waiting
   double elapsed_seconds = 0.0; // wall clock since Open()
+  int async_window = 0;         // executor in-flight window (0 = sync)
 
   uint64_t samples_drawn = 0;  // successful Draw()s through this session
 
@@ -127,25 +145,64 @@ class SamplingSession {
   const AccessInterface& access() const { return *access_; }
   Sampler& sampler() { return *sampler_; }
   const TransitionDesign& design() const { return *design_; }
+  const std::shared_ptr<AsyncFetchExecutor>& executor() const {
+    return executor_;
+  }
 
  private:
   SamplingSession(SamplerConfig config, NodeId start,
+                  std::shared_ptr<AsyncFetchExecutor> executor,
                   std::unique_ptr<AccessInterface> access,
                   std::unique_ptr<TransitionDesign> design,
                   std::unique_ptr<Sampler> sampler)
       : config_(std::move(config)),
         start_(start),
+        executor_(std::move(executor)),
         access_(std::move(access)),
         design_(std::move(design)),
         sampler_(std::move(sampler)) {}
 
   SamplerConfig config_;  // includes any backend=... spec parameters
   NodeId start_;
+  std::shared_ptr<AsyncFetchExecutor> executor_;  // may be shared or null
   std::unique_ptr<AccessInterface> access_;
   std::unique_ptr<TransitionDesign> design_;
   std::unique_ptr<Sampler> sampler_;
   uint64_t samples_drawn_ = 0;
   Timer timer_;  // wall clock since Open()
 };
+
+// --- concurrent walker pools -------------------------------------------------
+
+/// N independent walkers of one spec drawing concurrently against ONE shared
+/// simulated service: one backend stack, one optional query cache, one fetch
+/// executor whose in-flight window bounds the walkers' combined open
+/// requests — independent walks overlap each other's round trips, which is
+/// how elapsed wall clock is driven down toward a single walker's compute.
+struct WalkerPoolOptions {
+  int walkers = 4;
+  uint64_t samples_per_walker = 10;
+
+  /// Shared-resource template. backend/query_cache/executor (or `async`,
+  /// from which one shared executor is built) are created once and shared;
+  /// walker w seeds its session with Mix64(session.seed ^ w) so outputs are
+  /// reproducible regardless of scheduling or window size.
+  SessionOptions session;
+};
+
+struct WalkerPoolResult {
+  std::vector<std::vector<NodeId>> samples;  // per walker, in walker order
+  std::vector<SessionStats> stats;           // per walker
+  double elapsed_seconds = 0.0;  // wall clock for the whole pool's draws
+};
+
+/// Runs the pool to completion. Any session-open or draw error aborts the
+/// pool and comes back as that Status.
+Result<WalkerPoolResult> RunWalkerPool(const Graph* graph,
+                                       const SamplerConfig& config,
+                                       const WalkerPoolOptions& options);
+Result<WalkerPoolResult> RunWalkerPool(const Graph* graph,
+                                       std::string_view spec,
+                                       const WalkerPoolOptions& options);
 
 }  // namespace wnw

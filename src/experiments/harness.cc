@@ -90,6 +90,17 @@ std::vector<CurvePoint> RunErrorVsCost(const SocialDataset& dataset,
   }
   std::mutex mu;
 
+  // One executor shared by every trial (when configured): the combined
+  // in-flight requests of all parallel trials stay inside its window. Both
+  // at once is a contradiction, rejected loudly like the session layer does.
+  WNW_CHECK(!(config.async.has_value() && config.executor != nullptr) &&
+            "ErrorVsCostConfig sets both async and an explicit executor — "
+            "drop one of the two");
+  std::shared_ptr<AsyncFetchExecutor> shared_executor = config.executor;
+  if (shared_executor == nullptr && config.async.has_value()) {
+    shared_executor = std::make_shared<AsyncFetchExecutor>(*config.async);
+  }
+
   // A shared cache (or an explicit backend) means all trials talk to ONE
   // simulated service: build the (thread-safe) backend stack once.
   // Otherwise keep the paper's protocol of fully isolated per-trial
@@ -101,6 +112,7 @@ std::vector<CurvePoint> RunErrorVsCost(const SocialDataset& dataset,
     BackendStackOptions stack;
     stack.access = config.access;
     stack.latency = config.latency;
+    stack.executor = shared_executor;
     shared_backend = BuildBackendStack(&graph, stack);
   }
 
@@ -115,6 +127,7 @@ std::vector<CurvePoint> RunErrorVsCost(const SocialDataset& dataset,
         session_opts.backend = shared_backend;  // null = private per trial
         session_opts.latency = config.latency;  // used on private stacks
         session_opts.query_cache = config.shared_cache;
+        session_opts.executor = shared_executor;  // null = synchronous
         auto session_or = SamplingSession::Open(&graph, sampler.config,
                                                 session_opts);
         if (!session_or.ok()) {

@@ -73,6 +73,14 @@ struct ErrorVsCostConfig {
   /// Explicit backend stack for all trials; overrides `access`/`latency`.
   std::shared_ptr<AccessBackend> backend;
 
+  /// One fetch executor shared by ALL trials: their combined in-flight
+  /// requests are bounded by its window, and (with a real-sleep latency
+  /// backend) independent trials overlap each other's round trips. Set
+  /// `async` to have the harness build it, or `executor` to share an
+  /// existing one; both null = synchronous fetching.
+  std::optional<AsyncOptions> async;
+  std::shared_ptr<AsyncFetchExecutor> executor;
+
   /// Registry spec string ("we:mhrw?diameter=8") used by the overload of
   /// RunErrorVsCost that takes no SamplerSpec.
   std::string sampler_spec;

@@ -44,6 +44,79 @@ TEST(QueryCacheTest, FirstWriterWins) {
   EXPECT_EQ(out, (std::vector<NodeId>{1, 2}));
 }
 
+TEST(QueryCacheTest, UnboundedByDefault) {
+  QueryCache cache(4);
+  for (NodeId u = 0; u < 5000; ++u) cache.Insert(u, std::vector<NodeId>{u});
+  EXPECT_EQ(cache.size(), 5000u);
+  EXPECT_EQ(cache.evictions(), 0u);
+  EXPECT_EQ(cache.max_entries(), 0u);
+}
+
+TEST(QueryCacheTest, CapEvictsLeastRecentlyUsedPerShard) {
+  // One shard so LRU order is globally observable.
+  QueryCache cache(1, 3);
+  EXPECT_EQ(cache.max_entries(), 3u);
+  cache.Insert(0, std::vector<NodeId>{0});
+  cache.Insert(1, std::vector<NodeId>{1});
+  cache.Insert(2, std::vector<NodeId>{2});
+  EXPECT_EQ(cache.evictions(), 0u);
+  // Touch 0: it becomes most-recently-used, so 1 is now the coldest.
+  std::vector<NodeId> out;
+  ASSERT_TRUE(cache.Lookup(0, &out));
+  cache.Insert(3, std::vector<NodeId>{3});
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_TRUE(cache.Contains(0));   // survived via recency
+  EXPECT_FALSE(cache.Contains(1));  // evicted
+  EXPECT_TRUE(cache.Contains(2));
+  EXPECT_TRUE(cache.Contains(3));
+}
+
+TEST(QueryCacheTest, ContainsDoesNotRefreshRecency) {
+  QueryCache cache(1, 2);
+  cache.Insert(0, std::vector<NodeId>{0});
+  cache.Insert(1, std::vector<NodeId>{1});
+  // Peeking at 0 must NOT save it: 0 is still the coldest entry.
+  EXPECT_TRUE(cache.Contains(0));
+  cache.Insert(2, std::vector<NodeId>{2});
+  EXPECT_FALSE(cache.Contains(0));
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_TRUE(cache.Contains(2));
+}
+
+TEST(QueryCacheTest, CappedCacheStaysBoundedUnderConcurrentSessions) {
+  const Graph g = testing::MakeTestBA(400, 3, 29);
+  auto backend = std::make_shared<InMemoryBackend>(&g);
+  constexpr size_t kShards = 4;
+  constexpr size_t kMax = 64;
+  auto cache = std::make_shared<QueryCache>(kShards, kMax);
+
+  ParallelFor(
+      8,
+      [&](size_t i) {
+        AccessInterface access(backend, cache);
+        Rng rng(Mix64(7000 + i));
+        NodeId cur = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+        for (int step = 0; step < 1500; ++step) {
+          const NodeId next = access.SampleNeighbor(cur, rng);
+          if (next == kInvalidNode) break;
+          cur = next;
+        }
+      },
+      8);
+
+  // The per-shard cap bounds the total at max(1, kMax/shards) * shards.
+  EXPECT_LE(cache->size(), (kMax / kShards) * kShards);
+  EXPECT_GT(cache->evictions(), 0u);
+  // Surviving entries are intact (no torn lists under eviction churn).
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    std::vector<NodeId> out;
+    if (!cache->Lookup(u, &out)) continue;
+    const auto truth = g.Neighbors(u);
+    EXPECT_EQ(out, std::vector<NodeId>(truth.begin(), truth.end())) << u;
+  }
+}
+
 TEST(QueryCacheTest, SecondSessionRidesOnFirstSessionsQueries) {
   const Graph g = testing::MakeTestBA(80, 3);
   auto backend = std::make_shared<InMemoryBackend>(&g);

@@ -68,6 +68,16 @@ void PrintUsage() {
     std::fprintf(stderr, "  %-8s %s\n", name.c_str(),
                  SamplerRegistry::Global().Summary(name).c_str());
   }
+  std::fprintf(stderr,
+               "session-reserved spec keys (backend + async executor):\n");
+  for (const ReservedKeyInfo& info : ReservedSessionKeys()) {
+    std::fprintf(stderr, "  %-12.*s %.*s\n",
+                 static_cast<int>(info.key.size()), info.key.data(),
+                 static_cast<int>(info.summary.size()), info.summary.data());
+  }
+  std::fprintf(stderr,
+               "full spec reference (keys, defaults, valid ranges): "
+               "docs/SPEC_STRINGS.md\n");
 }
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -185,8 +195,11 @@ void PrintJson(const SessionStats& stats, const std::vector<NodeId>& samples) {
               static_cast<unsigned long long>(stats.backend_fetches));
   std::printf("    \"shared_cache_hits\": %llu,\n",
               static_cast<unsigned long long>(stats.shared_cache_hits));
+  std::printf("    \"prefetch_batches\": %llu,\n",
+              static_cast<unsigned long long>(stats.prefetch_batches));
   std::printf("    \"waited_seconds\": %.6f,\n", stats.waited_seconds);
   std::printf("    \"elapsed_seconds\": %.6f,\n", stats.elapsed_seconds);
+  std::printf("    \"async_window\": %d,\n", stats.async_window);
   std::printf("    \"last_burn_in\": %d,\n", stats.last_burn_in);
   std::printf("    \"average_burn_in\": %.6f,\n", stats.average_burn_in);
   std::printf("    \"burned_in\": %s,\n", stats.burned_in ? "true" : "false");
