@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "access/access_interface.h"
+#include "access/sharded_backend.h"
 #include "core/backward_estimator.h"
 #include "core/crawler.h"
 #include "graph/algorithms.h"
@@ -90,6 +91,56 @@ void BM_MhrwSteps(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_MhrwSteps);
+
+void BM_BackendFetchArena(benchmark::State& state) {
+  // The origin hot path after the arena refactor: an unrestricted fetch is
+  // a span into the CSR adjacency arena — no copy, no allocation.
+  const Graph& g = BenchGraph();
+  InMemoryBackend backend(&g);
+  NodeId u = 0;
+  for (auto _ : state) {
+    auto reply = backend.FetchNeighbors(u);
+    benchmark::DoNotOptimize(reply->neighbors.data());
+    u = (u + 1) % static_cast<NodeId>(g.num_nodes());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BackendFetchArena);
+
+void BM_BackendFetchCopyOut(benchmark::State& state) {
+  // The pre-refactor behavior for comparison: materialize every reply into
+  // an owned vector (what FetchNeighbors used to do unconditionally). The
+  // delta against BM_BackendFetchArena is the per-fetch allocation+copy the
+  // arena eliminated.
+  const Graph& g = BenchGraph();
+  InMemoryBackend backend(&g);
+  NodeId u = 0;
+  for (auto _ : state) {
+    auto reply = backend.FetchNeighbors(u);
+    const std::vector<NodeId> list = reply->TakeNeighbors();
+    benchmark::DoNotOptimize(list.data());
+    u = (u + 1) % static_cast<NodeId>(g.num_nodes());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BackendFetchCopyOut);
+
+void BM_ShardedBackendFetch(benchmark::State& state) {
+  // Routed fetch through the sharded origin (service lock + shard lookup):
+  // the per-request overhead sharding adds over the flat arena fetch.
+  const Graph& g = BenchGraph();
+  static const auto sharded_graph = std::make_shared<const ShardedGraph>(
+      ShardedGraph::FromGraph(g, 8, ShardPartition::kModulo).value());
+  ShardedBackend backend(sharded_graph);
+  NodeId u = 0;
+  for (auto _ : state) {
+    auto reply = backend.FetchNeighbors(u);
+    benchmark::DoNotOptimize(reply->neighbors.data());
+    u = (u + 1) % static_cast<NodeId>(g.num_nodes());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ShardedBackendFetch);
 
 void BM_AliasTableSample(benchmark::State& state) {
   Rng build_rng(5);

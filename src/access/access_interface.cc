@@ -8,6 +8,24 @@
 
 namespace wnw {
 
+namespace {
+
+// Folds one answered batch into the per-session meter: every request is a
+// backend fetch billed to the shard that served it, and each shard's serial
+// rate-limit stalls land in that shard's bucket.
+void BillBatch(CostMeter& meter, const BatchReply& reply, size_t requests) {
+  meter.backend_fetches += requests;
+  meter.waited_seconds += reply.simulated_seconds;
+  for (size_t i = 0; i < requests; ++i) {
+    meter.BillShard(reply.shards.empty() ? 0 : reply.shards[i], 1, 0.0);
+  }
+  for (size_t s = 0; s < reply.shard_stalls.size(); ++s) {
+    meter.BillShard(static_cast<int32_t>(s), 0, reply.shard_stalls[s]);
+  }
+}
+
+}  // namespace
+
 AccessInterface::AccessInterface(const Graph* graph, AccessOptions options)
     : AccessInterface(BuildBackendStack(graph, {.access = options,
                                                 .latency = std::nullopt,
@@ -70,16 +88,22 @@ std::span<const NodeId> AccessInterface::FetchLocal(NodeId u) {
   }
   ++meter_.backend_fetches;
   meter_.waited_seconds += reply->simulated_seconds;
+  meter_.BillShard(reply->shard, 1, reply->serial_seconds);
   if (cacheable_) {
-    Admit(u, std::move(reply->neighbors));
+    Admit(u, reply->TakeNeighbors());
     return local_cache_.find(u)->second;
   }
   if (seen_[u] == 0) {
     seen_[u] = 1;
     ++meter_.unique_cost;
   }
-  scratch_ = std::move(reply->neighbors);
-  return scratch_;
+  if (!reply->owned.empty()) {
+    scratch_ = std::move(reply->owned);
+    return scratch_;
+  }
+  // Arena-backed response: the span is stable for the backend's lifetime,
+  // so it can be handed out without a copy.
+  return reply->neighbors;
 }
 
 void AccessInterface::PrefetchAsync(std::span<const NodeId> nodes) {
@@ -115,8 +139,7 @@ void AccessInterface::PrefetchAsync(std::span<const NodeId> nodes) {
                       << reply.status().ToString();
       WNW_CHECK(reply.ok());
     }
-    meter_.backend_fetches += batch_buf_.size();
-    meter_.waited_seconds += reply->simulated_seconds;
+    BillBatch(meter_, *reply, batch_buf_.size());
     for (size_t i = 0; i < batch_buf_.size(); ++i) {
       Admit(batch_buf_[i], std::move(reply->lists[i]));
     }
@@ -141,9 +164,8 @@ void AccessInterface::FoldPending(size_t index) {
     WNW_CHECK(reply.ok());
   }
   // Billing matches the synchronous batch path: every node pays
-  // distinct-node cost, the session waits for the slowest request.
-  meter_.backend_fetches += batch.nodes.size();
-  meter_.waited_seconds += reply->simulated_seconds;
+  // distinct-node cost, the session waits for the slowest shard.
+  BillBatch(meter_, *reply, batch.nodes.size());
   for (size_t i = 0; i < batch.nodes.size(); ++i) {
     pending_nodes_.erase(batch.nodes[i]);
     Admit(batch.nodes[i], std::move(reply->lists[i]));

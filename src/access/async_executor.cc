@@ -10,12 +10,17 @@ namespace wnw {
 Result<BatchReply> AsyncFetchExecutor::BatchHandle::Wait() {
   BatchReply reply;
   reply.lists.reserve(futures_.size());
+  reply.shards.reserve(futures_.size());
   Status first_error = Status::OK();
-  // The batch completes when its slowest parallelizable request does, plus
-  // every server-enforced serial stall (rate-limit tokens) — the same total
-  // the synchronous FetchBatch decorators account.
-  double slowest_parallel = 0.0;
-  double serial = 0.0;
+  // Replies group by the origin shard that served them: within a shard the
+  // batch completes when its slowest parallelizable request does, plus
+  // every server-enforced serial stall (rate-limit tokens) of that shard's
+  // own limiter; across shards those completion times overlap, so the batch
+  // pays the slowest shard — the same totals the synchronous FetchBatch
+  // decorators and ShardedBackend account. Unsharded origins put every
+  // reply in shard 0, reducing to max(parallel) + sum(serial).
+  std::vector<double> shard_parallel;  // indexed by shard
+  std::vector<double> shard_serial;
   for (auto& future : futures_) {
     Result<FetchReply> one = future.get();
     if (!one.ok()) {
@@ -23,16 +28,27 @@ Result<BatchReply> AsyncFetchExecutor::BatchHandle::Wait() {
       // left dangling, and the caller gets the first failure.
       if (first_error.ok()) first_error = one.status();
       reply.lists.emplace_back();
+      reply.shards.push_back(0);
       continue;
     }
-    slowest_parallel = std::max(
-        slowest_parallel, one->simulated_seconds - one->serial_seconds);
-    serial += one->serial_seconds;
-    reply.lists.push_back(std::move(one->neighbors));
+    const size_t s = static_cast<size_t>(one->shard);
+    if (s >= shard_parallel.size()) {
+      shard_parallel.resize(s + 1, 0.0);
+      shard_serial.resize(s + 1, 0.0);
+    }
+    shard_parallel[s] = std::max(shard_parallel[s],
+                                 one->simulated_seconds - one->serial_seconds);
+    shard_serial[s] += one->serial_seconds;
+    reply.shards.push_back(one->shard);
+    reply.BillStall(one->shard, one->serial_seconds);
+    reply.lists.push_back(one->TakeNeighbors());
   }
   futures_.clear();
   if (!first_error.ok()) return first_error;
-  reply.simulated_seconds = slowest_parallel + serial;
+  for (size_t s = 0; s < shard_parallel.size(); ++s) {
+    reply.simulated_seconds =
+        std::max(reply.simulated_seconds, shard_parallel[s] + shard_serial[s]);
+  }
   return reply;
 }
 

@@ -7,34 +7,41 @@
 
 namespace wnw {
 
+Status NodeOutOfRangeError(NodeId u, uint64_t num_nodes) {
+  return Status::OutOfRange("neighbor query for node " + std::to_string(u) +
+                            " outside graph with " +
+                            std::to_string(num_nodes) + " nodes");
+}
+
 Result<BatchReply> AccessBackend::FetchBatch(std::span<const NodeId> nodes) {
   BatchReply reply;
   reply.lists.reserve(nodes.size());
+  reply.shards.reserve(nodes.size());
   for (NodeId u : nodes) {
     WNW_ASSIGN_OR_RETURN(FetchReply one, FetchNeighbors(u));
     reply.simulated_seconds += one.simulated_seconds;
-    reply.lists.push_back(std::move(one.neighbors));
+    reply.shards.push_back(one.shard);
+    reply.BillStall(one.shard, one.serial_seconds);
+    reply.lists.push_back(one.TakeNeighbors());
   }
   return reply;
 }
 
-InMemoryBackend::InMemoryBackend(const Graph* graph, AccessOptions options)
-    : graph_(graph), options_(options), server_rng_(Mix64(options.seed)) {
-  WNW_CHECK(graph_ != nullptr);
+RestrictionServer::RestrictionServer(AccessOptions options)
+    : options_(options) {
   if (options_.restriction != NeighborRestriction::kNone) {
     WNW_CHECK(options_.max_neighbors > 0);
   }
 }
 
-const std::vector<NodeId>& InMemoryBackend::TruncatedList(NodeId u) {
+const std::vector<NodeId>& RestrictionServer::TruncatedList(
+    NodeId u, std::span<const NodeId> full) {
   auto it = fixed_subsets_.find(u);
   if (it == fixed_subsets_.end()) {
-    const auto full = graph_->Neighbors(u);
     const uint32_t cap = options_.max_neighbors;
+    WNW_DCHECK(full.size() > cap);  // <= cap short-circuits before the map
     std::vector<NodeId> subset;
-    if (full.size() <= cap) {
-      subset.assign(full.begin(), full.end());
-    } else if (options_.restriction == NeighborRestriction::kTruncated) {
+    if (options_.restriction == NeighborRestriction::kTruncated) {
       // Type 3: a fixed arbitrary prefix of the neighbor list.
       subset.assign(full.begin(), full.begin() + cap);
     } else {
@@ -52,39 +59,63 @@ const std::vector<NodeId>& InMemoryBackend::TruncatedList(NodeId u) {
   return it->second;
 }
 
-Result<FetchReply> InMemoryBackend::FetchNeighbors(NodeId u) {
-  if (u >= graph_->num_nodes()) {
-    return Status::OutOfRange("neighbor query for node " + std::to_string(u) +
-                              " outside graph with " +
-                              std::to_string(graph_->num_nodes()) + " nodes");
-  }
-  FetchReply reply;
-  const auto full = graph_->Neighbors(u);
+void RestrictionServer::Serve(NodeId u, std::span<const NodeId> full,
+                              FetchReply* reply) {
+  const uint32_t cap = options_.max_neighbors;
   switch (options_.restriction) {
     case NeighborRestriction::kNone:
-      reply.neighbors.assign(full.begin(), full.end());
-      break;
+      reply->neighbors = full;  // straight into the adjacency arena
+      return;
     case NeighborRestriction::kRandomSubset: {
-      const uint32_t cap = options_.max_neighbors;
       if (full.size() <= cap) {
-        reply.neighbors.assign(full.begin(), full.end());
-        break;
+        reply->neighbors = full;
+        return;
       }
-      std::lock_guard<std::mutex> lock(mu_);
-      reply.neighbors.reserve(cap);
+      // Fresh k-subset per call, drawn from a counter-mode stream keyed on
+      // (seed, node, this node's call index). Only the counter bump needs
+      // the lock; the draw itself runs on the caller's thread.
+      uint64_t call_index;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        call_index = random_subset_calls_[u]++;
+      }
+      Rng call_rng(
+          Mix64(options_.seed ^ Mix64(0x9e3779b97f4a7c15ull * (u + 1)) ^
+                (0xbf58476d1ce4e5b9ull * (call_index + 1))));
+      std::vector<NodeId> subset;
+      subset.reserve(cap);
       const auto picks = SampleWithoutReplacement(
-          static_cast<uint32_t>(full.size()), cap, server_rng_);
-      for (uint32_t idx : picks) reply.neighbors.push_back(full[idx]);
-      break;
+          static_cast<uint32_t>(full.size()), cap, call_rng);
+      for (uint32_t idx : picks) subset.push_back(full[idx]);
+      reply->SetOwned(std::move(subset));
+      return;
     }
     case NeighborRestriction::kFixedSubset:
     case NeighborRestriction::kTruncated: {
+      if (full.size() <= cap) {
+        // A fixed subset of an untruncated list is the full list: serve the
+        // arena directly, no server-side copy.
+        reply->neighbors = full;
+        return;
+      }
       std::lock_guard<std::mutex> lock(mu_);
-      const auto& list = TruncatedList(u);
-      reply.neighbors.assign(list.begin(), list.end());
-      break;
+      reply->neighbors = TruncatedList(u, full);
+      return;
     }
   }
+}
+
+InMemoryBackend::InMemoryBackend(const Graph* graph, AccessOptions options)
+    : graph_(graph), server_(options) {
+  WNW_CHECK(graph_ != nullptr);
+}
+
+Result<FetchReply> InMemoryBackend::FetchNeighbors(NodeId u) {
+  if (u >= graph_->num_nodes()) {
+    return NodeOutOfRangeError(u, graph_->num_nodes());
+  }
+  FetchReply reply;
+  server_.Serve(u, graph_->Neighbors(u), &reply);
   return reply;
 }
 

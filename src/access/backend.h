@@ -6,14 +6,24 @@
 //   session view (AccessInterface: CostMeter + per-session caches)
 //     -> optional shared QueryCache (cross-session history reuse)
 //       -> decorator backends (rate limiting, simulated latency/failures)
-//         -> origin backend (InMemoryBackend: Graph + restriction simulation)
+//         -> origin backend (InMemoryBackend: Graph + restriction
+//            simulation; or ShardedBackend: N vertex-partitioned origins,
+//            each with its own lock, RNG stream, limiter, and latency stack
+//            — see access/sharded_backend.h)
 //
 // Backends are thread-safe (one simulated remote service shared by many
 // concurrent sampling sessions) and Result<>-based; the decorators report the
 // simulated wall-clock seconds each request would have taken, which is how
 // "walk, not wait" tradeoffs become measurable. Batched fetches let a
 // latency-simulating backend serve independent probes concurrently: a batch
-// pays the slowest round trip instead of the sum.
+// pays the slowest round trip instead of the sum, and against a sharded
+// origin the slowest *shard*.
+//
+// Replies are arena-backed: the origin answers with a span into stable
+// server-side storage (the CSR adjacency arena, or the memoized fixed
+// subsets) and only materializes an owned copy when a restriction produces a
+// fresh list per call (kRandomSubset). The hot path therefore fetches
+// without allocating.
 #pragma once
 
 #include <cstdint>
@@ -50,33 +60,89 @@ struct AccessOptions {
   bool bidirectional_check = true;
 
   /// Optional rate-limit simulation ({0,0} disables); applied as a
-  /// RateLimitBackend decorator by BuildBackendStack.
+  /// RateLimitBackend decorator by BuildBackendStack. A sharded origin gives
+  /// every shard its own limiter with this budget (one endpoint per shard).
   RateLimitConfig rate_limit;
 
-  /// Server-side randomness (type-1 subsets, type-2 per-node subsets).
+  /// Server-side randomness (type-1 subsets, type-2 per-node subsets). All
+  /// subset draws are keyed on (seed, node, per-node call index), so the
+  /// answers a node gets are invariant to sharding and to interleaving with
+  /// other nodes' queries.
   uint64_t seed = 0x5eedu;
 };
 
-/// One answered neighbor query. `simulated_seconds` is the wall-clock time
-/// this request would have taken against the real service (network round
-/// trip, retry backoff, rate-limit waiting); the in-memory origin reports 0.
-/// `serial_seconds` is the subset of `simulated_seconds` that is
-/// server-enforced serially and does NOT parallelize across concurrent
-/// dispatch (rate-limit token stalls): concurrent aggregators take
-/// max(parallelizable part) + sum(serial part), matching the synchronous
-/// FetchBatch decorators.
+/// One answered neighbor query. `neighbors` views stable server-side storage
+/// (valid for the lifetime of the origin backend) unless the server had to
+/// materialize a fresh list, in which case `owned` backs it — moving the
+/// reply keeps the view valid either way, which is why the struct is
+/// move-only. `simulated_seconds` is the wall-clock time this request would
+/// have taken against the real service (network round trip, retry backoff,
+/// rate-limit waiting); the in-memory origin reports 0. `serial_seconds` is
+/// the subset of `simulated_seconds` that is server-enforced serially and
+/// does NOT parallelize across concurrent dispatch (rate-limit token
+/// stalls): concurrent aggregators group replies by origin `shard` and take
+/// max over shards of (max(parallel part) + sum(shard's serial part)),
+/// matching the synchronous FetchBatch decorators.
 struct FetchReply {
-  std::vector<NodeId> neighbors;
+  std::span<const NodeId> neighbors;
+  std::vector<NodeId> owned;  // backs `neighbors` when non-empty
   double simulated_seconds = 0.0;
   double serial_seconds = 0.0;
+
+  /// Origin shard that served the request (0 for unsharded origins).
+  int32_t shard = 0;
+
+  FetchReply() = default;
+  FetchReply(FetchReply&&) = default;
+  FetchReply& operator=(FetchReply&&) = default;
+  FetchReply(const FetchReply&) = delete;
+  FetchReply& operator=(const FetchReply&) = delete;
+
+  /// Points `neighbors` at a fresh owned list.
+  void SetOwned(std::vector<NodeId> list) {
+    owned = std::move(list);
+    neighbors = owned;
+  }
+
+  /// The neighbor list as an independent vector: moves `owned` out when the
+  /// reply owns its storage, copies the arena view otherwise.
+  std::vector<NodeId> TakeNeighbors() {
+    if (!owned.empty()) {
+      std::vector<NodeId> list = std::move(owned);
+      owned.clear();
+      neighbors = {};
+      return list;
+    }
+    return std::vector<NodeId>(neighbors.begin(), neighbors.end());
+  }
 };
 
 /// One answered batch. `lists` is parallel to the requested node span;
-/// `simulated_seconds` is the time until the *whole* batch completed.
+/// `simulated_seconds` is the time until the *whole* batch completed (max
+/// over origin shards of each shard's own completion time). `shards`
+/// parallels `lists` with the origin shard that served each request, and
+/// `shard_stalls[s]` accumulates the serial (rate-limit) stall seconds shard
+/// s billed this batch — the per-shard halves of the session meter.
 struct BatchReply {
   std::vector<std::vector<NodeId>> lists;
   double simulated_seconds = 0.0;
+  std::vector<int32_t> shards;       // parallel to lists
+  std::vector<double> shard_stalls;  // indexed by shard, may be short/empty
+
+  /// Adds serial stall seconds to shard s's bucket (no-op for seconds <= 0).
+  void BillStall(int32_t s, double seconds) {
+    if (seconds <= 0.0) return;
+    if (static_cast<size_t>(s) >= shard_stalls.size()) {
+      shard_stalls.resize(static_cast<size_t>(s) + 1, 0.0);
+    }
+    shard_stalls[static_cast<size_t>(s)] += seconds;
+  }
 };
+
+class ShardedBackend;
+
+/// The OutOfRange status every origin serves for a node outside its domain.
+Status NodeOutOfRangeError(NodeId u, uint64_t num_nodes);
 
 /// Abstract neighbor-query service. Implementations and decorators must be
 /// thread-safe: one backend instance models one remote service shared by all
@@ -86,7 +152,15 @@ class AccessBackend {
  public:
   virtual ~AccessBackend() = default;
 
-  /// Composed stack name, e.g. "ratelimit(latency(memory))".
+  /// The sharded origin behind this stack, if any — decorators forward to
+  /// their inner backend, so wrapping a ShardedBackend in rate-limit or
+  /// latency decorators keeps its shard count discoverable (session
+  /// telemetry and spec-conflict checks rely on this). nullptr for
+  /// unsharded origins.
+  virtual const ShardedBackend* AsSharded() const { return nullptr; }
+
+  /// Composed stack name, e.g. "ratelimit(latency(memory))" or
+  /// "sharded[hash:8](latency(memory))".
   virtual std::string_view name() const = 0;
 
   /// Node-id domain served by this backend.
@@ -107,7 +181,9 @@ class AccessBackend {
 
   /// Batched query: semantically equivalent to one FetchNeighbors per node,
   /// but decorators may serve the requests concurrently (latency pays the
-  /// slowest round trip, not the sum). Default: a sequential loop.
+  /// slowest round trip, not the sum) and a sharded origin dispatches
+  /// per-shard sub-batches in parallel (the batch pays the slowest shard).
+  /// Default: a sequential loop.
   virtual Result<BatchReply> FetchBatch(std::span<const NodeId> nodes);
 
   /// Resets simulated client-facing state (rate-limit windows, latency RNG
@@ -116,31 +192,54 @@ class AccessBackend {
   virtual void ResetSimulation() {}
 };
 
+/// The §6.3.1 restriction simulation, shared by every origin backend
+/// (InMemoryBackend and the per-shard origins of ShardedBackend). Responses
+/// are keyed on (options.seed, node, per-node call index) only, so two
+/// servers built from the same options answer any per-node call sequence
+/// identically — which is what makes sharding invisible to samplers.
+/// Thread-safe.
+class RestrictionServer {
+ public:
+  explicit RestrictionServer(AccessOptions options);
+
+  const AccessOptions& options() const { return options_; }
+
+  /// Serves the restricted view of `full` (node u's complete neighbor list,
+  /// which must come from arena-stable storage) into *reply: an arena span
+  /// when the response is the full list or a memoized fixed subset, an owned
+  /// list for fresh per-call subsets.
+  void Serve(NodeId u, std::span<const NodeId> full, FetchReply* reply);
+
+ private:
+  // The fixed (type 2/3) truncated list for u, built on first use. Stored
+  // values are address-stable (node-based map), so served spans stay valid
+  // for the server's lifetime. Caller must hold mu_.
+  const std::vector<NodeId>& TruncatedList(NodeId u,
+                                           std::span<const NodeId> full);
+
+  AccessOptions options_;
+  mutable std::mutex mu_;
+  std::unordered_map<NodeId, std::vector<NodeId>> fixed_subsets_;
+  std::unordered_map<NodeId, uint64_t> random_subset_calls_;  // guarded by mu_
+};
+
 /// The origin server: today's Graph plus the §6.3.1 restriction simulation.
-/// Thread-safe; the fixed per-node subsets (types 2/3) are lazily
-/// materialized under a mutex and then stable for the backend's lifetime.
+/// Thread-safe. Unrestricted replies are spans straight into the CSR
+/// adjacency arena — no copy, no allocation.
 class InMemoryBackend final : public AccessBackend {
  public:
   explicit InMemoryBackend(const Graph* graph, AccessOptions options = {});
 
   std::string_view name() const override { return "memory"; }
   uint64_t num_nodes() const override { return graph_->num_nodes(); }
-  const AccessOptions& options() const override { return options_; }
+  const AccessOptions& options() const override { return server_.options(); }
   Result<FetchReply> FetchNeighbors(NodeId u) override;
 
   const Graph& graph() const { return *graph_; }
 
  private:
-  // The fixed (type 2/3) truncated list for u, built on first use. Caller
-  // must hold mu_.
-  const std::vector<NodeId>& TruncatedList(NodeId u);
-
   const Graph* graph_;
-  AccessOptions options_;
-
-  mutable std::mutex mu_;
-  Rng server_rng_;  // type-1 per-call subsets; guarded by mu_
-  std::unordered_map<NodeId, std::vector<NodeId>> fixed_subsets_;
+  RestrictionServer server_;
 };
 
 }  // namespace wnw

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 namespace wnw {
 
@@ -30,6 +31,24 @@ struct CostMeter {
   /// Simulated seconds this session's requests would have taken against the
   /// real service (network latency, retry backoff, rate-limit waiting).
   double waited_seconds = 0.0;
+
+  /// Per-origin-shard accounting (index = shard id; a single bucket for the
+  /// unsharded origin): how many of this session's requests each shard
+  /// served, and the serial rate-limit stall seconds each shard's own
+  /// limiter billed this session. Together they show whether a partition is
+  /// spreading one session's load or funneling it into a hot shard.
+  std::vector<uint64_t> shard_fetches;
+  std::vector<double> shard_stall_seconds;
+
+  void BillShard(int32_t shard, uint64_t fetches, double stall_seconds) {
+    const size_t s = static_cast<size_t>(shard);
+    if (s >= shard_fetches.size()) {
+      shard_fetches.resize(s + 1, 0);
+      shard_stall_seconds.resize(s + 1, 0.0);
+    }
+    shard_fetches[s] += fetches;
+    shard_stall_seconds[s] += stall_seconds;
+  }
 
   void Reset() { *this = CostMeter(); }
 };

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "access/async_executor.h"
+#include "access/sharded_backend.h"
 #include "util/check.h"
 
 namespace wnw {
@@ -146,8 +147,21 @@ Result<FetchReply> RateLimitBackend::FetchNeighbors(NodeId u) {
 Result<BatchReply> RateLimitBackend::FetchBatch(std::span<const NodeId> nodes) {
   WNW_ASSIGN_OR_RETURN(BatchReply reply, inner_->FetchBatch(nodes));
   // Token waits are server-enforced per query: a batch larger than the
-  // remaining budget still stalls for every window it straddles.
-  reply.simulated_seconds += Consume(nodes.size());
+  // remaining budget still stalls for every window it straddles. A limiter
+  // guarding one origin (a shard's stack, or the unsharded memory backend)
+  // bills the whole stall to that origin's shard bucket; a front-door
+  // limiter over a mixed-shard batch is no shard's own limiter, so its
+  // stall stays in simulated_seconds only.
+  const double stall = Consume(nodes.size());
+  reply.simulated_seconds += stall;
+  const bool uniform_shard =
+      std::all_of(reply.shards.begin(), reply.shards.end(),
+                  [&](int32_t s) { return s == reply.shards.front(); });
+  if (reply.shards.empty()) {
+    reply.BillStall(0, stall);
+  } else if (uniform_shard) {
+    reply.BillStall(reply.shards.front(), stall);
+  }
   return reply;
 }
 
@@ -168,6 +182,23 @@ double RateLimitBackend::total_waited_seconds() const {
 
 std::shared_ptr<AccessBackend> BuildBackendStack(
     const Graph* graph, const BackendStackOptions& options) {
+  if (options.shards >= 1) {
+    // The whole stack moves inside the sharded origin: per-shard latency
+    // decorators and rate limiters (one endpoint per shard). User-facing
+    // shard counts are range-validated at the spec/session layer, so a bad
+    // count here is a programmer error.
+    auto partitioned = ShardedGraph::FromGraph(*graph, options.shards,
+                                               options.partition);
+    WNW_CHECK(partitioned.ok());
+    auto sharded = std::make_shared<ShardedBackend>(
+        std::make_shared<const ShardedGraph>(std::move(partitioned).value()),
+        ShardedBackendOptions{.access = options.access,
+                              .latency = options.latency});
+    if (options.executor != nullptr) {
+      sharded->AttachExecutor(options.executor);
+    }
+    return sharded;
+  }
   std::shared_ptr<AccessBackend> backend =
       std::make_shared<InMemoryBackend>(graph, options.access);
   if (options.latency.has_value()) {

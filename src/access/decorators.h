@@ -27,6 +27,7 @@
 #include <string>
 
 #include "access/backend.h"
+#include "graph/sharded_graph.h"
 
 namespace wnw {
 
@@ -70,6 +71,9 @@ class LatencyBackend final : public AccessBackend {
   std::string_view name() const override { return name_; }
   uint64_t num_nodes() const override { return inner_->num_nodes(); }
   const AccessOptions& options() const override { return inner_->options(); }
+  const ShardedBackend* AsSharded() const override {
+    return inner_->AsSharded();
+  }
   Result<FetchReply> FetchNeighbors(NodeId u) override;
   Result<BatchReply> FetchBatch(std::span<const NodeId> nodes) override;
   void ResetSimulation() override;
@@ -106,6 +110,9 @@ class RateLimitBackend final : public AccessBackend {
   std::string_view name() const override { return name_; }
   uint64_t num_nodes() const override { return inner_->num_nodes(); }
   const AccessOptions& options() const override { return inner_->options(); }
+  const ShardedBackend* AsSharded() const override {
+    return inner_->AsSharded();
+  }
   Result<FetchReply> FetchNeighbors(NodeId u) override;
   Result<BatchReply> FetchBatch(std::span<const NodeId> nodes) override;
   void ResetSimulation() override;
@@ -126,13 +133,24 @@ class RateLimitBackend final : public AccessBackend {
 /// Declarative backend-stack recipe: origin scenario plus optional
 /// decorators. BuildBackendStack wires memory -> latency -> rate limit
 /// (outermost), matching a crawler that throttles itself before the network.
+/// With shards >= 1 the whole stack moves inside a ShardedBackend instead:
+/// N vertex-partitioned origins, each with its own lock, restriction
+/// randomness, latency decorator, and rate limiter (one endpoint per
+/// shard) — see access/sharded_backend.h.
 struct BackendStackOptions {
   AccessOptions access;
   std::optional<LatencyConfig> latency;
 
-  /// Attached to the LatencyBackend (when one is built) for truly
-  /// concurrent batch dispatch; see LatencyBackend::AttachExecutor.
+  /// Attached to the LatencyBackend or ShardedBackend (when one is built)
+  /// for truly concurrent batch dispatch; see
+  /// LatencyBackend::AttachExecutor / ShardedBackend::AttachExecutor.
   std::shared_ptr<AsyncFetchExecutor> executor;
+
+  /// >= 1 builds a vertex-sharded origin with this many shards; 0 keeps the
+  /// unsharded InMemoryBackend. Must be within [1, ShardedGraph::kMaxShards]
+  /// when set (callers validate user input; this is CHECKed).
+  int shards = 0;
+  ShardPartition partition = ShardPartition::kModulo;
 };
 
 std::shared_ptr<AccessBackend> BuildBackendStack(

@@ -1,0 +1,195 @@
+#include "access/sharded_backend.h"
+
+#include <algorithm>
+
+#include "access/async_executor.h"
+#include "access/decorators.h"
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace wnw {
+
+namespace {
+
+/// One shard's origin server: the ShardedGraph vertices this shard owns,
+/// restriction-simulated exactly like InMemoryBackend (same name, same
+/// response bits for the same AccessOptions — the single-shard special
+/// case). Only ShardedBackend routes to it, and only with owned nodes.
+class ShardOriginBackend final : public AccessBackend {
+ public:
+  ShardOriginBackend(std::shared_ptr<const ShardedGraph> graph, int shard,
+                     AccessOptions options)
+      : graph_(std::move(graph)), shard_(shard), server_(options) {}
+
+  std::string_view name() const override { return "memory"; }
+  uint64_t num_nodes() const override { return graph_->num_nodes(); }
+  const AccessOptions& options() const override { return server_.options(); }
+
+  Result<FetchReply> FetchNeighbors(NodeId u) override {
+    if (u >= graph_->num_nodes()) {
+      return NodeOutOfRangeError(u, graph_->num_nodes());
+    }
+    if (graph_->ShardOf(u) != shard_) {
+      return Status::Internal("node " + std::to_string(u) +
+                              " routed to shard " + std::to_string(shard_) +
+                              " but is owned by shard " +
+                              std::to_string(graph_->ShardOf(u)));
+    }
+    FetchReply reply;
+    reply.shard = shard_;
+    server_.Serve(u, graph_->Neighbors(u), &reply);
+    return reply;
+  }
+
+ private:
+  std::shared_ptr<const ShardedGraph> graph_;
+  int shard_;
+  RestrictionServer server_;
+};
+
+}  // namespace
+
+struct ShardedBackend::Shard {
+  std::mutex service_mu;  // held across a request when serial_service
+  std::shared_ptr<AccessBackend> stack;
+  mutable std::mutex counters_mu;
+  ShardCounters counters;
+};
+
+ShardedBackend::ShardedBackend(std::shared_ptr<const ShardedGraph> graph,
+                               ShardedBackendOptions options)
+    : graph_(std::move(graph)), options_(options) {
+  WNW_CHECK(graph_ != nullptr && graph_->num_shards() >= 1);
+  shards_.reserve(static_cast<size_t>(graph_->num_shards()));
+  for (int s = 0; s < graph_->num_shards(); ++s) {
+    auto shard = std::make_unique<Shard>();
+    std::shared_ptr<AccessBackend> stack =
+        std::make_shared<ShardOriginBackend>(graph_, s, options_.access);
+    if (options_.latency.has_value()) {
+      // Independent network randomness per endpoint; same distribution.
+      LatencyConfig config = *options_.latency;
+      config.seed = Mix64(config.seed ^ static_cast<uint64_t>(s));
+      stack = std::make_shared<LatencyBackend>(std::move(stack), config);
+    }
+    if (options_.access.rate_limit.queries_per_window > 0) {
+      // One §1 query budget per endpoint: stalls sum within a shard and
+      // overlap across shards.
+      stack = std::make_shared<RateLimitBackend>(std::move(stack),
+                                                 options_.access.rate_limit);
+    }
+    shard->stack = std::move(stack);
+    shards_.push_back(std::move(shard));
+  }
+  name_ = StrFormat("sharded[%s:%d](%s)",
+                    std::string(ShardPartitionKey(graph_->partition())).c_str(),
+                    num_shards(),
+                    std::string(shards_[0]->stack->name()).c_str());
+}
+
+ShardedBackend::~ShardedBackend() = default;
+
+void ShardedBackend::AttachExecutor(
+    std::shared_ptr<AsyncFetchExecutor> executor) {
+  executor_ = std::move(executor);
+}
+
+Result<FetchReply> ShardedBackend::ServeOne(int s, NodeId u) {
+  Shard& shard = *shards_[static_cast<size_t>(s)];
+  // The shard is a single-threaded server: the request (including any real
+  // latency sleep inside the stack) occupies it exclusively, so concurrent
+  // callers queue here — that queueing is the wall-clock cost sharding
+  // exists to divide.
+  std::unique_lock<std::mutex> lock(shard.service_mu, std::defer_lock);
+  if (options_.serial_service) lock.lock();
+  Result<FetchReply> reply = shard.stack->FetchNeighbors(u);
+  if (lock.owns_lock()) lock.unlock();
+  if (reply.ok()) {
+    std::lock_guard<std::mutex> lock(shard.counters_mu);
+    ++shard.counters.fetches;
+    shard.counters.stall_seconds += reply->serial_seconds;
+  }
+  return reply;
+}
+
+Result<FetchReply> ShardedBackend::FetchNeighbors(NodeId u) {
+  if (u >= graph_->num_nodes()) {
+    return NodeOutOfRangeError(u, graph_->num_nodes());
+  }
+  return ServeOne(graph_->ShardOf(u), u);
+}
+
+Result<BatchReply> ShardedBackend::FetchBatch(std::span<const NodeId> nodes) {
+  for (NodeId u : nodes) {
+    if (u >= graph_->num_nodes()) {
+      return NodeOutOfRangeError(u, graph_->num_nodes());
+    }
+  }
+  if (executor_ != nullptr) {
+    // Truly concurrent dispatch: one leaf task per request, each routed
+    // through its shard's service lock, so shards really serve in parallel
+    // while requests to one shard queue. BatchHandle::Wait aggregates
+    // shard-aware: the batch pays the slowest shard.
+    return executor_
+        ->SubmitBatch([this](NodeId u) { return FetchNeighbors(u); }, nodes)
+        .Wait();
+  }
+
+  // Synchronous path: per-shard sub-batches, accounting-only concurrency
+  // across shards (the batch pays the slowest shard's completion time).
+  std::vector<std::vector<NodeId>> sub_nodes(shards_.size());
+  std::vector<std::vector<size_t>> sub_index(shards_.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const size_t s = static_cast<size_t>(graph_->ShardOf(nodes[i]));
+    sub_nodes[s].push_back(nodes[i]);
+    sub_index[s].push_back(i);
+  }
+  BatchReply reply;
+  reply.lists.resize(nodes.size());
+  reply.shards.assign(nodes.size(), 0);
+  double slowest_shard = 0.0;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (sub_nodes[s].empty()) continue;
+    Shard& shard = *shards_[s];
+    std::unique_lock<std::mutex> lock(shard.service_mu, std::defer_lock);
+    if (options_.serial_service) lock.lock();
+    Result<BatchReply> sub = shard.stack->FetchBatch(sub_nodes[s]);
+    if (lock.owns_lock()) lock.unlock();
+    WNW_RETURN_IF_ERROR(sub.status());
+    slowest_shard = std::max(slowest_shard, sub->simulated_seconds);
+    double stall = 0.0;
+    for (double v : sub->shard_stalls) stall += v;
+    reply.BillStall(static_cast<int32_t>(s), stall);
+    {
+      std::lock_guard<std::mutex> lock(shard.counters_mu);
+      shard.counters.fetches += sub_nodes[s].size();
+      shard.counters.stall_seconds += stall;
+    }
+    for (size_t j = 0; j < sub_index[s].size(); ++j) {
+      reply.lists[sub_index[s][j]] = std::move(sub->lists[j]);
+      reply.shards[sub_index[s][j]] = static_cast<int32_t>(s);
+    }
+  }
+  reply.simulated_seconds = slowest_shard;
+  return reply;
+}
+
+void ShardedBackend::ResetSimulation() {
+  for (auto& shard : shards_) {
+    shard->stack->ResetSimulation();
+    std::lock_guard<std::mutex> lock(shard->counters_mu);
+    shard->counters = ShardCounters{};
+  }
+}
+
+std::vector<ShardedBackend::ShardCounters> ShardedBackend::CountersSnapshot()
+    const {
+  std::vector<ShardCounters> out;
+  out.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->counters_mu);
+    out.push_back(shard->counters);
+  }
+  return out;
+}
+
+}  // namespace wnw

@@ -1,0 +1,114 @@
+// The sharded origin: N vertex-partitioned backends behind one routing
+// front, modeling a horizontally scaled OSN service (one endpoint per
+// shard). This is what lets walker pools scale past one lock — the
+// motivation in the paper's §2.1 cost model is that the *client* is the
+// bottleneck, which only stays true while the simulated server can keep up.
+//
+// Each shard is an independent origin server with its own
+//
+//   - CSR shard (ShardedGraph: the vertices it owns plus their full
+//     neighbor lists),
+//   - RestrictionServer state and randomness stream (responses are keyed on
+//     (seed, node, call#), so they are bit-identical to the unsharded
+//     InMemoryBackend's — sharding is invisible to samplers),
+//   - mutex: by default each shard serves ONE request at a time (a
+//     single-threaded origin server). Concurrent requests to the same shard
+//     queue on its service lock — real wall-clock queueing when the latency
+//     decorator really sleeps — while different shards serve in parallel.
+//     shards=1 therefore IS the "every walker serializes on a single
+//     origin" baseline, and shards=N divides the queueing by the partition
+//     balance (see ShardedGraph::MaxEdgeImbalance).
+//   - latency decorator stack (independent RTT/jitter/failure RNG per
+//     shard) and rate limiter (the §1 query budget applies per endpoint).
+//
+// Billing semantics extend PR 3's: FetchBatch splits into per-shard
+// sub-batches dispatched concurrently (through an attached
+// AsyncFetchExecutor when available), the batch pays the slowest *shard*,
+// and serial stalls (rate-limit tokens) bill against each shard's own
+// limiter — they sum within a shard and overlap across shards.
+//
+// Like LatencyBackend::AttachExecutor, FetchBatch with an attached executor
+// must not be called from inside an executor task (its per-node submissions
+// are leaf tasks; the calling frame blocks until they drain).
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "access/backend.h"
+#include "access/decorators.h"
+#include "graph/sharded_graph.h"
+
+namespace wnw {
+
+class AsyncFetchExecutor;
+
+struct ShardedBackendOptions {
+  /// Restriction / rate-limit / server-seed scenario. The same options an
+  /// InMemoryBackend takes; responses are identical for identical seeds.
+  AccessOptions access;
+
+  /// Per-shard simulated network decorator; shard s seeds its RNG from
+  /// Mix64(latency.seed ^ s) so the streams are independent.
+  std::optional<LatencyConfig> latency;
+
+  /// Each shard serves one request at a time (single-threaded origin
+  /// server): requests to the same shard queue on its service lock, which
+  /// is genuine wall-clock queueing when the latency decorator really
+  /// sleeps. False models an infinitely concurrent server per shard.
+  bool serial_service = true;
+};
+
+class ShardedBackend final : public AccessBackend {
+ public:
+  ShardedBackend(std::shared_ptr<const ShardedGraph> graph,
+                 ShardedBackendOptions options = {});
+  ~ShardedBackend() override;
+
+  /// e.g. "sharded[hash:8](latency(memory))" — partition, shard count, and
+  /// one shard's decorator stack.
+  std::string_view name() const override { return name_; }
+  uint64_t num_nodes() const override { return graph_->num_nodes(); }
+  const AccessOptions& options() const override { return options_.access; }
+  const ShardedBackend* AsSharded() const override { return this; }
+  Result<FetchReply> FetchNeighbors(NodeId u) override;
+  Result<BatchReply> FetchBatch(std::span<const NodeId> nodes) override;
+  void ResetSimulation() override;
+
+  /// Concurrent per-shard dispatch for FetchBatch: requests fan out as
+  /// per-node leaf tasks, so shards genuinely serve in parallel (real
+  /// sleeps overlapping) instead of the accounting-only max. Set once,
+  /// before use; never call FetchBatch from inside a task of this executor.
+  void AttachExecutor(std::shared_ptr<AsyncFetchExecutor> executor);
+
+  int num_shards() const { return graph_->num_shards(); }
+  ShardPartition partition() const { return graph_->partition(); }
+  const ShardedGraph& graph() const { return *graph_; }
+  int ShardOf(NodeId u) const { return graph_->ShardOf(u); }
+
+  /// Cumulative per-shard service telemetry (across all sessions):
+  /// requests served and serial rate-limit stall seconds billed.
+  struct ShardCounters {
+    uint64_t fetches = 0;
+    double stall_seconds = 0.0;
+  };
+  std::vector<ShardCounters> CountersSnapshot() const;
+
+ private:
+  struct Shard;
+
+  /// Serves one request through shard s's stack, honoring serial_service
+  /// and updating the shard's counters.
+  Result<FetchReply> ServeOne(int s, NodeId u);
+
+  std::shared_ptr<const ShardedGraph> graph_;
+  ShardedBackendOptions options_;
+  std::string name_;
+  std::shared_ptr<AsyncFetchExecutor> executor_;  // set once, before use
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace wnw

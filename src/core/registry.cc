@@ -230,6 +230,13 @@ std::span<const ReservedKeyInfo> ReservedSessionKeys() {
       {"sleep_scale",
        "real-sleep factor: requests sleep simulated*scale wall-clock "
        "seconds, >= 0 (default 0 = accounting only)"},
+      {"shards",
+       "origin shards: vertex-partitioned ShardedBackend, each shard with "
+       "its own lock/limiter/latency stack, in [1, 256] (absent = unsharded "
+       "origin)"},
+      {"partition",
+       "shard partitioner: hash (default) | range | degree (requires "
+       "shards)"},
       {"window",
        "async fetch executor: max in-flight requests, in [1, 1024] "
        "(absent = synchronous fetching)"},

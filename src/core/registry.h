@@ -149,7 +149,8 @@ std::string_view VariantKey(WalkEstimateVariant variant);
 Result<WalkEstimateVariant> ParseVariantKey(std::string_view key);
 
 /// A spec parameter reserved by SamplingSession rather than any sampler:
-/// backend selection (backend=latency&mean_ms=...) and fetch-executor sizing
+/// backend selection (backend=latency&mean_ms=...), origin sharding
+/// (shards=8&partition=hash|range|degree), and fetch-executor sizing
 /// (window=8&threads=4). SamplingSession::Open peels these off before the
 /// sampler factory validates the remaining params, so no sampler may
 /// register an option under a reserved name. The table is the single list

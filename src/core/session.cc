@@ -42,14 +42,17 @@ Result<bool> PopUint(SamplerConfig* config, const char* key, uint64_t* out) {
 // fail loudly on conflicts with explicit SessionOptions resources instead of
 // silently dropping the spec's request.
 struct ReservedSelections {
-  bool backend = false;   // backend=... or any latency parameter
-  bool executor = false;  // window=... (and threads=...)
+  bool backend = false;    // backend=... or any latency parameter
+  bool executor = false;   // window=... (and threads=...)
+  bool shards = false;     // shards=... (origin sharding)
+  bool partition = false;  // partition=... (requires shards)
 };
 
 // Extracts the reserved session parameters from a spec config — backend
 // selection (?backend=latency&mean_ms=50&jitter_ms=10&fail_rate=0.1&
-// retry_ms=200&retries=64&net_seed=7&sleep_scale=1) and fetch-executor
-// sizing (?window=8&threads=4) — so the sampler factory never sees them.
+// retry_ms=200&retries=64&net_seed=7&sleep_scale=1), origin sharding
+// (?shards=8&partition=hash|range|degree), and fetch-executor sizing
+// (?window=8&threads=4) — so the sampler factory never sees them.
 // Overrides options->latency / options->async when present. The key list
 // must stay in sync with ReservedSessionKeys() in core/registry.cc.
 Result<ReservedSelections> ExtractReservedParams(SamplerConfig* config,
@@ -113,6 +116,39 @@ Result<ReservedSelections> ExtractReservedParams(SamplerConfig* config,
   }
   selected.backend = kind_present || any_latency_param;
 
+  // Origin sharding: ?shards=8&partition=hash|range|degree. Orthogonal to
+  // the backend kind — with shards, the latency/rate-limit scenario moves
+  // inside the ShardedBackend (one decorator stack per shard).
+  uint64_t shard_count = 0;
+  WNW_ASSIGN_OR_RETURN(const bool shards_present,
+                       PopUint(config, "shards", &shard_count));
+  std::string partition_key;
+  const auto partition_it = config->params.find("partition");
+  const bool partition_present = partition_it != config->params.end();
+  if (partition_present) {
+    partition_key = partition_it->second;
+    config->params.erase(partition_it);
+  }
+  if (partition_present && !shards_present && options->shards < 1) {
+    return Status::InvalidArgument(
+        "shard parameter partition requires shards");
+  }
+  if (shards_present) {
+    if (shard_count < 1 ||
+        shard_count > static_cast<uint64_t>(ShardedGraph::kMaxShards)) {
+      return Status::InvalidArgument(
+          "shards must be in [1, " +
+          std::to_string(ShardedGraph::kMaxShards) + "]");
+    }
+    options->shards = static_cast<int>(shard_count);
+  }
+  if (partition_present) {
+    WNW_ASSIGN_OR_RETURN(options->partition,
+                         ParseShardPartition(partition_key));
+  }
+  selected.shards = shards_present;
+  selected.partition = partition_present;
+
   uint64_t window = 0;
   uint64_t threads = 0;
   WNW_ASSIGN_OR_RETURN(const bool window_present,
@@ -156,6 +192,37 @@ Status ResolveSessionResources(const Graph* graph, SamplerConfig* config,
         "' selects a backend, but an explicit backend is already provided — "
         "drop one of the two");
   }
+  if ((selected.shards || selected.partition) && options->backend != nullptr) {
+    // A spec may *describe* the explicit sharded backend it runs against
+    // (harness bookkeeping), but it must not contradict it — and it can
+    // never shard a backend that was built unsharded. AsSharded() sees
+    // through decorator wrappers.
+    const ShardedBackend* sharded = options->backend->AsSharded();
+    if (sharded == nullptr) {
+      return Status::InvalidArgument(
+          "spec '" + spec +
+          "' requests a sharded origin (shards=" +
+          std::to_string(options->shards) + "), but the explicit backend '" +
+          std::string(options->backend->name()) +
+          "' is not sharded — build it with BackendStackOptions::shards or "
+          "drop the key");
+    }
+    if (selected.shards && sharded->num_shards() != options->shards) {
+      return Status::InvalidArgument(
+          "spec '" + spec + "' requests shards=" +
+          std::to_string(options->shards) + " but the explicit backend '" +
+          std::string(sharded->name()) + "' has " +
+          std::to_string(sharded->num_shards()) + " shards");
+    }
+    if (selected.partition && sharded->partition() != options->partition) {
+      return Status::InvalidArgument(
+          "spec '" + spec + "' requests partition=" +
+          std::string(ShardPartitionKey(options->partition)) +
+          " but the explicit backend '" + std::string(sharded->name()) +
+          "' was partitioned by " +
+          std::string(ShardPartitionKey(sharded->partition())));
+    }
+  }
   if (selected.executor && options->executor != nullptr) {
     return Status::InvalidArgument(
         "spec '" + spec +
@@ -172,10 +239,12 @@ Status ResolveSessionResources(const Graph* graph, SamplerConfig* config,
   }
   options->async.reset();
   if (options->backend == nullptr) {
-    options->backend = BuildBackendStack(graph, {.access = options->access,
-                                                 .latency = options->latency,
-                                                 .executor =
-                                                     options->executor});
+    options->backend = BuildBackendStack(
+        graph, {.access = options->access,
+                .latency = options->latency,
+                .executor = options->executor,
+                .shards = options->shards,
+                .partition = options->partition});
   } else if (options->backend->num_nodes() != graph->num_nodes()) {
     return Status::InvalidArgument(
         "explicit backend serves " +
@@ -273,6 +342,16 @@ SessionStats SamplingSession::Stats() const {
   stats.elapsed_seconds = timer_.ElapsedSeconds();
   stats.async_window = executor_ != nullptr ? executor_->window() : 0;
   stats.samples_drawn = samples_drawn_;
+  if (const ShardedBackend* sharded = access_->backend().AsSharded()) {
+    stats.backend_shards = sharded->num_shards();
+  }
+  stats.shard_fetches = meter.shard_fetches;
+  stats.shard_stall_seconds = meter.shard_stall_seconds;
+  // Sessions that never fetched have empty per-shard vectors; normalize so
+  // consumers can always index [0, backend_shards).
+  stats.shard_fetches.resize(static_cast<size_t>(stats.backend_shards), 0);
+  stats.shard_stall_seconds.resize(static_cast<size_t>(stats.backend_shards),
+                                   0.0);
 
   // Sampler-family telemetry. The built-ins are matched by type; samplers
   // registered externally contribute the generic fields above.

@@ -15,6 +15,7 @@
 // the full list is ReservedSessionKeys() / docs/SPEC_STRINGS.md):
 //
 //   "we:mhrw?diameter=8&backend=latency&mean_ms=50&window=8&threads=4"
+//   "we:mhrw?diameter=8&shards=8&partition=degree&window=16"
 //
 // or programmatically through SessionOptions: an explicit shared backend
 // stack, a LatencyConfig, a cross-session QueryCache so concurrent trials
@@ -31,6 +32,7 @@
 #include "access/access_interface.h"
 #include "access/async_executor.h"
 #include "access/decorators.h"
+#include "access/sharded_backend.h"
 #include "core/registry.h"
 #include "mcmc/transition.h"
 #include "util/timer.h"
@@ -45,8 +47,19 @@ struct SessionOptions {
   /// ?backend=latency spec parameters, which take precedence).
   std::optional<LatencyConfig> latency;
 
-  /// Explicit backend stack shared across sessions. When set, `access` and
-  /// `latency` are ignored — the backend already embodies the scenario.
+  /// Shards the simulated origin: >= 1 builds a ShardedBackend with this
+  /// many vertex-partitioned origin servers, each with its own lock,
+  /// restriction-randomness stream, rate limiter, and latency decorator
+  /// (also reachable via the ?shards=&partition= spec parameters, which
+  /// take precedence). 0 = the unsharded InMemoryBackend origin.
+  int shards = 0;
+  ShardPartition partition = ShardPartition::kModulo;
+
+  /// Explicit backend stack shared across sessions — e.g. one prebuilt
+  /// ShardedBackend serving every walker of a pool and every trial of a
+  /// harness run. When set, `access`, `latency`, and `shards` are ignored —
+  /// the backend already embodies the scenario (a spec that *conflicts*
+  /// with it errors loudly instead).
   std::shared_ptr<AccessBackend> backend;
 
   /// Cross-session query cache: sessions sharing one cache reuse each
@@ -88,6 +101,11 @@ struct SessionStats {
   double waited_seconds = 0.0;  // simulated latency + rate-limit waiting
   double elapsed_seconds = 0.0; // wall clock since Open()
   int async_window = 0;         // executor in-flight window (0 = sync)
+
+  // Sharded-origin accounting (a single bucket when unsharded).
+  int backend_shards = 1;                   // origin shards behind the stack
+  std::vector<uint64_t> shard_fetches;      // this session's fetches by shard
+  std::vector<double> shard_stall_seconds;  // rate-limit stalls by shard
 
   uint64_t samples_drawn = 0;  // successful Draw()s through this session
 

@@ -101,18 +101,21 @@ std::vector<CurvePoint> RunErrorVsCost(const SocialDataset& dataset,
     shared_executor = std::make_shared<AsyncFetchExecutor>(*config.async);
   }
 
-  // A shared cache (or an explicit backend) means all trials talk to ONE
-  // simulated service: build the (thread-safe) backend stack once.
-  // Otherwise keep the paper's protocol of fully isolated per-trial
-  // backends with per-trial server randomness — a latency scenario alone
-  // still applies to each trial's private stack, so "isolated but slow" is
-  // expressible as a baseline.
+  // A shared cache, a sharded origin, or an explicit backend means all
+  // trials talk to ONE simulated service: build the (thread-safe) backend
+  // stack once. Otherwise keep the paper's protocol of fully isolated
+  // per-trial backends with per-trial server randomness — a latency
+  // scenario alone still applies to each trial's private stack, so
+  // "isolated but slow" is expressible as a baseline.
   std::shared_ptr<AccessBackend> shared_backend = config.backend;
-  if (shared_backend == nullptr && config.shared_cache != nullptr) {
+  if (shared_backend == nullptr &&
+      (config.shared_cache != nullptr || config.shards >= 1)) {
     BackendStackOptions stack;
     stack.access = config.access;
     stack.latency = config.latency;
     stack.executor = shared_executor;
+    stack.shards = config.shards;
+    stack.partition = config.partition;
     shared_backend = BuildBackendStack(&graph, stack);
   }
 

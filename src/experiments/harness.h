@@ -70,7 +70,15 @@ struct ErrorVsCostConfig {
   /// trials, the paper's original protocol.
   std::shared_ptr<QueryCache> shared_cache;
 
-  /// Explicit backend stack for all trials; overrides `access`/`latency`.
+  /// Shards the simulated origin for ALL trials: >= 1 builds ONE shared
+  /// ShardedBackend (per-shard locks, limiters, latency stacks) that every
+  /// trial talks to, like an explicit `backend` does — a sharded origin
+  /// models one deployment, not a per-trial artifact. 0 = unsharded.
+  int shards = 0;
+  ShardPartition partition = ShardPartition::kModulo;
+
+  /// Explicit backend stack for all trials; overrides
+  /// `access`/`latency`/`shards`.
   std::shared_ptr<AccessBackend> backend;
 
   /// One fetch executor shared by ALL trials: their combined in-flight

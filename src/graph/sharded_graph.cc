@@ -1,0 +1,178 @@
+#include "graph/sharded_graph.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+#include <utility>
+
+#include "graph/builder.h"
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace wnw {
+
+std::string_view ShardPartitionKey(ShardPartition partition) {
+  switch (partition) {
+    case ShardPartition::kModulo:
+      return "hash";
+    case ShardPartition::kRange:
+      return "range";
+    case ShardPartition::kDegreeBalanced:
+      return "degree";
+  }
+  return "hash";
+}
+
+Result<ShardPartition> ParseShardPartition(std::string_view key) {
+  if (key == "hash") return ShardPartition::kModulo;
+  if (key == "range") return ShardPartition::kRange;
+  if (key == "degree") return ShardPartition::kDegreeBalanced;
+  return Status::InvalidArgument("unknown shard partitioner '" +
+                                 std::string(key) +
+                                 "' (expected hash | range | degree)");
+}
+
+namespace {
+
+// Assigns every node to a shard; returns the per-node shard index.
+std::vector<uint32_t> AssignShards(const Graph& graph, uint32_t num_shards,
+                                   ShardPartition partition) {
+  const NodeId n = graph.num_nodes();
+  std::vector<uint32_t> shard_of(n, 0);
+  switch (partition) {
+    case ShardPartition::kModulo:
+      for (NodeId u = 0; u < n; ++u) shard_of[u] = u % num_shards;
+      break;
+    case ShardPartition::kRange: {
+      // Contiguous ranges of ceil(n / shards) ids; trailing shards may be
+      // smaller (or empty when num_shards > n).
+      const uint64_t width =
+          (static_cast<uint64_t>(n) + num_shards - 1) / num_shards;
+      for (NodeId u = 0; u < n; ++u) {
+        shard_of[u] = static_cast<uint32_t>(u / std::max<uint64_t>(1, width));
+      }
+      break;
+    }
+    case ShardPartition::kDegreeBalanced: {
+      // Greedy LPT: heaviest node onto the currently lightest shard,
+      // O(n log shards) via a min-heap of (load, shard). Ties break by
+      // node id (stable sort) and by shard index (heap order), so the
+      // assignment is deterministic.
+      std::vector<NodeId> order(n);
+      std::iota(order.begin(), order.end(), NodeId{0});
+      std::stable_sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+        return graph.Degree(a) > graph.Degree(b);
+      });
+      std::priority_queue<std::pair<uint64_t, uint32_t>,
+                          std::vector<std::pair<uint64_t, uint32_t>>,
+                          std::greater<>>
+          load;
+      for (uint32_t s = 0; s < num_shards; ++s) load.emplace(0, s);
+      for (NodeId u : order) {
+        auto [shard_load, s] = load.top();
+        load.pop();
+        shard_of[u] = s;
+        load.emplace(shard_load + graph.Degree(u), s);
+      }
+      break;
+    }
+  }
+  return shard_of;
+}
+
+}  // namespace
+
+Result<ShardedGraph> ShardedGraph::FromGraph(const Graph& graph,
+                                             int num_shards,
+                                             ShardPartition partition) {
+  if (num_shards < 1 || num_shards > kMaxShards) {
+    return Status::InvalidArgument(
+        "shard count " + std::to_string(num_shards) + " outside [1, " +
+        std::to_string(kMaxShards) + "]");
+  }
+  ShardedGraph sharded;
+  sharded.partition_ = partition;
+  sharded.num_nodes_ = graph.num_nodes();
+  sharded.num_edges_ = graph.num_edges();
+  sharded.shard_of_ =
+      AssignShards(graph, static_cast<uint32_t>(num_shards), partition);
+  sharded.local_index_.assign(graph.num_nodes(), 0);
+  sharded.shards_.resize(static_cast<size_t>(num_shards));
+
+  // Size each shard, then pack: owned ids stay ascending because nodes are
+  // visited in global id order.
+  for (NodeId u = 0; u < graph.num_nodes(); ++u) {
+    Shard& shard = sharded.shards_[sharded.shard_of_[u]];
+    sharded.local_index_[u] = static_cast<uint32_t>(shard.owned.size());
+    shard.owned.push_back(u);
+  }
+  for (Shard& shard : sharded.shards_) {
+    shard.offsets.reserve(shard.owned.size() + 1);
+    shard.offsets.push_back(0);
+    uint64_t endpoints = 0;
+    for (NodeId u : shard.owned) {
+      endpoints += graph.Degree(u);
+      shard.offsets.push_back(endpoints);
+      shard.max_degree = std::max(shard.max_degree, graph.Degree(u));
+    }
+    shard.adjacency.reserve(endpoints);
+    for (NodeId u : shard.owned) {
+      const auto nbrs = graph.Neighbors(u);
+      shard.adjacency.insert(shard.adjacency.end(), nbrs.begin(), nbrs.end());
+    }
+  }
+  return sharded;
+}
+
+Graph ShardedGraph::Flatten() const {
+  // Rebuild through GraphBuilder from the owned half-edges (u <= v once per
+  // undirected edge; self-loops are preserved). O(m log m), analysis-path
+  // only — the hot path never flattens.
+  GraphBuilder builder(num_nodes_, /*allow_self_loops=*/true);
+  for (const Shard& shard : shards_) {
+    for (size_t local = 0; local < shard.owned.size(); ++local) {
+      const NodeId u = shard.owned[local];
+      for (NodeId v : shard.NeighborsLocal(local)) {
+        if (u <= v) {
+          WNW_CHECK(builder.AddEdge(u, v).ok());
+        }
+      }
+    }
+  }
+  Graph graph = std::move(builder).Build().value();
+  WNW_CHECK(graph.num_edges() == num_edges_);
+  return graph;
+}
+
+double ShardedGraph::MeanShardEndpoints() const {
+  if (shards_.empty()) return 0.0;
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) total += shard.edge_endpoints();
+  return static_cast<double>(total) / static_cast<double>(shards_.size());
+}
+
+double ShardedGraph::MaxEdgeImbalance() const {
+  const double mean = MeanShardEndpoints();
+  if (mean <= 0.0) return 1.0;
+  uint64_t max_endpoints = 0;
+  for (const Shard& shard : shards_) {
+    max_endpoints = std::max(max_endpoints, shard.edge_endpoints());
+  }
+  return static_cast<double>(max_endpoints) / mean;
+}
+
+std::string ShardedGraph::DebugString() const {
+  uint64_t max_endpoints = 0;
+  for (const Shard& shard : shards_) {
+    max_endpoints = std::max(max_endpoints, shard.edge_endpoints());
+  }
+  return StrFormat(
+      "ShardedGraph{n=%u, m=%llu, shards=%d, partition=%s, "
+      "endpoints[max=%llu mean=%.1f imbalance=%.2f]}",
+      num_nodes_, static_cast<unsigned long long>(num_edges_), num_shards(),
+      std::string(ShardPartitionKey(partition_)).c_str(),
+      static_cast<unsigned long long>(max_endpoints), MeanShardEndpoints(),
+      MaxEdgeImbalance());
+}
+
+}  // namespace wnw

@@ -101,7 +101,8 @@ TEST(AsyncFetchExecutorTest, BatchRepliesKeepRequestOrder) {
   ASSERT_TRUE(reply.ok());
   ASSERT_EQ(reply->lists.size(), 3u);
   for (size_t i = 0; i < nodes.size(); ++i) {
-    EXPECT_EQ(reply->lists[i], backend->FetchNeighbors(nodes[i])->neighbors);
+    EXPECT_EQ(reply->lists[i],
+              backend->FetchNeighbors(nodes[i])->TakeNeighbors());
   }
 }
 
@@ -206,7 +207,7 @@ TEST(AccessInterfaceAsyncTest, QueryOnPendingNodeFoldsLazily) {
   // Touching a pending node folds the batch; no duplicate backend fetch.
   const auto list = access.Neighbors(11);
   EXPECT_EQ(std::vector<NodeId>(list.begin(), list.end()),
-            backend->FetchNeighbors(11)->neighbors);
+            backend->FetchNeighbors(11)->TakeNeighbors());
   EXPECT_FALSE(access.has_pending_prefetch());
   EXPECT_EQ(access.meter().backend_fetches, 3u);
   EXPECT_EQ(access.query_cost(), 3u);

@@ -13,8 +13,10 @@
 #include "access/access_interface.h"
 #include "access/backend.h"
 #include "access/decorators.h"
+#include "access/sharded_backend.h"
 #include "core/session.h"
 #include "graph/generators.h"
+#include "graph/sharded_graph.h"
 #include "test_util.h"
 
 namespace wnw {
@@ -25,7 +27,11 @@ TEST(InMemoryBackendTest, ServesGraphNeighbors) {
   InMemoryBackend backend(&g);
   auto reply = backend.FetchNeighbors(0);
   ASSERT_TRUE(reply.ok());
-  EXPECT_EQ(reply->neighbors, (std::vector<NodeId>{1, 2, 3}));
+  EXPECT_EQ(testing::ToVec(reply->neighbors), (std::vector<NodeId>{1, 2, 3}));
+  // Unrestricted responses are served straight from the CSR adjacency
+  // arena: a view into the graph's storage, no owned copy.
+  EXPECT_TRUE(reply->owned.empty());
+  EXPECT_EQ(reply->neighbors.data(), g.Neighbors(0).data());
   EXPECT_DOUBLE_EQ(reply->simulated_seconds, 0.0);
   EXPECT_TRUE(backend.deterministic());
   EXPECT_EQ(backend.name(), "memory");
@@ -47,7 +53,7 @@ TEST(InMemoryBackendTest, RandomSubsetIsNotDeterministic) {
   EXPECT_FALSE(backend.deterministic());
   std::set<std::vector<NodeId>> observed;
   for (int i = 0; i < 10; ++i) {
-    observed.insert(backend.FetchNeighbors(0)->neighbors);
+    observed.insert(backend.FetchNeighbors(0)->TakeNeighbors());
   }
   EXPECT_GT(observed.size(), 1u);
 }
@@ -58,9 +64,9 @@ TEST(InMemoryBackendTest, FixedSubsetStableAcrossFetchesAndBatches) {
   opts.restriction = NeighborRestriction::kFixedSubset;
   opts.max_neighbors = 5;
   InMemoryBackend backend(&g, opts);
-  const auto first = backend.FetchNeighbors(0)->neighbors;
+  const std::vector<NodeId> first = backend.FetchNeighbors(0)->TakeNeighbors();
   EXPECT_EQ(first.size(), 5u);
-  EXPECT_EQ(backend.FetchNeighbors(0)->neighbors, first);
+  EXPECT_EQ(backend.FetchNeighbors(0)->TakeNeighbors(), first);
   const std::vector<NodeId> nodes = {0, 1, 0};
   auto batch = backend.FetchBatch(nodes);
   ASSERT_TRUE(batch.ok());
@@ -80,7 +86,7 @@ TEST(LatencyBackendTest, BillsMeanPerRequest) {
   EXPECT_DOUBLE_EQ(reply->simulated_seconds, 0.050);
   EXPECT_EQ(backend.name(), "latency(memory)");
   // The response payload is untouched.
-  EXPECT_EQ(reply->neighbors, (std::vector<NodeId>{1, 2, 3}));
+  EXPECT_EQ(testing::ToVec(reply->neighbors), (std::vector<NodeId>{1, 2, 3}));
 }
 
 TEST(LatencyBackendTest, JitterStaysInBounds) {
@@ -298,6 +304,306 @@ TEST(BackendSpecTest, MalformedBackendParamsAreStatuses) {
   with_backend.backend = std::make_shared<InMemoryBackend>(&g);
   EXPECT_EQ(SamplingSession::Open(&g, "burnin:srw?backend=latency&mean_ms=5",
                                   with_backend)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+// --- the sharded origin ------------------------------------------------------
+
+std::shared_ptr<ShardedBackend> MakeSharded(const Graph& g, int shards,
+                                            AccessOptions options = {},
+                                            ShardPartition partition =
+                                                ShardPartition::kModulo) {
+  auto sharded_graph = std::make_shared<const ShardedGraph>(
+      ShardedGraph::FromGraph(g, shards, partition).value());
+  return std::make_shared<ShardedBackend>(sharded_graph,
+                                          ShardedBackendOptions{options});
+}
+
+TEST(ShardedBackendTest, MatchesInMemoryResponsesNodeForNode) {
+  const Graph g = testing::MakeTestBA(80, 3);
+  for (ShardPartition partition :
+       {ShardPartition::kModulo, ShardPartition::kRange,
+        ShardPartition::kDegreeBalanced}) {
+    InMemoryBackend memory(&g);
+    auto sharded = MakeSharded(g, 4, {}, partition);
+    EXPECT_EQ(sharded->num_nodes(), g.num_nodes());
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      auto a = memory.FetchNeighbors(u);
+      auto b = sharded->FetchNeighbors(u);
+      ASSERT_TRUE(a.ok() && b.ok());
+      EXPECT_EQ(b->shard, sharded->ShardOf(u));
+      EXPECT_EQ(a->TakeNeighbors(), b->TakeNeighbors()) << "node " << u;
+    }
+  }
+  EXPECT_EQ(MakeSharded(g, 4)->name(), "sharded[hash:4](memory)");
+}
+
+TEST(ShardedBackendTest, FixedSubsetsAreShardingInvariant) {
+  const Graph g = MakeStar(100).value();
+  AccessOptions opts;
+  opts.restriction = NeighborRestriction::kFixedSubset;
+  opts.max_neighbors = 5;
+  opts.seed = 321;
+  InMemoryBackend memory(&g, opts);
+  auto sharded = MakeSharded(g, 3, opts);
+  for (NodeId u : {NodeId{0}, NodeId{1}, NodeId{50}}) {
+    EXPECT_EQ(memory.FetchNeighbors(u)->TakeNeighbors(),
+              sharded->FetchNeighbors(u)->TakeNeighbors());
+  }
+}
+
+TEST(ShardedBackendTest, RandomSubsetCallStreamsAreShardingInvariant) {
+  // Type-1 responses are keyed on (seed, node, per-node call index), so the
+  // same per-node call sequence yields the same fresh subsets no matter how
+  // the origin is sharded or how calls to *different* nodes interleave.
+  const Graph g = testing::MakeTestBA(60, 5);
+  AccessOptions opts;
+  opts.restriction = NeighborRestriction::kRandomSubset;
+  opts.max_neighbors = 3;
+  opts.seed = 77;
+  InMemoryBackend memory(&g, opts);
+  auto sharded = MakeSharded(g, 3, opts);
+  // Different global interleavings, same per-node order.
+  std::vector<std::vector<NodeId>> from_memory, from_sharded;
+  for (int round = 0; round < 3; ++round) {
+    for (NodeId u = 0; u < 10; ++u) {
+      from_memory.push_back(memory.FetchNeighbors(u)->TakeNeighbors());
+    }
+  }
+  for (NodeId u = 0; u < 10; ++u) {
+    for (int round = 0; round < 3; ++round) {
+      from_sharded.push_back(sharded->FetchNeighbors(u)->TakeNeighbors());
+    }
+  }
+  for (NodeId u = 0; u < 10; ++u) {
+    for (int round = 0; round < 3; ++round) {
+      EXPECT_EQ(from_memory[static_cast<size_t>(round) * 10 + u],
+                from_sharded[static_cast<size_t>(u) * 3 + round])
+          << "node " << u << " call " << round;
+    }
+  }
+  EXPECT_FALSE(sharded->deterministic());
+}
+
+TEST(ShardedBackendTest, BatchPaysTheSlowestShardAndStallsBillPerShard) {
+  // 30 queries against a 10-per-minute budget: the unsharded origin stalls
+  // two full windows (120s); split across two shards, each endpoint's own
+  // limiter stalls once and the stalls overlap — the batch pays 60s.
+  const Graph g = MakeCycle(100).value();
+  AccessOptions opts;
+  opts.rate_limit = {10, 60.0};
+  std::vector<NodeId> nodes(30);
+  for (NodeId u = 0; u < 30; ++u) nodes[u] = u;
+
+  RateLimitBackend unsharded(std::make_shared<InMemoryBackend>(&g),
+                             opts.rate_limit);
+  EXPECT_DOUBLE_EQ(unsharded.FetchBatch(nodes)->simulated_seconds, 120.0);
+
+  auto sharded = MakeSharded(g, 2, opts);
+  auto batch = sharded->FetchBatch(nodes);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_DOUBLE_EQ(batch->simulated_seconds, 60.0);
+  ASSERT_EQ(batch->shards.size(), nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    EXPECT_EQ(batch->shards[i], static_cast<int32_t>(nodes[i] % 2));
+  }
+  ASSERT_EQ(batch->shard_stalls.size(), 2u);
+  EXPECT_DOUBLE_EQ(batch->shard_stalls[0], 60.0);
+  EXPECT_DOUBLE_EQ(batch->shard_stalls[1], 60.0);
+  const auto counters = sharded->CountersSnapshot();
+  ASSERT_EQ(counters.size(), 2u);
+  EXPECT_EQ(counters[0].fetches, 15u);
+  EXPECT_EQ(counters[1].fetches, 15u);
+  EXPECT_DOUBLE_EQ(counters[0].stall_seconds, 60.0);
+}
+
+TEST(ShardedBackendTest, SessionMeterSplitsFetchesAndStallsByShard) {
+  const Graph g = MakeCycle(100).value();
+  AccessOptions opts;
+  opts.rate_limit = {10, 60.0};
+  auto sharded = MakeSharded(g, 2, opts);
+  AccessInterface access(sharded);
+  for (NodeId u = 0; u < 24; ++u) access.Neighbors(u);  // 12 per shard
+  const CostMeter& meter = access.meter();
+  ASSERT_EQ(meter.shard_fetches.size(), 2u);
+  EXPECT_EQ(meter.shard_fetches[0], 12u);
+  EXPECT_EQ(meter.shard_fetches[1], 12u);
+  // Each shard's own limiter stalled once past its 10-token window.
+  ASSERT_EQ(meter.shard_stall_seconds.size(), 2u);
+  EXPECT_DOUBLE_EQ(meter.shard_stall_seconds[0], 60.0);
+  EXPECT_DOUBLE_EQ(meter.shard_stall_seconds[1], 60.0);
+  EXPECT_DOUBLE_EQ(access.waited_seconds(), 120.0);
+}
+
+TEST(ShardedBackendTest, SessionStatsExposeShardTelemetry) {
+  const Graph g = testing::MakeTestBA(120, 3);
+  SessionOptions opts;
+  opts.seed = 5;
+  auto session = SamplingSession::Open(&g, "burnin:srw?shards=3", opts);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  std::vector<NodeId> samples;
+  ASSERT_TRUE((*session)->DrawInto(&samples, 5).ok());
+  const SessionStats stats = (*session)->Stats();
+  EXPECT_EQ(stats.backend, "sharded[hash:3](memory)");
+  EXPECT_EQ(stats.backend_shards, 3);
+  ASSERT_EQ(stats.shard_fetches.size(), 3u);
+  uint64_t total = 0;
+  for (uint64_t f : stats.shard_fetches) total += f;
+  EXPECT_EQ(total, stats.backend_fetches);
+}
+
+// --- the sharded acceptance bar ----------------------------------------------
+
+TEST(ShardedAcceptanceTest, EverySamplerDrawsIdenticallyAcrossShardCounts) {
+  // The tentpole invariant: sharding the origin changes WHERE queries are
+  // answered, never what they return — so for a fixed seed every registered
+  // sampler draws the same nodes on the unsharded backend and on
+  // ShardedBackend(shards=1..8), with and without the async executor.
+  const Graph g = testing::MakeTestBA(120, 3);
+  for (const std::string& name : SamplerRegistry::Global().Names()) {
+    const std::string base =
+        name + ":srw" + (name.rfind("we", 0) == 0 ? "?diameter=4" : "");
+    SessionOptions opts;
+    opts.seed = 41;
+    auto baseline_session = SamplingSession::Open(&g, base, opts);
+    ASSERT_TRUE(baseline_session.ok()) << base;
+    std::vector<NodeId> baseline;
+    ASSERT_TRUE((*baseline_session)->DrawInto(&baseline, 12).ok()) << base;
+    const uint64_t baseline_cost = (*baseline_session)->Stats().query_cost;
+
+    const char sep = base.find('?') == std::string::npos ? '?' : '&';
+    for (int shards : {1, 2, 8}) {
+      for (const bool async : {false, true}) {
+        std::string spec = base + sep + "shards=" + std::to_string(shards) +
+                           "&partition=degree";
+        if (async) spec += "&window=4&threads=2";
+        auto session = SamplingSession::Open(&g, spec, opts);
+        ASSERT_TRUE(session.ok()) << spec << ": "
+                                  << session.status().ToString();
+        std::vector<NodeId> samples;
+        ASSERT_TRUE((*session)->DrawInto(&samples, 12).ok()) << spec;
+        EXPECT_EQ(samples, baseline) << spec;
+        EXPECT_EQ((*session)->Stats().query_cost, baseline_cost) << spec;
+      }
+    }
+  }
+}
+
+TEST(ShardedAcceptanceTest, WalksMatchUnderRandomSubsetRestriction) {
+  // kRandomSubset walks traverse via SampleNeighbor over fresh server
+  // subsets (the only defined traversal under type 1 — effective-neighbor
+  // filtering needs stable lists). The counter-mode subset streams make
+  // even these non-deterministic responses identical across shard counts,
+  // so the whole walk trajectory is sharding-invariant.
+  const Graph g = testing::MakeTestBA(100, 4);
+  AccessOptions access;
+  access.restriction = NeighborRestriction::kRandomSubset;
+  access.max_neighbors = 3;
+  access.seed = 99;
+  std::vector<NodeId> baseline;
+  for (int shards : {0, 1, 4}) {
+    std::shared_ptr<AccessBackend> backend;
+    if (shards == 0) {
+      backend = std::make_shared<InMemoryBackend>(&g, access);
+    } else {
+      backend = MakeSharded(g, shards, access);
+    }
+    AccessInterface view(backend);
+    Rng walk_rng(1234);
+    std::vector<NodeId> walk;
+    NodeId cur = 5;
+    for (int step = 0; step < 200; ++step) {
+      cur = view.SampleNeighbor(cur, walk_rng);
+      ASSERT_NE(cur, kInvalidNode);
+      walk.push_back(cur);
+    }
+    if (shards == 0) {
+      baseline = walk;
+      ASSERT_FALSE(baseline.empty());
+    } else {
+      EXPECT_EQ(walk, baseline) << "shards=" << shards;
+    }
+  }
+}
+
+TEST(ShardedAcceptanceTest, WalkerPoolSharesOneShardedOrigin) {
+  const Graph g = testing::MakeTestBA(150, 3);
+  WalkerPoolOptions pool;
+  pool.walkers = 4;
+  pool.samples_per_walker = 5;
+  pool.session.seed = 7;
+  auto baseline = RunWalkerPool(&g, "we:mhrw?diameter=4", pool);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  auto sharded = RunWalkerPool(
+      &g, "we:mhrw?diameter=4&shards=4&window=8", pool);
+  ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
+  EXPECT_EQ(sharded->samples, baseline->samples);
+  for (const SessionStats& stats : sharded->stats) {
+    EXPECT_EQ(stats.backend_shards, 4);
+    EXPECT_EQ(stats.backend, "sharded[hash:4](memory)");
+  }
+}
+
+TEST(ShardedBackendTest, DecoratorWrappersKeepShardsDiscoverable) {
+  // A sharded origin wrapped in an outer decorator still reports its shard
+  // count (AsSharded sees through wrappers), so per-shard telemetry is not
+  // silently truncated and a correctly-describing spec is accepted.
+  const Graph g = testing::MakeTestBA(100, 3);
+  SessionOptions opts;
+  opts.seed = 3;
+  opts.backend = std::make_shared<RateLimitBackend>(MakeSharded(g, 4),
+                                                    RateLimitConfig{});
+  auto session =
+      SamplingSession::Open(&g, "burnin:srw?shards=4&partition=hash", opts);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  std::vector<NodeId> samples;
+  ASSERT_TRUE((*session)->DrawInto(&samples, 5).ok());
+  const SessionStats stats = (*session)->Stats();
+  EXPECT_EQ(stats.backend_shards, 4);
+  ASSERT_EQ(stats.shard_fetches.size(), 4u);
+  uint64_t total = 0;
+  for (uint64_t f : stats.shard_fetches) total += f;
+  EXPECT_EQ(total, stats.backend_fetches);
+}
+
+TEST(ShardedSpecTest, ConflictingShardKeysAreLoudStatuses) {
+  const Graph g = testing::MakeTestBA(40, 3);
+  // shards= on an explicit NON-sharded backend: rejected, never silently
+  // ignored.
+  SessionOptions with_memory;
+  with_memory.backend = std::make_shared<InMemoryBackend>(&g);
+  EXPECT_EQ(SamplingSession::Open(&g, "burnin:srw?shards=2", with_memory)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  // shards= / partition= contradicting an explicit sharded backend.
+  SessionOptions with_sharded;
+  with_sharded.backend = MakeSharded(g, 4);
+  EXPECT_EQ(SamplingSession::Open(&g, "burnin:srw?shards=8", with_sharded)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(SamplingSession::Open(&g, "burnin:srw?partition=range&shards=4",
+                                  with_sharded)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  // A spec that correctly DESCRIBES the explicit sharded backend is fine.
+  EXPECT_TRUE(SamplingSession::Open(&g, "burnin:srw?shards=4&partition=hash",
+                                    with_sharded)
+                  .ok());
+  // Malformed shard keys are Statuses, not crashes.
+  EXPECT_EQ(SamplingSession::Open(&g, "burnin:srw?shards=0").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      SamplingSession::Open(&g, "burnin:srw?shards=9999").status().code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      SamplingSession::Open(&g, "burnin:srw?partition=degree").status().code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(SamplingSession::Open(&g, "burnin:srw?shards=2&partition=banana")
                 .status()
                 .code(),
             StatusCode::kInvalidArgument);

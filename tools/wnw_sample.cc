@@ -200,6 +200,18 @@ void PrintJson(const SessionStats& stats, const std::vector<NodeId>& samples) {
   std::printf("    \"waited_seconds\": %.6f,\n", stats.waited_seconds);
   std::printf("    \"elapsed_seconds\": %.6f,\n", stats.elapsed_seconds);
   std::printf("    \"async_window\": %d,\n", stats.async_window);
+  std::printf("    \"backend_shards\": %d,\n", stats.backend_shards);
+  std::printf("    \"shard_fetches\": [");
+  for (size_t i = 0; i < stats.shard_fetches.size(); ++i) {
+    std::printf("%s%llu", i == 0 ? "" : ", ",
+                static_cast<unsigned long long>(stats.shard_fetches[i]));
+  }
+  std::printf("],\n");
+  std::printf("    \"shard_stall_seconds\": [");
+  for (size_t i = 0; i < stats.shard_stall_seconds.size(); ++i) {
+    std::printf("%s%.6f", i == 0 ? "" : ", ", stats.shard_stall_seconds[i]);
+  }
+  std::printf("],\n");
   std::printf("    \"last_burn_in\": %d,\n", stats.last_burn_in);
   std::printf("    \"average_burn_in\": %.6f,\n", stats.average_burn_in);
   std::printf("    \"burned_in\": %s,\n", stats.burned_in ? "true" : "false");
@@ -295,6 +307,14 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(stats.samples_drawn),
                static_cast<unsigned long long>(stats.query_cost),
                static_cast<unsigned long long>(stats.total_queries));
+  if (stats.backend_shards > 1) {
+    std::fprintf(stderr, "origin shards: %d  fetches by shard:",
+                 stats.backend_shards);
+    for (uint64_t f : stats.shard_fetches) {
+      std::fprintf(stderr, " %llu", static_cast<unsigned long long>(f));
+    }
+    std::fprintf(stderr, "\n");
+  }
   if (stats.candidates_tried > 0) {
     std::fprintf(stderr, "acceptance rate: %.3f (%llu candidates)\n",
                  stats.acceptance_rate,
