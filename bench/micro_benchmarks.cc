@@ -4,10 +4,15 @@
 // rather than reproduce a paper artifact.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <string>
 
 #include "access/access_interface.h"
 #include "access/sharded_backend.h"
+#include "storage/snapshot.h"
+#include "util/check.h"
 #include "core/backward_estimator.h"
 #include "core/crawler.h"
 #include "graph/algorithms.h"
@@ -53,6 +58,54 @@ void BM_NeighborIteration(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2 * g.num_edges());
 }
 BENCHMARK(BM_NeighborIteration);
+
+// BenchGraph() round-tripped through the snapshot file and mmap'd back —
+// identical adjacency bits, file-backed pages.
+const Graph& BenchMmapGraph() {
+  static const Graph g = [] {
+    const char* tmpdir = std::getenv("TMPDIR");
+    const std::string path = std::string(tmpdir != nullptr ? tmpdir : "/tmp") +
+                             "/wnw_micro_benchmarks.snap";
+    WNW_CHECK(WriteGraphSnapshot(BenchGraph(), path).ok());
+    auto loaded = LoadGraphSnapshot(path);
+    WNW_CHECK(loaded.ok());
+    WNW_CHECK(loaded->graph.storage_mapped());
+    std::remove(path.c_str());  // POSIX: the mapping outlives the unlink
+    return loaded->graph;
+  }();
+  return g;
+}
+
+// The storage-view cost question: does serving the CSR from an mmap'd
+// snapshot slow down the sequential neighbor scan vs the heap arrays? After
+// first touch (the static init walks the file once via checksum + CSR
+// validation, so pages are warm) the two should be indistinguishable — the
+// Array<T> view compiles to the same data-pointer load either way.
+void BM_NeighborsHeap(benchmark::State& state) {
+  const Graph& g = BenchGraph();
+  uint64_t sum = 0;
+  for (auto _ : state) {
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      for (NodeId v : g.Neighbors(u)) sum += v;
+    }
+  }
+  benchmark::DoNotOptimize(sum);
+  state.SetItemsProcessed(state.iterations() * 2 * g.num_edges());
+}
+BENCHMARK(BM_NeighborsHeap);
+
+void BM_NeighborsMmap(benchmark::State& state) {
+  const Graph& g = BenchMmapGraph();
+  uint64_t sum = 0;
+  for (auto _ : state) {
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      for (NodeId v : g.Neighbors(u)) sum += v;
+    }
+  }
+  benchmark::DoNotOptimize(sum);
+  state.SetItemsProcessed(state.iterations() * 2 * g.num_edges());
+}
+BENCHMARK(BM_NeighborsMmap);
 
 void BM_BfsFullGraph(benchmark::State& state) {
   const Graph& g = BenchGraph();

@@ -156,6 +156,14 @@ void AsyncFetchExecutor::WorkerLoop() {
       stats_.max_in_flight = std::max(stats_.max_in_flight, in_flight_);
     }
     Result<FetchReply> result = task.fn();
+    // Drop the task's captured resources (notably the backend shared_ptr)
+    // BEFORE publishing the result. A backend with an attached executor
+    // points back at this executor, so once the waiter's future resolves it
+    // may release the last outside reference — if the lambda still held the
+    // backend at that point, this worker thread would run the backend's and
+    // then the executor's destructor, and the executor would join() its own
+    // thread (EDEADLK abort).
+    task.fn = nullptr;
     {
       std::lock_guard<std::mutex> lock(mu_);
       --in_flight_;

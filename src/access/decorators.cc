@@ -182,6 +182,8 @@ double RateLimitBackend::total_waited_seconds() const {
 
 std::shared_ptr<AccessBackend> BuildBackendStack(
     const Graph* graph, const BackendStackOptions& options) {
+  WNW_CHECK(options.snapshot.empty() &&
+            "snapshot-backed stacks go through BuildSnapshotBackendStack");
   if (options.shards >= 1) {
     // The whole stack moves inside the sharded origin: per-shard latency
     // decorators and rate limiters (one endpoint per shard). User-facing

@@ -151,6 +151,13 @@ struct BackendStackOptions {
   /// when set (callers validate user input; this is CHECKed).
   int shards = 0;
   ShardPartition partition = ShardPartition::kModulo;
+
+  /// Path to a graph snapshot file. When set, the origin topology is
+  /// mmap'd from this file instead of pointing at an in-process Graph —
+  /// build the stack with BuildSnapshotBackendStack
+  /// (access/snapshot_backend.h), which can fail with a Status; the
+  /// graph-pointer BuildBackendStack below CHECKs that this is empty.
+  std::string snapshot;
 };
 
 std::shared_ptr<AccessBackend> BuildBackendStack(

@@ -1,7 +1,9 @@
 #include "access/query_cache.h"
 
 #include <algorithm>
+#include <cstdio>
 
+#include "storage/snapshot.h"
 #include "util/check.h"
 
 namespace wnw {
@@ -46,6 +48,7 @@ void QueryCache::Insert(NodeId u, std::span<const NodeId> neighbors) {
   Shard& shard = ShardFor(u);
   std::lock_guard<std::mutex> lock(shard.mu);
   if (shard.map.find(u) != shard.map.end()) return;  // first writer wins
+  dirty_.store(true, std::memory_order_relaxed);
   shard.lru.push_front(u);
   Shard::Entry entry;
   entry.neighbors.assign(neighbors.begin(), neighbors.end());
@@ -77,12 +80,133 @@ uint64_t QueryCache::size() const {
 void QueryCache::Clear() {
   for (size_t i = 0; i <= shard_mask_; ++i) {
     std::lock_guard<std::mutex> lock(shards_[i].mu);
+    if (!shards_[i].map.empty()) {
+      dirty_.store(true, std::memory_order_relaxed);
+    }
     shards_[i].map.clear();
     shards_[i].lru.clear();
   }
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
   evictions_.store(0, std::memory_order_relaxed);
+}
+
+// --- persistence -------------------------------------------------------------
+
+Status QueryCache::Save(const std::string& path) const {
+  // Claim the dirty mark BEFORE snapshotting: an Insert that lands while
+  // (or after) we copy a shard re-sets it, so the entry it added — which
+  // this save may miss — still gets persisted by the next Persist().
+  // Clearing after the write would erase that mark and silently drop the
+  // entry forever. Restored on failure so a failed save stays retryable.
+  dirty_.store(false, std::memory_order_relaxed);
+
+  // Snapshot every shard under its lock, coldest entry first, so Load can
+  // replay the file with plain Inserts and end up with the same recency
+  // order (Insert puts each entry at the front of its shard's LRU list).
+  std::vector<NodeId> nodes;
+  std::vector<uint64_t> offsets;
+  std::vector<NodeId> values;
+  offsets.push_back(0);
+  for (size_t i = 0; i <= shard_mask_; ++i) {
+    Shard& shard = shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.lru.rbegin(); it != shard.lru.rend(); ++it) {
+      const auto entry = shard.map.find(*it);
+      WNW_CHECK(entry != shard.map.end());
+      nodes.push_back(*it);
+      values.insert(values.end(), entry->second.neighbors.begin(),
+                    entry->second.neighbors.end());
+      offsets.push_back(values.size());
+    }
+  }
+
+  const storage::CacheMetaSection meta{
+      nodes.size(), values.size(),
+      static_cast<uint32_t>(shard_mask_ + 1), 0};
+  storage::SnapshotWriter writer;
+  writer.AddSection(storage::SectionKind::kCacheMeta, 0,
+                    {reinterpret_cast<const std::byte*>(&meta), sizeof(meta)});
+  writer.AddArraySection<NodeId>(storage::SectionKind::kCacheNodes, 0, nodes);
+  writer.AddArraySection<uint64_t>(storage::SectionKind::kCacheOffsets, 0,
+                                   offsets);
+  writer.AddArraySection<NodeId>(storage::SectionKind::kCacheValues, 0,
+                                 values);
+  // Write-to-temp + rename: a reader (or a concurrent save to the same
+  // path) never observes a half-written file — it sees the old contents or
+  // the new, both checksum-valid.
+  const std::string temp = path + ".tmp";
+  Status written = writer.Write(storage::FileKind::kQueryCache, temp);
+  if (written.ok() && std::rename(temp.c_str(), path.c_str()) != 0) {
+    std::remove(temp.c_str());
+    written = Status::IOError("cannot rename " + temp + " to " + path);
+  }
+  if (!written.ok()) {
+    dirty_.store(true, std::memory_order_relaxed);
+    return written;
+  }
+  return Status::OK();
+}
+
+Status QueryCache::Load(const std::string& path) {
+  WNW_ASSIGN_OR_RETURN(
+      storage::SnapshotFile file,
+      storage::SnapshotFile::Open(path, storage::FileKind::kQueryCache));
+  WNW_ASSIGN_OR_RETURN(const storage::CacheMetaSection meta,
+                       file.MetaSection<storage::CacheMetaSection>(
+                           storage::SectionKind::kCacheMeta));
+  WNW_ASSIGN_OR_RETURN(
+      storage::Array<NodeId> nodes,
+      file.ArraySection<NodeId>(storage::SectionKind::kCacheNodes));
+  WNW_ASSIGN_OR_RETURN(
+      storage::Array<uint64_t> offsets,
+      file.ArraySection<uint64_t>(storage::SectionKind::kCacheOffsets));
+  WNW_ASSIGN_OR_RETURN(
+      storage::Array<NodeId> values,
+      file.ArraySection<NodeId>(storage::SectionKind::kCacheValues));
+  if (nodes.size() != meta.entries || values.size() != meta.total_values ||
+      offsets.size() != meta.entries + 1 ||
+      (meta.entries > 0 && (offsets[0] != 0 ||
+                            offsets.back() != values.size()))) {
+    return Status::IOError(path +
+                           ": cache sections disagree with their metadata");
+  }
+  // Validate every offset before building any span through them: one
+  // descending pair elsewhere can put an earlier entry's range past the
+  // values section (ascending + back() == values.size() bounds them all).
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (offsets[i] > offsets[i + 1]) {
+      return Status::IOError(path + ": cache offsets are not ascending");
+    }
+  }
+  const bool was_dirty = dirty_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    Insert(nodes[i],
+           std::span<const NodeId>(values.data() + offsets[i],
+                                   values.data() + offsets[i + 1]));
+  }
+  // Replaying the file did not diverge from it (entries that were already
+  // present notwithstanding — they came from the same deterministic
+  // responses).
+  dirty_.store(was_dirty, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status QueryCache::AttachFile(const std::string& path) {
+  WNW_CHECK(!path.empty());
+  attached_file_ = path;
+  const Status loaded = Load(path);
+  if (loaded.ok() || loaded.code() == StatusCode::kNotFound) {
+    return Status::OK();  // missing file = cold start
+  }
+  return loaded;
+}
+
+Status QueryCache::Persist() const {
+  if (attached_file_.empty() || !dirty_.load(std::memory_order_relaxed)) {
+    return Status::OK();
+  }
+  return Save(attached_file_);
 }
 
 }  // namespace wnw

@@ -15,6 +15,15 @@
 // AccessInterface consults AccessBackend::deterministic() and bypasses the
 // cache entirely under kRandomSubset (fresh subsets per call carry
 // information a cache would destroy).
+//
+// The cache is persistable: Save()/Load() serialize the entries AND the
+// per-shard LRU recency order (coldest-first) into the versioned,
+// checksummed snapshot container (storage/snapshot.h), so a second run
+// warm-starts with the first run's query history — the cross-RUN half of
+// the Zhou et al. history-reuse story. AttachFile() binds the cache to one
+// file: it loads the file when it exists (a missing file is a cold start,
+// not an error) and Persist() — called by SamplingSession when it closes —
+// writes back only when the contents changed since.
 #pragma once
 
 #include <atomic>
@@ -23,10 +32,12 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "graph/graph.h"
+#include "util/status.h"
 
 namespace wnw {
 
@@ -75,6 +86,31 @@ class QueryCache {
 
   void Clear();
 
+  // --- persistence -----------------------------------------------------------
+
+  /// Writes every entry (with its LRU recency, coldest-first) to a
+  /// snapshot-container file. Thread-safe against concurrent
+  /// lookups/inserts (each shard is snapshotted under its lock).
+  Status Save(const std::string& path) const;
+
+  /// Merges a saved cache into this one: entries insert coldest-first, so
+  /// the saved recency order becomes this cache's LRU order; entries
+  /// already present keep their (hotter) position — first writer wins, like
+  /// concurrent Insert. Capacity caps apply (loading more than fits evicts
+  /// normally). NotFound when the file does not exist; IOError for corrupt
+  /// or mismatched files.
+  Status Load(const std::string& path);
+
+  /// Binds this cache to `path` for warm-start persistence: loads it when
+  /// it exists (missing = cold start), remembers the path for Persist().
+  Status AttachFile(const std::string& path);
+  bool has_attached_file() const { return !attached_file_.empty(); }
+  const std::string& attached_file() const { return attached_file_; }
+
+  /// Saves to the attached file iff the contents changed since the last
+  /// Save/Load. No-op (OK) without an attached file.
+  Status Persist() const;
+
  private:
   struct Shard {
     mutable std::mutex mu;
@@ -95,6 +131,8 @@ class QueryCache {
   size_t max_entries_;
   size_t per_shard_cap_;  // 0 = unbounded
   std::unique_ptr<Shard[]> shards_;
+  std::string attached_file_;
+  mutable std::atomic<bool> dirty_{false};  // contents newer than the file
   mutable std::atomic<uint64_t> hits_{0};
   mutable std::atomic<uint64_t> misses_{0};
   mutable std::atomic<uint64_t> evictions_{0};

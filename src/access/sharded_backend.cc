@@ -18,10 +18,13 @@ namespace {
 class ShardOriginBackend final : public AccessBackend {
  public:
   ShardOriginBackend(std::shared_ptr<const ShardedGraph> graph, int shard,
-                     AccessOptions options)
-      : graph_(std::move(graph)), shard_(shard), server_(options) {}
+                     AccessOptions options, std::string name)
+      : graph_(std::move(graph)),
+        shard_(shard),
+        server_(options),
+        name_(std::move(name)) {}
 
-  std::string_view name() const override { return "memory"; }
+  std::string_view name() const override { return name_; }
   uint64_t num_nodes() const override { return graph_->num_nodes(); }
   const AccessOptions& options() const override { return server_.options(); }
 
@@ -45,6 +48,7 @@ class ShardOriginBackend final : public AccessBackend {
   std::shared_ptr<const ShardedGraph> graph_;
   int shard_;
   RestrictionServer server_;
+  std::string name_;
 };
 
 }  // namespace
@@ -63,8 +67,8 @@ ShardedBackend::ShardedBackend(std::shared_ptr<const ShardedGraph> graph,
   shards_.reserve(static_cast<size_t>(graph_->num_shards()));
   for (int s = 0; s < graph_->num_shards(); ++s) {
     auto shard = std::make_unique<Shard>();
-    std::shared_ptr<AccessBackend> stack =
-        std::make_shared<ShardOriginBackend>(graph_, s, options_.access);
+    std::shared_ptr<AccessBackend> stack = std::make_shared<ShardOriginBackend>(
+        graph_, s, options_.access, options_.origin_name);
     if (options_.latency.has_value()) {
       // Independent network randomness per endpoint; same distribution.
       LatencyConfig config = *options_.latency;

@@ -60,6 +60,11 @@ struct ShardedBackendOptions {
   /// is genuine wall-clock queueing when the latency decorator really
   /// sleeps. False models an infinitely concurrent server per shard.
   bool serial_service = true;
+
+  /// Telemetry label for the per-shard origin servers: "memory" for
+  /// heap-backed shards, "snapshot" when the shards are mmap'd from a
+  /// snapshot file. Cosmetic only — responses are identical either way.
+  std::string origin_name = "memory";
 };
 
 class ShardedBackend final : public AccessBackend {

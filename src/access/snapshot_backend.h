@@ -1,0 +1,65 @@
+// The disk-backed origin: a graph snapshot file (storage/snapshot.h) served
+// through exactly the same RestrictionServer as InMemoryBackend, so for the
+// same AccessOptions a SnapshotBackend answers every per-node call sequence
+// bit-identically to the in-memory origin — swapping the heap for an mmap is
+// invisible to samplers, in responses and in query cost alike.
+//
+// The CSR stays in the file: unrestricted replies are spans straight into
+// the mmap'd adjacency section (pages fault in on first touch and stay
+// evictable), which is what lets one origin serve a graph larger than RAM.
+// Decorators (latency, rate limit) and the sharded origin compose around it
+// unchanged; BuildSnapshotBackendStack mirrors BuildBackendStack with the
+// topology coming from BackendStackOptions::snapshot — when the snapshot
+// carries per-shard sections matching the requested shard count and
+// partitioner, ShardedBackend serves each shard straight from the file.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "access/backend.h"
+#include "access/decorators.h"
+#include "storage/snapshot.h"
+
+namespace wnw {
+
+class SnapshotBackend final : public AccessBackend {
+ public:
+  /// Opens `path` and serves it under the given restriction scenario.
+  /// NotFound / IOError Statuses for missing, corrupt, truncated, or
+  /// version-mismatched files — user input never crashes.
+  static Result<std::shared_ptr<SnapshotBackend>> Open(
+      const std::string& path, AccessOptions options = {});
+
+  /// Serves an already-loaded snapshot (the loader is shared with
+  /// BuildSnapshotBackendStack, which loads once for both the flat and the
+  /// sharded path).
+  SnapshotBackend(LoadedSnapshot loaded, AccessOptions options);
+
+  std::string_view name() const override { return "snapshot"; }
+  uint64_t num_nodes() const override { return graph_.num_nodes(); }
+  const AccessOptions& options() const override { return server_.options(); }
+  Result<FetchReply> FetchNeighbors(NodeId u) override;
+
+  /// The mmap-backed topology (alive as long as this backend is).
+  const Graph& graph() const { return graph_; }
+
+  /// The snapshot's original-id table; empty when the file carries none.
+  std::span<const uint64_t> original_ids() const { return original_ids_; }
+
+ private:
+  Graph graph_;  // CSR arrays view the mapping and keep it alive
+  std::vector<uint64_t> original_ids_;
+  RestrictionServer server_;
+};
+
+/// BuildBackendStack's disk-backed twin: loads options.snapshot (required)
+/// and composes the identical decorator stack around a SnapshotBackend — or
+/// around a ShardedBackend serving the snapshot's per-shard sections when
+/// options.shards >= 1 and the file was partitioned with the same count and
+/// partitioner (otherwise the loaded graph is re-partitioned in memory; the
+/// responses are identical either way, only residency differs).
+Result<std::shared_ptr<AccessBackend>> BuildSnapshotBackendStack(
+    const BackendStackOptions& options);
+
+}  // namespace wnw

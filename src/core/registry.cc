@@ -237,6 +237,13 @@ std::span<const ReservedKeyInfo> ReservedSessionKeys() {
       {"partition",
        "shard partitioner: hash (default) | range | degree (requires "
        "shards)"},
+      {"snapshot",
+       "disk-backed origin: path to a wnw_snapshot file; the backend mmaps "
+       "and serves it instead of the in-process graph (byte-identical "
+       "responses; composes with latency/shards)"},
+      {"cache_file",
+       "persistent query cache: snapshot-container file loaded at open "
+       "when it exists (warm start) and saved back on session close"},
       {"window",
        "async fetch executor: max in-flight requests, in [1, 1024] "
        "(absent = synchronous fetching)"},

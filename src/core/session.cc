@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cstdint>
 
+#include "access/snapshot_backend.h"
 #include "core/path_sampler.h"
 #include "core/samplers.h"
 #include "core/walk_estimate.h"
 #include "random/rng.h"
+#include "util/logging.h"
 #include "util/parallel.h"
 #include "util/string_util.h"
 
@@ -46,6 +48,7 @@ struct ReservedSelections {
   bool executor = false;   // window=... (and threads=...)
   bool shards = false;     // shards=... (origin sharding)
   bool partition = false;  // partition=... (requires shards)
+  bool snapshot = false;   // snapshot=... (disk-backed origin)
 };
 
 // Extracts the reserved session parameters from a spec config — backend
@@ -149,6 +152,55 @@ Result<ReservedSelections> ExtractReservedParams(SamplerConfig* config,
   selected.shards = shards_present;
   selected.partition = partition_present;
 
+  // Disk-backed origin: ?snapshot=/path/to/file.snap serves the mmap'd
+  // snapshot instead of the in-process graph. Orthogonal to latency and
+  // shards (both compose around/inside the snapshot origin), but
+  // backend=memory explicitly asks for the in-process origin — a direct
+  // contradiction.
+  const auto snapshot_it = config->params.find("snapshot");
+  if (snapshot_it != config->params.end()) {
+    if (snapshot_it->second.empty()) {
+      return Status::InvalidArgument(
+          "snapshot parameter needs a file path (snapshot=/path/to/file)");
+    }
+    if (!options->snapshot.empty() &&
+        options->snapshot != snapshot_it->second) {
+      // Same loud-conflict convention as every other reserved key: never
+      // silently clobber an explicitly provided resource.
+      return Status::InvalidArgument(
+          "spec requests snapshot '" + snapshot_it->second +
+          "' but SessionOptions already names '" + options->snapshot +
+          "' — drop one of the two");
+    }
+    options->snapshot = snapshot_it->second;
+    config->params.erase(snapshot_it);
+    selected.snapshot = true;
+  }
+  if (selected.snapshot && kind == "memory") {
+    return Status::InvalidArgument(
+        "backend=memory contradicts snapshot= (the snapshot IS the origin) "
+        "— drop one of the two");
+  }
+
+  // Persistent query cache: ?cache_file=/path loads the file when it exists
+  // and saves it back on session close.
+  const auto cache_it = config->params.find("cache_file");
+  if (cache_it != config->params.end()) {
+    if (cache_it->second.empty()) {
+      return Status::InvalidArgument(
+          "cache_file parameter needs a file path (cache_file=/path)");
+    }
+    if (!options->cache_file.empty() &&
+        options->cache_file != cache_it->second) {
+      return Status::InvalidArgument(
+          "spec requests cache_file '" + cache_it->second +
+          "' but SessionOptions already names '" + options->cache_file +
+          "' — drop one of the two");
+    }
+    options->cache_file = cache_it->second;
+    config->params.erase(cache_it);
+  }
+
   uint64_t window = 0;
   uint64_t threads = 0;
   WNW_ASSIGN_OR_RETURN(const bool window_present,
@@ -223,6 +275,18 @@ Status ResolveSessionResources(const Graph* graph, SamplerConfig* config,
           std::string(ShardPartitionKey(sharded->partition())));
     }
   }
+  if (!options->snapshot.empty() && options->backend != nullptr) {
+    return Status::InvalidArgument(
+        "spec or options select a snapshot origin ('" + options->snapshot +
+        "'), but an explicit backend is already provided — drop one of the "
+        "two");
+  }
+  if (!options->cache_file.empty() && options->query_cache != nullptr) {
+    return Status::InvalidArgument(
+        "cache_file ('" + options->cache_file +
+        "') conflicts with an explicit query cache — attach the file to "
+        "your cache with QueryCache::AttachFile instead");
+  }
   if (selected.executor && options->executor != nullptr) {
     return Status::InvalidArgument(
         "spec '" + spec +
@@ -238,13 +302,37 @@ Status ResolveSessionResources(const Graph* graph, SamplerConfig* config,
     options->executor = std::make_shared<AsyncFetchExecutor>(*options->async);
   }
   options->async.reset();
+  if (!options->cache_file.empty()) {
+    // Materialize the persistent cache: bound to the file, warm when it
+    // exists. The path is consumed so re-resolving (walker pools) is a
+    // no-op; the cache itself remembers where to persist.
+    auto cache = std::make_shared<QueryCache>();
+    WNW_RETURN_IF_ERROR(cache->AttachFile(options->cache_file));
+    options->query_cache = std::move(cache);
+    options->cache_file.clear();
+  }
   if (options->backend == nullptr) {
-    options->backend = BuildBackendStack(
-        graph, {.access = options->access,
-                .latency = options->latency,
-                .executor = options->executor,
-                .shards = options->shards,
-                .partition = options->partition});
+    const BackendStackOptions stack{.access = options->access,
+                                    .latency = options->latency,
+                                    .executor = options->executor,
+                                    .shards = options->shards,
+                                    .partition = options->partition,
+                                    .snapshot = options->snapshot};
+    if (!options->snapshot.empty()) {
+      WNW_ASSIGN_OR_RETURN(options->backend,
+                           BuildSnapshotBackendStack(stack));
+      options->snapshot.clear();  // consumed; re-resolving is a no-op
+      if (options->backend->num_nodes() != graph->num_nodes()) {
+        return Status::InvalidArgument(
+            "snapshot '" + stack.snapshot + "' serves " +
+            std::to_string(options->backend->num_nodes()) +
+            " nodes but the graph has " +
+            std::to_string(graph->num_nodes()) +
+            " — was it built from a different graph?");
+      }
+    } else {
+      options->backend = BuildBackendStack(graph, stack);
+    }
   } else if (options->backend->num_nodes() != graph->num_nodes()) {
     return Status::InvalidArgument(
         "explicit backend serves " +
@@ -312,6 +400,26 @@ Result<std::unique_ptr<SamplingSession>> SamplingSession::Open(
                           std::move(sampler)));
 }
 
+Status SamplingSession::PersistCache() {
+  access_->Wait();  // pending prefetches may still add entries
+  const std::shared_ptr<QueryCache>& cache = access_->query_cache();
+  if (cache == nullptr) return Status::OK();
+  return cache->Persist();
+}
+
+SamplingSession::~SamplingSession() {
+  // Warm-start persistence: a cache bound to a file (cache_file= /
+  // AttachFile) writes itself back when the session closes, so the next
+  // run starts with this run's history. Destructors cannot return a
+  // Status; callers needing the outcome call PersistCache() first (Persist
+  // is idempotent — a clean cache is a no-op).
+  const Status persisted = PersistCache();
+  if (!persisted.ok()) {
+    WNW_LOG(kWarning) << "query-cache persist failed: "
+                      << persisted.ToString();
+  }
+}
+
 Result<NodeId> SamplingSession::Draw() {
   auto drawn = sampler_->Draw();
   if (drawn.ok()) ++samples_drawn_;
@@ -344,6 +452,14 @@ SessionStats SamplingSession::Stats() const {
   stats.samples_drawn = samples_drawn_;
   if (const ShardedBackend* sharded = access_->backend().AsSharded()) {
     stats.backend_shards = sharded->num_shards();
+  }
+  if (const std::shared_ptr<QueryCache>& cache = access_->query_cache()) {
+    stats.cache_attached = true;
+    stats.cache_hits = cache->hits();
+    stats.cache_misses = cache->misses();
+    stats.cache_evictions = cache->evictions();
+    stats.cache_entries = cache->size();
+    stats.cache_file = cache->attached_file();
   }
   stats.shard_fetches = meter.shard_fetches;
   stats.shard_stall_seconds = meter.shard_stall_seconds;

@@ -62,9 +62,24 @@ struct SessionOptions {
   /// with it errors loudly instead).
   std::shared_ptr<AccessBackend> backend;
 
+  /// Path to a graph snapshot file (tools/wnw_snapshot; also reachable via
+  /// the ?snapshot= spec key): the origin serves the mmap'd file instead of
+  /// the in-process graph — byte-identical responses, disk residency.
+  /// Composes with `latency`/`shards`; conflicts loudly with an explicit
+  /// `backend`. The snapshot must describe the same graph that was passed
+  /// to Open (node counts are checked).
+  std::string snapshot;
+
   /// Cross-session query cache: sessions sharing one cache reuse each
   /// other's neighbor lists (cache hits cost no queries and no waiting).
   std::shared_ptr<QueryCache> query_cache;
+
+  /// Persistent-cache path (also reachable via the ?cache_file= spec key):
+  /// builds a QueryCache bound to this file — loaded now when the file
+  /// exists (warm start), saved back when the session closes (or on
+  /// PersistCache()). Conflicts loudly with an explicit `query_cache`; to
+  /// persist a cache you built yourself, call its AttachFile() instead.
+  std::string cache_file;
 
   /// Builds a private AsyncFetchExecutor for this session (also reachable
   /// via the ?window=&threads= spec parameters). Fetches then flow through
@@ -107,6 +122,16 @@ struct SessionStats {
   std::vector<uint64_t> shard_fetches;      // this session's fetches by shard
   std::vector<double> shard_stall_seconds;  // rate-limit stalls by shard
 
+  // Shared QueryCache telemetry (cumulative across every session sharing
+  // the cache — the cross-session/cross-run history pool, not a per-session
+  // meter; all zero when the session has no shared cache).
+  bool cache_attached = false;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_evictions = 0;
+  uint64_t cache_entries = 0;   // nodes currently cached
+  std::string cache_file;       // persistence path ("" = in-memory only)
+
   uint64_t samples_drawn = 0;  // successful Draw()s through this session
 
   // Burn-in telemetry (burnin / longrun).
@@ -137,6 +162,14 @@ class SamplingSession {
   static Result<std::unique_ptr<SamplingSession>> Open(
       const Graph* graph, const SamplerConfig& config,
       SessionOptions options = {});
+
+  /// Persists the shared query cache to its attached file (see
+  /// QueryCache::AttachFile / SessionOptions::cache_file) and waits for any
+  /// pending prefetches. The destructor does this too (best-effort, logged);
+  /// call it directly when you need the Status.
+  Status PersistCache();
+
+  ~SamplingSession();
 
   /// Draws the next sample node.
   Result<NodeId> Draw();

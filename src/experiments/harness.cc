@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <mutex>
 
+#include "access/snapshot_backend.h"
 #include "estimation/ground_truth.h"
 #include "util/check.h"
 #include "util/logging.h"
@@ -109,14 +110,26 @@ std::vector<CurvePoint> RunErrorVsCost(const SocialDataset& dataset,
   // "isolated but slow" is expressible as a baseline.
   std::shared_ptr<AccessBackend> shared_backend = config.backend;
   if (shared_backend == nullptr &&
-      (config.shared_cache != nullptr || config.shards >= 1)) {
+      (config.shared_cache != nullptr || config.shards >= 1 ||
+       !config.snapshot.empty())) {
     BackendStackOptions stack;
     stack.access = config.access;
     stack.latency = config.latency;
     stack.executor = shared_executor;
     stack.shards = config.shards;
     stack.partition = config.partition;
-    shared_backend = BuildBackendStack(&graph, stack);
+    if (!config.snapshot.empty()) {
+      stack.snapshot = config.snapshot;
+      auto loaded = BuildSnapshotBackendStack(stack);
+      if (!loaded.ok()) {
+        WNW_LOG(kError) << "snapshot origin '" << config.snapshot
+                        << "' failed to open: " << loaded.status().ToString();
+        return points;  // zero completed trials, like other logged failures
+      }
+      shared_backend = *std::move(loaded);
+    } else {
+      shared_backend = BuildBackendStack(&graph, stack);
+    }
   }
 
   ParallelFor(

@@ -81,6 +81,13 @@ struct ErrorVsCostConfig {
   /// `access`/`latency`/`shards`.
   std::shared_ptr<AccessBackend> backend;
 
+  /// Path to a graph snapshot: every trial talks to ONE shared disk-backed
+  /// origin (mmap'd, byte-identical to the in-memory origin) — like an
+  /// explicit `backend`, a snapshot models one deployment. Composes with
+  /// `latency`/`shards`; a load failure is logged and the run completes
+  /// zero trials, matching the harness's other warning-logged failures.
+  std::string snapshot;
+
   /// One fetch executor shared by ALL trials: their combined in-flight
   /// requests are bounded by its window, and (with a real-sleep latency
   /// backend) independent trials overlap each other's round trips. Set

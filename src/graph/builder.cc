@@ -26,24 +26,30 @@ Result<Graph> GraphBuilder::Build() && {
   std::sort(edges_.begin(), edges_.end());
   edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
 
-  Graph g;
-  g.num_nodes_ = num_nodes_;
-  g.num_edges_ = edges_.size();
-  g.offsets_.assign(static_cast<size_t>(num_nodes_) + 1, 0);
+  // Pack into heap vectors first, then hand them to the graph's storage
+  // arrays (adopted, not copied) — same bytes the old vector members held.
+  std::vector<uint64_t> offsets(static_cast<size_t>(num_nodes_) + 1, 0);
 
   // Degree counting pass. A self-loop contributes one adjacency entry.
   for (const auto& [u, v] : edges_) {
-    g.offsets_[u + 1]++;
-    if (u != v) g.offsets_[v + 1]++;
+    offsets[u + 1]++;
+    if (u != v) offsets[v + 1]++;
   }
-  for (NodeId i = 0; i < num_nodes_; ++i) g.offsets_[i + 1] += g.offsets_[i];
+  for (NodeId i = 0; i < num_nodes_; ++i) offsets[i + 1] += offsets[i];
 
-  g.adjacency_.resize(g.offsets_[num_nodes_]);
-  std::vector<uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  std::vector<NodeId> adjacency(offsets[num_nodes_]);
+  std::vector<uint64_t> cursor(offsets.begin(), offsets.end() - 1);
   for (const auto& [u, v] : edges_) {
-    g.adjacency_[cursor[u]++] = v;
-    if (u != v) g.adjacency_[cursor[v]++] = u;
+    adjacency[cursor[u]++] = v;
+    if (u != v) adjacency[cursor[v]++] = u;
   }
+
+  Graph g;
+  g.num_nodes_ = num_nodes_;
+  g.num_edges_ = edges_.size();
+  g.offsets_ = storage::Array<uint64_t>(std::move(offsets));
+  g.adjacency_ = storage::Array<NodeId>(std::move(adjacency));
+
   // Edges were emitted in sorted (u,v) order, so each neighbor list is
   // already ascending; verify in debug builds.
 #ifndef NDEBUG

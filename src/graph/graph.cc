@@ -7,6 +7,86 @@
 
 namespace wnw {
 
+Result<Graph> Graph::FromCsr(storage::Array<uint64_t> offsets,
+                             storage::Array<NodeId> adjacency) {
+  if (offsets.empty()) {
+    if (!adjacency.empty()) {
+      return Status::InvalidArgument(
+          "CSR has adjacency entries but no offsets");
+    }
+    return Graph();
+  }
+  if (offsets[0] != 0) {
+    return Status::InvalidArgument("CSR offsets must start at 0");
+  }
+  const uint64_t n64 = offsets.size() - 1;
+  if (n64 > static_cast<uint64_t>(kInvalidNode)) {
+    return Status::InvalidArgument("CSR node count exceeds the NodeId range");
+  }
+  if (offsets.back() != adjacency.size()) {
+    return Status::InvalidArgument(
+        "CSR offsets end at " + std::to_string(offsets.back()) +
+        " but the adjacency array holds " + std::to_string(adjacency.size()) +
+        " entries");
+  }
+  const NodeId n = static_cast<NodeId>(n64);
+
+  // Validate the ENTIRE offsets array before dereferencing adjacency
+  // through it: a single descending pair elsewhere can put an earlier
+  // node's [offsets[u], offsets[u+1]) range far past the adjacency array,
+  // and reading it first would be the crash this function exists to
+  // prevent. Ascending offsets ending at adjacency.size() bound every
+  // range.
+  for (NodeId u = 0; u < n; ++u) {
+    if (offsets[u] > offsets[u + 1]) {
+      return Status::InvalidArgument("CSR offsets are not ascending at node " +
+                                     std::to_string(u));
+    }
+  }
+
+  // Second scan recomputes everything a builder would have known: degree
+  // extremes and the undirected edge count (each edge contributes two
+  // endpoints, a self-loop one).
+  uint32_t max_deg = 0;
+  uint32_t min_deg = n > 0 ? UINT32_MAX : 0;
+  uint64_t self_loops = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    const uint64_t degree = offsets[u + 1] - offsets[u];
+    if (degree > n) {
+      return Status::InvalidArgument("node " + std::to_string(u) +
+                                     " has impossible degree " +
+                                     std::to_string(degree));
+    }
+    NodeId prev = kInvalidNode;
+    for (uint64_t i = offsets[u]; i < offsets[u + 1]; ++i) {
+      const NodeId v = adjacency[i];
+      if (v >= n) {
+        return Status::InvalidArgument(
+            "neighbor id " + std::to_string(v) + " of node " +
+            std::to_string(u) + " is outside the graph");
+      }
+      if (prev != kInvalidNode && v <= prev) {
+        return Status::InvalidArgument("neighbor list of node " +
+                                       std::to_string(u) +
+                                       " is not strictly ascending");
+      }
+      prev = v;
+      if (v == u) ++self_loops;
+    }
+    max_deg = std::max(max_deg, static_cast<uint32_t>(degree));
+    min_deg = std::min(min_deg, static_cast<uint32_t>(degree));
+  }
+
+  Graph g;
+  g.num_nodes_ = n;
+  g.num_edges_ = (adjacency.size() + self_loops) / 2;
+  g.max_degree_ = max_deg;
+  g.min_degree_ = min_deg;
+  g.offsets_ = std::move(offsets);
+  g.adjacency_ = std::move(adjacency);
+  return g;
+}
+
 bool Graph::HasEdge(NodeId u, NodeId v) const {
   WNW_DCHECK(u < num_nodes_ && v < num_nodes_);
   const auto nbrs = Neighbors(u);

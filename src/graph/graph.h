@@ -4,12 +4,23 @@
 // exposes only through access/AccessInterface's local-neighborhood queries
 // (paper §2.1). Samplers never touch Graph directly; analysis tooling
 // (spectral gap, exact distributions, ground-truth aggregates) does.
+//
+// The CSR arrays are storage::Array views: heap-owned when built in process
+// (GraphBuilder — identical values and access cost to the old vectors) or
+// windows into an mmap'd snapshot file (storage/snapshot.h), in which case
+// the Graph keeps the mapping alive: loading streams the file once to
+// validate it but allocates no heap for the CSR, and pages stay evictable,
+// so resident memory stays O(1) even for graphs larger than RAM. Copies
+// are cheap and share the (immutable) storage either way.
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
+
+#include "storage/buffer.h"
+#include "util/status.h"
 
 namespace wnw {
 
@@ -22,6 +33,15 @@ inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
 class Graph {
  public:
   Graph() = default;
+
+  /// Wraps existing CSR arrays (heap- or mmap-backed) after validating the
+  /// shape a GraphBuilder would have produced: offsets ascending with
+  /// offsets[0] == 0 and offsets.back() == adjacency.size(), every neighbor
+  /// id in range, every neighbor list strictly ascending. Degree stats and
+  /// the edge count are recomputed from the arrays, so a Graph can never
+  /// disagree with its storage. Empty arrays make the empty graph.
+  static Result<Graph> FromCsr(storage::Array<uint64_t> offsets,
+                               storage::Array<NodeId> adjacency);
 
   NodeId num_nodes() const { return num_nodes_; }
 
@@ -52,6 +72,15 @@ class Graph {
   /// bound of triangle counting.
   uint64_t degree_square_sum() const;
 
+  /// Raw CSR arrays — what the snapshot writer serializes and analysis
+  /// tooling scans. offsets() has num_nodes + 1 entries (empty only for a
+  /// default-constructed graph).
+  std::span<const uint64_t> offsets() const { return offsets_.span(); }
+  std::span<const NodeId> adjacency() const { return adjacency_.span(); }
+
+  /// True when the CSR arrays view an mmap'd snapshot file.
+  bool storage_mapped() const { return adjacency_.mapped(); }
+
   std::string DebugString() const;
 
  private:
@@ -61,8 +90,8 @@ class Graph {
   uint64_t num_edges_ = 0;
   uint32_t max_degree_ = 0;
   uint32_t min_degree_ = 0;
-  std::vector<uint64_t> offsets_;   // size num_nodes_ + 1
-  std::vector<NodeId> adjacency_;   // size = sum of degrees
+  storage::Array<uint64_t> offsets_;  // size num_nodes_ + 1
+  storage::Array<NodeId> adjacency_;  // size = sum of degrees
 };
 
 }  // namespace wnw

@@ -2,6 +2,7 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <fstream>
 #include <unordered_map>
 
 #include "graph/builder.h"
@@ -10,22 +11,27 @@
 namespace wnw {
 
 Result<LoadedGraph> LoadEdgeList(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "r");
-  if (f == nullptr) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
     return Status::IOError(StrFormat("cannot open %s", path.c_str()));
   }
   std::unordered_map<uint64_t, NodeId> remap;
   std::vector<uint64_t> original;
-  std::vector<std::pair<NodeId, NodeId>> edges;
+  // Stream each parsed edge straight into the builder — no intermediate
+  // edge vector, so peak memory is one copy of the edge list, and lines of
+  // any length parse whole (the old fixed 256-byte buffer silently split
+  // long lines into separate — and separately parsed — chunks).
+  GraphBuilder builder(0);
   auto intern = [&](uint64_t raw) -> NodeId {
-    auto [it, inserted] = remap.try_emplace(raw, static_cast<NodeId>(original.size()));
+    auto [it, inserted] =
+        remap.try_emplace(raw, static_cast<NodeId>(original.size()));
     if (inserted) original.push_back(raw);
     return it->second;
   };
 
-  char line[256];
+  std::string line;
   int lineno = 0;
-  while (std::fgets(line, sizeof(line), f) != nullptr) {
+  while (std::getline(in, line)) {
     ++lineno;
     const std::string_view trimmed = TrimString(line);
     if (trimmed.empty() || trimmed.front() == '#') continue;
@@ -33,22 +39,36 @@ Result<LoadedGraph> LoadEdgeList(const std::string& path) {
     uint64_t a = 0, b = 0;
     if (parts.size() < 2 || !ParseUint64(parts[0], &a) ||
         !ParseUint64(parts[1], &b)) {
-      std::fclose(f);
-      return Status::IOError(
-          StrFormat("%s:%d: malformed edge line", path.c_str(), lineno));
+      // The offending line (clipped) rides along: "line 123" alone is not
+      // actionable on a machine-generated multi-gigabyte file.
+      const std::string_view clipped = trimmed.substr(0, 40);
+      return Status::IOError(StrFormat(
+          "%s:%d: malformed edge line \"%.*s%s\" (expected \"u v\")",
+          path.c_str(), lineno, static_cast<int>(clipped.size()),
+          clipped.data(), clipped.size() < trimmed.size() ? "…" : ""));
+    }
+    if (original.size() >= static_cast<size_t>(kInvalidNode) - 2) {
+      return Status::IOError(StrFormat(
+          "%s:%d: more than %u distinct nodes — beyond the NodeId range",
+          path.c_str(), lineno, kInvalidNode - 2));
     }
     // Sequence the interning: argument evaluation order is unspecified, and
     // first-seen-first-id keeps loads deterministic.
     const NodeId ua = intern(a);
     const NodeId ub = intern(b);
-    edges.emplace_back(ua, ub);
+    builder.EnsureNode(ua < ub ? ub : ua);
+    const Status added = builder.AddEdge(ua, ub);
+    if (!added.ok()) {
+      return Status::IOError(StrFormat("%s:%d: %s", path.c_str(), lineno,
+                                       added.message().c_str()));
+    }
   }
-  std::fclose(f);
+  if (in.bad()) {
+    return Status::IOError(StrFormat("%s:%d: read error mid-file",
+                                     path.c_str(), lineno));
+  }
+  in.close();
 
-  GraphBuilder builder(static_cast<NodeId>(original.size()));
-  for (const auto& [u, v] : edges) {
-    WNW_RETURN_IF_ERROR(builder.AddEdge(u, v));
-  }
   LoadedGraph out{Graph{}, std::move(original)};
   WNW_ASSIGN_OR_RETURN(out.graph, std::move(builder).Build());
   return out;

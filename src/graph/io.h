@@ -17,7 +17,10 @@ struct LoadedGraph {
 };
 
 /// Loads an undirected graph from a SNAP-style edge list. Duplicate edges,
-/// self-loops, and both orientations of the same edge are tolerated.
+/// self-loops, and both orientations of the same edge are tolerated. The
+/// file is streamed line by line (lines of any length) straight into the
+/// graph builder; malformed input fails with the offending line number and
+/// a clip of the line itself.
 Result<LoadedGraph> LoadEdgeList(const std::string& path);
 
 /// Writes the graph as a SNAP-style edge list (each edge once, "u v").

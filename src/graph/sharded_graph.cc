@@ -99,28 +99,103 @@ Result<ShardedGraph> ShardedGraph::FromGraph(const Graph& graph,
   sharded.local_index_.assign(graph.num_nodes(), 0);
   sharded.shards_.resize(static_cast<size_t>(num_shards));
 
-  // Size each shard, then pack: owned ids stay ascending because nodes are
-  // visited in global id order.
+  // Size each shard, then pack into heap vectors the shard's storage
+  // arrays adopt: owned ids stay ascending because nodes are visited in
+  // global id order.
+  std::vector<std::vector<NodeId>> owned(static_cast<size_t>(num_shards));
   for (NodeId u = 0; u < graph.num_nodes(); ++u) {
-    Shard& shard = sharded.shards_[sharded.shard_of_[u]];
-    sharded.local_index_[u] = static_cast<uint32_t>(shard.owned.size());
-    shard.owned.push_back(u);
+    std::vector<NodeId>& mine = owned[sharded.shard_of_[u]];
+    sharded.local_index_[u] = static_cast<uint32_t>(mine.size());
+    mine.push_back(u);
   }
-  for (Shard& shard : sharded.shards_) {
-    shard.offsets.reserve(shard.owned.size() + 1);
-    shard.offsets.push_back(0);
+  for (size_t s = 0; s < sharded.shards_.size(); ++s) {
+    Shard& shard = sharded.shards_[s];
+    std::vector<uint64_t> offsets;
+    offsets.reserve(owned[s].size() + 1);
+    offsets.push_back(0);
     uint64_t endpoints = 0;
-    for (NodeId u : shard.owned) {
+    for (NodeId u : owned[s]) {
       endpoints += graph.Degree(u);
-      shard.offsets.push_back(endpoints);
+      offsets.push_back(endpoints);
       shard.max_degree = std::max(shard.max_degree, graph.Degree(u));
     }
-    shard.adjacency.reserve(endpoints);
-    for (NodeId u : shard.owned) {
+    std::vector<NodeId> adjacency;
+    adjacency.reserve(endpoints);
+    for (NodeId u : owned[s]) {
       const auto nbrs = graph.Neighbors(u);
-      shard.adjacency.insert(shard.adjacency.end(), nbrs.begin(), nbrs.end());
+      adjacency.insert(adjacency.end(), nbrs.begin(), nbrs.end());
+    }
+    shard.owned = storage::Array<NodeId>(std::move(owned[s]));
+    shard.offsets = storage::Array<uint64_t>(std::move(offsets));
+    shard.adjacency = storage::Array<NodeId>(std::move(adjacency));
+  }
+  return sharded;
+}
+
+Result<ShardedGraph> ShardedGraph::FromParts(ShardPartition partition,
+                                             std::vector<Shard> shards,
+                                             NodeId num_nodes,
+                                             uint64_t num_edges) {
+  if (shards.empty() || shards.size() > static_cast<size_t>(kMaxShards)) {
+    return Status::InvalidArgument(
+        "shard count " + std::to_string(shards.size()) + " outside [1, " +
+        std::to_string(kMaxShards) + "]");
+  }
+  ShardedGraph sharded;
+  sharded.partition_ = partition;
+  sharded.num_nodes_ = num_nodes;
+  sharded.num_edges_ = num_edges;
+  sharded.shard_of_.assign(num_nodes, UINT32_MAX);
+  sharded.local_index_.assign(num_nodes, 0);
+
+  for (size_t s = 0; s < shards.size(); ++s) {
+    Shard& shard = shards[s];
+    if (shard.offsets.size() != shard.owned.size() + 1 ||
+        shard.offsets[0] != 0 ||
+        shard.offsets.back() != shard.adjacency.size()) {
+      return Status::InvalidArgument("shard " + std::to_string(s) +
+                                     " has an incoherent CSR shape");
+    }
+    shard.max_degree = 0;
+    NodeId prev = kInvalidNode;
+    for (size_t local = 0; local < shard.owned.size(); ++local) {
+      const NodeId u = shard.owned[local];
+      if (u >= num_nodes || (prev != kInvalidNode && u <= prev)) {
+        return Status::InvalidArgument(
+            "shard " + std::to_string(s) +
+            " owned ids are not ascending in-range node ids");
+      }
+      prev = u;
+      if (sharded.shard_of_[u] != UINT32_MAX) {
+        return Status::InvalidArgument("node " + std::to_string(u) +
+                                       " is owned by two shards");
+      }
+      if (shard.offsets[local] > shard.offsets[local + 1]) {
+        return Status::InvalidArgument("shard " + std::to_string(s) +
+                                       " offsets are not ascending");
+      }
+      const uint64_t degree = shard.offsets[local + 1] - shard.offsets[local];
+      shard.max_degree =
+          std::max(shard.max_degree, static_cast<uint32_t>(
+                                         std::min<uint64_t>(degree, UINT32_MAX)));
+      sharded.shard_of_[u] = static_cast<uint32_t>(s);
+      sharded.local_index_[u] = static_cast<uint32_t>(local);
+    }
+    for (NodeId v : shard.adjacency) {
+      if (v >= num_nodes) {
+        return Status::InvalidArgument(
+            "shard " + std::to_string(s) + " references neighbor id " +
+            std::to_string(v) + " outside the graph");
+      }
     }
   }
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    if (sharded.shard_of_[u] == UINT32_MAX) {
+      return Status::InvalidArgument("node " + std::to_string(u) +
+                                     " is owned by no shard");
+    }
+  }
+  sharded.shards_ = std::move(shards);
   return sharded;
 }
 

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "storage/buffer.h"
 #include "util/status.h"
 
 namespace wnw {
@@ -52,11 +53,14 @@ Result<ShardPartition> ParseShardPartition(std::string_view key);
 class ShardedGraph {
  public:
   /// One vertex shard: the owned global node ids (ascending) and their
-  /// neighbor lists packed in CSR form. Neighbor ids are global.
+  /// neighbor lists packed in CSR form. Neighbor ids are global. The arrays
+  /// are storage views — heap-built by FromGraph, or windows into a
+  /// snapshot file's per-shard sections (storage/snapshot.h), so a sharded
+  /// origin can serve each shard straight from disk.
   struct Shard {
-    std::vector<NodeId> owned;      // global ids, ascending
-    std::vector<uint64_t> offsets;  // size owned.size() + 1
-    std::vector<NodeId> adjacency;  // concatenated neighbor lists
+    storage::Array<NodeId> owned;      // global ids, ascending
+    storage::Array<uint64_t> offsets;  // size owned.size() + 1
+    storage::Array<NodeId> adjacency;  // concatenated neighbor lists
 
     size_t num_nodes() const { return owned.size(); }
 
@@ -80,6 +84,15 @@ class ShardedGraph {
   static Result<ShardedGraph> FromGraph(const Graph& graph, int num_shards,
                                         ShardPartition partition =
                                             ShardPartition::kModulo);
+
+  /// Wraps prebuilt shards (the snapshot loader's path): validates that the
+  /// shards' shapes are coherent and their owned sets are a disjoint cover
+  /// of [0, num_nodes) with ascending ids and in-range global neighbors,
+  /// then rebuilds the O(1) routing tables and per-shard degree stats.
+  /// InvalidArgument on any violation — corrupt files never crash.
+  static Result<ShardedGraph> FromParts(ShardPartition partition,
+                                        std::vector<Shard> shards,
+                                        NodeId num_nodes, uint64_t num_edges);
 
   /// Reassembles the flat CSR Graph. FromGraph -> Flatten is the identity on
   /// the adjacency structure (same nodes, same sorted neighbor lists).

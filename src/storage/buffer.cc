@@ -1,0 +1,111 @@
+#include "storage/buffer.h"
+
+#include <cerrno>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define WNW_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define WNW_HAVE_MMAP 0
+#include <cstdio>
+#endif
+
+namespace wnw::storage {
+
+namespace {
+
+Status ErrnoError(const std::string& verb, const std::string& path) {
+  const int err = errno;
+  if (err == ENOENT) {
+    return Status::NotFound("no such file: " + path);
+  }
+  return Status::IOError("cannot " + verb + " " + path + ": " +
+                         std::strerror(err));
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const MappedFile>> MappedFile::Open(
+    const std::string& path) {
+  auto file = std::shared_ptr<MappedFile>(new MappedFile());
+  file->path_ = path;
+#if WNW_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return ErrnoError("open", path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const Status status = ErrnoError("stat", path);
+    ::close(fd);
+    return status;
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  if (size > 0) {
+    void* mapped = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (mapped == MAP_FAILED) {
+      const Status status = ErrnoError("mmap", path);
+      ::close(fd);
+      return status;
+    }
+    file->data_ = static_cast<const std::byte*>(mapped);
+    file->size_ = size;
+    file->mmap_backed_ = true;
+  }
+  // The mapping outlives the descriptor.
+  ::close(fd);
+#else
+  // Heap fallback for platforms without mmap: same interface, eager read.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return ErrnoError("open", path);
+  std::fseek(f, 0, SEEK_END);
+  const long end = std::ftell(f);
+  if (end < 0) {
+    std::fclose(f);
+    return Status::IOError("cannot size " + path);
+  }
+  std::fseek(f, 0, SEEK_SET);
+  file->fallback_.resize(static_cast<size_t>(end));
+  if (!file->fallback_.empty() &&
+      std::fread(file->fallback_.data(), 1, file->fallback_.size(), f) !=
+          file->fallback_.size()) {
+    std::fclose(f);
+    return Status::IOError("short read on " + path);
+  }
+  std::fclose(f);
+  file->data_ = file->fallback_.data();
+  file->size_ = file->fallback_.size();
+#endif
+  return std::shared_ptr<const MappedFile>(std::move(file));
+}
+
+MappedFile::~MappedFile() {
+#if WNW_HAVE_MMAP
+  if (mmap_backed_ && data_ != nullptr) {
+    ::munmap(const_cast<std::byte*>(data_), size_);
+  }
+#endif
+}
+
+Result<Buffer> Buffer::Map(std::shared_ptr<const MappedFile> file,
+                           uint64_t offset, uint64_t length) {
+  if (file == nullptr) {
+    return Status::InvalidArgument("Buffer::Map on a null file");
+  }
+  if (offset > file->size() || length > file->size() - offset) {
+    return Status::OutOfRange(
+        "section [" + std::to_string(offset) + ", " +
+        std::to_string(offset + length) + ") exceeds " + file->path() +
+        " (" + std::to_string(file->size()) + " bytes) — truncated file?");
+  }
+  Buffer buffer;
+  buffer.data_ = file->data() + offset;
+  buffer.size_ = static_cast<size_t>(length);
+  buffer.mapped_ = true;
+  buffer.keepalive_ = std::move(file);
+  return buffer;
+}
+
+}  // namespace wnw::storage

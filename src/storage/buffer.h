@@ -1,0 +1,168 @@
+// The storage substrate under Graph/ShardedGraph: immutable byte regions
+// that are either heap-owned (today's in-process path — zero behavior
+// change) or views into an mmap'd snapshot file, so a CSR larger than RAM
+// opens in O(1) and pages in on demand.
+//
+//   MappedFile — RAII over open+mmap of a whole file. Shared: every Buffer
+//                carved out of the file keeps it alive, so view lifetime is
+//                never the caller's problem.
+//   Buffer     — one immutable byte region, heap-owned or mapped. Copies are
+//                cheap and share the underlying storage.
+//   Array<T>   — the typed view the graph layer actually uses: span-like
+//                access over a Buffer holding a packed array of trivially
+//                copyable T (alignment and size divisibility validated when
+//                the bytes come from a file).
+//
+// Nothing here knows about the snapshot *format*; that lives in
+// storage/snapshot.h.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "util/status.h"
+
+namespace wnw::storage {
+
+/// A whole file mapped read-only into the address space (PROT_READ,
+/// MAP_PRIVATE). On platforms without mmap the contents are read into heap
+/// memory instead — same interface, same lifetime rules. Thread-safe after
+/// construction (the region is immutable).
+class MappedFile {
+ public:
+  /// Maps `path`. A missing file is NotFound (callers use this to tell
+  /// "cold start" from "broken file"); other failures are IOError. An empty
+  /// file maps to an empty region.
+  static Result<std::shared_ptr<const MappedFile>> Open(
+      const std::string& path);
+
+  ~MappedFile();
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const std::byte* data() const { return data_; }
+  size_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+  /// True when the region really is an mmap (false on the heap fallback).
+  bool mmap_backed() const { return mmap_backed_; }
+
+ private:
+  MappedFile() = default;
+
+  std::string path_;
+  const std::byte* data_ = nullptr;
+  size_t size_ = 0;
+  bool mmap_backed_ = false;
+  std::vector<std::byte> fallback_;  // backs data_ when !mmap_backed_
+};
+
+/// One immutable byte region: heap-owned, or a bounds-checked window into a
+/// MappedFile. Default-constructed Buffers are empty. Copies share storage.
+class Buffer {
+ public:
+  Buffer() = default;
+
+  /// Heap-owned region adopting `values` (no copy) — the in-process path.
+  template <typename T>
+  static Buffer Own(std::vector<T> values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    auto owner = std::make_shared<const std::vector<T>>(std::move(values));
+    Buffer buffer;
+    buffer.data_ = reinterpret_cast<const std::byte*>(owner->data());
+    buffer.size_ = owner->size() * sizeof(T);
+    buffer.keepalive_ = std::move(owner);
+    return buffer;
+  }
+
+  /// The window [offset, offset + length) of `file`, which stays alive as
+  /// long as any Buffer views it. OutOfRange when the window exceeds the
+  /// file.
+  static Result<Buffer> Map(std::shared_ptr<const MappedFile> file,
+                            uint64_t offset, uint64_t length);
+
+  const std::byte* data() const { return data_; }
+  size_t size() const { return size_; }
+  std::span<const std::byte> bytes() const { return {data_, size_}; }
+
+  /// True when this region views an mmap'd file.
+  bool mapped() const { return mapped_; }
+
+ private:
+  std::shared_ptr<const void> keepalive_;
+  const std::byte* data_ = nullptr;
+  size_t size_ = 0;
+  bool mapped_ = false;
+};
+
+/// An immutable packed array of T over a Buffer. The graph layer's CSR
+/// arrays are Arrays, so "heap CSR" and "mmap'd snapshot CSR" are the same
+/// type with the same access cost (one data-pointer load, like
+/// std::vector). Copies are cheap and share storage.
+template <typename T>
+class Array {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "storage::Array elements must be trivially copyable");
+
+ public:
+  Array() = default;
+
+  /// Heap-owned array adopting `values` (no copy).
+  explicit Array(std::vector<T> values) {
+    const size_t count = values.size();
+    buffer_ = Buffer::Own(std::move(values));
+    data_ = reinterpret_cast<const T*>(buffer_.data());
+    size_ = count;
+  }
+
+  /// Types a raw Buffer (usually a mapped file section). InvalidArgument
+  /// when the byte length is not a multiple of sizeof(T) or the region is
+  /// misaligned for T — both symptoms of a corrupt or mislabeled section.
+  static Result<Array> FromBuffer(Buffer buffer) {
+    if (buffer.size() % sizeof(T) != 0) {
+      return Status::InvalidArgument(
+          "buffer of " + std::to_string(buffer.size()) +
+          " bytes does not hold whole elements of size " +
+          std::to_string(sizeof(T)));
+    }
+    if (reinterpret_cast<uintptr_t>(buffer.data()) % alignof(T) != 0) {
+      return Status::InvalidArgument("buffer is misaligned for element size " +
+                                     std::to_string(sizeof(T)));
+    }
+    Array array;
+    array.data_ = reinterpret_cast<const T*>(buffer.data());
+    array.size_ = buffer.size() / sizeof(T);
+    array.buffer_ = std::move(buffer);
+    return array;
+  }
+
+  const T* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+  const T& back() const { return data_[size_ - 1]; }
+
+  std::span<const T> span() const { return {data_, size_}; }
+  // NOLINTNEXTLINE(google-explicit-constructor): Arrays read as spans.
+  operator std::span<const T>() const { return span(); }
+
+  /// True when the elements live in an mmap'd file.
+  bool mapped() const { return buffer_.mapped(); }
+
+  /// The underlying bytes (what the snapshot writer serializes).
+  std::span<const std::byte> bytes() const { return buffer_.bytes(); }
+
+ private:
+  Buffer buffer_;
+  const T* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace wnw::storage

@@ -1,0 +1,402 @@
+#include "storage/snapshot.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace wnw::storage {
+
+namespace {
+
+constexpr char kMagic[8] = {'W', 'N', 'W', 'S', 'N', 'A', 'P', '1'};
+constexpr uint32_t kEndianMark = 0x01020304;
+
+struct FileHeader {
+  char magic[8];
+  uint32_t endian;
+  uint32_t version;
+  uint32_t file_kind;
+  uint32_t section_count;
+  uint64_t file_size;
+  uint64_t checksum;  // FNV-1a64 over bytes [sizeof(FileHeader), file_size)
+};
+static_assert(sizeof(FileHeader) == 40, "header must pack without padding");
+
+struct SectionEntry {
+  uint32_t kind;
+  uint32_t index;
+  uint64_t offset;
+  uint64_t length;
+};
+static_assert(sizeof(SectionEntry) == 24, "entry must pack without padding");
+
+static_assert(sizeof(GraphMetaSection) == 24);
+static_assert(sizeof(ShardMetaSection) == 8);
+static_assert(sizeof(CacheMetaSection) == 24);
+
+constexpr uint64_t Align8(uint64_t x) { return (x + 7) & ~uint64_t{7}; }
+
+std::string_view FileKindName(uint32_t kind) {
+  switch (static_cast<FileKind>(kind)) {
+    case FileKind::kGraphSnapshot:
+      return "graph snapshot";
+    case FileKind::kQueryCache:
+      return "query cache";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+void SnapshotWriter::AddSection(SectionKind kind, uint32_t index,
+                                std::span<const std::byte> bytes) {
+  sections_.push_back(
+      Pending{static_cast<uint32_t>(kind), index, bytes});
+}
+
+Status SnapshotWriter::Write(FileKind file_kind,
+                             const std::string& path) const {
+  // Fixed layout first: header, section table, then 8-byte-aligned
+  // sections. 40 + 24k is always 8-aligned, so the first section is too.
+  std::vector<SectionEntry> table(sections_.size());
+  uint64_t cursor =
+      sizeof(FileHeader) + sections_.size() * sizeof(SectionEntry);
+  for (size_t i = 0; i < sections_.size(); ++i) {
+    table[i] = SectionEntry{sections_[i].kind, sections_[i].index, cursor,
+                            sections_[i].bytes.size()};
+    cursor = Align8(cursor + sections_[i].bytes.size());
+  }
+
+  FileHeader header{};
+  std::memcpy(header.magic, kMagic, sizeof(kMagic));
+  header.endian = kEndianMark;
+  header.version = kFormatVersion;
+  header.file_kind = static_cast<uint32_t>(file_kind);
+  header.section_count = static_cast<uint32_t>(sections_.size());
+  header.file_size = cursor;
+
+  // The checksum covers everything after the header: the section table and
+  // the padded section stream, exactly as written.
+  const std::byte zeros[8] = {};
+  Fnv64 hash;
+  hash.Update(std::as_bytes(std::span<const SectionEntry>(table)));
+  for (size_t i = 0; i < sections_.size(); ++i) {
+    hash.Update(sections_[i].bytes);
+    const uint64_t pad =
+        Align8(sections_[i].bytes.size()) - sections_[i].bytes.size();
+    hash.Update({zeros, static_cast<size_t>(pad)});
+  }
+  header.checksum = hash.digest();
+
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open " + path + " for writing");
+  }
+  auto write_bytes = [&](std::span<const std::byte> bytes) {
+    return bytes.empty() ||
+           std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  };
+  bool ok = write_bytes({reinterpret_cast<const std::byte*>(&header),
+                         sizeof(header)}) &&
+            write_bytes(std::as_bytes(std::span<const SectionEntry>(table)));
+  for (size_t i = 0; ok && i < sections_.size(); ++i) {
+    const uint64_t pad =
+        Align8(sections_[i].bytes.size()) - sections_[i].bytes.size();
+    ok = write_bytes(sections_[i].bytes) &&
+         write_bytes({zeros, static_cast<size_t>(pad)});
+  }
+  if (std::fclose(f) != 0) ok = false;
+  if (!ok) {
+    std::remove(path.c_str());  // never leave a half-written artifact
+    return Status::IOError("write failed on " + path);
+  }
+  return Status::OK();
+}
+
+Result<SnapshotFile> SnapshotFile::Open(const std::string& path,
+                                        FileKind expected_kind,
+                                        const Options& options) {
+  std::shared_ptr<const MappedFile> file;
+  {
+    auto opened = MappedFile::Open(path);
+    if (!opened.ok()) return opened.status();
+    file = *std::move(opened);
+  }
+  if (file->size() < sizeof(FileHeader)) {
+    return Status::IOError(path + ": too small to be a wnw snapshot (" +
+                           std::to_string(file->size()) + " bytes)");
+  }
+  FileHeader header;
+  std::memcpy(&header, file->data(), sizeof(header));
+  if (std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::IOError(path + ": not a wnw snapshot file (bad magic)");
+  }
+  if (header.endian != kEndianMark) {
+    return Status::IOError(path +
+                           ": written on a platform with different byte "
+                           "order — regenerate the snapshot here");
+  }
+  if (header.version != kFormatVersion) {
+    return Status::IOError(
+        path + ": unsupported snapshot format version " +
+        std::to_string(header.version) + " (this build reads version " +
+        std::to_string(kFormatVersion) + ")");
+  }
+  if (header.file_kind != static_cast<uint32_t>(expected_kind)) {
+    return Status::IOError(
+        path + ": is a " + std::string(FileKindName(header.file_kind)) +
+        " file, expected a " +
+        std::string(FileKindName(static_cast<uint32_t>(expected_kind))));
+  }
+  if (header.file_size != file->size()) {
+    return Status::IOError(path + ": truncated — header declares " +
+                           std::to_string(header.file_size) +
+                           " bytes but the file has " +
+                           std::to_string(file->size()));
+  }
+  const uint64_t table_bytes =
+      static_cast<uint64_t>(header.section_count) * sizeof(SectionEntry);
+  const uint64_t table_end = sizeof(FileHeader) + table_bytes;
+  if (table_end > file->size()) {
+    return Status::IOError(path + ": truncated inside the section table");
+  }
+
+  SnapshotFile snapshot;
+  snapshot.sections_.reserve(header.section_count);
+  for (uint32_t i = 0; i < header.section_count; ++i) {
+    SectionEntry entry;
+    std::memcpy(&entry,
+                file->data() + sizeof(FileHeader) + i * sizeof(SectionEntry),
+                sizeof(entry));
+    if (entry.offset % 8 != 0 || entry.offset < table_end ||
+        entry.offset > file->size() ||
+        entry.length > file->size() - entry.offset) {
+      return Status::IOError(
+          path + ": section " + std::to_string(i) +
+          " points outside the file — corrupt section table");
+    }
+    snapshot.sections_.push_back(
+        Record{entry.kind, entry.index, entry.offset, entry.length});
+  }
+
+  if (options.verify_checksum) {
+    Fnv64 hash;
+    hash.Update({file->data() + sizeof(FileHeader),
+                 file->size() - sizeof(FileHeader)});
+    if (hash.digest() != header.checksum) {
+      return Status::IOError(path + ": checksum mismatch — corrupt file");
+    }
+  }
+  snapshot.file_ = std::move(file);
+  return snapshot;
+}
+
+bool SnapshotFile::Has(SectionKind kind, uint32_t index) const {
+  for (const Record& s : sections_) {
+    if (s.kind == static_cast<uint32_t>(kind) && s.index == index) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Result<Buffer> SnapshotFile::Section(SectionKind kind, uint32_t index) const {
+  for (const Record& s : sections_) {
+    if (s.kind == static_cast<uint32_t>(kind) && s.index == index) {
+      return Buffer::Map(file_, s.offset, s.length);
+    }
+  }
+  return Status::NotFound(file_->path() + ": no section of kind " +
+                          std::to_string(static_cast<uint32_t>(kind)) +
+                          " index " + std::to_string(index));
+}
+
+}  // namespace wnw::storage
+
+namespace wnw {
+
+using storage::SectionKind;
+
+Status WriteGraphSnapshot(const Graph& graph, const std::string& path,
+                          const SnapshotWriteOptions& options) {
+  if (!options.original_ids.empty() &&
+      options.original_ids.size() != graph.num_nodes()) {
+    return Status::InvalidArgument(
+        StrFormat("original-id table has %zu entries for %u nodes",
+                  options.original_ids.size(), graph.num_nodes()));
+  }
+  if (options.sharded != nullptr &&
+      options.sharded->num_nodes() != graph.num_nodes()) {
+    return Status::InvalidArgument(StrFormat(
+        "sharded view has %u nodes but the graph has %u",
+        options.sharded->num_nodes(), graph.num_nodes()));
+  }
+
+  const storage::GraphMetaSection meta{graph.num_nodes(), graph.num_edges(),
+                                       graph.max_degree(),
+                                       graph.min_degree()};
+  storage::SnapshotWriter writer;
+  writer.AddSection(SectionKind::kGraphMeta, 0,
+                    {reinterpret_cast<const std::byte*>(&meta), sizeof(meta)});
+  writer.AddArraySection<uint64_t>(SectionKind::kOffsets, 0, graph.offsets());
+  writer.AddArraySection<NodeId>(SectionKind::kAdjacency, 0,
+                                 graph.adjacency());
+  if (!options.original_ids.empty()) {
+    writer.AddArraySection<uint64_t>(SectionKind::kOriginalIds, 0,
+                                     options.original_ids);
+  }
+  storage::ShardMetaSection shard_meta;
+  if (options.sharded != nullptr) {
+    const ShardedGraph& sharded = *options.sharded;
+    shard_meta.num_shards = static_cast<uint32_t>(sharded.num_shards());
+    shard_meta.partition = static_cast<uint32_t>(sharded.partition());
+    writer.AddSection(SectionKind::kShardMeta, 0,
+                      {reinterpret_cast<const std::byte*>(&shard_meta),
+                       sizeof(shard_meta)});
+    for (int s = 0; s < sharded.num_shards(); ++s) {
+      const ShardedGraph::Shard& shard = sharded.shard(s);
+      const uint32_t index = static_cast<uint32_t>(s);
+      writer.AddArraySection<NodeId>(SectionKind::kShardOwned, index,
+                                     shard.owned.span());
+      writer.AddArraySection<uint64_t>(SectionKind::kShardOffsets, index,
+                                       shard.offsets.span());
+      writer.AddArraySection<NodeId>(SectionKind::kShardAdjacency, index,
+                                     shard.adjacency.span());
+    }
+  }
+  return writer.Write(storage::FileKind::kGraphSnapshot, path);
+}
+
+namespace {
+
+// Turns a validation Status into the loader's IOError vocabulary: any shape
+// violation in a checksummed file means the file (or writer) is broken.
+Status CorruptSnapshot(const std::string& path, const Status& why) {
+  return Status::IOError(path + ": invalid snapshot content — " +
+                         why.message());
+}
+
+}  // namespace
+
+Result<LoadedSnapshot> LoadGraphSnapshot(const std::string& path,
+                                         const SnapshotLoadOptions& options) {
+  WNW_ASSIGN_OR_RETURN(
+      storage::SnapshotFile file,
+      storage::SnapshotFile::Open(path, storage::FileKind::kGraphSnapshot,
+                                  {.verify_checksum =
+                                       options.verify_checksum}));
+  WNW_ASSIGN_OR_RETURN(
+      const storage::GraphMetaSection meta,
+      file.MetaSection<storage::GraphMetaSection>(SectionKind::kGraphMeta));
+  WNW_ASSIGN_OR_RETURN(
+      storage::Array<uint64_t> offsets,
+      file.ArraySection<uint64_t>(SectionKind::kOffsets));
+  WNW_ASSIGN_OR_RETURN(storage::Array<NodeId> adjacency,
+                       file.ArraySection<NodeId>(SectionKind::kAdjacency));
+
+  LoadedSnapshot loaded;
+  {
+    auto graph = Graph::FromCsr(std::move(offsets), std::move(adjacency));
+    if (!graph.ok()) return CorruptSnapshot(path, graph.status());
+    loaded.graph = *std::move(graph);
+  }
+  if (loaded.graph.num_nodes() != meta.num_nodes ||
+      loaded.graph.num_edges() != meta.num_edges ||
+      loaded.graph.max_degree() != meta.max_degree ||
+      loaded.graph.min_degree() != meta.min_degree) {
+    return Status::IOError(
+        path + ": snapshot metadata disagrees with its CSR content");
+  }
+
+  if (file.Has(SectionKind::kOriginalIds)) {
+    WNW_ASSIGN_OR_RETURN(
+        storage::Array<uint64_t> originals,
+        file.ArraySection<uint64_t>(SectionKind::kOriginalIds));
+    if (originals.size() != loaded.graph.num_nodes()) {
+      return Status::IOError(path +
+                             ": original-id table length does not match the "
+                             "node count");
+    }
+    loaded.original_id.assign(originals.begin(), originals.end());
+  }
+
+  if (file.Has(SectionKind::kShardMeta)) {
+    WNW_ASSIGN_OR_RETURN(
+        const storage::ShardMetaSection shard_meta,
+        file.MetaSection<storage::ShardMetaSection>(SectionKind::kShardMeta));
+    if (shard_meta.num_shards < 1 ||
+        shard_meta.num_shards >
+            static_cast<uint32_t>(ShardedGraph::kMaxShards) ||
+        shard_meta.partition > 2) {
+      return Status::IOError(path + ": invalid shard metadata");
+    }
+    std::vector<ShardedGraph::Shard> shards(shard_meta.num_shards);
+    for (uint32_t s = 0; s < shard_meta.num_shards; ++s) {
+      WNW_ASSIGN_OR_RETURN(
+          shards[s].owned,
+          file.ArraySection<NodeId>(SectionKind::kShardOwned, s));
+      WNW_ASSIGN_OR_RETURN(
+          shards[s].offsets,
+          file.ArraySection<uint64_t>(SectionKind::kShardOffsets, s));
+      WNW_ASSIGN_OR_RETURN(
+          shards[s].adjacency,
+          file.ArraySection<NodeId>(SectionKind::kShardAdjacency, s));
+    }
+    auto sharded = ShardedGraph::FromParts(
+        static_cast<ShardPartition>(shard_meta.partition), std::move(shards),
+        loaded.graph.num_nodes(), loaded.graph.num_edges());
+    if (!sharded.ok()) return CorruptSnapshot(path, sharded.status());
+    // The flat CSR and the per-shard sections are independent bytes in the
+    // file; nothing so far proves they describe the same graph. Cross-check
+    // every node's routed list against the flat one (O(m), and this load
+    // path scans everything anyway), because a divergent shard would make
+    // sharded and unsharded origins serve different samples — the exact
+    // invariant the backend acceptance tests promise cannot happen.
+    for (NodeId u = 0; u < loaded.graph.num_nodes(); ++u) {
+      const std::span<const NodeId> flat = loaded.graph.Neighbors(u);
+      const std::span<const NodeId> routed = sharded->Neighbors(u);
+      if (flat.size() != routed.size() ||
+          !std::equal(flat.begin(), flat.end(), routed.begin())) {
+        return Status::IOError(
+            path + ": shard sections disagree with the flat CSR at node " +
+            std::to_string(u));
+      }
+    }
+    loaded.sharded =
+        std::make_shared<const ShardedGraph>(*std::move(sharded));
+  }
+  return loaded;
+}
+
+Result<SnapshotInfo> ReadSnapshotInfo(const std::string& path) {
+  WNW_ASSIGN_OR_RETURN(
+      storage::SnapshotFile file,
+      storage::SnapshotFile::Open(path, storage::FileKind::kGraphSnapshot));
+  WNW_ASSIGN_OR_RETURN(
+      const storage::GraphMetaSection meta,
+      file.MetaSection<storage::GraphMetaSection>(SectionKind::kGraphMeta));
+  SnapshotInfo info;
+  info.num_nodes = meta.num_nodes;
+  info.num_edges = meta.num_edges;
+  info.max_degree = meta.max_degree;
+  info.min_degree = meta.min_degree;
+  info.has_original_ids = file.Has(SectionKind::kOriginalIds);
+  info.file_bytes = file.file_bytes();
+  info.sections = file.section_count();
+  if (file.Has(SectionKind::kShardMeta)) {
+    WNW_ASSIGN_OR_RETURN(
+        const storage::ShardMetaSection shard_meta,
+        file.MetaSection<storage::ShardMetaSection>(SectionKind::kShardMeta));
+    info.num_shards = static_cast<int>(shard_meta.num_shards);
+    if (shard_meta.partition <= 2) {
+      info.partition = static_cast<ShardPartition>(shard_meta.partition);
+    }
+  }
+  return info;
+}
+
+}  // namespace wnw

@@ -1,0 +1,255 @@
+// The versioned, checksummed on-disk container behind every wnw persistent
+// artifact, and the graph snapshot format built on it.
+//
+// File layout (all integers little-endian, every section 8-byte aligned):
+//
+//   FileHeader        magic "WNWSNAP1", endian marker, format version,
+//                     file kind (graph snapshot | query cache), section
+//                     count, total file size, FNV-1a64 checksum over every
+//                     byte after the header
+//   SectionEntry[]    (kind, index, byte offset, byte length) per section
+//   sections...       raw little-endian arrays / packed meta structs,
+//                     zero-padded to 8-byte boundaries
+//
+// A graph snapshot holds kGraphMeta + kOffsets + kAdjacency (the flat CSR,
+// always present), optionally kOriginalIds (the input file's node ids, for
+// SNAP edge-list conversions), and optionally kShardMeta plus per-shard
+// kShardOwned/kShardOffsets/kShardAdjacency sections (index = shard), so a
+// sharded origin can serve each shard straight from the file — one snapshot
+// file per deployment, mirroring access/sharded_backend.h.
+//
+// Readers never trust the file: magic/endianness/version/kind are checked
+// first (so "this is a v2 file" beats "checksum mismatch"), the declared
+// size must match the real size (truncation), every section is
+// bounds-checked, the payload checksum must match, and the CSR shape is
+// re-validated on load. Corrupt input is a Status, never a crash.
+//
+// The same container carries the persistent QueryCache
+// (kCacheMeta/kCacheNodes/kCacheOffsets/kCacheValues, written by
+// QueryCache::Save) — see access/query_cache.h.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/sharded_graph.h"
+#include "storage/buffer.h"
+#include "util/status.h"
+
+namespace wnw::storage {
+
+inline constexpr uint32_t kFormatVersion = 1;
+
+enum class FileKind : uint32_t {
+  kGraphSnapshot = 1,
+  kQueryCache = 2,
+};
+
+enum class SectionKind : uint32_t {
+  // Graph snapshot sections.
+  kGraphMeta = 1,       // GraphMetaSection
+  kOffsets = 2,         // uint64_t[num_nodes + 1]
+  kAdjacency = 3,       // NodeId[edge endpoints]
+  kOriginalIds = 4,     // uint64_t[num_nodes] (optional)
+  kShardMeta = 5,       // ShardMetaSection (optional)
+  kShardOwned = 6,      // NodeId[shard nodes], index = shard
+  kShardOffsets = 7,    // uint64_t[shard nodes + 1], index = shard
+  kShardAdjacency = 8,  // NodeId[shard endpoints], index = shard
+  // Persistent query cache sections (access/query_cache.cc).
+  kCacheMeta = 32,     // CacheMetaSection
+  kCacheNodes = 33,    // NodeId[entries], coldest-first
+  kCacheOffsets = 34,  // uint64_t[entries + 1]
+  kCacheValues = 35,   // NodeId[total neighbor ids]
+};
+
+// Packed section payloads (no implicit padding; static_asserted in the .cc).
+struct GraphMetaSection {
+  uint64_t num_nodes = 0;
+  uint64_t num_edges = 0;
+  uint32_t max_degree = 0;
+  uint32_t min_degree = 0;
+};
+
+struct ShardMetaSection {
+  uint32_t num_shards = 0;
+  uint32_t partition = 0;  // ShardPartition
+};
+
+struct CacheMetaSection {
+  uint64_t entries = 0;
+  uint64_t total_values = 0;
+  uint32_t shards_hint = 0;  // the writer's shard count (informational)
+  uint32_t reserved = 0;
+};
+
+/// Accumulates sections and writes one container file. Section byte spans
+/// must stay alive until Write() returns (they usually view live arrays).
+class SnapshotWriter {
+ public:
+  void AddSection(SectionKind kind, uint32_t index,
+                  std::span<const std::byte> bytes);
+
+  /// Convenience for packed arrays and single meta structs.
+  template <typename T>
+  void AddArraySection(SectionKind kind, uint32_t index,
+                       std::span<const T> values) {
+    AddSection(kind, index, std::as_bytes(values));
+  }
+
+  /// Lays out, checksums, and writes the file (atomic enough for our use:
+  /// written to `path` directly; callers wanting atomicity write to a temp
+  /// name and rename). IOError on any write failure.
+  Status Write(FileKind file_kind, const std::string& path) const;
+
+ private:
+  struct Pending {
+    uint32_t kind;
+    uint32_t index;
+    std::span<const std::byte> bytes;
+  };
+  std::vector<Pending> sections_;
+};
+
+/// A validated, mmap-backed read view over a container file. Cheap to copy;
+/// every Buffer handed out keeps the mapping alive.
+class SnapshotFile {
+ public:
+  struct Options {
+    /// Verifying the payload checksum reads the whole file once
+    /// (sequentially; pages stay evictable). Disable only for trusted
+    /// files where first-touch latency matters.
+    bool verify_checksum = true;
+  };
+
+  /// Opens and validates `path`. NotFound for a missing file; IOError with
+  /// a specific message for bad magic, foreign endianness, unsupported
+  /// version, wrong file kind, truncation, malformed section tables, and
+  /// checksum mismatches.
+  static Result<SnapshotFile> Open(const std::string& path,
+                                   FileKind expected_kind,
+                                   const Options& options);
+  static Result<SnapshotFile> Open(const std::string& path,
+                                   FileKind expected_kind) {
+    return Open(path, expected_kind, Options());
+  }
+
+  bool Has(SectionKind kind, uint32_t index = 0) const;
+
+  /// The raw bytes of a section; NotFound when absent.
+  Result<Buffer> Section(SectionKind kind, uint32_t index = 0) const;
+
+  /// Typed array view of a section.
+  template <typename T>
+  Result<Array<T>> ArraySection(SectionKind kind, uint32_t index = 0) const {
+    auto buffer = Section(kind, index);
+    if (!buffer.ok()) return buffer.status();
+    return Array<T>::FromBuffer(*std::move(buffer));
+  }
+
+  /// Copies a packed meta struct out of a section; IOError on size
+  /// mismatch.
+  template <typename T>
+  Result<T> MetaSection(SectionKind kind, uint32_t index = 0) const;
+
+  size_t section_count() const { return sections_.size(); }
+  uint64_t file_bytes() const { return file_->size(); }
+  const std::shared_ptr<const MappedFile>& file() const { return file_; }
+
+ private:
+  struct Record {
+    uint32_t kind;
+    uint32_t index;
+    uint64_t offset;
+    uint64_t length;
+  };
+
+  std::shared_ptr<const MappedFile> file_;
+  std::vector<Record> sections_;
+};
+
+template <typename T>
+Result<T> SnapshotFile::MetaSection(SectionKind kind, uint32_t index) const {
+  static_assert(std::is_trivially_copyable_v<T>);
+  auto buffer = Section(kind, index);
+  if (!buffer.ok()) return buffer.status();
+  if (buffer->size() != sizeof(T)) {
+    return Status::IOError(file_->path() + ": meta section holds " +
+                           std::to_string(buffer->size()) +
+                           " bytes, expected " + std::to_string(sizeof(T)));
+  }
+  T out;
+  std::memcpy(&out, buffer->data(), sizeof(T));
+  return out;
+}
+
+/// Incremental FNV-1a 64 (the container checksum).
+class Fnv64 {
+ public:
+  void Update(std::span<const std::byte> bytes) {
+    for (std::byte b : bytes) {
+      hash_ ^= static_cast<uint64_t>(b);
+      hash_ *= 0x100000001b3ull;
+    }
+  }
+  uint64_t digest() const { return hash_; }
+
+ private:
+  uint64_t hash_ = 0xcbf29ce484222325ull;
+};
+
+}  // namespace wnw::storage
+
+namespace wnw {
+
+/// What to persist beyond the flat CSR.
+struct SnapshotWriteOptions {
+  /// Node ids the graph's dense ids had in the source edge list.
+  std::span<const uint64_t> original_ids = {};
+
+  /// Also writes per-shard CSR sections for this partitioned view of the
+  /// same graph, so a sharded origin can mmap its shards directly. Must be
+  /// a partition of `graph` (same node count).
+  const ShardedGraph* sharded = nullptr;
+};
+
+Status WriteGraphSnapshot(const Graph& graph, const std::string& path,
+                          const SnapshotWriteOptions& options = {});
+
+struct SnapshotLoadOptions {
+  bool verify_checksum = true;
+};
+
+/// A graph loaded from a snapshot: CSR arrays are views into the mapping
+/// (which they keep alive). Loading streams the file once — checksum plus
+/// shape validation — but copies nothing onto the heap; after that, paging
+/// is on demand and resident memory is the kernel's problem, not ours.
+struct LoadedSnapshot {
+  Graph graph;
+  std::vector<uint64_t> original_id;  // empty when the section is absent
+  std::shared_ptr<const ShardedGraph> sharded;  // null when absent
+};
+
+Result<LoadedSnapshot> LoadGraphSnapshot(
+    const std::string& path, const SnapshotLoadOptions& options = {});
+
+/// Validated header/metadata summary (checksum included) for tooling.
+struct SnapshotInfo {
+  uint64_t num_nodes = 0;
+  uint64_t num_edges = 0;
+  uint32_t max_degree = 0;
+  uint32_t min_degree = 0;
+  bool has_original_ids = false;
+  int num_shards = 0;  // 0 = no per-shard sections
+  ShardPartition partition = ShardPartition::kModulo;
+  uint64_t file_bytes = 0;
+  size_t sections = 0;
+};
+
+Result<SnapshotInfo> ReadSnapshotInfo(const std::string& path);
+
+}  // namespace wnw

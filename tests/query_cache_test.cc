@@ -4,7 +4,9 @@
 // in). The sanitizer CI job makes the concurrency tests load-bearing.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -179,6 +181,114 @@ TEST(QueryCacheTest, ConcurrentSessionsShareOneCacheSafely) {
   uint64_t total_cost = 0;
   for (uint64_t c : costs) total_cost += c;
   EXPECT_GE(total_cost, cached);
+}
+
+// --- persistence (Save/Load/AttachFile; format details in storage tests) ----
+
+std::string CacheTempPath(const std::string& name) {
+  return ::testing::TempDir() + "wnw_query_cache_test_" + name;
+}
+
+TEST(QueryCachePersistenceTest, SaveLoadRoundTripsEntries) {
+  QueryCache cache;
+  for (NodeId u = 0; u < 50; ++u) {
+    const std::vector<NodeId> list = {u, u + 1, u + 2};
+    cache.Insert(u, list);
+  }
+  const std::string path = CacheTempPath("roundtrip.wnwcache");
+  ASSERT_TRUE(cache.Save(path).ok());
+
+  QueryCache reloaded(/*num_shards=*/4);  // different shard count is fine
+  ASSERT_TRUE(reloaded.Load(path).ok());
+  EXPECT_EQ(reloaded.size(), 50u);
+  for (NodeId u = 0; u < 50; ++u) {
+    std::vector<NodeId> out;
+    ASSERT_TRUE(reloaded.Lookup(u, &out)) << u;
+    EXPECT_EQ(out, (std::vector<NodeId>{u, u + 1, u + 2}));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(QueryCachePersistenceTest, LruRecencySurvivesTheDisk) {
+  // Single shard so recency is a single total order. Hotness at save time:
+  // 1 (looked up last), then 3, then 2 (coldest).
+  QueryCache cache(/*num_shards=*/1);
+  const std::vector<NodeId> list = {9};
+  cache.Insert(1, list);
+  cache.Insert(2, list);
+  cache.Insert(3, list);
+  std::vector<NodeId> out;
+  ASSERT_TRUE(cache.Lookup(1, &out));
+  const std::string path = CacheTempPath("lru.wnwcache");
+  ASSERT_TRUE(cache.Save(path).ok());
+
+  // Reload into a capacity-3 cache and add one more entry: the eviction
+  // victim must be 2 — the entry that was coldest when the file was saved.
+  QueryCache reloaded(/*num_shards=*/1, /*max_entries=*/3);
+  ASSERT_TRUE(reloaded.Load(path).ok());
+  ASSERT_EQ(reloaded.size(), 3u);
+  reloaded.Insert(4, list);
+  EXPECT_FALSE(reloaded.Contains(2));
+  EXPECT_TRUE(reloaded.Contains(1));
+  EXPECT_TRUE(reloaded.Contains(3));
+  EXPECT_TRUE(reloaded.Contains(4));
+  EXPECT_EQ(reloaded.evictions(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(QueryCachePersistenceTest, LoadMergesFirstWriterWins) {
+  QueryCache a;
+  const std::vector<NodeId> from_a = {1, 2};
+  a.Insert(10, from_a);
+  const std::string path = CacheTempPath("merge.wnwcache");
+  ASSERT_TRUE(a.Save(path).ok());
+
+  QueryCache b;
+  const std::vector<NodeId> from_b = {7, 8};
+  b.Insert(10, from_b);
+  b.Insert(11, from_b);
+  ASSERT_TRUE(b.Load(path).ok());
+  std::vector<NodeId> out;
+  ASSERT_TRUE(b.Lookup(10, &out));
+  EXPECT_EQ(out, from_b);  // the live entry beats the file's
+  EXPECT_EQ(b.size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(QueryCachePersistenceTest, AttachFileColdStartThenPersist) {
+  const std::string path = CacheTempPath("attach.wnwcache");
+  std::remove(path.c_str());
+  {
+    QueryCache cache;
+    ASSERT_TRUE(cache.AttachFile(path).ok());  // missing file = cold start
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_TRUE(cache.has_attached_file());
+    const std::vector<NodeId> list = {5, 6};
+    cache.Insert(3, list);
+    ASSERT_TRUE(cache.Persist().ok());
+    // A second Persist with no changes is a no-op (and still OK).
+    ASSERT_TRUE(cache.Persist().ok());
+  }
+  QueryCache warm;
+  ASSERT_TRUE(warm.AttachFile(path).ok());
+  EXPECT_EQ(warm.size(), 1u);
+  EXPECT_TRUE(warm.Contains(3));
+  std::remove(path.c_str());
+}
+
+TEST(QueryCachePersistenceTest, MissingAndCorruptFilesAreStatuses) {
+  QueryCache cache;
+  EXPECT_EQ(cache.Load(CacheTempPath("never_written.wnwcache")).code(),
+            StatusCode::kNotFound);
+  const std::string path = CacheTempPath("corrupt.wnwcache");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    std::fputs("WNWSNAP1 but then garbage follows here...............", f);
+    std::fclose(f);
+  }
+  EXPECT_EQ(cache.Load(path).code(), StatusCode::kIOError);
+  EXPECT_EQ(cache.size(), 0u);
+  std::remove(path.c_str());
 }
 
 TEST(QueryCacheTest, ConcurrentSessionsViaSessionApi) {

@@ -10,6 +10,7 @@
 //   wnw_sample [--graph FILE | --dataset ba:N,M|gplus|yelp|twitter|small]
 //              [--spec SPEC] [--samples N] [--seed S] [--scale X]
 //              [--diameter-bound D] [--estimate-degree] [--quiet] [--json]
+//              [--cache_file FILE]
 //
 // Examples:
 //   wnw_sample --dataset ba:20000,5 --spec we:mhrw --samples 100
@@ -17,6 +18,13 @@
 //              --samples 50 --estimate-degree
 //   wnw_sample --dataset small --samples 20 --json \
 //              --spec "we:mhrw?backend=latency&mean_ms=50"
+//   wnw_sample --dataset small --samples 20 \
+//              --spec "we:mhrw?snapshot=small.snap"   # mmap'd origin
+//   wnw_sample --dataset small --samples 20 --cache_file warm.wnwcache
+//
+// --cache_file FILE persists the query cache across runs: the file is
+// loaded when it exists (a warm start pays no queries for nodes any earlier
+// run already fetched) and written back before exit.
 //
 // --json replaces the per-line sample output with one JSON object on stdout
 // ({"spec", "samples": [...], "stats": {...}}) for scripting; diagnostics
@@ -44,6 +52,7 @@ struct Args {
   std::string graph_path;
   std::string dataset = "ba:10000,5";
   std::string spec = "we:srw";
+  std::string cache_file;
   uint64_t samples = 100;
   uint64_t seed = 20260611;
   double scale = 0.25;
@@ -59,7 +68,7 @@ void PrintUsage() {
       "usage: wnw_sample [--graph FILE | --dataset SPEC] [--spec SAMPLER]\n"
       "                  [--samples N] [--seed S] [--scale X]\n"
       "                  [--diameter-bound D] [--estimate-degree] [--quiet]\n"
-      "                  [--json]\n"
+      "                  [--json] [--cache_file FILE]\n"
       "dataset SPEC: ba:N,M | gplus | yelp | twitter | small\n"
       "sampler SPEC: <sampler>[:<walk>][?key=value&...], "
       "walk = srw|mhrw|lazy|maxdeg:<bound>\n"
@@ -112,6 +121,10 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       uint64_t d = 0;
       if (v == nullptr || !ParseUint64(v, &d)) return false;
       args->diameter_bound = static_cast<int>(d);
+    } else if (flag == "--cache_file") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->cache_file = v;
     } else if (flag == "--estimate-degree") {
       args->estimate_degree = true;
     } else if (flag == "--quiet") {
@@ -212,6 +225,18 @@ void PrintJson(const SessionStats& stats, const std::vector<NodeId>& samples) {
     std::printf("%s%.6f", i == 0 ? "" : ", ", stats.shard_stall_seconds[i]);
   }
   std::printf("],\n");
+  std::printf("    \"cache_attached\": %s,\n",
+              stats.cache_attached ? "true" : "false");
+  std::printf("    \"cache_hits\": %llu,\n",
+              static_cast<unsigned long long>(stats.cache_hits));
+  std::printf("    \"cache_misses\": %llu,\n",
+              static_cast<unsigned long long>(stats.cache_misses));
+  std::printf("    \"cache_evictions\": %llu,\n",
+              static_cast<unsigned long long>(stats.cache_evictions));
+  std::printf("    \"cache_entries\": %llu,\n",
+              static_cast<unsigned long long>(stats.cache_entries));
+  std::printf("    \"cache_file\": \"%s\",\n",
+              JsonEscape(stats.cache_file).c_str());
   std::printf("    \"last_burn_in\": %d,\n", stats.last_burn_in);
   std::printf("    \"average_burn_in\": %.6f,\n", stats.average_burn_in);
   std::printf("    \"burned_in\": %s,\n", stats.burned_in ? "true" : "false");
@@ -273,6 +298,7 @@ int main(int argc, char** argv) {
 
   SessionOptions session_opts;
   session_opts.seed = args.seed + 2;
+  session_opts.cache_file = args.cache_file;  // "" = no persistent cache
   auto session_result = SamplingSession::Open(&graph, config, session_opts);
   if (!session_result.ok()) {
     std::fprintf(stderr, "error: %s\n",
@@ -296,6 +322,15 @@ int main(int argc, char** argv) {
     if (!args.quiet && !args.json) std::printf("%u\n", s.value());
   }
 
+  // Persist the query cache before reading Stats() so the reported state is
+  // what the next run will load; surface failures loudly (the destructor
+  // would only log them).
+  const Status persisted = session.PersistCache();
+  if (!persisted.ok()) {
+    std::fprintf(stderr, "error: %s\n", persisted.ToString().c_str());
+    return 1;
+  }
+
   const SessionStats stats = session.Stats();
   if (args.json) {
     PrintJson(stats, samples);
@@ -314,6 +349,17 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, " %llu", static_cast<unsigned long long>(f));
     }
     std::fprintf(stderr, "\n");
+  }
+  if (stats.cache_attached) {
+    std::fprintf(stderr,
+                 "query cache: %llu entries  hits %llu  misses %llu  "
+                 "evictions %llu%s%s\n",
+                 static_cast<unsigned long long>(stats.cache_entries),
+                 static_cast<unsigned long long>(stats.cache_hits),
+                 static_cast<unsigned long long>(stats.cache_misses),
+                 static_cast<unsigned long long>(stats.cache_evictions),
+                 stats.cache_file.empty() ? "" : "  file ",
+                 stats.cache_file.c_str());
   }
   if (stats.candidates_tried > 0) {
     std::fprintf(stderr, "acceptance rate: %.3f (%llu candidates)\n",
