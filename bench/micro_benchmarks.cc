@@ -10,7 +10,10 @@
 #include <string>
 
 #include "access/access_interface.h"
+#include "access/remote_backend.h"
 #include "access/sharded_backend.h"
+#include "net/server.h"
+#include "net/wire.h"
 #include "storage/snapshot.h"
 #include "util/check.h"
 #include "core/backward_estimator.h"
@@ -177,6 +180,81 @@ void BM_BackendFetchCopyOut(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_BackendFetchCopyOut);
+
+void BM_FrameEncode(benchmark::State& state) {
+  // Wire-protocol encode for a typical FetchNeighbors reply (a BA-graph
+  // neighbor list behind a 24-byte frame header). This plus BM_FrameDecode
+  // bounds the serialization tax a remote fetch pays over the arena fetch.
+  const Graph& g = BenchGraph();
+  const auto neighbors = g.Neighbors(12345);
+  std::vector<std::byte> payload;
+  std::vector<std::byte> wire;
+  uint64_t id = 0;
+  for (auto _ : state) {
+    payload.clear();
+    wire.clear();
+    net::EncodeNeighborsReply(0, 0.0, 0.0, neighbors, &payload);
+    net::EncodeFrame({.opcode = net::Opcode::kFetchNeighbors,
+                      .request_id = ++id,
+                      .payload = payload},
+                     &wire);
+    benchmark::DoNotOptimize(wire.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(wire.size()));
+}
+BENCHMARK(BM_FrameEncode);
+
+void BM_FrameDecode(benchmark::State& state) {
+  const Graph& g = BenchGraph();
+  std::vector<std::byte> payload;
+  std::vector<std::byte> wire;
+  net::EncodeNeighborsReply(0, 0.0, 0.0, g.Neighbors(12345), &payload);
+  net::EncodeFrame({.opcode = net::Opcode::kFetchNeighbors,
+                    .request_id = 7,
+                    .payload = payload},
+                   &wire);
+  for (auto _ : state) {
+    net::DecodedFrame frame;
+    auto consumed = net::DecodeFrame(wire, &frame);
+    auto reply = net::DecodeNeighborsReply(frame.payload);
+    benchmark::DoNotOptimize(*consumed);
+    benchmark::DoNotOptimize(reply->neighbors.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(wire.size()));
+}
+BENCHMARK(BM_FrameDecode);
+
+void BM_RemoteFetch(benchmark::State& state) {
+  // A full remote fetch over loopback — encode, syscall, epoll dispatch,
+  // server-side arena fetch, reply encode, decode — against the in-process
+  // BM_BackendFetchArena baseline. This is the paper's regime: the wire,
+  // not the lookup, dominates per-query cost.
+  static const auto server = [] {
+    auto backend = std::make_shared<InMemoryBackend>(&BenchGraph());
+    net::ServerOptions options;
+    options.threads = 1;
+    return net::WnwServer::Start(backend, options).value();
+  }();
+  static const auto remote = [] {
+    return RemoteBackend::Connect(
+               "127.0.0.1:" + std::to_string(server->port()),
+               {.connections = 1})
+        .value();
+  }();
+  const Graph& g = BenchGraph();
+  NodeId u = 0;
+  for (auto _ : state) {
+    auto reply = remote->FetchNeighbors(u);
+    benchmark::DoNotOptimize(reply->neighbors.data());
+    u = (u + 1) % static_cast<NodeId>(g.num_nodes());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RemoteFetch);
 
 void BM_ShardedBackendFetch(benchmark::State& state) {
   // Routed fetch through the sharded origin (service lock + shard lookup):

@@ -140,6 +140,7 @@ struct BatchReply {
 };
 
 class ShardedBackend;
+class RemoteBackend;
 
 /// The OutOfRange status every origin serves for a node outside its domain.
 Status NodeOutOfRangeError(NodeId u, uint64_t num_nodes);
@@ -158,6 +159,11 @@ class AccessBackend {
   /// telemetry and spec-conflict checks rely on this). nullptr for
   /// unsharded origins.
   virtual const ShardedBackend* AsSharded() const { return nullptr; }
+
+  /// The remote-service client behind this stack, if any — same forwarding
+  /// convention as AsSharded(), so session telemetry (remote RPC/retry/byte
+  /// counters) sees through decorator wrappers. nullptr for local stacks.
+  virtual const RemoteBackend* AsRemote() const { return nullptr; }
 
   /// Composed stack name, e.g. "ratelimit(latency(memory))" or
   /// "sharded[hash:8](latency(memory))".

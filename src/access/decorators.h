@@ -74,6 +74,9 @@ class LatencyBackend final : public AccessBackend {
   const ShardedBackend* AsSharded() const override {
     return inner_->AsSharded();
   }
+  const RemoteBackend* AsRemote() const override {
+    return inner_->AsRemote();
+  }
   Result<FetchReply> FetchNeighbors(NodeId u) override;
   Result<BatchReply> FetchBatch(std::span<const NodeId> nodes) override;
   void ResetSimulation() override;
@@ -112,6 +115,9 @@ class RateLimitBackend final : public AccessBackend {
   const AccessOptions& options() const override { return inner_->options(); }
   const ShardedBackend* AsSharded() const override {
     return inner_->AsSharded();
+  }
+  const RemoteBackend* AsRemote() const override {
+    return inner_->AsRemote();
   }
   Result<FetchReply> FetchNeighbors(NodeId u) override;
   Result<BatchReply> FetchBatch(std::span<const NodeId> nodes) override;
@@ -158,6 +164,12 @@ struct BackendStackOptions {
   /// (access/snapshot_backend.h), which can fail with a Status; the
   /// graph-pointer BuildBackendStack below CHECKs that this is empty.
   std::string snapshot;
+
+  /// Trusted-open fast path: false skips the snapshot's whole-file checksum
+  /// scan and the O(m) shard-vs-flat adjacency cross-check. Only the
+  /// header/section bounds checks remain — for snapshots you just wrote or
+  /// have verified before (?snapshot_verify=off).
+  bool snapshot_verify = true;
 };
 
 std::shared_ptr<AccessBackend> BuildBackendStack(

@@ -1,0 +1,566 @@
+#include "access/remote_backend.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+#include <unordered_map>
+
+#include "net/wire.h"
+#include "util/logging.h"
+
+namespace wnw {
+
+namespace {
+
+using net::DecodedFrame;
+using net::Frame;
+using net::Opcode;
+
+bool TransientCode(StatusCode code) {
+  return code == StatusCode::kUnavailable ||
+         code == StatusCode::kDeadlineExceeded;
+}
+
+Result<std::pair<std::string, uint16_t>> ParseAddress(
+    const std::string& addr) {
+  const size_t colon = addr.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == addr.size()) {
+    return Status::InvalidArgument("remote address '" + addr +
+                                   "' is not host:port");
+  }
+  std::string host = addr.substr(0, colon);
+  if (host == "localhost") host = "127.0.0.1";
+  uint64_t port = 0;
+  for (size_t i = colon + 1; i < addr.size(); ++i) {
+    const char c = addr[i];
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("remote address '" + addr +
+                                     "' has a non-numeric port");
+    }
+    port = port * 10 + static_cast<uint64_t>(c - '0');
+    if (port > 65535) {
+      return Status::InvalidArgument("remote address '" + addr +
+                                     "' port is above 65535");
+    }
+  }
+  return std::make_pair(std::move(host), static_cast<uint16_t>(port));
+}
+
+}  // namespace
+
+/// One synchronous call's rendezvous between the calling thread and the
+/// loop thread. Completion is one-shot: whoever completes first (reply,
+/// deadline timer, connection death, shutdown) wins; later completions are
+/// silently ignored.
+struct RemoteBackend::PendingCall {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  Status status = Status::OK();
+  uint16_t opcode = 0;
+  std::vector<std::byte> payload;
+  uint64_t timer_id = 0;  // loop-thread only
+
+  void Complete(Status status_in, uint16_t opcode_in,
+                std::vector<std::byte> payload_in) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (done) return;
+      done = true;
+      status = std::move(status_in);
+      opcode = opcode_in;
+      payload = std::move(payload_in);
+    }
+    cv.notify_all();
+  }
+
+  Status Wait() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return done; });
+    return status;
+  }
+};
+
+/// One pool connection. `mu` guards every field: calling threads append
+/// request frames and register pending calls, the loop thread reads,
+/// flushes, and completes. The critical sections are buffer appends and map
+/// operations — never a syscall that blocks.
+struct RemoteBackend::Conn {
+  std::mutex connect_mu;  // serializes EnsureConnected per connection
+
+  std::mutex mu;
+  int fd = -1;  // -1 = down
+  std::vector<std::byte> in;
+  std::vector<std::byte> out;
+  size_t out_pos = 0;
+  bool want_write = false;  // loop-thread only (EPOLLOUT interest)
+  std::unordered_map<uint64_t, std::shared_ptr<PendingCall>> pending;
+};
+
+RemoteBackend::RemoteBackend(std::string addr, RemoteBackendOptions options)
+    : addr_(std::move(addr)),
+      name_("remote(" + addr_ + ")"),
+      options_(options) {}
+
+Result<std::shared_ptr<RemoteBackend>> RemoteBackend::Connect(
+    const std::string& addr, RemoteBackendOptions options) {
+  WNW_RETURN_IF_ERROR(ParseAddress(addr).status());
+  if (options.connections < 1 || options.connections > 64) {
+    return Status::InvalidArgument("remote connections must be in [1, 64]");
+  }
+  if (options.deadline_ms <= 0.0 || options.retry_backoff_ms < 0.0 ||
+      options.connect_timeout_ms <= 0.0) {
+    return Status::InvalidArgument(
+        "remote deadline_ms / connect_timeout_ms must be > 0 and "
+        "rpc_backoff_ms >= 0");
+  }
+  if (options.max_retries < 0 || options.max_retries > 100) {
+    return Status::InvalidArgument("remote rpc_retries must be in [0, 100]");
+  }
+  std::shared_ptr<RemoteBackend> backend(new RemoteBackend(addr, options));
+  WNW_ASSIGN_OR_RETURN(backend->loop_, net::EventLoop::Create());
+  for (int i = 0; i < options.connections; ++i) {
+    backend->conns_.push_back(std::make_unique<Conn>());
+  }
+  net::EventLoop* loop = backend->loop_.get();
+  backend->loop_thread_ = std::thread([loop] { loop->Run(); });
+  WNW_RETURN_IF_ERROR(backend->Handshake());
+  return backend;
+}
+
+RemoteBackend::~RemoteBackend() {
+  destroyed_.store(true, std::memory_order_release);
+  if (loop_thread_.joinable()) {
+    // Fail whatever is still in flight, then stop the loop. Sessions own
+    // the backend via shared_ptr, so no *new* call can race destruction.
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+    bool done = false;
+    loop_->Post([&] {
+      for (auto& conn : conns_) {
+        KillConn(conn.get(),
+                 Status::Unavailable("remote backend destroyed"));
+      }
+      {
+        std::lock_guard<std::mutex> lock(done_mu);
+        done = true;
+      }
+      done_cv.notify_all();
+    });
+    {
+      std::unique_lock<std::mutex> lock(done_mu);
+      done_cv.wait(lock, [&] { return done; });
+    }
+    loop_->Stop();
+    loop_thread_.join();
+  }
+}
+
+Status RemoteBackend::Handshake() {
+  std::vector<std::byte> response;
+  WNW_RETURN_IF_ERROR(
+      Call(static_cast<uint16_t>(Opcode::kStats), {}, &response));
+  WNW_ASSIGN_OR_RETURN(const net::StatsReply stats,
+                       net::DecodeStatsReply(response));
+  if (stats.num_nodes == 0) {
+    return Status::InvalidArgument("remote server '" + addr_ +
+                                   "' reports an empty graph");
+  }
+  num_nodes_ = stats.num_nodes;
+  access_.restriction = static_cast<NeighborRestriction>(stats.restriction);
+  access_.max_neighbors = stats.max_neighbors;
+  access_.bidirectional_check = stats.bidirectional != 0;
+  access_.seed = stats.server_seed;
+  origin_shards_ = static_cast<int>(stats.shards);
+  origin_name_ = stats.origin;
+  return Status::OK();
+}
+
+Result<FetchReply> RemoteBackend::FetchNeighbors(NodeId u) {
+  std::vector<std::byte> payload;
+  net::EncodeFetchRequest(u, &payload);
+  std::vector<std::byte> response;
+  WNW_RETURN_IF_ERROR(Call(static_cast<uint16_t>(Opcode::kFetchNeighbors),
+                           std::move(payload), &response));
+  WNW_ASSIGN_OR_RETURN(net::NeighborsReply decoded,
+                       net::DecodeNeighborsReply(response));
+  FetchReply reply;
+  reply.SetOwned(std::move(decoded.neighbors));
+  reply.simulated_seconds = decoded.simulated_seconds;
+  reply.serial_seconds = decoded.serial_seconds;
+  reply.shard = decoded.shard;
+  return reply;
+}
+
+Result<BatchReply> RemoteBackend::FetchBatch(std::span<const NodeId> nodes) {
+  // One frame per batch; the 64 MiB payload cap bounds the request size
+  // far above any crawl frontier.
+  if (nodes.size() > (net::kMaxPayloadBytes - 64) / sizeof(NodeId)) {
+    return Status::InvalidArgument(
+        "remote batch of " + std::to_string(nodes.size()) +
+        " nodes exceeds the wire frame limit");
+  }
+  std::vector<std::byte> payload;
+  net::EncodeBatchRequest(nodes, &payload);
+  std::vector<std::byte> response;
+  WNW_RETURN_IF_ERROR(Call(static_cast<uint16_t>(Opcode::kFetchBatch),
+                           std::move(payload), &response));
+  WNW_ASSIGN_OR_RETURN(BatchReply reply, net::DecodeBatchReply(response));
+  if (reply.lists.size() != nodes.size()) {
+    return Status::InvalidArgument(
+        "remote FetchBatch answered " + std::to_string(reply.lists.size()) +
+        " lists for " + std::to_string(nodes.size()) + " requests");
+  }
+  return reply;
+}
+
+Result<RemoteBackend::ServerCounters> RemoteBackend::FetchServerCounters() {
+  std::vector<std::byte> response;
+  WNW_RETURN_IF_ERROR(
+      Call(static_cast<uint16_t>(Opcode::kStats), {}, &response));
+  WNW_ASSIGN_OR_RETURN(const net::StatsReply stats,
+                       net::DecodeStatsReply(response));
+  return ServerCounters{stats.requests_served, stats.connections_accepted};
+}
+
+Status RemoteBackend::Call(uint16_t opcode,
+                           std::vector<std::byte> request_payload,
+                           std::vector<std::byte>* response) {
+  rpcs_.fetch_add(1, std::memory_order_relaxed);
+  Status last = Status::OK();
+  for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    if (attempt > 0) {
+      retries_.fetch_add(1, std::memory_order_relaxed);
+      const double backoff_ms = options_.retry_backoff_ms * attempt;
+      if (backoff_ms > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(backoff_ms));
+      }
+    }
+    Conn* conn =
+        conns_[next_conn_.fetch_add(1, std::memory_order_relaxed) %
+               conns_.size()]
+            .get();
+    last = CallOnce(conn, opcode, request_payload, response);
+    if (last.ok() || !TransientCode(last.code())) return last;
+  }
+  return last;
+}
+
+Status RemoteBackend::CallOnce(Conn* conn, uint16_t opcode,
+                               const std::vector<std::byte>& request_payload,
+                               std::vector<std::byte>* response) {
+  WNW_RETURN_IF_ERROR(EnsureConnected(conn));
+  const uint64_t id =
+      next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  auto call = std::make_shared<PendingCall>();
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (conn->fd < 0) {
+      return Status::Unavailable("remote connection to '" + addr_ +
+                                 "' went down");
+    }
+    Frame frame;
+    frame.opcode = static_cast<Opcode>(opcode);
+    frame.request_id = id;
+    frame.payload = request_payload;
+    const size_t before = conn->out.size();
+    net::EncodeFrame(frame, &conn->out);
+    bytes_sent_.fetch_add(conn->out.size() - before,
+                          std::memory_order_relaxed);
+    conn->pending[id] = call;
+  }
+  const double deadline_seconds = options_.deadline_ms / 1e3;
+  loop_->Post([this, conn, id, deadline_seconds] {
+    // Arm the deadline before flushing: once bytes hit the wire a reply can
+    // race in, and the reply path cancels by timer_id. Posts are executed
+    // in order, so the reply cannot be processed before this runs.
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      const auto it = conn->pending.find(id);
+      if (it == conn->pending.end()) return;  // already failed/timed out
+      it->second->timer_id = loop_->AddTimer(
+          deadline_seconds, [this, conn, id] { TimeoutCall(conn, id); });
+    }
+    FlushConn(conn);
+  });
+  WNW_RETURN_IF_ERROR(call->Wait());
+  if (call->opcode != opcode) {
+    return Status::InvalidArgument(
+        "remote server answered request " + std::to_string(id) +
+        " with opcode " + std::to_string(call->opcode) + ", expected " +
+        std::to_string(opcode));
+  }
+  *response = std::move(call->payload);
+  return Status::OK();
+}
+
+Status RemoteBackend::EnsureConnected(Conn* conn) {
+  std::lock_guard<std::mutex> connect_lock(conn->connect_mu);
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (conn->fd >= 0) return Status::OK();
+  }
+  WNW_ASSIGN_OR_RETURN(const auto host_port, ParseAddress(addr_));
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in dst{};
+  dst.sin_family = AF_INET;
+  dst.sin_port = htons(host_port.second);
+  if (inet_pton(AF_INET, host_port.first.c_str(), &dst.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("remote host '" + host_port.first +
+                                   "' is not a dotted IPv4 address");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&dst), sizeof(dst)) != 0 &&
+      errno != EINPROGRESS) {
+    const Status status = Status::Unavailable(
+        "connect to " + addr_ + ": " + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  pollfd pfd{fd, POLLOUT, 0};
+  const int timeout_ms =
+      static_cast<int>(std::max(1.0, options_.connect_timeout_ms));
+  const int polled = ::poll(&pfd, 1, timeout_ms);
+  if (polled <= 0) {
+    ::close(fd);
+    return Status::Unavailable("connect to " + addr_ + ": timed out after " +
+                               std::to_string(timeout_ms) + "ms");
+  }
+  int so_error = 0;
+  socklen_t len = sizeof(so_error);
+  if (getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0 ||
+      so_error != 0) {
+    ::close(fd);
+    return Status::Unavailable("connect to " + addr_ + ": " +
+                               std::strerror(so_error != 0 ? so_error
+                                                           : errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  // Hand the socket to the loop. Registration must complete before any
+  // caller can enqueue a request on it, so this blocks on the post.
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  bool done = false;
+  Status registered = Status::OK();
+  loop_->Post([&, fd] {
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      conn->fd = fd;
+      conn->in.clear();
+      conn->out.clear();
+      conn->out_pos = 0;
+      conn->want_write = false;
+    }
+    registered = loop_->Add(
+        fd, net::kEventRead,
+        [this, conn](uint32_t events) { OnConnIo(conn, events); });
+    if (!registered.ok()) {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      conn->fd = -1;
+      ::close(fd);
+    }
+    {
+      std::lock_guard<std::mutex> lock(done_mu);
+      done = true;
+    }
+    done_cv.notify_all();
+  });
+  std::unique_lock<std::mutex> lock(done_mu);
+  done_cv.wait(lock, [&] { return done; });
+  return registered;
+}
+
+void RemoteBackend::OnConnIo(Conn* conn, uint32_t events) {
+  if (events & net::kEventWrite) FlushConn(conn);
+  if ((events & net::kEventRead) == 0) return;
+  char buf[64 * 1024];
+  while (true) {
+    int fd;
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      fd = conn->fd;
+    }
+    if (fd < 0) return;
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      bytes_received_.fetch_add(static_cast<uint64_t>(n),
+                                std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(conn->mu);
+      const std::byte* bytes = reinterpret_cast<const std::byte*>(buf);
+      conn->in.insert(conn->in.end(), bytes, bytes + n);
+      if (n < static_cast<ssize_t>(sizeof(buf))) break;
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    KillConn(conn, Status::Unavailable(
+                       n == 0 ? "remote server closed the connection"
+                              : std::string("remote read: ") +
+                                    std::strerror(errno)));
+    return;
+  }
+  ProcessConnInput(conn);
+}
+
+void RemoteBackend::ProcessConnInput(Conn* conn) {
+  // Completions collected under the lock, signaled outside it.
+  std::vector<std::pair<std::shared_ptr<PendingCall>, DecodedFrame>> ready;
+  std::vector<std::vector<std::byte>> payload_copies;
+  Status poison = Status::OK();
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    size_t consumed = 0;
+    while (consumed < conn->in.size()) {
+      DecodedFrame frame;
+      auto taken = net::DecodeFrame(
+          std::span<const std::byte>(conn->in).subspan(consumed), &frame);
+      if (!taken.ok()) {
+        poison = taken.status();
+        break;
+      }
+      if (*taken == 0) break;
+      consumed += *taken;
+      const auto it = conn->pending.find(frame.request_id);
+      if (it == conn->pending.end()) {
+        // A reply that outlived its deadline: already failed, drop it.
+        continue;
+      }
+      std::shared_ptr<PendingCall> call = std::move(it->second);
+      conn->pending.erase(it);
+      loop_->CancelTimer(call->timer_id);
+      payload_copies.emplace_back(frame.payload.begin(), frame.payload.end());
+      ready.emplace_back(std::move(call), frame);
+    }
+    if (consumed > 0) {
+      conn->in.erase(conn->in.begin(),
+                     conn->in.begin() + static_cast<ptrdiff_t>(consumed));
+    }
+  }
+  for (size_t i = 0; i < ready.size(); ++i) {
+    const DecodedFrame& frame = ready[i].second;
+    if (frame.status != StatusCode::kOk) {
+      // An error response: the payload is the server's status message.
+      const std::string msg(
+          reinterpret_cast<const char*>(payload_copies[i].data()),
+          payload_copies[i].size());
+      ready[i].first->Complete(Status::FromCode(frame.status, msg),
+                               frame.opcode, {});
+    } else {
+      ready[i].first->Complete(Status::OK(), frame.opcode,
+                               std::move(payload_copies[i]));
+    }
+  }
+  if (!poison.ok()) {
+    // Framing violation: the stream cannot be resynchronized. Fail callers
+    // with the specific decode Status (not retried — the peer is broken).
+    KillConn(conn, poison);
+  }
+}
+
+void RemoteBackend::FlushConn(Conn* conn) {
+  int fd;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    fd = conn->fd;
+  }
+  if (fd < 0) return;
+  while (true) {
+    const std::byte* data;
+    size_t len;
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      if (conn->out_pos >= conn->out.size()) {
+        conn->out.clear();
+        conn->out_pos = 0;
+        if (conn->want_write) {
+          conn->want_write = false;
+          (void)loop_->Modify(fd, net::kEventRead);
+        }
+        return;
+      }
+      data = conn->out.data() + conn->out_pos;
+      len = conn->out.size() - conn->out_pos;
+    }
+    // The send runs outside the lock: callers may append more frames
+    // meanwhile (out only grows; out_pos is loop-thread-advanced).
+    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (n > 0) {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      conn->out_pos += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      if (!conn->want_write && conn->fd >= 0) {
+        conn->want_write = true;
+        (void)loop_->Modify(fd, net::kEventRead | net::kEventWrite);
+      }
+      return;
+    }
+    KillConn(conn, Status::Unavailable(std::string("remote write: ") +
+                                       std::strerror(errno)));
+    return;
+  }
+}
+
+void RemoteBackend::KillConn(Conn* conn, const Status& why) {
+  std::unordered_map<uint64_t, std::shared_ptr<PendingCall>> failed;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (conn->fd >= 0) {
+      (void)loop_->Remove(conn->fd);
+      ::close(conn->fd);
+      conn->fd = -1;
+    }
+    conn->in.clear();
+    conn->out.clear();
+    conn->out_pos = 0;
+    conn->want_write = false;
+    failed.swap(conn->pending);
+  }
+  for (auto& [id, call] : failed) {
+    loop_->CancelTimer(call->timer_id);
+    call->Complete(why, 0, {});
+  }
+  if (!failed.empty() && !destroyed_.load(std::memory_order_acquire)) {
+    WNW_LOG(kDebug) << "remote(" << addr_ << "): failed " << failed.size()
+                    << " in-flight calls: " << why.ToString();
+  }
+}
+
+void RemoteBackend::TimeoutCall(Conn* conn, uint64_t request_id) {
+  std::shared_ptr<PendingCall> call;
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    const auto it = conn->pending.find(request_id);
+    if (it == conn->pending.end()) return;  // reply won the race
+    call = std::move(it->second);
+    conn->pending.erase(it);
+  }
+  // The connection stays up: a late reply is dropped by the unknown-id
+  // path, and pipelined successors are still demultiplexed correctly.
+  call->Complete(
+      Status::DeadlineExceeded(
+          "remote request " + std::to_string(request_id) + " to '" + addr_ +
+          "' missed its " + std::to_string(options_.deadline_ms) +
+          "ms deadline"),
+      0, {});
+}
+
+}  // namespace wnw

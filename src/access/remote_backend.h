@@ -1,0 +1,167 @@
+// RemoteBackend: the AccessBackend whose origin is a wnw_serve daemon on
+// the other side of a TCP connection — the paper's actual setting, where
+// every neighbor query is a remote API round trip and sampling cost is
+// dominated by the wire, not the lookup.
+//
+// It slots into the existing decorator stack unchanged: AccessInterface,
+// the shared QueryCache, and the AsyncFetchExecutor window all compose over
+// it exactly as over InMemoryBackend, because the Stats handshake ships the
+// server's scenario descriptor (node count, §6.3.1 restriction, server
+// seed) at connect time — options() and deterministic() answer locally.
+// Counter-mode restriction randomness (keyed on (seed, node, call#) server
+// side) is what makes the acceptance gate possible: every registered
+// sampler draws byte-identical samples at identical query cost against a
+// loopback wnw_serve vs the in-process origin.
+//
+// Transport: a fixed pool of connections multiplexed by one client-side
+// event-loop thread. Requests pipeline — any number of calls from any
+// number of sessions are in flight per connection, demultiplexed by
+// request_id — so N concurrent sessions cost N in-flight frames, not N
+// sockets or N threads. Each call carries a deadline (timer-wheel enforced;
+// a late reply is dropped by id, never misdelivered) and transient failures
+// (connection refused/reset/closed, deadline expiry) are retried with
+// linear backoff up to a bounded budget before surfacing as Unavailable /
+// DeadlineExceeded. Server-side backend errors (e.g. OutOfRange for a bad
+// node id) are rebuilt from the wire status verbatim and never retried.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "access/backend.h"
+#include "net/event_loop.h"
+
+namespace wnw {
+
+struct RemoteBackendOptions {
+  /// Connection-pool size. Calls round-robin across the pool; each
+  /// connection pipelines any number of in-flight requests, so this trades
+  /// head-of-line blocking against fd count, not concurrency.
+  int connections = 2;
+
+  /// Per-request deadline (covers one attempt, not the retry budget).
+  double deadline_ms = 5000.0;
+
+  /// Retry budget beyond the first attempt for transient errors
+  /// (Unavailable, DeadlineExceeded). 0 = fail fast.
+  int max_retries = 2;
+
+  /// Backoff before retry attempt k (1-based): k * rpc_backoff_ms.
+  double retry_backoff_ms = 50.0;
+
+  /// TCP connect timeout per connection attempt.
+  double connect_timeout_ms = 2000.0;
+};
+
+class RemoteBackend final : public AccessBackend {
+ public:
+  /// Connects to "host:port" (dotted IPv4 or "localhost"), performs the
+  /// Stats handshake, and returns the ready backend. Unavailable when the
+  /// server cannot be reached within the retry budget; InvalidArgument for
+  /// a malformed address or a peer that is not speaking the wnw protocol.
+  static Result<std::shared_ptr<RemoteBackend>> Connect(
+      const std::string& addr, RemoteBackendOptions options = {});
+
+  ~RemoteBackend() override;
+
+  std::string_view name() const override { return name_; }  // "remote(addr)"
+  uint64_t num_nodes() const override { return num_nodes_; }
+  const AccessOptions& options() const override { return access_; }
+  const RemoteBackend* AsRemote() const override { return this; }
+
+  Result<FetchReply> FetchNeighbors(NodeId u) override;
+
+  /// One FetchBatch frame per call: the server runs the whole batch behind
+  /// a single round trip and its BatchReply — per-request shards, stall
+  /// table, slowest-shard billing — is decoded verbatim, so remote batch
+  /// accounting matches the in-process decorators bit for bit.
+  Result<BatchReply> FetchBatch(std::span<const NodeId> nodes) override;
+
+  /// Origin shard count reported by the server's handshake (0 = unsharded).
+  int origin_shards() const { return origin_shards_; }
+
+  /// The server-side backend stack name from the handshake, e.g.
+  /// "sharded[degree:4](snapshot)".
+  const std::string& origin_name() const { return origin_name_; }
+
+  const std::string& address() const { return addr_; }
+
+  /// A fresh Stats round trip: cumulative server counters (requests served,
+  /// connections accepted). For tooling; the handshake fields are cached.
+  struct ServerCounters {
+    uint64_t requests_served = 0;
+    uint64_t connections_accepted = 0;
+  };
+  Result<ServerCounters> FetchServerCounters();
+
+  // Cumulative client telemetry across every session sharing this backend
+  // (the per-session CostMeter stays wire-agnostic).
+  uint64_t rpcs() const { return rpcs_.load(std::memory_order_relaxed); }
+  uint64_t retries() const {
+    return retries_.load(std::memory_order_relaxed);
+  }
+  /// Wire bytes sent + received, frame headers included.
+  uint64_t wire_bytes() const {
+    return bytes_sent_.load(std::memory_order_relaxed) +
+           bytes_received_.load(std::memory_order_relaxed);
+  }
+
+  const RemoteBackendOptions& remote_options() const { return options_; }
+
+ private:
+  struct Conn;
+  struct PendingCall;
+
+  RemoteBackend(std::string addr, RemoteBackendOptions options);
+
+  Status Handshake();
+
+  /// One synchronous RPC with deadline + bounded transient retry. On
+  /// success *response holds the reply payload bytes.
+  Status Call(uint16_t opcode, std::vector<std::byte> request_payload,
+              std::vector<std::byte>* response);
+
+  /// A single attempt on one pool connection.
+  Status CallOnce(Conn* conn, uint16_t opcode,
+                  const std::vector<std::byte>& request_payload,
+                  std::vector<std::byte>* response);
+
+  /// (Re)establishes conn's socket if it is down. Caller-thread blocking;
+  /// serialized per connection.
+  Status EnsureConnected(Conn* conn);
+
+  // Loop-thread handlers.
+  void OnConnIo(Conn* conn, uint32_t events);
+  void ProcessConnInput(Conn* conn);
+  void FlushConn(Conn* conn);
+  void KillConn(Conn* conn, const Status& why);
+  void TimeoutCall(Conn* conn, uint64_t request_id);
+
+  std::string addr_;
+  std::string name_;
+  RemoteBackendOptions options_;
+
+  // Handshake results.
+  uint64_t num_nodes_ = 0;
+  AccessOptions access_;
+  int origin_shards_ = 0;
+  std::string origin_name_;
+
+  std::unique_ptr<net::EventLoop> loop_;
+  std::thread loop_thread_;
+  std::vector<std::unique_ptr<Conn>> conns_;
+  std::atomic<uint64_t> next_request_id_{1};
+  std::atomic<uint64_t> next_conn_{0};
+  std::atomic<bool> destroyed_{false};
+
+  std::atomic<uint64_t> rpcs_{0};
+  std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> bytes_sent_{0};
+  std::atomic<uint64_t> bytes_received_{0};
+};
+
+}  // namespace wnw

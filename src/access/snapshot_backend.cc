@@ -31,8 +31,10 @@ Result<FetchReply> SnapshotBackend::FetchNeighbors(NodeId u) {
 Result<std::shared_ptr<AccessBackend>> BuildSnapshotBackendStack(
     const BackendStackOptions& options) {
   WNW_CHECK(!options.snapshot.empty());
-  WNW_ASSIGN_OR_RETURN(LoadedSnapshot loaded,
-                       LoadGraphSnapshot(options.snapshot));
+  WNW_ASSIGN_OR_RETURN(
+      LoadedSnapshot loaded,
+      LoadGraphSnapshot(options.snapshot,
+                        {.verify_checksum = options.snapshot_verify}));
 
   if (options.shards >= 1) {
     // Prefer the file's own per-shard sections: the sharded origin then

@@ -220,7 +220,8 @@ std::span<const ReservedKeyInfo> ReservedSessionKeys() {
   // Keep in sync with ExtractBackendParams in core/session.cc and with
   // docs/SPEC_STRINGS.md.
   static constexpr ReservedKeyInfo kReserved[] = {
-      {"backend", "origin/decorator selection: memory (default) | latency"},
+      {"backend",
+       "origin/decorator selection: memory (default) | latency | remote"},
       {"mean_ms", "mean simulated RTT per request, >= 0 (default 50)"},
       {"jitter_ms", "uniform RTT jitter, >= 0 (default 0)"},
       {"fail_rate", "per-attempt failure probability in [0, 1) (default 0)"},
@@ -241,6 +242,25 @@ std::span<const ReservedKeyInfo> ReservedSessionKeys() {
        "disk-backed origin: path to a wnw_snapshot file; the backend mmaps "
        "and serves it instead of the in-process graph (byte-identical "
        "responses; composes with latency/shards)"},
+      {"snapshot_verify",
+       "on (default) | off: off is the trusted-open fast path — skip the "
+       "snapshot checksum scan and shard cross-check (requires snapshot)"},
+      {"addr",
+       "remote origin: host:port of a wnw_serve daemon (requires "
+       "backend=remote; conflicts with snapshot/shards — the server owns "
+       "the origin)"},
+      {"deadline_ms",
+       "remote per-request deadline in ms, > 0 (default 5000; requires "
+       "backend=remote)"},
+      {"connections",
+       "remote connection-pool size, in [1, 64] (default 2; requires "
+       "backend=remote)"},
+      {"rpc_retries",
+       "remote retry budget beyond the first attempt for transient "
+       "failures, in [0, 100] (default 2; requires backend=remote)"},
+      {"rpc_backoff_ms",
+       "remote backoff before retry k: k * rpc_backoff_ms, >= 0 (default "
+       "50; requires backend=remote)"},
       {"cache_file",
        "persistent query cache: snapshot-container file loaded at open "
        "when it exists (warm start) and saved back on session close"},

@@ -44,11 +44,12 @@ Result<bool> PopUint(SamplerConfig* config, const char* key, uint64_t* out) {
 // fail loudly on conflicts with explicit SessionOptions resources instead of
 // silently dropping the spec's request.
 struct ReservedSelections {
-  bool backend = false;    // backend=... or any latency parameter
+  bool backend = false;    // backend=... or any latency/remote parameter
   bool executor = false;   // window=... (and threads=...)
   bool shards = false;     // shards=... (origin sharding)
   bool partition = false;  // partition=... (requires shards)
   bool snapshot = false;   // snapshot=... (disk-backed origin)
+  bool remote = false;     // backend=remote / addr=... (wnw_serve client)
 };
 
 // Extracts the reserved session parameters from a spec config — backend
@@ -68,9 +69,10 @@ Result<ReservedSelections> ExtractReservedParams(SamplerConfig* config,
     kind = it->second;
     config->params.erase(it);
   }
-  if (kind_present && kind != "memory" && kind != "latency") {
-    return Status::InvalidArgument("unknown backend '" + kind +
-                                   "' (expected memory | latency)");
+  if (kind_present && kind != "memory" && kind != "latency" &&
+      kind != "remote") {
+    return Status::InvalidArgument(
+        "unknown backend '" + kind + "' (expected memory | latency | remote)");
   }
   LatencyConfig latency;
   bool any_latency_param = false;
@@ -117,7 +119,75 @@ Result<ReservedSelections> ExtractReservedParams(SamplerConfig* config,
   } else if (kind == "memory") {
     options->latency.reset();
   }
-  selected.backend = kind_present || any_latency_param;
+
+  // Remote origin: ?backend=remote&addr=host:port plus client tuning. The
+  // scenario (restriction, shards, rate limits) lives server-side, so none
+  // of the other origin families compose with it.
+  std::string addr;
+  const auto addr_it = config->params.find("addr");
+  const bool addr_present = addr_it != config->params.end();
+  if (addr_present) {
+    addr = addr_it->second;
+    config->params.erase(addr_it);
+    if (addr.empty()) {
+      return Status::InvalidArgument(
+          "addr parameter needs a host:port (addr=127.0.0.1:7411)");
+    }
+  }
+  double deadline_ms = options->remote.deadline_ms;
+  double rpc_backoff_ms = options->remote.retry_backoff_ms;
+  uint64_t connections = static_cast<uint64_t>(options->remote.connections);
+  uint64_t rpc_retries = static_cast<uint64_t>(options->remote.max_retries);
+  bool any_remote_param = addr_present;
+  for (const auto& [key, target] :
+       std::initializer_list<std::pair<const char*, double*>>{
+           {"deadline_ms", &deadline_ms},
+           {"rpc_backoff_ms", &rpc_backoff_ms}}) {
+    WNW_ASSIGN_OR_RETURN(const bool present, PopDouble(config, key, target));
+    any_remote_param = any_remote_param || present;
+  }
+  for (const auto& [key, target] :
+       std::initializer_list<std::pair<const char*, uint64_t*>>{
+           {"connections", &connections}, {"rpc_retries", &rpc_retries}}) {
+    WNW_ASSIGN_OR_RETURN(const bool present, PopUint(config, key, target));
+    any_remote_param = any_remote_param || present;
+  }
+  if (kind == "remote") {
+    if (!addr_present && options->remote_addr.empty()) {
+      return Status::InvalidArgument(
+          "backend=remote requires addr=host:port");
+    }
+    if (addr_present && !options->remote_addr.empty() &&
+        addr != options->remote_addr) {
+      return Status::InvalidArgument(
+          "spec requests addr '" + addr +
+          "' but SessionOptions already names '" + options->remote_addr +
+          "' — drop one of the two");
+    }
+    if (addr_present) options->remote_addr = addr;
+    options->remote.deadline_ms = deadline_ms;
+    options->remote.retry_backoff_ms = rpc_backoff_ms;
+    // RemoteBackend::Connect range-checks these; clamp only the narrowing.
+    options->remote.connections = static_cast<int>(
+        std::min<uint64_t>(connections, static_cast<uint64_t>(INT32_MAX)));
+    options->remote.max_retries = static_cast<int>(
+        std::min<uint64_t>(rpc_retries, static_cast<uint64_t>(INT32_MAX)));
+    if (any_latency_param) {
+      return Status::InvalidArgument(
+          "latency parameters contradict backend=remote — the wire IS the "
+          "latency; drop one of the two");
+    }
+  } else if (any_remote_param) {
+    return Status::InvalidArgument(
+        "remote parameters (addr, deadline_ms, connections, rpc_retries, "
+        "rpc_backoff_ms) require backend=remote");
+  } else if (kind_present && !options->remote_addr.empty()) {
+    return Status::InvalidArgument(
+        "backend=" + kind + " contradicts SessionOptions remote_addr '" +
+        options->remote_addr + "' — drop one of the two");
+  }
+  selected.remote = kind == "remote";
+  selected.backend = kind_present || any_latency_param || any_remote_param;
 
   // Origin sharding: ?shards=8&partition=hash|range|degree. Orthogonal to
   // the backend kind — with shards, the latency/rate-limit scenario moves
@@ -180,6 +250,42 @@ Result<ReservedSelections> ExtractReservedParams(SamplerConfig* config,
     return Status::InvalidArgument(
         "backend=memory contradicts snapshot= (the snapshot IS the origin) "
         "— drop one of the two");
+  }
+
+  // Trusted-open fast path: ?snapshot_verify=off skips the checksum scan
+  // (see SessionOptions::snapshot_verify). Meaningless without a snapshot.
+  const auto verify_it = config->params.find("snapshot_verify");
+  if (verify_it != config->params.end()) {
+    const std::string& value = verify_it->second;
+    if (value == "off" || value == "false" || value == "0") {
+      options->snapshot_verify = false;
+    } else if (value == "on" || value == "true" || value == "1") {
+      options->snapshot_verify = true;
+    } else {
+      return Status::InvalidArgument("snapshot_verify='" + value +
+                                     "' is not on|off");
+    }
+    config->params.erase(verify_it);
+    if (options->snapshot.empty()) {
+      return Status::InvalidArgument(
+          "snapshot_verify requires a snapshot origin (snapshot=/path)");
+    }
+  }
+
+  if (selected.remote || !options->remote_addr.empty()) {
+    // The remote server owns the origin: its snapshot, its shards, its
+    // restriction scenario. Local origin keys are contradictions, not
+    // composition.
+    if (selected.snapshot || !options->snapshot.empty()) {
+      return Status::InvalidArgument(
+          "backend=remote contradicts snapshot= (the server owns the "
+          "origin; pass --snapshot to wnw_serve instead)");
+    }
+    if (selected.shards || selected.partition || options->shards >= 1) {
+      return Status::InvalidArgument(
+          "backend=remote contradicts shards/partition (the server's origin "
+          "is sharded via wnw_serve --shards; the handshake reports it)");
+    }
   }
 
   // Persistent query cache: ?cache_file=/path loads the file when it exists
@@ -281,6 +387,12 @@ Status ResolveSessionResources(const Graph* graph, SamplerConfig* config,
         "'), but an explicit backend is already provided — drop one of the "
         "two");
   }
+  if (!options->remote_addr.empty() && options->backend != nullptr) {
+    return Status::InvalidArgument(
+        "spec or options select a remote origin ('" + options->remote_addr +
+        "'), but an explicit backend is already provided — drop one of the "
+        "two");
+  }
   if (!options->cache_file.empty() && options->query_cache != nullptr) {
     return Status::InvalidArgument(
         "cache_file ('" + options->cache_file +
@@ -311,13 +423,29 @@ Status ResolveSessionResources(const Graph* graph, SamplerConfig* config,
     options->query_cache = std::move(cache);
     options->cache_file.clear();
   }
+  if (options->backend == nullptr && !options->remote_addr.empty()) {
+    WNW_ASSIGN_OR_RETURN(
+        std::shared_ptr<RemoteBackend> remote,
+        RemoteBackend::Connect(options->remote_addr, options->remote));
+    if (remote->num_nodes() != graph->num_nodes()) {
+      return Status::InvalidArgument(
+          "remote server '" + options->remote_addr + "' serves " +
+          std::to_string(remote->num_nodes()) + " nodes but the graph has " +
+          std::to_string(graph->num_nodes()) +
+          " — is wnw_serve running a different snapshot?");
+    }
+    options->backend = std::move(remote);
+    options->remote_addr.clear();  // consumed; re-resolving is a no-op
+  }
   if (options->backend == nullptr) {
     const BackendStackOptions stack{.access = options->access,
                                     .latency = options->latency,
                                     .executor = options->executor,
                                     .shards = options->shards,
                                     .partition = options->partition,
-                                    .snapshot = options->snapshot};
+                                    .snapshot = options->snapshot,
+                                    .snapshot_verify =
+                                        options->snapshot_verify};
     if (!options->snapshot.empty()) {
       WNW_ASSIGN_OR_RETURN(options->backend,
                            BuildSnapshotBackendStack(stack));
@@ -452,6 +580,15 @@ SessionStats SamplingSession::Stats() const {
   stats.samples_drawn = samples_drawn_;
   if (const ShardedBackend* sharded = access_->backend().AsSharded()) {
     stats.backend_shards = sharded->num_shards();
+  }
+  if (const RemoteBackend* remote = access_->backend().AsRemote()) {
+    stats.remote_addr = remote->address();
+    stats.remote_rpcs = remote->rpcs();
+    stats.remote_retries = remote->retries();
+    stats.remote_bytes = remote->wire_bytes();
+    // The shard topology lives server-side; surface it the same way the
+    // in-process sharded stack does.
+    stats.backend_shards = std::max(1, remote->origin_shards());
   }
   if (const std::shared_ptr<QueryCache>& cache = access_->query_cache()) {
     stats.cache_attached = true;

@@ -32,6 +32,7 @@
 #include "access/access_interface.h"
 #include "access/async_executor.h"
 #include "access/decorators.h"
+#include "access/remote_backend.h"
 #include "access/sharded_backend.h"
 #include "core/registry.h"
 #include "mcmc/transition.h"
@@ -69,6 +70,25 @@ struct SessionOptions {
   /// `backend`. The snapshot must describe the same graph that was passed
   /// to Open (node counts are checked).
   std::string snapshot;
+
+  /// Trusted-open fast path (also reachable via ?snapshot_verify=off):
+  /// false skips the snapshot's whole-file checksum scan and the O(m)
+  /// shard-vs-flat adjacency cross-check at open. Integrity is then only
+  /// what the header/section bounds checks give you — use for snapshots you
+  /// just wrote or have verified before.
+  bool snapshot_verify = true;
+
+  /// Remote origin: "host:port" of a wnw_serve daemon (also reachable via
+  /// the ?backend=remote&addr=host:port spec keys). The session's backend
+  /// becomes a RemoteBackend speaking the wire protocol — the restriction
+  /// scenario, sharding, and rate limits all live server-side, so this
+  /// conflicts loudly with `snapshot`, `shards`, an explicit `backend`, and
+  /// `access`-scenario spec keys. The server must serve the same graph
+  /// that was passed to Open (node counts are checked).
+  std::string remote_addr;
+
+  /// Client tuning for `remote_addr` (deadlines, pool size, retry budget).
+  RemoteBackendOptions remote;
 
   /// Cross-session query cache: sessions sharing one cache reuse each
   /// other's neighbor lists (cache hits cost no queries and no waiting).
@@ -121,6 +141,14 @@ struct SessionStats {
   int backend_shards = 1;                   // origin shards behind the stack
   std::vector<uint64_t> shard_fetches;      // this session's fetches by shard
   std::vector<double> shard_stall_seconds;  // rate-limit stalls by shard
+
+  // Remote-origin telemetry (cumulative across every session sharing the
+  // RemoteBackend; all zero/"" for in-process stacks). backend_shards
+  // reports the *server-side* origin's shard count when remote.
+  std::string remote_addr;     // "host:port" ("" = local backend)
+  uint64_t remote_rpcs = 0;    // wire round trips issued
+  uint64_t remote_retries = 0; // transient-failure retry attempts
+  uint64_t remote_bytes = 0;   // wire bytes sent + received
 
   // Shared QueryCache telemetry (cumulative across every session sharing
   // the cache — the cross-session/cross-run history pool, not a per-session

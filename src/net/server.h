@@ -1,0 +1,128 @@
+// The wnw service front end: a TCP server speaking the wire protocol
+// (net/wire.h) over an epoll reactor pool (net/event_loop.h), serving any
+// AccessBackend stack — the same stacks BuildBackendStack composes
+// in-process. tools/wnw_serve.cc wraps this in a daemon; tests and the
+// loadgen embed it directly.
+//
+// Threading model: one listener socket on reactor 0, N reactor threads
+// total. Accepted connections are assigned round-robin and live entirely on
+// their loop's thread (read buffer, write buffer, frame decode) — no
+// per-connection locks. Requests are served inline on the reactor thread:
+// the served origins are memory/snapshot lookups, so a fixed pool of
+// threads ≈ cores sustains thousands of in-flight pipelined requests,
+// which is the whole point of the reactor (contrast the thread-per-slot
+// AsyncFetchExecutor that simulates *client*-side concurrency).
+//
+// Per-connection pipelining: a client may send any number of requests
+// without waiting; each complete frame is served as it is decoded and
+// responses are written back in arrival order (request_id echoes make the
+// order irrelevant to a demuxing client).
+//
+// Shutdown() drains gracefully: the listener closes first (no new
+// connections), every connection finishes flushing the responses already
+// owed, then closes; connections still unflushed after
+// ServerOptions::drain_timeout_seconds are closed forcibly so shutdown is
+// bounded. Safe to call from any thread, including a signal-waiting main.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "access/backend.h"
+#include "net/event_loop.h"
+#include "net/wire.h"
+#include "util/status.h"
+
+namespace wnw::net {
+
+struct ServerOptions {
+  /// Address to bind. Loopback by default: the simulated-OSN deployments
+  /// this models are driven from the same host or a trusted network.
+  std::string bind_addr = "127.0.0.1";
+
+  /// TCP port; 0 binds an ephemeral port (read it back via port()).
+  int port = 0;
+
+  /// Reactor threads. 0 sizes the pool to 2 x hardware cores, clamped to
+  /// [1, 8] — the fixed-size pool the saturation benches assume.
+  int threads = 0;
+
+  /// Upper bound on a graceful drain: connections that have not flushed
+  /// their owed responses by then are closed forcibly.
+  double drain_timeout_seconds = 5.0;
+};
+
+class WnwServer {
+ public:
+  /// Binds, starts the reactor threads, and begins accepting. The backend
+  /// must be thread-safe (every AccessBackend is) and outlives the server
+  /// via the shared_ptr.
+  static Result<std::unique_ptr<WnwServer>> Start(
+      std::shared_ptr<AccessBackend> backend, ServerOptions options = {});
+
+  /// Graceful drain (see file comment), then joins the reactors.
+  ~WnwServer();
+
+  WnwServer(const WnwServer&) = delete;
+  WnwServer& operator=(const WnwServer&) = delete;
+
+  /// The bound TCP port (the real one when options.port was 0).
+  int port() const { return port_; }
+
+  /// Reactor threads actually running.
+  int threads() const { return static_cast<int>(loops_.size()); }
+
+  /// Cumulative service counters (thread-safe snapshot).
+  struct Counters {
+    uint64_t connections_accepted = 0;
+    uint64_t connections_open = 0;
+    uint64_t requests_served = 0;
+    uint64_t protocol_errors = 0;  // framing violations -> connection closed
+  };
+  Counters counters() const;
+
+  /// Stops accepting, flushes owed responses, closes every connection, and
+  /// joins the reactor threads. Idempotent; thread-safe.
+  void Shutdown();
+
+ private:
+  struct Connection;
+  struct Reactor;
+
+  WnwServer(std::shared_ptr<AccessBackend> backend, ServerOptions options);
+
+  Status Listen();
+  void OnAccept();
+  void AddConnection(Reactor* reactor, int fd);
+  void OnConnectionIo(Reactor* reactor, int fd, uint32_t events);
+  void ProcessInput(Reactor* reactor, Connection* conn);
+  void HandleFrame(Connection* conn, const DecodedFrame& frame);
+  void SendErrorFrame(Connection* conn, uint16_t opcode, uint64_t request_id,
+                      const Status& status);
+  /// Flushes conn->out; toggles EPOLLOUT interest as needed. Returns false
+  /// when the connection died mid-write (already closed).
+  bool FlushWrites(Reactor* reactor, Connection* conn);
+  void CloseConnection(Reactor* reactor, int fd);
+  void FillStatsReply(StatsReply* reply) const;
+
+  std::shared_ptr<AccessBackend> backend_;
+  ServerOptions options_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+
+  std::vector<std::unique_ptr<Reactor>> loops_;
+  std::vector<std::thread> threads_;
+  std::atomic<uint64_t> next_reactor_{0};
+  std::atomic<bool> shutting_down_{false};
+  std::atomic<bool> shut_down_{false};
+
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> connections_open_{0};
+  std::atomic<uint64_t> requests_served_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+};
+
+}  // namespace wnw::net

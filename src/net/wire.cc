@@ -1,0 +1,325 @@
+#include "net/wire.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace wnw::net {
+
+namespace {
+
+// Little-endian scalar append. On little-endian hosts this compiles to a
+// plain memcpy; the shift form keeps the wire format host-independent.
+template <typename T>
+void AppendScalar(std::vector<std::byte>* out, T value) {
+  static_assert(std::is_unsigned_v<T>);
+  for (size_t i = 0; i < sizeof(T); ++i) {
+    out->push_back(static_cast<std::byte>((value >> (8 * i)) & 0xff));
+  }
+}
+
+template <typename T>
+T ReadScalar(const std::byte* p) {
+  static_assert(std::is_unsigned_v<T>);
+  T value = 0;
+  for (size_t i = 0; i < sizeof(T); ++i) {
+    value |= static_cast<T>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
+  return value;
+}
+
+}  // namespace
+
+bool KnownOpcode(uint16_t opcode) {
+  return opcode >= static_cast<uint16_t>(Opcode::kPing) &&
+         opcode <= static_cast<uint16_t>(Opcode::kFetchBatch);
+}
+
+void EncodeFrame(const Frame& frame, std::vector<std::byte>* out) {
+  out->reserve(out->size() + kFrameHeaderBytes + frame.payload.size());
+  AppendScalar<uint32_t>(out, kWireMagic);
+  AppendScalar<uint16_t>(out, kWireVersion);
+  AppendScalar<uint16_t>(out, static_cast<uint16_t>(frame.opcode));
+  AppendScalar<uint64_t>(out, frame.request_id);
+  AppendScalar<uint32_t>(out, static_cast<uint32_t>(frame.status));
+  AppendScalar<uint32_t>(out, static_cast<uint32_t>(frame.payload.size()));
+  out->insert(out->end(), frame.payload.begin(), frame.payload.end());
+}
+
+Result<size_t> DecodeFrame(std::span<const std::byte> in, DecodedFrame* out) {
+  if (in.size() < kFrameHeaderBytes) return size_t{0};
+  const std::byte* p = in.data();
+  const uint32_t magic = ReadScalar<uint32_t>(p);
+  if (magic != kWireMagic) {
+    return Status::InvalidArgument(
+        "wire: bad frame magic 0x" + [&] {
+          char buf[16];
+          std::snprintf(buf, sizeof(buf), "%08x", magic);
+          return std::string(buf);
+        }() + " — peer is not speaking the wnw protocol");
+  }
+  const uint16_t version = ReadScalar<uint16_t>(p + 4);
+  if (version != kWireVersion) {
+    return Status::InvalidArgument(
+        "wire: unsupported protocol version " + std::to_string(version) +
+        " (this build speaks version " + std::to_string(kWireVersion) + ")");
+  }
+  const uint32_t payload_len = ReadScalar<uint32_t>(p + 20);
+  if (payload_len > kMaxPayloadBytes) {
+    return Status::InvalidArgument(
+        "wire: frame declares a " + std::to_string(payload_len) +
+        "-byte payload, above the " + std::to_string(kMaxPayloadBytes) +
+        "-byte limit — corrupt length or hostile peer");
+  }
+  if (in.size() < kFrameHeaderBytes + payload_len) return size_t{0};
+  out->opcode = ReadScalar<uint16_t>(p + 6);
+  out->request_id = ReadScalar<uint64_t>(p + 8);
+  out->status = static_cast<StatusCode>(ReadScalar<uint32_t>(p + 16));
+  out->payload = in.subspan(kFrameHeaderBytes, payload_len);
+  return kFrameHeaderBytes + payload_len;
+}
+
+// --- payload codecs -----------------------------------------------------------
+
+void PayloadWriter::PutU32(uint32_t v) { AppendScalar<uint32_t>(out_, v); }
+void PayloadWriter::PutU64(uint64_t v) { AppendScalar<uint64_t>(out_, v); }
+
+void PayloadWriter::PutDouble(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  AppendScalar<uint64_t>(out_, bits);
+}
+
+void PayloadWriter::PutBytes(std::span<const std::byte> bytes) {
+  out_->insert(out_->end(), bytes.begin(), bytes.end());
+}
+
+void PayloadWriter::PutString(std::string_view s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  PutBytes(std::as_bytes(std::span<const char>(s.data(), s.size())));
+}
+
+void PayloadWriter::PutNodeArray(std::span<const NodeId> nodes) {
+  PutU32(static_cast<uint32_t>(nodes.size()));
+  for (NodeId u : nodes) PutU32(u);
+}
+
+bool PayloadReader::Take(void* dst, size_t n) {
+  if (failed_ || bytes_.size() - pos_ < n) {
+    failed_ = true;
+    return false;
+  }
+  std::memcpy(dst, bytes_.data() + pos_, n);
+  pos_ += n;
+  return true;
+}
+
+bool PayloadReader::GetU32(uint32_t* v) {
+  if (failed_ || bytes_.size() - pos_ < 4) {
+    failed_ = true;
+    return false;
+  }
+  *v = ReadScalar<uint32_t>(bytes_.data() + pos_);
+  pos_ += 4;
+  return true;
+}
+
+bool PayloadReader::GetU64(uint64_t* v) {
+  if (failed_ || bytes_.size() - pos_ < 8) {
+    failed_ = true;
+    return false;
+  }
+  *v = ReadScalar<uint64_t>(bytes_.data() + pos_);
+  pos_ += 8;
+  return true;
+}
+
+bool PayloadReader::GetDouble(double* v) {
+  uint64_t bits = 0;
+  if (!GetU64(&bits)) return false;
+  std::memcpy(v, &bits, sizeof(*v));
+  return true;
+}
+
+bool PayloadReader::GetString(std::string* s) {
+  uint32_t len = 0;
+  if (!GetU32(&len)) return false;
+  if (bytes_.size() - pos_ < len) {
+    failed_ = true;
+    return false;
+  }
+  s->assign(reinterpret_cast<const char*>(bytes_.data() + pos_), len);
+  pos_ += len;
+  return true;
+}
+
+bool PayloadReader::GetNodeArray(std::vector<NodeId>* nodes) {
+  uint32_t count = 0;
+  if (!GetU32(&count)) return false;
+  // The count must be coverable by the remaining bytes BEFORE reserving:
+  // a hostile 4-byte payload claiming 2^31 nodes must not allocate 8 GiB.
+  if (bytes_.size() - pos_ < static_cast<size_t>(count) * sizeof(NodeId)) {
+    failed_ = true;
+    return false;
+  }
+  nodes->resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    (*nodes)[i] = ReadScalar<uint32_t>(bytes_.data() + pos_);
+    pos_ += sizeof(NodeId);
+  }
+  return true;
+}
+
+Status PayloadReader::Finish(std::string_view what) const {
+  if (failed_) {
+    return Status::InvalidArgument("wire: truncated " + std::string(what) +
+                                   " payload (" +
+                                   std::to_string(bytes_.size()) + " bytes)");
+  }
+  if (pos_ != bytes_.size()) {
+    return Status::InvalidArgument(
+        "wire: " + std::string(what) + " payload has " +
+        std::to_string(bytes_.size() - pos_) + " trailing bytes");
+  }
+  return Status::OK();
+}
+
+// --- message codecs -----------------------------------------------------------
+
+void EncodeStatsReply(const StatsReply& reply, std::vector<std::byte>* out) {
+  PayloadWriter w(out);
+  w.PutU64(reply.num_nodes);
+  w.PutU64(reply.server_seed);
+  w.PutU32(reply.restriction);
+  w.PutU32(reply.max_neighbors);
+  w.PutU32(reply.bidirectional);
+  w.PutU32(reply.shards);
+  w.PutU64(reply.requests_served);
+  w.PutU64(reply.connections_accepted);
+  w.PutString(reply.origin);
+}
+
+Result<StatsReply> DecodeStatsReply(std::span<const std::byte> payload) {
+  PayloadReader r(payload);
+  StatsReply reply;
+  r.GetU64(&reply.num_nodes);
+  r.GetU64(&reply.server_seed);
+  r.GetU32(&reply.restriction);
+  r.GetU32(&reply.max_neighbors);
+  r.GetU32(&reply.bidirectional);
+  r.GetU32(&reply.shards);
+  r.GetU64(&reply.requests_served);
+  r.GetU64(&reply.connections_accepted);
+  r.GetString(&reply.origin);
+  WNW_RETURN_IF_ERROR(r.Finish("Stats reply"));
+  if (reply.restriction > 3) {
+    return Status::InvalidArgument(
+        "wire: Stats reply names unknown restriction " +
+        std::to_string(reply.restriction));
+  }
+  return reply;
+}
+
+void EncodeFetchRequest(NodeId node, std::vector<std::byte>* out) {
+  PayloadWriter(out).PutU32(node);
+}
+
+Result<NodeId> DecodeFetchRequest(std::span<const std::byte> payload) {
+  PayloadReader r(payload);
+  uint32_t node = 0;
+  r.GetU32(&node);
+  WNW_RETURN_IF_ERROR(r.Finish("FetchNeighbors request"));
+  return static_cast<NodeId>(node);
+}
+
+void EncodeNeighborsReply(int32_t shard, double simulated_seconds,
+                          double serial_seconds,
+                          std::span<const NodeId> neighbors,
+                          std::vector<std::byte>* out) {
+  PayloadWriter w(out);
+  w.PutU32(static_cast<uint32_t>(shard));
+  w.PutDouble(simulated_seconds);
+  w.PutDouble(serial_seconds);
+  w.PutNodeArray(neighbors);
+}
+
+Result<NeighborsReply> DecodeNeighborsReply(
+    std::span<const std::byte> payload) {
+  PayloadReader r(payload);
+  NeighborsReply reply;
+  uint32_t shard = 0;
+  r.GetU32(&shard);
+  r.GetDouble(&reply.simulated_seconds);
+  r.GetDouble(&reply.serial_seconds);
+  r.GetNodeArray(&reply.neighbors);
+  WNW_RETURN_IF_ERROR(r.Finish("FetchNeighbors reply"));
+  reply.shard = static_cast<int32_t>(shard);
+  return reply;
+}
+
+void EncodeBatchRequest(std::span<const NodeId> nodes,
+                        std::vector<std::byte>* out) {
+  PayloadWriter(out).PutNodeArray(nodes);
+}
+
+Result<std::vector<NodeId>> DecodeBatchRequest(
+    std::span<const std::byte> payload) {
+  PayloadReader r(payload);
+  std::vector<NodeId> nodes;
+  r.GetNodeArray(&nodes);
+  WNW_RETURN_IF_ERROR(r.Finish("FetchBatch request"));
+  return nodes;
+}
+
+void EncodeBatchReply(const BatchReply& reply, std::vector<std::byte>* out) {
+  PayloadWriter w(out);
+  w.PutDouble(reply.simulated_seconds);
+  w.PutU32(static_cast<uint32_t>(reply.shard_stalls.size()));
+  for (double s : reply.shard_stalls) w.PutDouble(s);
+  w.PutU32(static_cast<uint32_t>(reply.lists.size()));
+  for (size_t i = 0; i < reply.lists.size(); ++i) {
+    w.PutU32(i < reply.shards.size()
+                 ? static_cast<uint32_t>(reply.shards[i])
+                 : 0u);
+    w.PutNodeArray(reply.lists[i]);
+  }
+}
+
+Result<BatchReply> DecodeBatchReply(std::span<const std::byte> payload) {
+  PayloadReader r(payload);
+  BatchReply reply;
+  r.GetDouble(&reply.simulated_seconds);
+  uint32_t stalls = 0;
+  if (r.GetU32(&stalls)) {
+    // Bound the resize by what the remaining bytes can actually hold.
+    if (static_cast<size_t>(stalls) * 8 <= r.remaining()) {
+      reply.shard_stalls.resize(stalls);
+      for (uint32_t s = 0; s < stalls; ++s) {
+        r.GetDouble(&reply.shard_stalls[s]);
+      }
+    } else {
+      return Status::InvalidArgument(
+          "wire: truncated FetchBatch reply payload (stall table)");
+    }
+  }
+  uint32_t lists = 0;
+  r.GetU32(&lists);
+  // Each list costs at least 8 bytes (shard + count); cap the reserve.
+  if (static_cast<size_t>(lists) * 8 > r.remaining()) {
+    return Status::InvalidArgument(
+        "wire: truncated FetchBatch reply payload (list table)");
+  }
+  reply.lists.reserve(lists);
+  reply.shards.reserve(lists);
+  for (uint32_t i = 0; i < lists; ++i) {
+    uint32_t shard = 0;
+    r.GetU32(&shard);
+    std::vector<NodeId> list;
+    r.GetNodeArray(&list);
+    reply.shards.push_back(static_cast<int32_t>(shard));
+    reply.lists.push_back(std::move(list));
+  }
+  WNW_RETURN_IF_ERROR(r.Finish("FetchBatch reply"));
+  return reply;
+}
+
+}  // namespace wnw::net

@@ -1,0 +1,190 @@
+// The wnw service wire protocol: length-prefixed binary frames over TCP.
+//
+// Every message — request or response — is one frame:
+//
+//   FrameHeader (24 bytes, little-endian, no padding)
+//     uint32 magic        "WNWP" (0x50574e57)
+//     uint16 version      1
+//     uint16 opcode       Ping | Stats | FetchNeighbors | FetchBatch
+//     uint64 request_id   echoed verbatim in the response (pipelining demux)
+//     uint32 status       StatusCode; 0 in requests and successful responses
+//     uint32 payload_len  bytes following the header, <= kMaxPayloadBytes
+//   payload (payload_len bytes)
+//
+// Requests and responses share the header; a response carries the request's
+// opcode and request_id. A non-zero status marks an error response whose
+// payload is the UTF-8 status message — the client rebuilds the exact
+// Status the server's backend returned (Status::FromCode), so OutOfRange on
+// the server is OutOfRange at the call site, not a generic RPC error.
+//
+// Decoding never trusts the peer: magic, version, opcode, and the declared
+// payload length are validated before any payload is touched, and a
+// malformed header poisons the connection (there is no way to resync a
+// byte stream after a framing violation). Payload codecs bounds-check every
+// read and require full consumption, so truncated or oversized payloads
+// surface as specific InvalidArgument statuses, never reads past the
+// buffer.
+//
+// Integers are little-endian on the wire. Like the snapshot container
+// (storage/snapshot.h), the protocol refuses nothing at runtime on
+// big-endian hosts — it simply never lies about byte order because every
+// field goes through the explicit Put/Get helpers below.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "access/backend.h"
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace wnw::net {
+
+inline constexpr uint32_t kWireMagic = 0x50574e57;  // "WNWP"
+inline constexpr uint16_t kWireVersion = 1;
+inline constexpr size_t kFrameHeaderBytes = 24;
+
+/// Hard cap on a frame payload. Large enough for any realistic batch reply
+/// (a 4M-entry neighbor list is 16 MiB), small enough that a hostile or
+/// corrupt length field cannot make a peer buffer gigabytes.
+inline constexpr uint32_t kMaxPayloadBytes = 64u << 20;
+
+enum class Opcode : uint16_t {
+  kPing = 1,            // liveness probe; empty payload both ways
+  kStats = 2,           // handshake + telemetry: server scenario descriptor
+  kFetchNeighbors = 3,  // one local-neighborhood query
+  kFetchBatch = 4,      // batched queries, one round trip
+};
+
+/// True for opcodes this build understands. Unknown opcodes in a
+/// well-formed header are a semantic error (the server answers with an
+/// error frame), not a framing error.
+bool KnownOpcode(uint16_t opcode);
+
+/// One frame ready to encode. `payload` views caller-owned bytes.
+struct Frame {
+  Opcode opcode = Opcode::kPing;
+  uint64_t request_id = 0;
+  StatusCode status = StatusCode::kOk;
+  std::span<const std::byte> payload;
+};
+
+/// A frame parsed out of a receive buffer. `payload` views the input bytes
+/// and is only valid until the buffer is compacted.
+struct DecodedFrame {
+  uint16_t opcode = 0;
+  uint64_t request_id = 0;
+  StatusCode status = StatusCode::kOk;
+  std::span<const std::byte> payload;
+};
+
+/// Appends the encoded frame to *out.
+void EncodeFrame(const Frame& frame, std::vector<std::byte>* out);
+
+/// Tries to parse one frame from the front of `in`. Returns the bytes
+/// consumed (header + payload) with *out filled, 0 when `in` does not yet
+/// hold a complete frame, or InvalidArgument for framing violations (bad
+/// magic, unsupported version, payload length above kMaxPayloadBytes) —
+/// after which the connection cannot be resynchronized and must close.
+Result<size_t> DecodeFrame(std::span<const std::byte> in, DecodedFrame* out);
+
+// --- bounds-checked payload codecs -------------------------------------------
+
+/// Append-only little-endian payload builder.
+class PayloadWriter {
+ public:
+  explicit PayloadWriter(std::vector<std::byte>* out) : out_(out) {}
+
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutDouble(double v);
+  void PutBytes(std::span<const std::byte> bytes);
+  void PutString(std::string_view s);  // u32 length + bytes
+  void PutNodeArray(std::span<const NodeId> nodes);  // u32 count + ids
+
+ private:
+  std::vector<std::byte>* out_;
+};
+
+/// Sequential little-endian payload parser. Every Get returns false when
+/// the remaining bytes cannot satisfy it; Finish() demands that the payload
+/// was consumed exactly — trailing garbage is as much a protocol violation
+/// as truncation.
+class PayloadReader {
+ public:
+  explicit PayloadReader(std::span<const std::byte> bytes) : bytes_(bytes) {}
+
+  bool GetU32(uint32_t* v);
+  bool GetU64(uint64_t* v);
+  bool GetDouble(double* v);
+  bool GetString(std::string* s);
+  bool GetNodeArray(std::vector<NodeId>* nodes);
+
+  size_t remaining() const { return bytes_.size() - pos_; }
+
+  /// InvalidArgument naming `what` when a Get failed or bytes remain.
+  Status Finish(std::string_view what) const;
+
+ private:
+  bool Take(void* dst, size_t n);
+
+  std::span<const std::byte> bytes_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+// --- message codecs -----------------------------------------------------------
+
+/// The Stats response: the server's scenario descriptor (doubles as the
+/// connect-time handshake — everything a RemoteBackend needs to stand in
+/// for the served origin) plus cumulative service counters.
+struct StatsReply {
+  uint64_t num_nodes = 0;
+  uint64_t server_seed = 0;
+  uint32_t restriction = 0;  // NeighborRestriction
+  uint32_t max_neighbors = 0;
+  uint32_t bidirectional = 0;
+  uint32_t shards = 0;  // 0 = unsharded origin
+  uint64_t requests_served = 0;
+  uint64_t connections_accepted = 0;
+  std::string origin;  // backend stack name, e.g. "sharded[degree:4](snapshot)"
+};
+
+void EncodeStatsReply(const StatsReply& reply, std::vector<std::byte>* out);
+Result<StatsReply> DecodeStatsReply(std::span<const std::byte> payload);
+
+// FetchNeighbors request: u32 node.
+void EncodeFetchRequest(NodeId node, std::vector<std::byte>* out);
+Result<NodeId> DecodeFetchRequest(std::span<const std::byte> payload);
+
+/// FetchNeighbors response: u32 shard, f64 simulated, f64 serial, node
+/// array. The encoder writes straight from the reply's arena span.
+void EncodeNeighborsReply(int32_t shard, double simulated_seconds,
+                          double serial_seconds,
+                          std::span<const NodeId> neighbors,
+                          std::vector<std::byte>* out);
+struct NeighborsReply {
+  int32_t shard = 0;
+  double simulated_seconds = 0.0;
+  double serial_seconds = 0.0;
+  std::vector<NodeId> neighbors;
+};
+Result<NeighborsReply> DecodeNeighborsReply(std::span<const std::byte> payload);
+
+// FetchBatch request: node array.
+void EncodeBatchRequest(std::span<const NodeId> nodes,
+                        std::vector<std::byte>* out);
+Result<std::vector<NodeId>> DecodeBatchRequest(
+    std::span<const std::byte> payload);
+
+/// FetchBatch response: the full BatchReply — f64 simulated, u32 stall
+/// count + f64 stalls, u32 list count, then per list u32 shard + node
+/// array. Round-trips the sharded origin's billing exactly, so remote query
+/// cost accounting matches in-process accounting bit for bit.
+void EncodeBatchReply(const BatchReply& reply, std::vector<std::byte>* out);
+Result<BatchReply> DecodeBatchReply(std::span<const std::byte> payload);
+
+}  // namespace wnw::net

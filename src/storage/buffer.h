@@ -165,4 +165,11 @@ class Array {
   size_t size_ = 0;
 };
 
+/// Tells the kernel this mapped region will be read at random offsets
+/// (madvise MADV_RANDOM): read-ahead off, pages fault in individually —
+/// the access pattern of CSR adjacency under a random walk, where eager
+/// read-ahead just evicts useful pages. Best-effort: a no-op for heap
+/// regions, non-mmap platforms, or a refusing kernel.
+void AdviseRandomAccess(std::span<const std::byte> bytes);
+
 }  // namespace wnw::storage

@@ -297,6 +297,10 @@ Result<LoadedSnapshot> LoadGraphSnapshot(const std::string& path,
       file.ArraySection<uint64_t>(SectionKind::kOffsets));
   WNW_ASSIGN_OR_RETURN(storage::Array<NodeId> adjacency,
                        file.ArraySection<NodeId>(SectionKind::kAdjacency));
+  // A random walk touches adjacency rows in no predictable order; tell the
+  // kernel not to read ahead (offsets stay default — they are scanned
+  // front-to-back by Graph::FromCsr validation and degree lookups).
+  storage::AdviseRandomAccess(adjacency.bytes());
 
   LoadedSnapshot loaded;
   {
@@ -345,6 +349,7 @@ Result<LoadedSnapshot> LoadGraphSnapshot(const std::string& path,
       WNW_ASSIGN_OR_RETURN(
           shards[s].adjacency,
           file.ArraySection<NodeId>(SectionKind::kShardAdjacency, s));
+      storage::AdviseRandomAccess(shards[s].adjacency.bytes());
     }
     auto sharded = ShardedGraph::FromParts(
         static_cast<ShardPartition>(shard_meta.partition), std::move(shards),
@@ -352,18 +357,24 @@ Result<LoadedSnapshot> LoadGraphSnapshot(const std::string& path,
     if (!sharded.ok()) return CorruptSnapshot(path, sharded.status());
     // The flat CSR and the per-shard sections are independent bytes in the
     // file; nothing so far proves they describe the same graph. Cross-check
-    // every node's routed list against the flat one (O(m), and this load
-    // path scans everything anyway), because a divergent shard would make
-    // sharded and unsharded origins serve different samples — the exact
-    // invariant the backend acceptance tests promise cannot happen.
-    for (NodeId u = 0; u < loaded.graph.num_nodes(); ++u) {
-      const std::span<const NodeId> flat = loaded.graph.Neighbors(u);
-      const std::span<const NodeId> routed = sharded->Neighbors(u);
-      if (flat.size() != routed.size() ||
-          !std::equal(flat.begin(), flat.end(), routed.begin())) {
-        return Status::IOError(
-            path + ": shard sections disagree with the flat CSR at node " +
-            std::to_string(u));
+    // every node's routed list against the flat one (O(m), and the verify
+    // path scans everything for the checksum anyway), because a divergent
+    // shard would make sharded and unsharded origins serve different
+    // samples — the exact invariant the backend acceptance tests promise
+    // cannot happen. The trusted-open fast path (verify_checksum=false)
+    // skips this scan along with the checksum: both exist to catch
+    // corruption, and both would fault in every page of a file that
+    // mmap'd precisely so pages load on demand.
+    if (options.verify_checksum) {
+      for (NodeId u = 0; u < loaded.graph.num_nodes(); ++u) {
+        const std::span<const NodeId> flat = loaded.graph.Neighbors(u);
+        const std::span<const NodeId> routed = sharded->Neighbors(u);
+        if (flat.size() != routed.size() ||
+            !std::equal(flat.begin(), flat.end(), routed.begin())) {
+          return Status::IOError(
+              path + ": shard sections disagree with the flat CSR at node " +
+              std::to_string(u));
+        }
       }
     }
     loaded.sharded =

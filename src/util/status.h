@@ -21,6 +21,8 @@ enum class StatusCode {
   kResourceExhausted,
   kIOError,
   kInternal,
+  kUnavailable,        // transient: the remote service cannot be reached
+  kDeadlineExceeded,   // transient: a request missed its deadline
 };
 
 /// Returns a stable human-readable name for a status code.
@@ -52,6 +54,24 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+
+  /// Rebuilds a Status from a code that crossed a serialization boundary
+  /// (the wire protocol ships StatusCode + message). Out-of-range codes
+  /// collapse to kInternal rather than trusting foreign input.
+  static Status FromCode(StatusCode code, std::string msg) {
+    if (code == StatusCode::kOk) return OK();
+    if (code < StatusCode::kInvalidArgument ||
+        code > StatusCode::kDeadlineExceeded) {
+      return Internal("unknown status code from peer: " + std::move(msg));
+    }
+    return Status(code, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,492 @@
+// Wire-protocol and reactor tests: framing hardening (a peer can be
+// truncated, hostile, or dead mid-frame, never crashing or hanging the
+// server), the timer wheel, the event loop, and the WnwServer served over
+// real loopback sockets with pipelined and interleaved requests.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "access/backend.h"
+#include "net/event_loop.h"
+#include "net/server.h"
+#include "net/wire.h"
+#include "test_util.h"
+
+namespace wnw {
+namespace {
+
+using net::DecodedFrame;
+using net::Frame;
+using net::Opcode;
+
+std::vector<std::byte> EncodeOne(Opcode opcode, uint64_t id,
+                                 std::span<const std::byte> payload = {}) {
+  Frame frame;
+  frame.opcode = opcode;
+  frame.request_id = id;
+  frame.payload = payload;
+  std::vector<std::byte> out;
+  net::EncodeFrame(frame, &out);
+  return out;
+}
+
+// --- frame codec -------------------------------------------------------------
+
+TEST(WireTest, FrameRoundTrip) {
+  const std::vector<std::byte> payload = {std::byte{1}, std::byte{2},
+                                          std::byte{3}};
+  const std::vector<std::byte> wire =
+      EncodeOne(Opcode::kFetchNeighbors, 42, payload);
+  ASSERT_EQ(wire.size(), net::kFrameHeaderBytes + 3);
+
+  DecodedFrame decoded;
+  auto taken = net::DecodeFrame(wire, &decoded);
+  ASSERT_TRUE(taken.ok()) << taken.status().ToString();
+  EXPECT_EQ(*taken, wire.size());
+  EXPECT_EQ(decoded.opcode, static_cast<uint16_t>(Opcode::kFetchNeighbors));
+  EXPECT_EQ(decoded.request_id, 42u);
+  EXPECT_EQ(decoded.status, StatusCode::kOk);
+  ASSERT_EQ(decoded.payload.size(), 3u);
+  EXPECT_EQ(decoded.payload[1], std::byte{2});
+}
+
+TEST(WireTest, TruncatedFramesAreIncompleteNotErrors) {
+  const std::vector<std::byte> wire =
+      EncodeOne(Opcode::kPing, 7, std::vector<std::byte>(10));
+  // Every prefix short of the full frame decodes to "0 consumed, wait for
+  // more bytes" — a slow peer is not a protocol violation.
+  for (size_t len = 0; len < wire.size(); ++len) {
+    DecodedFrame decoded;
+    auto taken = net::DecodeFrame(
+        std::span<const std::byte>(wire.data(), len), &decoded);
+    ASSERT_TRUE(taken.ok()) << "len=" << len;
+    EXPECT_EQ(*taken, 0u) << "len=" << len;
+  }
+}
+
+TEST(WireTest, WrongMagicIsInvalidArgument) {
+  std::vector<std::byte> wire = EncodeOne(Opcode::kPing, 1);
+  wire[0] = std::byte{0xff};
+  DecodedFrame decoded;
+  auto taken = net::DecodeFrame(wire, &decoded);
+  ASSERT_FALSE(taken.ok());
+  EXPECT_EQ(taken.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(taken.status().message().find("magic"), std::string::npos);
+}
+
+TEST(WireTest, WrongVersionIsInvalidArgument) {
+  std::vector<std::byte> wire = EncodeOne(Opcode::kPing, 1);
+  wire[4] = std::byte{0x7f};  // version field
+  DecodedFrame decoded;
+  auto taken = net::DecodeFrame(wire, &decoded);
+  ASSERT_FALSE(taken.ok());
+  EXPECT_EQ(taken.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(taken.status().message().find("version"), std::string::npos);
+}
+
+TEST(WireTest, OversizedDeclaredPayloadIsInvalidArgument) {
+  std::vector<std::byte> wire = EncodeOne(Opcode::kPing, 1);
+  // Declare a payload over the cap without shipping it: a hostile length
+  // must be rejected from the header alone, not buffered toward 4 GiB.
+  const uint32_t huge = net::kMaxPayloadBytes + 1;
+  std::memcpy(wire.data() + 20, &huge, sizeof(huge));
+  DecodedFrame decoded;
+  auto taken = net::DecodeFrame(wire, &decoded);
+  ASSERT_FALSE(taken.ok());
+  EXPECT_EQ(taken.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(taken.status().message().find("payload"), std::string::npos);
+}
+
+TEST(WireTest, PayloadReaderRejectsTrailingGarbage) {
+  std::vector<std::byte> payload;
+  net::EncodeFetchRequest(5, &payload);
+  payload.push_back(std::byte{0});  // one stray byte
+  auto decoded = net::DecodeFetchRequest(payload);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireTest, PayloadReaderRejectsHostileArrayCount) {
+  // A node array claiming 2^31 entries backed by 4 bytes must fail cleanly
+  // instead of resizing to gigabytes.
+  std::vector<std::byte> payload(8);
+  const uint32_t count = 1u << 31;
+  std::memcpy(payload.data(), &count, sizeof(count));
+  auto decoded = net::DecodeBatchRequest(payload);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireTest, BatchReplyRoundTripsBilling) {
+  BatchReply reply;
+  reply.lists = {{1, 2, 3}, {}, {9}};
+  reply.simulated_seconds = 0.125;
+  reply.shards = {2, 0, 1};
+  reply.BillStall(2, 0.5);
+  std::vector<std::byte> payload;
+  net::EncodeBatchReply(reply, &payload);
+  auto decoded = net::DecodeBatchReply(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->lists, reply.lists);
+  EXPECT_EQ(decoded->shards, reply.shards);
+  EXPECT_EQ(decoded->simulated_seconds, reply.simulated_seconds);
+  ASSERT_EQ(decoded->shard_stalls.size(), 3u);
+  EXPECT_EQ(decoded->shard_stalls[2], 0.5);
+}
+
+TEST(WireTest, StatsReplyRoundTrips) {
+  net::StatsReply stats;
+  stats.num_nodes = 1000;
+  stats.server_seed = 0xabc;
+  stats.restriction = 2;
+  stats.max_neighbors = 16;
+  stats.bidirectional = 1;
+  stats.shards = 4;
+  stats.requests_served = 77;
+  stats.connections_accepted = 3;
+  stats.origin = "sharded[degree:4](snapshot)";
+  std::vector<std::byte> payload;
+  net::EncodeStatsReply(stats, &payload);
+  auto decoded = net::DecodeStatsReply(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->num_nodes, stats.num_nodes);
+  EXPECT_EQ(decoded->server_seed, stats.server_seed);
+  EXPECT_EQ(decoded->restriction, stats.restriction);
+  EXPECT_EQ(decoded->max_neighbors, stats.max_neighbors);
+  EXPECT_EQ(decoded->shards, stats.shards);
+  EXPECT_EQ(decoded->origin, stats.origin);
+}
+
+// --- timer wheel -------------------------------------------------------------
+
+TEST(TimerWheelTest, FiresInDeadlineOrderAndHonorsCancel) {
+  net::TimerWheel wheel;
+  std::vector<int> fired;
+  wheel.Add(0.0, 0.05, [&] { fired.push_back(2); });
+  const uint64_t early = wheel.Add(0.0, 0.02, [&] { fired.push_back(1); });
+  const uint64_t cancelled = wheel.Add(0.0, 0.03, [&] { fired.push_back(9); });
+  wheel.Cancel(cancelled);
+  EXPECT_EQ(wheel.pending(), 2u);
+
+  wheel.AdvanceTo(0.01);
+  EXPECT_TRUE(fired.empty());
+  wheel.AdvanceTo(0.06);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+  EXPECT_EQ(wheel.pending(), 0u);
+  wheel.Cancel(early);  // already fired: no-op, no crash
+}
+
+TEST(TimerWheelTest, NextDelayTracksEarliestPending) {
+  net::TimerWheel wheel;
+  EXPECT_EQ(wheel.NextDelay(0.0), -1.0);
+  wheel.Add(0.0, 0.5, [] {});
+  const double delay = wheel.NextDelay(0.1);
+  EXPECT_GT(delay, 0.0);
+  EXPECT_LE(delay, 0.5);
+  // A due timer yields a zero (not negative) delay.
+  EXPECT_EQ(wheel.NextDelay(10.0), 0.0);
+}
+
+TEST(TimerWheelTest, WrapsAroundTheWheel) {
+  // Deadlines more than kSlots ticks out must not fire a lap early.
+  net::TimerWheel wheel;
+  int fired = 0;
+  const double far = net::TimerWheel::kTickSeconds *
+                     (net::TimerWheel::kSlots + 10);
+  wheel.Add(0.0, far, [&] { ++fired; });
+  wheel.AdvanceTo(net::TimerWheel::kTickSeconds * net::TimerWheel::kSlots);
+  EXPECT_EQ(fired, 0);
+  wheel.AdvanceTo(far + 0.02);
+  EXPECT_EQ(fired, 1);
+}
+
+// --- event loop --------------------------------------------------------------
+
+TEST(EventLoopTest, PostRunsOnLoopThreadAndTimersFire) {
+  auto loop_or = net::EventLoop::Create();
+  ASSERT_TRUE(loop_or.ok());
+  net::EventLoop& loop = **loop_or;
+
+  std::atomic<bool> posted{false};
+  std::atomic<bool> timed{false};
+  std::thread runner([&] { loop.Run(); });
+  loop.Post([&] {
+    EXPECT_TRUE(loop.in_loop_thread());
+    posted = true;
+    loop.AddTimer(0.01, [&] {
+      timed = true;
+      loop.Stop();
+    });
+  });
+  runner.join();
+  EXPECT_TRUE(posted);
+  EXPECT_TRUE(timed);
+}
+
+// --- server over real sockets ------------------------------------------------
+
+int ConnectTo(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in dst{};
+  dst.sin_family = AF_INET;
+  dst.sin_port = htons(static_cast<uint16_t>(port));
+  inet_pton(AF_INET, "127.0.0.1", &dst.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&dst), sizeof(dst)), 0)
+      << std::strerror(errno);
+  const timeval timeout{5, 0};  // tests must never hang on a dead server
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  return fd;
+}
+
+void SendAll(int fd, std::span<const std::byte> bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    ASSERT_GT(n, 0) << std::strerror(errno);
+    sent += static_cast<size_t>(n);
+  }
+}
+
+// Reads frames until `count` have been decoded (owned payload copies).
+struct OwnedFrame {
+  uint16_t opcode = 0;
+  uint64_t request_id = 0;
+  StatusCode status = StatusCode::kOk;
+  std::vector<std::byte> payload;
+};
+
+std::vector<OwnedFrame> ReadFrames(int fd, size_t count) {
+  std::vector<OwnedFrame> frames;
+  std::vector<std::byte> in;
+  while (frames.size() < count) {
+    DecodedFrame frame;
+    auto taken = net::DecodeFrame(in, &frame);
+    EXPECT_TRUE(taken.ok()) << taken.status().ToString();
+    if (!taken.ok()) return frames;
+    if (*taken > 0) {
+      frames.push_back(OwnedFrame{
+          frame.opcode, frame.request_id, frame.status,
+          std::vector<std::byte>(frame.payload.begin(), frame.payload.end())});
+      in.erase(in.begin(), in.begin() + static_cast<ptrdiff_t>(*taken));
+      continue;
+    }
+    char buf[4096];
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    EXPECT_GT(n, 0) << "server closed or timed out";
+    if (n <= 0) return frames;
+    const std::byte* bytes = reinterpret_cast<const std::byte*>(buf);
+    in.insert(in.end(), bytes, bytes + n);
+  }
+  return frames;
+}
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void StartServer(AccessOptions options = {}) {
+    graph_ = testing::MakeTestBA(60, 3, 11);
+    backend_ = std::make_shared<InMemoryBackend>(&graph_, options);
+    net::ServerOptions server_options;
+    server_options.threads = 2;
+    auto server = net::WnwServer::Start(backend_, server_options);
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+    server_ = std::move(server).value();
+  }
+
+  Graph graph_;
+  std::shared_ptr<InMemoryBackend> backend_;
+  std::unique_ptr<net::WnwServer> server_;
+};
+
+TEST_F(ServerTest, PingStatsAndFetchRoundTrip) {
+  StartServer();
+  const int fd = ConnectTo(server_->port());
+
+  SendAll(fd, EncodeOne(Opcode::kPing, 1));
+  std::vector<std::byte> fetch;
+  net::EncodeFetchRequest(3, &fetch);
+  SendAll(fd, EncodeOne(Opcode::kFetchNeighbors, 2, fetch));
+  SendAll(fd, EncodeOne(Opcode::kStats, 3));
+
+  const auto frames = ReadFrames(fd, 3);
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_EQ(frames[0].request_id, 1u);
+  EXPECT_TRUE(frames[0].payload.empty());
+
+  EXPECT_EQ(frames[1].request_id, 2u);
+  auto neighbors = net::DecodeNeighborsReply(frames[1].payload);
+  ASSERT_TRUE(neighbors.ok());
+  EXPECT_EQ(neighbors->neighbors, testing::ToVec(graph_.Neighbors(3)));
+
+  auto stats = net::DecodeStatsReply(frames[2].payload);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->num_nodes, graph_.num_nodes());
+  EXPECT_EQ(stats->origin, "memory");
+  ::close(fd);
+}
+
+TEST_F(ServerTest, PipelinedRequestsInterleaveAcrossOpcodes) {
+  StartServer();
+  const int fd = ConnectTo(server_->port());
+
+  // Ship 20 requests back to back before reading a byte: fetches, pings,
+  // and a batch, with distinct ids. Responses arrive in order on one
+  // connection; the ids prove which answer belongs to which question.
+  std::vector<std::byte> wire;
+  for (uint64_t id = 1; id <= 20; ++id) {
+    if (id % 5 == 0) {
+      net::Frame frame;
+      frame.opcode = Opcode::kPing;
+      frame.request_id = id;
+      net::EncodeFrame(frame, &wire);
+      continue;
+    }
+    std::vector<std::byte> payload;
+    net::EncodeFetchRequest(static_cast<NodeId>(id % graph_.num_nodes()),
+                            &payload);
+    net::Frame frame;
+    frame.opcode = Opcode::kFetchNeighbors;
+    frame.request_id = id;
+    frame.payload = payload;
+    net::EncodeFrame(frame, &wire);
+  }
+  SendAll(fd, wire);
+
+  const auto frames = ReadFrames(fd, 20);
+  ASSERT_EQ(frames.size(), 20u);
+  for (uint64_t id = 1; id <= 20; ++id) {
+    const OwnedFrame& frame = frames[id - 1];
+    EXPECT_EQ(frame.request_id, id);
+    EXPECT_EQ(frame.status, StatusCode::kOk);
+    if (id % 5 != 0) {
+      auto reply = net::DecodeNeighborsReply(frame.payload);
+      ASSERT_TRUE(reply.ok());
+      EXPECT_EQ(reply->neighbors,
+                testing::ToVec(graph_.Neighbors(
+                    static_cast<NodeId>(id % graph_.num_nodes()))));
+    }
+  }
+  ::close(fd);
+}
+
+TEST_F(ServerTest, BatchMatchesBackend) {
+  StartServer();
+  const int fd = ConnectTo(server_->port());
+  const std::vector<NodeId> nodes = {5, 0, 17, 5};
+  std::vector<std::byte> payload;
+  net::EncodeBatchRequest(nodes, &payload);
+  SendAll(fd, EncodeOne(Opcode::kFetchBatch, 9, payload));
+  const auto frames = ReadFrames(fd, 1);
+  ASSERT_EQ(frames.size(), 1u);
+  auto reply = net::DecodeBatchReply(frames[0].payload);
+  ASSERT_TRUE(reply.ok());
+  ASSERT_EQ(reply->lists.size(), nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    EXPECT_EQ(reply->lists[i], testing::ToVec(graph_.Neighbors(nodes[i])));
+  }
+  ::close(fd);
+}
+
+TEST_F(ServerTest, BackendErrorsTravelAsStatusFrames) {
+  StartServer();
+  const int fd = ConnectTo(server_->port());
+  std::vector<std::byte> payload;
+  net::EncodeFetchRequest(static_cast<NodeId>(graph_.num_nodes() + 5),
+                          &payload);
+  SendAll(fd, EncodeOne(Opcode::kFetchNeighbors, 4, payload));
+  const auto frames = ReadFrames(fd, 1);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].status, StatusCode::kOutOfRange);
+  EXPECT_FALSE(frames[0].payload.empty());  // the status message rides along
+  ::close(fd);
+}
+
+TEST_F(ServerTest, UnknownOpcodeGetsErrorFrameNotDisconnect) {
+  StartServer();
+  const int fd = ConnectTo(server_->port());
+  SendAll(fd, EncodeOne(static_cast<Opcode>(99), 6));
+  const auto frames = ReadFrames(fd, 1);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].status, StatusCode::kInvalidArgument);
+  // The connection survives a semantic error: a ping still answers.
+  SendAll(fd, EncodeOne(Opcode::kPing, 7));
+  const auto after = ReadFrames(fd, 1);
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_EQ(after[0].request_id, 7u);
+  ::close(fd);
+}
+
+TEST_F(ServerTest, FramingViolationClosesConnection) {
+  StartServer();
+  const int fd = ConnectTo(server_->port());
+  std::vector<std::byte> garbage(net::kFrameHeaderBytes, std::byte{0xee});
+  SendAll(fd, garbage);
+  // The server must close; recv sees EOF, not a hang.
+  char buf[64];
+  const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+  EXPECT_EQ(n, 0);
+  ::close(fd);
+
+  // And the violation is counted.
+  for (int i = 0; i < 100 && server_->counters().protocol_errors == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(server_->counters().protocol_errors, 1u);
+}
+
+TEST_F(ServerTest, MidFrameCloseIsHarmless) {
+  StartServer();
+  // A client that dies after half a header must not wedge or crash the
+  // reactor — the next client is served normally.
+  {
+    const int fd = ConnectTo(server_->port());
+    const std::vector<std::byte> half =
+        EncodeOne(Opcode::kPing, 1);  // encode, then send only a prefix
+    SendAll(fd, std::span<const std::byte>(half.data(), 9));
+    ::close(fd);
+  }
+  const int fd = ConnectTo(server_->port());
+  SendAll(fd, EncodeOne(Opcode::kPing, 2));
+  const auto frames = ReadFrames(fd, 1);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].request_id, 2u);
+  EXPECT_EQ(server_->counters().protocol_errors, 0u);
+  ::close(fd);
+}
+
+TEST_F(ServerTest, ShutdownDrainsAndCounts) {
+  StartServer();
+  const int fd = ConnectTo(server_->port());
+  SendAll(fd, EncodeOne(Opcode::kPing, 1));
+  ASSERT_EQ(ReadFrames(fd, 1).size(), 1u);
+  server_->Shutdown();
+  // After shutdown the connection is closed...
+  char buf[64];
+  EXPECT_LE(::recv(fd, buf, sizeof(buf), 0), 0);
+  ::close(fd);
+  // ...and new connections are refused.
+  const int probe = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in dst{};
+  dst.sin_family = AF_INET;
+  dst.sin_port = htons(static_cast<uint16_t>(server_->port()));
+  inet_pton(AF_INET, "127.0.0.1", &dst.sin_addr);
+  EXPECT_NE(::connect(probe, reinterpret_cast<sockaddr*>(&dst), sizeof(dst)),
+            0);
+  ::close(probe);
+  const auto counters = server_->counters();
+  EXPECT_EQ(counters.connections_accepted, 1u);
+  EXPECT_EQ(counters.requests_served, 1u);
+  server_->Shutdown();  // idempotent
+}
+
+}  // namespace
+}  // namespace wnw

@@ -125,6 +125,47 @@ TEST(SnapshotAcceptanceTest, EverySamplerDrawsIdenticallyOnSnapshotOrigin) {
   }
 }
 
+// The trusted-open fast path: ?snapshot_verify=off skips the checksum and
+// shard-consistency scans at open time but serves the exact same bytes —
+// samples and costs must not move.
+TEST(SnapshotAcceptanceTest, TrustedOpenDrawsIdenticalSamples) {
+  const Graph& g = TestGraph();
+  SessionOptions opts;
+  opts.seed = 515;
+  for (const std::string& extra :
+       {std::string(""), std::string("&shards=3&partition=degree")}) {
+    const std::string base =
+        "burnin:srw?snapshot=" + TestSnapshotPath() + extra;
+    auto verified = SamplingSession::Open(&g, base, opts);
+    ASSERT_TRUE(verified.ok()) << base;
+    std::vector<NodeId> expected;
+    ASSERT_TRUE((*verified)->DrawInto(&expected, 15).ok());
+
+    auto trusted =
+        SamplingSession::Open(&g, base + "&snapshot_verify=off", opts);
+    ASSERT_TRUE(trusted.ok())
+        << base << ": " << trusted.status().ToString();
+    std::vector<NodeId> samples;
+    ASSERT_TRUE((*trusted)->DrawInto(&samples, 15).ok());
+    EXPECT_EQ(samples, expected) << base;
+    EXPECT_EQ((*trusted)->Stats().query_cost,
+              (*verified)->Stats().query_cost);
+  }
+
+  // The knob is validated: only on/off (and bool aliases) parse, and it
+  // refuses to ride along without a snapshot origin.
+  EXPECT_EQ(SamplingSession::Open(
+                &g, "burnin:srw?snapshot=" + TestSnapshotPath() +
+                        "&snapshot_verify=maybe")
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(SamplingSession::Open(&g, "burnin:srw?snapshot_verify=on")
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
 TEST(SnapshotSpecTest, BrokenAndConflictingInputsAreStatuses) {
   const Graph& g = TestGraph();
   // Missing file: a Status, not a crash.

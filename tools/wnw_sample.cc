@@ -225,6 +225,14 @@ void PrintJson(const SessionStats& stats, const std::vector<NodeId>& samples) {
     std::printf("%s%.6f", i == 0 ? "" : ", ", stats.shard_stall_seconds[i]);
   }
   std::printf("],\n");
+  std::printf("    \"remote_addr\": \"%s\",\n",
+              JsonEscape(stats.remote_addr).c_str());
+  std::printf("    \"remote_rpcs\": %llu,\n",
+              static_cast<unsigned long long>(stats.remote_rpcs));
+  std::printf("    \"remote_retries\": %llu,\n",
+              static_cast<unsigned long long>(stats.remote_retries));
+  std::printf("    \"remote_bytes\": %llu,\n",
+              static_cast<unsigned long long>(stats.remote_bytes));
   std::printf("    \"cache_attached\": %s,\n",
               stats.cache_attached ? "true" : "false");
   std::printf("    \"cache_hits\": %llu,\n",
@@ -349,6 +357,14 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, " %llu", static_cast<unsigned long long>(f));
     }
     std::fprintf(stderr, "\n");
+  }
+  if (!stats.remote_addr.empty()) {
+    std::fprintf(
+        stderr, "remote: %s  rpcs: %llu  retries: %llu  wire bytes: %llu\n",
+        stats.remote_addr.c_str(),
+        static_cast<unsigned long long>(stats.remote_rpcs),
+        static_cast<unsigned long long>(stats.remote_retries),
+        static_cast<unsigned long long>(stats.remote_bytes));
   }
   if (stats.cache_attached) {
     std::fprintf(stderr,

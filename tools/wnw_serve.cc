@@ -1,0 +1,236 @@
+// wnw_serve: the standalone neighbor-query daemon — serves a graph snapshot
+// over the wire protocol (net/wire.h) on an epoll reactor pool
+// (net/server.h), so samplers on other processes or hosts hit the paper's
+// actual setting: every local-neighborhood query is a remote API call.
+//
+// Usage:
+//   wnw_serve --snapshot graph.snap [--port P] [--bind ADDR] [--threads N]
+//             [--shards N [--partition hash|range|degree]]
+//             [--restriction none|random|fixed|truncated --max-neighbors K]
+//             [--access-seed S] [--no-verify] [--drain-timeout SEC]
+//             [--port-file PATH]
+//
+// Examples:
+//   wnw_snapshot --dataset small --output small.snap --shards 4
+//   wnw_serve --snapshot small.snap --shards 4 --port 7411 &
+//   wnw_sample --dataset small --samples 20 \
+//       --spec "we:mhrw?backend=remote&addr=127.0.0.1:7411"
+//
+// The server owns the whole origin scenario: the snapshot topology, the
+// shard layout (per-shard file sections are served straight from the
+// mapping), and the §6.3.1 access restriction with its counter-mode
+// randomness — which is why a RemoteBackend client draws byte-identical
+// samples to an in-process origin built from the same options. --port 0
+// binds an ephemeral port; --port-file writes the bound port for scripts
+// that need to discover it (the CI loopback smoke test does).
+//
+// SIGTERM / SIGINT drain gracefully: stop accepting, flush every response
+// already owed, close, then exit 0 — bounded by --drain-timeout.
+#include <csignal>
+#include <cstdio>
+#include <string>
+
+#include "access/decorators.h"
+#include "access/snapshot_backend.h"
+#include "graph/sharded_graph.h"
+#include "net/server.h"
+#include "util/string_util.h"
+
+namespace {
+
+using namespace wnw;
+
+struct Args {
+  std::string snapshot;
+  std::string bind = "127.0.0.1";
+  std::string partition = "hash";
+  std::string restriction = "none";
+  std::string port_file;
+  uint64_t port = 0;
+  uint64_t threads = 0;
+  uint64_t shards = 0;
+  uint64_t max_neighbors = 0;
+  uint64_t access_seed = 0x5eedu;
+  double drain_timeout = 5.0;
+  bool verify = true;
+};
+
+void PrintUsage() {
+  std::fprintf(
+      stderr,
+      "usage: wnw_serve --snapshot SNAP [--port P] [--bind ADDR]\n"
+      "                 [--threads N] [--shards N]\n"
+      "                 [--partition hash|range|degree]\n"
+      "                 [--restriction none|random|fixed|truncated]\n"
+      "                 [--max-neighbors K] [--access-seed S]\n"
+      "                 [--no-verify] [--drain-timeout SEC]\n"
+      "                 [--port-file PATH]\n"
+      "protocol reference: docs/SERVICE.md\n");
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view flag = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    auto next_str = [&](std::string* out) {
+      const char* v = next();
+      if (v == nullptr) return false;
+      *out = v;
+      return true;
+    };
+    auto next_uint = [&](uint64_t* out) {
+      const char* v = next();
+      return v != nullptr && ParseUint64(v, out);
+    };
+    if (flag == "--snapshot") {
+      if (!next_str(&args->snapshot)) return false;
+    } else if (flag == "--bind") {
+      if (!next_str(&args->bind)) return false;
+    } else if (flag == "--partition") {
+      if (!next_str(&args->partition)) return false;
+    } else if (flag == "--restriction") {
+      if (!next_str(&args->restriction)) return false;
+    } else if (flag == "--port-file") {
+      if (!next_str(&args->port_file)) return false;
+    } else if (flag == "--port") {
+      if (!next_uint(&args->port) || args->port > 65535) return false;
+    } else if (flag == "--threads") {
+      if (!next_uint(&args->threads) || args->threads > 64) return false;
+    } else if (flag == "--shards") {
+      if (!next_uint(&args->shards)) return false;
+    } else if (flag == "--max-neighbors") {
+      if (!next_uint(&args->max_neighbors)) return false;
+    } else if (flag == "--access-seed") {
+      if (!next_uint(&args->access_seed)) return false;
+    } else if (flag == "--drain-timeout") {
+      const char* v = next();
+      if (v == nullptr || !ParseDouble(v, &args->drain_timeout) ||
+          args->drain_timeout < 0.0) {
+        return false;
+      }
+    } else if (flag == "--no-verify") {
+      args->verify = false;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", std::string(flag).c_str());
+      return false;
+    }
+  }
+  return !args->snapshot.empty();
+}
+
+Result<AccessOptions> BuildAccessOptions(const Args& args) {
+  AccessOptions access;
+  access.seed = args.access_seed;
+  access.max_neighbors = static_cast<uint32_t>(args.max_neighbors);
+  if (args.restriction == "none") {
+    access.restriction = NeighborRestriction::kNone;
+  } else if (args.restriction == "random") {
+    access.restriction = NeighborRestriction::kRandomSubset;
+  } else if (args.restriction == "fixed") {
+    access.restriction = NeighborRestriction::kFixedSubset;
+  } else if (args.restriction == "truncated") {
+    access.restriction = NeighborRestriction::kTruncated;
+  } else {
+    return Status::InvalidArgument(
+        "unknown restriction '" + args.restriction +
+        "' (expected none | random | fixed | truncated)");
+  }
+  if (access.restriction != NeighborRestriction::kNone &&
+      access.max_neighbors == 0) {
+    return Status::InvalidArgument(
+        "--restriction " + args.restriction + " requires --max-neighbors");
+  }
+  return access;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    PrintUsage();
+    return 2;
+  }
+
+  // Block the shutdown signals before any thread starts so every reactor
+  // inherits the mask and sigwait below is the only consumer.
+  sigset_t signals;
+  sigemptyset(&signals);
+  sigaddset(&signals, SIGTERM);
+  sigaddset(&signals, SIGINT);
+  pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+
+  auto access = BuildAccessOptions(args);
+  if (!access.ok()) {
+    std::fprintf(stderr, "error: %s\n", access.status().ToString().c_str());
+    return 2;
+  }
+
+  BackendStackOptions stack;
+  stack.access = *access;
+  stack.snapshot = args.snapshot;
+  stack.snapshot_verify = args.verify;
+  if (args.shards > 0) {
+    if (args.shards > static_cast<uint64_t>(ShardedGraph::kMaxShards)) {
+      std::fprintf(stderr, "error: --shards must be in [1, %d]\n",
+                   ShardedGraph::kMaxShards);
+      return 2;
+    }
+    stack.shards = static_cast<int>(args.shards);
+    auto partition = ParseShardPartition(args.partition);
+    if (!partition.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   partition.status().ToString().c_str());
+      return 2;
+    }
+    stack.partition = *partition;
+  }
+  auto backend = BuildSnapshotBackendStack(stack);
+  if (!backend.ok()) {
+    std::fprintf(stderr, "error: %s\n", backend.status().ToString().c_str());
+    return 1;
+  }
+
+  net::ServerOptions options;
+  options.bind_addr = args.bind;
+  options.port = static_cast<int>(args.port);
+  options.threads = static_cast<int>(args.threads);
+  options.drain_timeout_seconds = args.drain_timeout;
+  auto server = net::WnwServer::Start(*backend, options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "error: %s\n", server.status().ToString().c_str());
+    return 1;
+  }
+
+  std::fprintf(stderr,
+               "wnw_serve: %s (%llu nodes) on %s:%d — %d reactor threads\n",
+               std::string((*backend)->name()).c_str(),
+               static_cast<unsigned long long>((*backend)->num_nodes()),
+               args.bind.c_str(), (*server)->port(), (*server)->threads());
+  if (!args.port_file.empty()) {
+    std::FILE* f = std::fopen(args.port_file.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot write --port-file %s\n",
+                   args.port_file.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%d\n", (*server)->port());
+    std::fclose(f);
+  }
+
+  int signal_number = 0;
+  sigwait(&signals, &signal_number);
+  std::fprintf(stderr, "wnw_serve: signal %d, draining...\n", signal_number);
+  (*server)->Shutdown();
+
+  const net::WnwServer::Counters counters = (*server)->counters();
+  std::fprintf(stderr,
+               "wnw_serve: drained — %llu requests over %llu connections "
+               "(%llu protocol errors)\n",
+               static_cast<unsigned long long>(counters.requests_served),
+               static_cast<unsigned long long>(counters.connections_accepted),
+               static_cast<unsigned long long>(counters.protocol_errors));
+  return 0;
+}
