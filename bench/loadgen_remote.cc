@@ -34,6 +34,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -288,7 +289,11 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "loadgen: --dataset must be ba:N,M\n");
       return 2;
     }
-    const auto parts = SplitString(args.dataset.substr(3), ",");
+    // A view into args.dataset, not a substr temporary: the returned
+    // views must outlive this statement.
+    const std::string_view ba_spec =
+        std::string_view(args.dataset).substr(3);
+    const auto parts = SplitString(ba_spec, ",");
     uint64_t n = 0, m = 0;
     if (parts.size() != 2 || !ParseUint64(parts[0], &n) ||
         !ParseUint64(parts[1], &m)) {

@@ -16,6 +16,7 @@
 #include <unordered_map>
 
 #include "net/wire.h"
+#include "util/check.h"
 #include "util/logging.h"
 
 namespace wnw {
@@ -91,8 +92,8 @@ struct RemoteBackend::PendingCall {
   }
 };
 
-/// One pool connection. `mu` guards every field: calling threads append
-/// request frames and register pending calls, the loop thread reads,
+/// One pool connection. `mu` guards the shared fields: calling threads
+/// append request frames and register pending calls, the loop thread reads,
 /// flushes, and completes. The critical sections are buffer appends and map
 /// operations — never a syscall that blocks.
 struct RemoteBackend::Conn {
@@ -101,10 +102,16 @@ struct RemoteBackend::Conn {
   std::mutex mu;
   int fd = -1;  // -1 = down
   std::vector<std::byte> in;
-  std::vector<std::byte> out;
-  size_t out_pos = 0;
-  bool want_write = false;  // loop-thread only (EPOLLOUT interest)
+  std::vector<std::byte> out;  // staging: callers append encoded frames
   std::unordered_map<uint64_t, std::shared_ptr<PendingCall>> pending;
+
+  // Loop-thread-only flush state. FlushConn moves `out` into `flushing`
+  // with one swap under `mu`, then sends from `flushing` with no lock held:
+  // a caller appending to `out` meanwhile may reallocate *that* vector, but
+  // never the bytes in flight.
+  std::vector<std::byte> flushing;
+  size_t flush_pos = 0;
+  bool want_write = false;  // EPOLLOUT interest currently registered
 };
 
 RemoteBackend::RemoteBackend(std::string addr, RemoteBackendOptions options)
@@ -365,7 +372,8 @@ Status RemoteBackend::EnsureConnected(Conn* conn) {
       conn->fd = fd;
       conn->in.clear();
       conn->out.clear();
-      conn->out_pos = 0;
+      conn->flushing.clear();
+      conn->flush_pos = 0;
       conn->want_write = false;
     }
     registered = loop_->Add(
@@ -474,35 +482,35 @@ void RemoteBackend::ProcessConnInput(Conn* conn) {
 }
 
 void RemoteBackend::FlushConn(Conn* conn) {
-  int fd;
-  {
-    std::lock_guard<std::mutex> lock(conn->mu);
-    fd = conn->fd;
-  }
-  if (fd < 0) return;
+  WNW_DCHECK(loop_->in_loop_thread());
   while (true) {
-    const std::byte* data;
-    size_t len;
-    {
+    int fd;
+    if (conn->flush_pos >= conn->flushing.size()) {
+      conn->flushing.clear();
+      conn->flush_pos = 0;
       std::lock_guard<std::mutex> lock(conn->mu);
-      if (conn->out_pos >= conn->out.size()) {
-        conn->out.clear();
-        conn->out_pos = 0;
+      fd = conn->fd;
+      if (fd < 0) return;
+      if (conn->out.empty()) {
         if (conn->want_write) {
           conn->want_write = false;
           (void)loop_->Modify(fd, net::kEventRead);
         }
         return;
       }
-      data = conn->out.data() + conn->out_pos;
-      len = conn->out.size() - conn->out_pos;
-    }
-    // The send runs outside the lock: callers may append more frames
-    // meanwhile (out only grows; out_pos is loop-thread-advanced).
-    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
-    if (n > 0) {
+      conn->flushing.swap(conn->out);
+    } else {
       std::lock_guard<std::mutex> lock(conn->mu);
-      conn->out_pos += static_cast<size_t>(n);
+      fd = conn->fd;
+      if (fd < 0) return;
+    }
+    // The send runs outside the lock against the loop-thread-owned
+    // `flushing` buffer; concurrent caller appends only touch `out`.
+    const ssize_t n =
+        ::send(fd, conn->flushing.data() + conn->flush_pos,
+               conn->flushing.size() - conn->flush_pos, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->flush_pos += static_cast<size_t>(n);
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
@@ -530,7 +538,8 @@ void RemoteBackend::KillConn(Conn* conn, const Status& why) {
     }
     conn->in.clear();
     conn->out.clear();
-    conn->out_pos = 0;
+    conn->flushing.clear();
+    conn->flush_pos = 0;
     conn->want_write = false;
     failed.swap(conn->pending);
   }

@@ -43,13 +43,21 @@ uint64_t TimerWheel::Add(double now, double delay_seconds,
       TickFor(deadline), static_cast<uint64_t>(now / kTickSeconds) + 1);
   Entry entry{id, deadline, std::move(cb)};
   slots_[tick % kSlots].push_back(std::move(entry));
+  live_.insert(id);
   ++pending_;
   return id;
 }
 
 void TimerWheel::Cancel(uint64_t id) {
-  if (id == 0 || id >= next_id_) return;
-  if (cancelled_.insert(id).second && pending_ > 0) --pending_;
+  // Only ids still resident in a slot may be cancelled; a fired, already
+  // cancelled, or unknown id must neither poison cancelled_ (the entry
+  // would never be swept out) nor undercount pending_.
+  const auto it = live_.find(id);
+  if (it == live_.end()) return;
+  live_.erase(it);
+  cancelled_.insert(id);
+  WNW_DCHECK(pending_ > 0);
+  --pending_;
 }
 
 void TimerWheel::AdvanceTo(double now) {
@@ -72,6 +80,7 @@ void TimerWheel::AdvanceTo(double now) {
       }
       if (entry.deadline <= now) {
         due.push_back(std::move(entry.cb));
+        live_.erase(entry.id);
         WNW_DCHECK(pending_ > 0);
         --pending_;
         continue;

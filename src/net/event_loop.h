@@ -73,7 +73,8 @@ class TimerWheel {
   };
 
   std::vector<Entry> slots_[kSlots];
-  std::unordered_set<uint64_t> cancelled_;
+  std::unordered_set<uint64_t> live_;       // added, not yet fired/cancelled
+  std::unordered_set<uint64_t> cancelled_;  // cancelled, not yet swept out
   uint64_t next_id_ = 1;
   uint64_t swept_tick_ = 0;  // highest tick AdvanceTo has fully processed
   size_t pending_ = 0;

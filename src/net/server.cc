@@ -39,6 +39,16 @@ int DefaultThreads() {
   return static_cast<int>(std::min(8u, std::max(1u, target)));
 }
 
+// Per-connection write backpressure: once the unflushed output backlog
+// crosses the high-water mark the connection stops reading (and stops
+// decoding requests already buffered) until the backlog drains below the
+// low-water mark. Bounds the memory a client that pipelines requests
+// without consuming responses can pin; a single reply larger than the mark
+// (FetchBatch replies reach 64 MiB) still buffers whole, so the worst case
+// is high-water + one maximal reply.
+constexpr size_t kOutHighWaterBytes = 16ull << 20;
+constexpr size_t kOutLowWaterBytes = 1ull << 20;
+
 }  // namespace
 
 /// One accepted connection, owned by (and only touched from) its reactor's
@@ -47,9 +57,13 @@ struct WnwServer::Connection {
   int fd = -1;
   std::vector<std::byte> in;  // unconsumed received bytes
   std::vector<std::byte> out;
-  size_t out_pos = 0;          // first unflushed byte of `out`
-  bool want_write = false;     // EPOLLOUT interest currently registered
-  bool draining = false;       // close as soon as `out` flushes
+  size_t out_pos = 0;            // first unflushed byte of `out`
+  bool want_write = false;       // flush blocked on EAGAIN
+  bool paused_read = false;      // output backlog above the high-water mark
+  uint32_t interest = kEventRead;  // event mask currently registered
+  bool draining = false;         // close as soon as `out` flushes
+
+  size_t backlog() const { return out.size() - out_pos; }
 };
 
 /// One reactor thread: an event loop plus the connections assigned to it.
@@ -171,7 +185,14 @@ void WnwServer::OnConnectionIo(Reactor* reactor, int fd, uint32_t events) {
   if (it == reactor->connections.end()) return;
   Connection* conn = it->second.get();
   if (events & kEventWrite) {
+    const bool was_paused = conn->paused_read;
     if (!FlushWrites(reactor, conn)) return;
+    if (was_paused && !conn->paused_read && !conn->in.empty()) {
+      // The drain lifted backpressure: serve the requests that were already
+      // buffered before reading new ones (nothing re-triggers them).
+      ProcessInput(reactor, conn);
+      if (reactor->connections.find(fd) == reactor->connections.end()) return;
+    }
   }
   if ((events & kEventRead) == 0) return;
 
@@ -195,33 +216,47 @@ void WnwServer::OnConnectionIo(Reactor* reactor, int fd, uint32_t events) {
 }
 
 void WnwServer::ProcessInput(Reactor* reactor, Connection* conn) {
-  size_t consumed = 0;
-  bool poisoned = false;
-  while (consumed < conn->in.size()) {
-    DecodedFrame frame;
-    auto taken = DecodeFrame(
-        std::span<const std::byte>(conn->in).subspan(consumed), &frame);
-    if (!taken.ok()) {
-      // Framing violation: the byte stream cannot be resynchronized.
-      WNW_LOG(kWarning) << "wnw_serve: closing connection: "
-                        << taken.status().ToString();
-      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
-      poisoned = true;
-      break;
+  while (true) {
+    size_t consumed = 0;
+    bool poisoned = false;
+    bool backpressured = false;
+    while (consumed < conn->in.size()) {
+      if (conn->backlog() >= kOutHighWaterBytes) {
+        // Stop serving (and, via paused_read, stop reading) until the
+        // responses already owed drain below the low-water mark.
+        backpressured = true;
+        break;
+      }
+      DecodedFrame frame;
+      auto taken = DecodeFrame(
+          std::span<const std::byte>(conn->in).subspan(consumed), &frame);
+      if (!taken.ok()) {
+        // Framing violation: the byte stream cannot be resynchronized.
+        WNW_LOG(kWarning) << "wnw_serve: closing connection: "
+                          << taken.status().ToString();
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        poisoned = true;
+        break;
+      }
+      if (*taken == 0) break;  // incomplete frame; wait for more bytes
+      HandleFrame(conn, frame);
+      consumed += *taken;
     }
-    if (*taken == 0) break;  // incomplete frame; wait for more bytes
-    HandleFrame(conn, frame);
-    consumed += *taken;
+    if (consumed > 0) {
+      conn->in.erase(conn->in.begin(),
+                     conn->in.begin() + static_cast<ptrdiff_t>(consumed));
+    }
+    if (poisoned) {
+      CloseConnection(reactor, conn->fd);
+      return;
+    }
+    if (backpressured) conn->paused_read = true;
+    if (!FlushWrites(reactor, conn)) return;  // connection died / drained
+    // FlushWrites lifts paused_read once the backlog drains below the
+    // low-water mark; keep serving the still-buffered requests in that
+    // case, otherwise wait for a write (or read) event.
+    if (!backpressured || conn->paused_read) return;
   }
-  if (poisoned) {
-    CloseConnection(reactor, conn->fd);
-    return;
-  }
-  if (consumed > 0) {
-    conn->in.erase(conn->in.begin(),
-                   conn->in.begin() + static_cast<ptrdiff_t>(consumed));
-  }
-  FlushWrites(reactor, conn);
 }
 
 void WnwServer::HandleFrame(Connection* conn, const DecodedFrame& frame) {
@@ -305,27 +340,35 @@ bool WnwServer::FlushWrites(Reactor* reactor, Connection* conn) {
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      if (!conn->want_write) {
-        conn->want_write = true;
-        (void)reactor->loop->Modify(conn->fd, kEventRead | kEventWrite);
-      }
-      return true;
+      conn->want_write = true;
+      break;
     }
     CloseConnection(reactor, conn->fd);
     return false;
   }
-  // Fully flushed: drop the buffer and the EPOLLOUT interest.
-  conn->out.clear();
-  conn->out_pos = 0;
-  if (conn->want_write) {
+  if (conn->out_pos >= conn->out.size()) {
+    // Fully flushed: drop the buffer and the EPOLLOUT interest.
+    conn->out.clear();
+    conn->out_pos = 0;
     conn->want_write = false;
-    (void)reactor->loop->Modify(conn->fd, kEventRead);
+    if (conn->draining) {
+      CloseConnection(reactor, conn->fd);
+      return false;
+    }
   }
-  if (conn->draining) {
-    CloseConnection(reactor, conn->fd);
-    return false;
+  if (conn->paused_read && conn->backlog() <= kOutLowWaterBytes) {
+    conn->paused_read = false;
   }
+  UpdateInterest(reactor, conn);
   return true;
+}
+
+void WnwServer::UpdateInterest(Reactor* reactor, Connection* conn) {
+  const uint32_t want = (conn->paused_read ? 0u : kEventRead) |
+                        (conn->want_write ? kEventWrite : 0u);
+  if (want == conn->interest) return;
+  conn->interest = want;
+  (void)reactor->loop->Modify(conn->fd, want);
 }
 
 void WnwServer::CloseConnection(Reactor* reactor, int fd) {
@@ -372,6 +415,16 @@ WnwServer::Counters WnwServer::counters() const {
 void WnwServer::Shutdown() {
   if (shut_down_.exchange(true)) return;
   shutting_down_.store(true, std::memory_order_release);
+  if (threads_.empty()) {
+    // Start() failed before the reactor threads launched (EADDRINUSE, bad
+    // bind address, ...): no loop is running and no connection exists, so
+    // tear down inline instead of posting to loops that may not exist.
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return;
+  }
   // Close the listener first so no connection arrives after the drain
   // sweep. Loop-affine work goes through Post.
   loops_[0]->loop->Post([this] {

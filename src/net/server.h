@@ -16,7 +16,11 @@
 // Per-connection pipelining: a client may send any number of requests
 // without waiting; each complete frame is served as it is decoded and
 // responses are written back in arrival order (request_id echoes make the
-// order irrelevant to a demuxing client).
+// order irrelevant to a demuxing client). Write backpressure bounds the
+// pipeline: once a connection's unflushed responses exceed a high-water
+// mark the server stops reading (and serving) it until the backlog drains
+// below a low-water mark, so a client that never consumes responses cannot
+// grow the output buffer without bound.
 //
 // Shutdown() drains gracefully: the listener closes first (no new
 // connections), every connection finishes flushing the responses already
@@ -102,9 +106,13 @@ class WnwServer {
   void HandleFrame(Connection* conn, const DecodedFrame& frame);
   void SendErrorFrame(Connection* conn, uint16_t opcode, uint64_t request_id,
                       const Status& status);
-  /// Flushes conn->out; toggles EPOLLOUT interest as needed. Returns false
-  /// when the connection died mid-write (already closed).
+  /// Flushes conn->out; toggles EPOLLOUT interest and lifts read
+  /// backpressure as the backlog drains. Returns false when the connection
+  /// died mid-write (already closed).
   bool FlushWrites(Reactor* reactor, Connection* conn);
+  /// Re-registers the connection's epoll interest from its paused_read /
+  /// want_write flags when it changed.
+  void UpdateInterest(Reactor* reactor, Connection* conn);
   void CloseConnection(Reactor* reactor, int fd);
   void FillStatsReply(StatsReply* reply) const;
 

@@ -184,6 +184,31 @@ TEST(TimerWheelTest, FiresInDeadlineOrderAndHonorsCancel) {
   wheel.Cancel(early);  // already fired: no-op, no crash
 }
 
+TEST(TimerWheelTest, CancelOfFiredOrUnknownIdIsATrueNoOp) {
+  // Cancelling a fired, double-cancelled, or unknown handle must not eat
+  // into pending() (which would let NextDelay report -1 with real timers
+  // still resident) nor leave a ghost entry in the cancelled set.
+  net::TimerWheel wheel;
+  int fired = 0;
+  const uint64_t early = wheel.Add(0.0, 0.02, [&] { ++fired; });
+  const uint64_t cancelled = wheel.Add(0.0, 0.03, [&] { fired += 100; });
+  wheel.Add(0.0, 0.5, [&] { ++fired; });
+  wheel.Cancel(cancelled);
+  wheel.AdvanceTo(0.05);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(wheel.pending(), 1u);
+
+  wheel.Cancel(early);      // already fired
+  wheel.Cancel(cancelled);  // double cancel
+  wheel.Cancel(987654);     // never issued
+  EXPECT_EQ(wheel.pending(), 1u);
+  EXPECT_GT(wheel.NextDelay(0.05), 0.0);  // the live timer is still seen
+
+  wheel.AdvanceTo(1.0);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(wheel.pending(), 0u);
+}
+
 TEST(TimerWheelTest, NextDelayTracksEarliestPending) {
   net::TimerWheel wheel;
   EXPECT_EQ(wheel.NextDelay(0.0), -1.0);
@@ -486,6 +511,75 @@ TEST_F(ServerTest, ShutdownDrainsAndCounts) {
   EXPECT_EQ(counters.connections_accepted, 1u);
   EXPECT_EQ(counters.requests_served, 1u);
   server_->Shutdown();  // idempotent
+}
+
+TEST(ServerStartFailureTest, FailedStartReturnsStatusAndDestructsCleanly) {
+  // When Start() fails before the reactor threads launch, the error must
+  // surface as a clean Status and destroying the half-built server must not
+  // touch loops that never existed.
+  Graph graph = testing::MakeTestBA(20, 3, 7);
+  auto backend = std::make_shared<InMemoryBackend>(&graph, AccessOptions{});
+
+  net::ServerOptions bad_addr;
+  bad_addr.bind_addr = "not-an-address";
+  auto server = net::WnwServer::Start(backend, bad_addr);
+  ASSERT_FALSE(server.ok());
+  EXPECT_EQ(server.status().code(), StatusCode::kInvalidArgument);
+
+  // Occupy a loopback port, then ask the server to bind it: EADDRINUSE.
+  const int holder = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(holder, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(holder, 1), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(holder, reinterpret_cast<sockaddr*>(&addr), &len),
+            0);
+  net::ServerOptions busy;
+  busy.port = ntohs(addr.sin_port);
+  auto in_use = net::WnwServer::Start(backend, busy);
+  ASSERT_FALSE(in_use.ok());
+  EXPECT_EQ(in_use.status().code(), StatusCode::kIOError);
+  ::close(holder);
+}
+
+TEST_F(ServerTest, BackpressurePausesAndResumesUnderPipelinedFlood) {
+  StartServer();
+  const int fd = ConnectTo(server_->port());
+  // Pipeline enough FetchBatch requests that the replies (~25 MB in total)
+  // overflow the server's 16 MiB output high-water mark while the client
+  // reads nothing: the server must pause reading instead of buffering
+  // without bound, then resume and answer every request as the client
+  // drains its responses.
+  constexpr uint64_t kRequests = 120;
+  std::vector<NodeId> nodes(4096);
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    nodes[i] = static_cast<NodeId>(i % graph_.num_nodes());
+  }
+  std::vector<std::byte> payload;
+  net::EncodeBatchRequest(nodes, &payload);
+  std::vector<std::byte> wire;
+  for (uint64_t id = 1; id <= kRequests; ++id) {
+    net::Frame frame;
+    frame.opcode = Opcode::kFetchBatch;
+    frame.request_id = id;
+    frame.payload = payload;
+    net::EncodeFrame(frame, &wire);
+  }
+  // The send must overlap the reads: once the server pauses reading, a
+  // blocking send from this thread would deadlock against our own
+  // un-drained replies.
+  std::thread sender([&] { SendAll(fd, wire); });
+  const auto frames = ReadFrames(fd, kRequests);
+  sender.join();
+  ASSERT_EQ(frames.size(), kRequests);
+  for (uint64_t id = 1; id <= kRequests; ++id) {
+    EXPECT_EQ(frames[id - 1].request_id, id);
+    EXPECT_EQ(frames[id - 1].status, StatusCode::kOk);
+  }
+  ::close(fd);
 }
 
 }  // namespace

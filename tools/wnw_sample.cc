@@ -33,6 +33,7 @@
 #include <cstring>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/registry.h"
@@ -150,7 +151,11 @@ Result<Graph> LoadInputGraph(const Args& args) {
     return std::move(lcc.graph);
   }
   if (args.dataset.rfind("ba:", 0) == 0) {
-    const auto parts = SplitString(args.dataset.substr(3), ",");
+    // A view into args.dataset, not a substr temporary: the returned
+    // views must outlive this statement.
+    const std::string_view ba_spec =
+        std::string_view(args.dataset).substr(3);
+    const auto parts = SplitString(ba_spec, ",");
     uint64_t n = 0, m = 0;
     if (parts.size() != 2 || !ParseUint64(parts[0], &n) ||
         !ParseUint64(parts[1], &m)) {

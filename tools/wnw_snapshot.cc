@@ -22,6 +22,7 @@
 // so a sharded origin serves each shard straight from the mapping.
 #include <cstdio>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "datasets/social_datasets.h"
@@ -133,7 +134,11 @@ Result<SourceGraph> LoadSource(const Args& args) {
   // for the same seed, so a snapshot of a dataset serves the exact graph a
   // dataset-built session walks.
   if (args.dataset.rfind("ba:", 0) == 0) {
-    const auto parts = SplitString(args.dataset.substr(3), ",");
+    // A view into args.dataset, not a substr temporary: the returned
+    // views must outlive this statement.
+    const std::string_view ba_spec =
+        std::string_view(args.dataset).substr(3);
+    const auto parts = SplitString(ba_spec, ",");
     uint64_t n = 0, m = 0;
     if (parts.size() != 2 || !ParseUint64(parts[0], &n) ||
         !ParseUint64(parts[1], &m)) {
