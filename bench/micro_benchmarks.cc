@@ -181,6 +181,53 @@ void BM_BackendFetchCopyOut(benchmark::State& state) {
 }
 BENCHMARK(BM_BackendFetchCopyOut);
 
+void BM_LocalCacheSpan(benchmark::State& state) {
+  // The span-stable session cache: a first-touch sweep over every node where
+  // each admit keeps the arena-backed span (AdmitView) — no per-session copy
+  // of any neighbor list. Pair with BM_LocalCacheCopy: the delta is the
+  // allocation+memcpy the span-stable path removes from every cold fetch.
+  const Graph& g = BenchGraph();
+  auto backend = std::make_shared<InMemoryBackend>(&g);
+  for (auto _ : state) {
+    AccessInterface access(backend);
+    uint64_t sum = 0;
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      const auto nbrs = access.Neighbors(u);
+      sum += nbrs.empty() ? 0 : nbrs.front();
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_nodes());
+}
+BENCHMARK(BM_LocalCacheSpan);
+
+void BM_LocalCacheCopy(benchmark::State& state) {
+  // The copying admit path (what EVERY fetch paid before the span-stable
+  // refactor, and what shared-cache hits still pay — the shared cache may
+  // evict, so the session must own a copy): the same first-touch sweep, but
+  // served out of a pre-warmed QueryCache so each admit copies the list into
+  // session-owned storage. Includes the cache's shard-lock + map lookup,
+  // which is the real cost of that path too.
+  const Graph& g = BenchGraph();
+  auto backend = std::make_shared<InMemoryBackend>(&g);
+  auto cache = std::make_shared<QueryCache>();
+  {
+    AccessInterface warmer(backend, cache);
+    for (NodeId u = 0; u < g.num_nodes(); ++u) warmer.Neighbors(u);
+  }
+  for (auto _ : state) {
+    AccessInterface access(backend, cache);
+    uint64_t sum = 0;
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      const auto nbrs = access.Neighbors(u);
+      sum += nbrs.empty() ? 0 : nbrs.front();
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_nodes());
+}
+BENCHMARK(BM_LocalCacheCopy);
+
 void BM_FrameEncode(benchmark::State& state) {
   // Wire-protocol encode for a typical FetchNeighbors reply (a BA-graph
   // neighbor list behind a 24-byte frame header). This plus BM_FrameDecode

@@ -46,13 +46,39 @@ AccessInterface::AccessInterface(std::shared_ptr<AccessBackend> backend,
 
 AccessInterface::~AccessInterface() { Wait(); }
 
+std::span<const NodeId> AccessInterface::StoreLocal(NodeId u,
+                                                    std::vector<NodeId>&& list) {
+  CachedList entry;
+  entry.owned = std::move(list);
+  // A vector move transfers the heap buffer, so this span survives the
+  // emplace below; map nodes never relocate afterwards.
+  entry.view = entry.owned;
+  return local_cache_.emplace(u, std::move(entry)).first->second.view;
+}
+
+std::span<const NodeId> AccessInterface::StoreLocalView(
+    NodeId u, std::span<const NodeId> view) {
+  CachedList entry;
+  entry.view = view;
+  return local_cache_.emplace(u, std::move(entry)).first->second.view;
+}
+
 void AccessInterface::Admit(NodeId u, std::vector<NodeId>&& list) {
   if (seen_[u] == 0) {
     seen_[u] = 1;
     ++meter_.unique_cost;
   }
   if (cache_ != nullptr) cache_->Insert(u, list);
-  local_cache_.emplace(u, std::move(list));
+  StoreLocal(u, std::move(list));
+}
+
+void AccessInterface::AdmitView(NodeId u, std::span<const NodeId> view) {
+  if (seen_[u] == 0) {
+    seen_[u] = 1;
+    ++meter_.unique_cost;
+  }
+  if (cache_ != nullptr) cache_->Insert(u, view);
+  StoreLocalView(u, view);
 }
 
 std::span<const NodeId> AccessInterface::FetchLocal(NodeId u) {
@@ -64,14 +90,15 @@ std::span<const NodeId> AccessInterface::FetchLocal(NodeId u) {
       WaitFor(one);
     }
     const auto it = local_cache_.find(u);
-    if (it != local_cache_.end()) return it->second;
+    if (it != local_cache_.end()) return it->second.view;
     if (cache_ != nullptr) {
       std::vector<NodeId> list;
       if (cache_->Lookup(u, &list)) {
-        // History reuse: another session already paid for this node.
+        // History reuse: another session already paid for this node. The
+        // shared cache may evict, so the session keeps its own copy.
         ++meter_.shared_cache_hits;
         seen_[u] = 1;
-        return local_cache_.emplace(u, std::move(list)).first->second;
+        return StoreLocal(u, std::move(list));
       }
     }
   }
@@ -90,8 +117,14 @@ std::span<const NodeId> AccessInterface::FetchLocal(NodeId u) {
   meter_.waited_seconds += reply->simulated_seconds;
   meter_.BillShard(reply->shard, 1, reply->serial_seconds);
   if (cacheable_) {
-    Admit(u, reply->TakeNeighbors());
-    return local_cache_.find(u)->second;
+    if (reply->owned.empty()) {
+      // Arena-backed reply: keep the span, skip the per-session copy (the
+      // arena outlives the session through backend_).
+      AdmitView(u, reply->neighbors);
+    } else {
+      Admit(u, std::move(reply->owned));
+    }
+    return local_cache_.find(u)->second.view;
   }
   if (seen_[u] == 0) {
     seen_[u] = 1;
@@ -118,7 +151,7 @@ void AccessInterface::PrefetchAsync(std::span<const NodeId> nodes) {
       if (cache_->Lookup(u, &list)) {
         ++meter_.shared_cache_hits;
         seen_[u] = 1;
-        local_cache_.emplace(u, std::move(list));
+        StoreLocal(u, std::move(list));
         continue;
       }
     }

@@ -178,9 +178,32 @@ class AccessInterface {
   /// Folds every pending batch containing any of `nodes`.
   void WaitFor(std::span<const NodeId> nodes);
 
+  /// One locally-cached neighbor list. `view` is what queries return; it
+  /// points into `owned` when the session had to take a copy (batch replies,
+  /// shared-cache hits), or straight into backend arena storage (the CSR
+  /// adjacency arena or memoized fixed subsets) when the reply was
+  /// arena-backed — the session holds a shared_ptr to the backend, so arena
+  /// spans outlive every entry. Entries live in a node-based map, and vector
+  /// moves keep their heap buffer, so `view` stays valid for the session.
+  struct CachedList {
+    std::span<const NodeId> view;
+    std::vector<NodeId> owned;  // backs `view` when non-empty
+  };
+
+  /// Stores a copied list as the session entry for u (no cost billing).
+  std::span<const NodeId> StoreLocal(NodeId u, std::vector<NodeId>&& list);
+
+  /// Stores an arena-backed span as the session entry for u — the
+  /// span-stable fast path: no per-session copy of the neighbor list.
+  std::span<const NodeId> StoreLocalView(NodeId u, std::span<const NodeId> view);
+
   /// Stores a fetched list in the session (and shared) caches and bills
   /// distinct-node cost.
   void Admit(NodeId u, std::vector<NodeId>&& list);
+
+  /// Admit for arena-backed replies: same billing and shared-cache insert,
+  /// but the session entry is a span into backend storage, not a copy.
+  void AdmitView(NodeId u, std::span<const NodeId> view);
 
   std::shared_ptr<AccessBackend> backend_;
   std::shared_ptr<QueryCache> cache_;
@@ -194,7 +217,7 @@ class AccessInterface {
   std::vector<NodeId> batch_buf_;   // prefetch request assembly (reused)
   std::vector<PendingBatch> pending_;
   std::unordered_set<NodeId> pending_nodes_;  // union over pending_
-  std::unordered_map<NodeId, std::vector<NodeId>> local_cache_;
+  std::unordered_map<NodeId, CachedList> local_cache_;
   std::unordered_map<NodeId, std::vector<NodeId>> effective_cache_;
 };
 

@@ -1,10 +1,13 @@
 #include "access/query_cache.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <cstdio>
+#include <cstring>
 
 #include "storage/snapshot.h"
 #include "util/check.h"
+#include "util/logging.h"
 
 namespace wnw {
 
@@ -123,7 +126,7 @@ Status QueryCache::Save(const std::string& path) const {
 
   const storage::CacheMetaSection meta{
       nodes.size(), values.size(),
-      static_cast<uint32_t>(shard_mask_ + 1), 0};
+      static_cast<uint32_t>(shard_mask_ + 1), 0, topology_};
   storage::SnapshotWriter writer;
   writer.AddSection(storage::SectionKind::kCacheMeta, 0,
                     {reinterpret_cast<const std::byte*>(&meta), sizeof(meta)});
@@ -152,9 +155,25 @@ Status QueryCache::Load(const std::string& path) {
   WNW_ASSIGN_OR_RETURN(
       storage::SnapshotFile file,
       storage::SnapshotFile::Open(path, storage::FileKind::kQueryCache));
-  WNW_ASSIGN_OR_RETURN(const storage::CacheMetaSection meta,
-                       file.MetaSection<storage::CacheMetaSection>(
-                           storage::SectionKind::kCacheMeta));
+  // Read the meta section raw: files written before the topology field are
+  // 24 bytes and must stay loadable (their checksum reads back as 0 =
+  // unchecked), so an exact-size MetaSection<T> read would reject them.
+  WNW_ASSIGN_OR_RETURN(storage::Buffer meta_raw,
+                       file.Section(storage::SectionKind::kCacheMeta));
+  storage::CacheMetaSection meta;
+  if (meta_raw.size() != sizeof(meta) &&
+      meta_raw.size() != offsetof(storage::CacheMetaSection, topology)) {
+    return Status::IOError(path + ": cache meta section holds " +
+                           std::to_string(meta_raw.size()) +
+                           " bytes, expected " + std::to_string(sizeof(meta)));
+  }
+  std::memcpy(&meta, meta_raw.data(), meta_raw.size());
+  if (topology_ != 0 && meta.topology != 0 && meta.topology != topology_) {
+    return Status::FailedPrecondition(
+        path + ": persisted cache was built for a different graph (topology " +
+        std::to_string(meta.topology) + ", expected " +
+        std::to_string(topology_) + ")");
+  }
   WNW_ASSIGN_OR_RETURN(
       storage::Array<NodeId> nodes,
       file.ArraySection<NodeId>(storage::SectionKind::kCacheNodes));
@@ -192,12 +211,24 @@ Status QueryCache::Load(const std::string& path) {
   return Status::OK();
 }
 
-Status QueryCache::AttachFile(const std::string& path) {
+Status QueryCache::AttachFile(const std::string& path,
+                              uint64_t expected_topology) {
   WNW_CHECK(!path.empty());
+  if (expected_topology != 0) topology_ = expected_topology;
   attached_file_ = path;
   const Status loaded = Load(path);
   if (loaded.ok() || loaded.code() == StatusCode::kNotFound) {
     return Status::OK();  // missing file = cold start
+  }
+  if (loaded.code() == StatusCode::kFailedPrecondition) {
+    // Stale cache of a changed graph: warn, drop it, cold-start — and mark
+    // dirty so the next Persist() replaces the stale file with one carrying
+    // the bound topology.
+    stale_drops_.fetch_add(1, std::memory_order_relaxed);
+    dirty_.store(true, std::memory_order_relaxed);
+    WNW_LOG(kWarning) << "dropping stale persisted query cache: "
+                      << loaded.ToString();
+    return Status::OK();
   }
   return loaded;
 }

@@ -98,14 +98,32 @@ class QueryCache {
   /// already present keep their (hotter) position — first writer wins, like
   /// concurrent Insert. Capacity caps apply (loading more than fits evicts
   /// normally). NotFound when the file does not exist; IOError for corrupt
-  /// or mismatched files.
+  /// or mismatched files; FailedPrecondition when the file carries a
+  /// topology checksum that disagrees with the one this cache is bound to
+  /// (BindTopology/AttachFile) — a persisted cache of a changed graph.
   Status Load(const std::string& path);
+
+  /// Binds the graph-topology checksum (Graph::TopologyChecksum()) this
+  /// cache's entries describe. Save() embeds it; Load() rejects files whose
+  /// embedded checksum is nonzero and different. 0 (the default) disables
+  /// the handshake — legacy files carry 0 too.
+  void BindTopology(uint64_t checksum) { topology_ = checksum; }
+  uint64_t bound_topology() const { return topology_; }
 
   /// Binds this cache to `path` for warm-start persistence: loads it when
   /// it exists (missing = cold start), remembers the path for Persist().
-  Status AttachFile(const std::string& path);
+  /// With a nonzero `expected_topology`, first binds the checksum; a stale
+  /// file (topology mismatch) is NOT an error here — the cache warns,
+  /// counts a stale drop, and cold-starts, and the next Persist() replaces
+  /// the stale file.
+  Status AttachFile(const std::string& path, uint64_t expected_topology = 0);
   bool has_attached_file() const { return !attached_file_.empty(); }
   const std::string& attached_file() const { return attached_file_; }
+
+  /// Times a stale persisted file was rejected and dropped at attach.
+  uint64_t stale_drops() const {
+    return stale_drops_.load(std::memory_order_relaxed);
+  }
 
   /// Saves to the attached file iff the contents changed since the last
   /// Save/Load. No-op (OK) without an attached file.
@@ -132,6 +150,8 @@ class QueryCache {
   size_t per_shard_cap_;  // 0 = unbounded
   std::unique_ptr<Shard[]> shards_;
   std::string attached_file_;
+  uint64_t topology_ = 0;  // graph checksum the entries describe (0 = unbound)
+  mutable std::atomic<uint64_t> stale_drops_{0};
   mutable std::atomic<bool> dirty_{false};  // contents newer than the file
   mutable std::atomic<uint64_t> hits_{0};
   mutable std::atomic<uint64_t> misses_{0};

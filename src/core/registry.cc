@@ -270,6 +270,16 @@ std::span<const ReservedKeyInfo> ReservedSessionKeys() {
       {"threads",
        "executor worker threads, in [0, 256]; 0 sizes the pool to the "
        "window (requires window)"},
+      {"engine",
+       "execution engine: block runs the spec on the block-scheduled walk "
+       "engine (RunWalkEngine / wnw_sample); plain SamplingSession::Open "
+       "rejects it"},
+      {"walkers",
+       "block engine: logical walker count, >= 1 (default 64; requires "
+       "engine=block)"},
+      {"block",
+       "block engine: nodes per scheduling block, >= 1 (default: graph-size "
+       "derived; requires engine=block)"},
   };
   return kReserved;
 }
@@ -419,6 +429,21 @@ Result<std::unique_ptr<Sampler>> MakeLongRun(const SamplerConfig& config,
       access, design, start, options, seed));
 }
 
+Result<std::unique_ptr<Sampler>> MakeFixedWalk(const SamplerConfig& config,
+                                               AccessInterface* access,
+                                               const TransitionDesign* design,
+                                               NodeId start, uint64_t seed) {
+  ParamReader reader(config);
+  FixedWalkSampler::Options options;
+  reader.Read("steps", &options.steps);
+  WNW_RETURN_IF_ERROR(reader.Finish());
+  if (options.steps < 1) {
+    return Status::InvalidArgument("sampler 'walk': steps must be >= 1");
+  }
+  return std::unique_ptr<Sampler>(
+      std::make_unique<FixedWalkSampler>(access, design, start, options, seed));
+}
+
 Result<std::unique_ptr<Sampler>> MakeWalkEstimate(
     const SamplerConfig& config, AccessInterface* access,
     const TransitionDesign* design, NodeId start, uint64_t seed) {
@@ -450,6 +475,60 @@ Result<std::unique_ptr<Sampler>> MakeWalkEstimatePath(
 }
 
 }  // namespace
+
+// --- public option codecs ----------------------------------------------------
+
+Status ReadBurnInOptions(const SamplerConfig& config,
+                         BurnInSampler::Options* out) {
+  ParamReader reader(config);
+  ReadBurnInParams(reader, out);
+  return reader.Finish();
+}
+
+Status ReadLongRunOptions(const SamplerConfig& config,
+                          OneLongRunSampler::Options* out) {
+  ParamReader reader(config);
+  ReadBurnInParams(reader, &out->burn_in);
+  reader.Read("thinning", &out->thinning);
+  return reader.Finish();
+}
+
+Status ReadFixedWalkOptions(const SamplerConfig& config,
+                            FixedWalkSampler::Options* out) {
+  ParamReader reader(config);
+  reader.Read("steps", &out->steps);
+  WNW_RETURN_IF_ERROR(reader.Finish());
+  if (out->steps < 1) {
+    return Status::InvalidArgument("sampler 'walk': steps must be >= 1");
+  }
+  return Status::OK();
+}
+
+Result<WalkEstimateOptions> ReadWalkEstimateOptions(
+    const SamplerConfig& config) {
+  ParamReader reader(config);
+  auto options = ReadWalkEstimateParams(reader);
+  if (!options.ok()) return options.status();
+  WNW_RETURN_IF_ERROR(reader.Finish());
+  return *options;
+}
+
+Result<WalkEstimatePathSampler::Options> ReadWalkEstimatePathOptions(
+    const SamplerConfig& config) {
+  ParamReader reader(config);
+  WalkEstimatePathSampler::Options options;
+  auto base = ReadWalkEstimateParams(reader);
+  if (!base.ok()) return base.status();
+  options.base = *base;
+  reader.Read("min_step", &options.min_candidate_step);
+  reader.Read("stride", &options.stride);
+  reader.Read("max_walks", &options.max_walks_per_draw);
+  WNW_RETURN_IF_ERROR(reader.Finish());
+  if (options.stride < 1) {
+    return Status::InvalidArgument("sampler 'we-path': stride must be >= 1");
+  }
+  return options;
+}
 
 // --- config builders ---------------------------------------------------------
 
@@ -526,6 +605,11 @@ SamplerRegistry& SamplerRegistry::Global() {
          "diameter, walk_length, crawl_hops, epsilon, base_reps, "
          "max_extra_reps, target_rse, percentile, scale, max_candidates)",
          MakeWalkEstimate});
+    (void)r->Register(
+        "walk",
+        {"fixed-length walk chain: advance the persistent walk by `steps` "
+         "design steps per draw, the landing node is the sample (steps)",
+         MakeFixedWalk});
     (void)r->Register(
         "we-path",
         {"WALK-ESTIMATE over whole walk paths, several samples per walk "

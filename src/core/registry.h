@@ -86,8 +86,8 @@ class ParamReader {
 };
 
 /// String-keyed factory registry for samplers. Thread-safe; the global
-/// instance comes pre-loaded with the built-ins ("burnin", "longrun", "we",
-/// "we-path"). New sampler families (stratified walks, indirect jumps, ...)
+/// instance comes pre-loaded with the built-ins ("burnin", "longrun", "walk",
+/// "we", "we-path"). New sampler families (stratified walks, indirect jumps, ...)
 /// register once here and become addressable from every spec string.
 class SamplerRegistry {
  public:
@@ -142,6 +142,22 @@ SamplerConfig MakeWalkEstimateConfig(
     WalkEstimateVariant variant = WalkEstimateVariant::kFull);
 SamplerConfig MakeWalkEstimatePathConfig(
     std::string walk, const WalkEstimatePathSampler::Options& options = {});
+
+// --- option codecs -----------------------------------------------------------
+// Parse a SamplerConfig's params into the typed option structs exactly as the
+// registered factories do (same keys, same validation, unknown keys rejected).
+// The block engine (src/engine/) compiles registry samplers down to per-step
+// walker programs and needs the typed options without constructing a Sampler.
+
+Status ReadBurnInOptions(const SamplerConfig& config,
+                         BurnInSampler::Options* out);
+Status ReadLongRunOptions(const SamplerConfig& config,
+                          OneLongRunSampler::Options* out);
+Status ReadFixedWalkOptions(const SamplerConfig& config,
+                            FixedWalkSampler::Options* out);
+Result<WalkEstimateOptions> ReadWalkEstimateOptions(const SamplerConfig& config);
+Result<WalkEstimatePathSampler::Options> ReadWalkEstimatePathOptions(
+    const SamplerConfig& config);
 
 /// Spec-string key for a Figure 9 variant ("full", "none", "crawl",
 /// "weighted") and its inverse.

@@ -58,6 +58,34 @@ double BurnInSampler::average_burn_in() const {
                            static_cast<double>(draws_);
 }
 
+// --------------------------------------------------- FixedWalkSampler ------
+
+FixedWalkSampler::FixedWalkSampler(AccessInterface* access,
+                                   const TransitionDesign* design,
+                                   NodeId start, Options options,
+                                   uint64_t seed)
+    : access_(access),
+      design_(design),
+      options_(options),
+      rng_(seed),
+      name_(std::string(design->name()) + "+FixedWalk"),
+      current_(start) {
+  WNW_CHECK(access_ != nullptr && design_ != nullptr);
+  WNW_CHECK(options_.steps >= 1);
+}
+
+Result<NodeId> FixedWalkSampler::Draw() {
+  for (int i = 0; i < options_.steps; ++i) {
+    current_ = design_->Step(*access_, current_, rng_);
+  }
+  total_steps_ += static_cast<uint64_t>(options_.steps);
+  return current_;
+}
+
+double FixedWalkSampler::TargetWeight(NodeId u) {
+  return design_->StationaryWeight(*access_, u);
+}
+
 // --------------------------------------------------- OneLongRunSampler -----
 
 OneLongRunSampler::OneLongRunSampler(AccessInterface* access,

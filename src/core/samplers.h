@@ -73,6 +73,39 @@ class BurnInSampler final : public Sampler {
   uint64_t total_burn_in_ = 0;
 };
 
+/// Fixed-length walk chain: every draw advances the persistent walk by a
+/// fixed number of design steps and returns the landing node (no burn-in
+/// monitor). This is the cheapest registered sampler — a pure stream of walk
+/// steps — which makes it the natural substrate for million-walker scale
+/// runs on the block engine, where convergence bookkeeping per walker would
+/// dominate the walk itself.
+class FixedWalkSampler final : public Sampler {
+ public:
+  struct Options {
+    /// Design steps taken per draw.
+    int steps = 8;
+  };
+
+  FixedWalkSampler(AccessInterface* access, const TransitionDesign* design,
+                   NodeId start, Options options, uint64_t seed);
+
+  std::string_view name() const override { return name_; }
+  Result<NodeId> Draw() override;
+  double TargetWeight(NodeId u) override;
+
+  NodeId current() const { return current_; }
+  uint64_t total_steps() const { return total_steps_; }
+
+ private:
+  AccessInterface* access_;
+  const TransitionDesign* design_;
+  Options options_;
+  Rng rng_;
+  std::string name_;
+  NodeId current_;
+  uint64_t total_steps_ = 0;
+};
+
 /// Baseline: one long run — burn in once, then every visited node (with
 /// optional thinning) is a sample.
 class OneLongRunSampler final : public Sampler {

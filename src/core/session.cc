@@ -62,6 +62,19 @@ struct ReservedSelections {
 Result<ReservedSelections> ExtractReservedParams(SamplerConfig* config,
                                                  SessionOptions* options) {
   ReservedSelections selected;
+  // Engine keys are reserved but not consumable here: a plain session (or
+  // walker pool) cannot host the block engine — RunWalkEngine peels them
+  // before resolving, so seeing one means the caller took the wrong entry
+  // point.
+  for (const char* key : {"engine", "walkers", "block"}) {
+    if (config->params.contains(key)) {
+      return Status::InvalidArgument(
+          "spec key '" + std::string(key) +
+          "' selects the block walk engine, which a plain SamplingSession "
+          "cannot host — run it through RunWalkEngine (wnw_sample routes "
+          "?engine=block there automatically)");
+    }
+  }
   std::string kind;
   const auto it = config->params.find("backend");
   const bool kind_present = it != config->params.end();
@@ -331,13 +344,11 @@ Result<ReservedSelections> ExtractReservedParams(SamplerConfig* config,
   return selected;
 }
 
-// Peels the session-reserved spec keys off *config, enforces spec-vs-options
-// conflicts, and materializes the shared resources into *options: the fetch
-// executor (built from `async` unless an explicit one is provided) and the
-// backend stack (built from access/latency unless an explicit one is
-// provided, which is instead validated against the graph). The single
-// resolution path for SamplingSession::Open and RunWalkerPool; idempotent on
-// its own output.
+}  // namespace
+
+// Exposed (declared in session.h) because RunWalkEngine resolves the same
+// shared resources through the same single path before fanning walkers out
+// over blocks.
 Status ResolveSessionResources(const Graph* graph, SamplerConfig* config,
                                SessionOptions* options) {
   const std::string spec = config->ToSpec();  // before the keys are peeled
@@ -418,8 +429,11 @@ Status ResolveSessionResources(const Graph* graph, SamplerConfig* config,
     // Materialize the persistent cache: bound to the file, warm when it
     // exists. The path is consumed so re-resolving (walker pools) is a
     // no-op; the cache itself remembers where to persist.
+    // The topology handshake makes a persisted cache of a *different* graph
+    // a loud cold start instead of silently served wrong neighbor lists.
     auto cache = std::make_shared<QueryCache>();
-    WNW_RETURN_IF_ERROR(cache->AttachFile(options->cache_file));
+    WNW_RETURN_IF_ERROR(
+        cache->AttachFile(options->cache_file, graph->TopologyChecksum()));
     options->query_cache = std::move(cache);
     options->cache_file.clear();
   }
@@ -469,8 +483,6 @@ Status ResolveSessionResources(const Graph* graph, SamplerConfig* config,
   }
   return Status::OK();
 }
-
-}  // namespace
 
 Result<std::unique_ptr<SamplingSession>> SamplingSession::Open(
     const Graph* graph, std::string_view spec, SessionOptions options) {
@@ -597,6 +609,7 @@ SessionStats SamplingSession::Stats() const {
     stats.cache_evictions = cache->evictions();
     stats.cache_entries = cache->size();
     stats.cache_file = cache->attached_file();
+    stats.cache_stale_drops = cache->stale_drops();
   }
   stats.shard_fetches = meter.shard_fetches;
   stats.shard_stall_seconds = meter.shard_stall_seconds;

@@ -159,6 +159,7 @@ struct SessionStats {
   uint64_t cache_evictions = 0;
   uint64_t cache_entries = 0;   // nodes currently cached
   std::string cache_file;       // persistence path ("" = in-memory only)
+  uint64_t cache_stale_drops = 0;  // persisted files rejected: wrong topology
 
   uint64_t samples_drawn = 0;  // successful Draw()s through this session
 
@@ -177,6 +178,16 @@ struct SessionStats {
   // Path-sampler amortization (we-path).
   uint64_t walks_run = 0;
   double samples_per_walk = 0.0;
+
+  // Block-engine telemetry (RunWalkEngine aggregate stats only; all zero for
+  // plain sessions and walker pools).
+  uint64_t engine_walkers = 0;        // logical walkers multiplexed
+  uint64_t engine_blocks = 0;         // scheduling blocks over the node range
+  uint64_t engine_block_switches = 0; // times a worker changed blocks
+  uint64_t engine_steps = 0;          // design steps executed
+  double engine_steps_per_sec = 0.0;  // engine_steps / stepping-phase time
+  uint64_t engine_bytes_scanned = 0;  // CSR bytes read in-block (flat mode)
+  uint64_t engine_resident_peak = 0;  // peak concurrently-live walker states
 };
 
 class SamplingSession {
@@ -250,6 +261,14 @@ class SamplingSession {
   uint64_t samples_drawn_ = 0;
   Timer timer_;  // wall clock since Open()
 };
+
+/// Peels the session-reserved spec keys off *config, enforces spec-vs-options
+/// conflicts, and materializes the shared resources into *options (fetch
+/// executor, backend stack, persistent query cache). The single resolution
+/// path behind SamplingSession::Open, RunWalkerPool, and the block walk
+/// engine (engine/walk_engine.h); idempotent on its own output.
+Status ResolveSessionResources(const Graph* graph, SamplerConfig* config,
+                               SessionOptions* options);
 
 // --- concurrent walker pools -------------------------------------------------
 

@@ -1,0 +1,108 @@
+#include "engine/block_scheduler.h"
+
+#include "util/check.h"
+
+namespace wnw {
+
+std::string_view ScheduleOrderKey(ScheduleOrder order) {
+  switch (order) {
+    case ScheduleOrder::kMostPending:
+      return "most-pending";
+    case ScheduleOrder::kRoundRobin:
+      return "round-robin";
+    case ScheduleOrder::kLeastPending:
+      return "least-pending";
+  }
+  return "?";
+}
+
+Result<ScheduleOrder> ParseScheduleOrder(std::string_view key) {
+  if (key == "most-pending") return ScheduleOrder::kMostPending;
+  if (key == "round-robin") return ScheduleOrder::kRoundRobin;
+  if (key == "least-pending") return ScheduleOrder::kLeastPending;
+  return Status::InvalidArgument(
+      "unknown schedule order '" + std::string(key) +
+      "' (expected most-pending, round-robin, or least-pending)");
+}
+
+BlockScheduler::BlockScheduler(size_t num_blocks)
+    : BlockScheduler(num_blocks, Options()) {}
+
+BlockScheduler::BlockScheduler(size_t num_blocks, Options options)
+    : options_(options), pending_(num_blocks, 0), age_(num_blocks, 0) {
+  WNW_CHECK(num_blocks > 0);
+  WNW_CHECK(options_.aging_rounds >= 1);
+}
+
+void BlockScheduler::Add(size_t block, uint64_t count) {
+  WNW_CHECK(block < pending_.size());
+  pending_[block] += count;
+  total_pending_ += count;
+}
+
+size_t BlockScheduler::Acquire() {
+  if (total_pending_ == 0) return kNone;
+  const size_t blocks = pending_.size();
+
+  // Aging preempts the policy: any block passed over aging_rounds times in a
+  // row is serviced now, oldest first (ties -> lowest id), so no walker
+  // starves behind perpetually hotter blocks.
+  size_t pick = kNone;
+  uint32_t oldest = 0;
+  for (size_t b = 0; b < blocks; ++b) {
+    if (pending_[b] > 0 && age_[b] >= static_cast<uint32_t>(
+                               options_.aging_rounds) &&
+        age_[b] > oldest) {
+      oldest = age_[b];
+      pick = b;
+    }
+  }
+
+  if (pick == kNone) {
+    switch (options_.order) {
+      case ScheduleOrder::kMostPending: {
+        uint64_t best = 0;
+        for (size_t b = 0; b < blocks; ++b) {
+          if (pending_[b] > best) {
+            best = pending_[b];
+            pick = b;
+          }
+        }
+        break;
+      }
+      case ScheduleOrder::kLeastPending: {
+        uint64_t best = UINT64_MAX;
+        for (size_t b = 0; b < blocks; ++b) {
+          if (pending_[b] > 0 && pending_[b] < best) {
+            best = pending_[b];
+            pick = b;
+          }
+        }
+        break;
+      }
+      case ScheduleOrder::kRoundRobin: {
+        for (size_t i = 0; i < blocks; ++i) {
+          const size_t b = (rr_cursor_ + i) % blocks;
+          if (pending_[b] > 0) {
+            pick = b;
+            break;
+          }
+        }
+        break;
+      }
+    }
+  }
+  WNW_CHECK(pick != kNone);  // total_pending_ > 0 guarantees a nonempty block
+
+  rr_cursor_ = (pick + 1) % blocks;
+  total_pending_ -= pending_[pick];
+  pending_[pick] = 0;
+  age_[pick] = 0;
+  for (size_t b = 0; b < blocks; ++b) {
+    if (pending_[b] > 0) ++age_[b];
+  }
+  ++acquires_;
+  return pick;
+}
+
+}  // namespace wnw

@@ -1,0 +1,83 @@
+// Block scheduling policy for the block-scheduled walk engine.
+//
+// The engine partitions the node id range into fixed-size *blocks* (block b
+// covers nodes [b * block_nodes, (b + 1) * block_nodes)) and buckets logical
+// walkers by the block of their frontier node. The scheduler decides which
+// block a worker services next. The default policy is greedy by pending
+// walker count — the block that amortizes its (sequential, page-cache
+// friendly) scan over the most walker steps wins — with an aging escape
+// hatch: a nonempty block that is passed over `aging_rounds` times in a row
+// is serviced next regardless of its count, so a lone walker stranded on a
+// cold block cannot starve behind a hot one (the fairness half of the
+// DrunkardMob-style scheduling trade-off).
+//
+// Correctness never depends on the policy: every walker carries its own RNG
+// stream and its own (or a logically replicated) access session, so the
+// engine's outputs are byte-identical for ANY visit order — kRoundRobin and
+// kLeastPending exist precisely so tests can drive adversarial orders
+// against the default and assert that identity.
+//
+// The scheduler is externally synchronized: the engine calls it only under
+// its scheduling mutex. It tracks pending *counts*; the walker index lists
+// live with the engine.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace wnw {
+
+/// Which pending block Acquire() prefers.
+enum class ScheduleOrder {
+  kMostPending,   // default: largest bucket first (ties -> lowest block id)
+  kRoundRobin,    // cyclic over nonempty blocks
+  kLeastPending,  // adversarial: smallest bucket first (worst-case locality)
+};
+
+std::string_view ScheduleOrderKey(ScheduleOrder order);
+Result<ScheduleOrder> ParseScheduleOrder(std::string_view key);
+
+class BlockScheduler {
+ public:
+  struct Options {
+    ScheduleOrder order = ScheduleOrder::kMostPending;
+    /// A nonempty block passed over this many consecutive Acquires is
+    /// serviced next (oldest first) regardless of the order policy. Must be
+    /// >= 1.
+    int aging_rounds = 8;
+  };
+
+  static constexpr size_t kNone = static_cast<size_t>(-1);
+
+  explicit BlockScheduler(size_t num_blocks);
+  BlockScheduler(size_t num_blocks, Options options);
+
+  /// Records `count` walkers newly pending on `block`.
+  void Add(size_t block, uint64_t count = 1);
+
+  /// Picks the next block to service per the policy, zeroes its pending
+  /// count (the caller takes ownership of its walker list), and ages every
+  /// other nonempty block. Returns kNone when nothing is pending.
+  size_t Acquire();
+
+  size_t num_blocks() const { return pending_.size(); }
+  uint64_t pending(size_t block) const { return pending_[block]; }
+  uint64_t total_pending() const { return total_pending_; }
+
+  /// Number of successful Acquires — the engine's block-switch count.
+  uint64_t acquires() const { return acquires_; }
+
+ private:
+  Options options_;
+  std::vector<uint64_t> pending_;  // walker count per block
+  std::vector<uint32_t> age_;      // consecutive Acquires passed over
+  uint64_t total_pending_ = 0;
+  uint64_t acquires_ = 0;
+  size_t rr_cursor_ = 0;  // kRoundRobin resume point
+};
+
+}  // namespace wnw

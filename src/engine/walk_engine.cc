@@ -1,0 +1,565 @@
+#include "engine/walk_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+#include "util/logging.h"
+#include "util/parallel.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace wnw {
+
+namespace {
+
+/// Consumes the engine-reserved spec keys into *options. Runs before
+/// ResolveSessionResources, which (like SamplingSession::Open) rejects these
+/// keys — seeing one there means the caller took the wrong entry point.
+Status PeelEngineKeys(SamplerConfig* config, EngineOptions* options) {
+  const auto take = [config](const char* key) -> std::optional<std::string> {
+    const auto it = config->params.find(key);
+    if (it == config->params.end()) return std::nullopt;
+    std::string value = it->second;
+    config->params.erase(it);
+    return value;
+  };
+  if (const auto engine = take("engine"); engine && *engine != "block") {
+    return Status::InvalidArgument("unknown engine '" + *engine +
+                                   "' (expected 'block')");
+  }
+  if (const auto walkers = take("walkers")) {
+    uint64_t n = 0;
+    if (!ParseUint64(*walkers, &n) || n < 1) {
+      return Status::InvalidArgument("walkers must be a positive integer, got '" +
+                                     *walkers + "'");
+    }
+    options->walkers = n;
+  }
+  if (const auto block = take("block")) {
+    uint64_t n = 0;
+    if (!ParseUint64(*block, &n) || n < 1 || n > UINT32_MAX) {
+      return Status::InvalidArgument(
+          "block must be a positive node count, got '" + *block + "'");
+    }
+    options->block_nodes = static_cast<uint32_t>(n);
+  }
+  return Status::OK();
+}
+
+/// Folds the physical-access half of a CostMeter (what actually hit the
+/// backend) into an aggregate; the logical half (unique/total queries) is
+/// summed per walker instead.
+void FoldPhysical(const CostMeter& from, CostMeter* into) {
+  into->backend_fetches += from.backend_fetches;
+  into->shared_cache_hits += from.shared_cache_hits;
+  into->prefetch_batches += from.prefetch_batches;
+  into->waited_seconds += from.waited_seconds;
+  for (size_t s = 0; s < from.shard_fetches.size(); ++s) {
+    into->BillShard(static_cast<int32_t>(s), from.shard_fetches[s],
+                    from.shard_stall_seconds[s]);
+  }
+}
+
+/// One engine run: cohort setup, the worker loop, stats harvesting. All
+/// scheduling state is guarded by mu_; walkers are exclusively owned by
+/// exactly one bucket or one worker's drain list at any time, so Resume()
+/// needs no per-walker locking.
+class EngineRun {
+ public:
+  EngineRun(const Graph* graph, const EngineOptions& options,
+            const SessionOptions& shared, const WalkerProgram& program,
+            const ProgramContext& context, EngineResult* result)
+      : options_(options),
+        shared_(shared),
+        program_(program),
+        context_(context),
+        result_(result),
+        num_nodes_(graph->num_nodes()) {
+    block_nodes_ = options.block_nodes != 0
+                       ? options.block_nodes
+                       : std::max<uint32_t>(
+                             256, static_cast<uint32_t>(num_nodes_ / 64));
+    num_blocks_ =
+        (static_cast<size_t>(num_nodes_) + block_nodes_ - 1) / block_nodes_;
+    threads_ = options.threads > 0 ? options.threads : DefaultThreadCount();
+    cohort_ = options.cohort != 0 ? options.cohort
+                                  : (program.flat() ? options.walkers
+                                                    : uint64_t{1024});
+    cohort_ = std::min(std::max<uint64_t>(cohort_, 1), options.walkers);
+    if (program.flat()) {
+      const int scanners =
+          static_cast<int>(std::min<uint64_t>(threads_, cohort_));
+      // Bare in-memory origin with no executor: workers scan the CSR arena
+      // directly (FlatScan::direct), skipping the per-fetch reply object
+      // and session-cache map an AccessInterface pays for every step.
+      // Decorated stacks (latency, rate limit) keep the interface so their
+      // simulated billing accrues.
+      const auto* memory =
+          dynamic_cast<const InMemoryBackend*>(context.backend.get());
+      if (memory != nullptr && context.executor == nullptr) {
+        direct_graph_ = &memory->graph();
+        worker_meters_.resize(static_cast<size_t>(scanners));
+      } else {
+        worker_access_.reserve(static_cast<size_t>(scanners));
+        for (int i = 0; i < scanners; ++i) {
+          worker_access_.push_back(std::make_unique<AccessInterface>(
+              context.backend, context.query_cache, context.executor));
+        }
+      }
+    }
+  }
+
+  Status Run() {
+    result_->walker_stats.resize(options_.walkers);
+    for (uint64_t first = 0; first < options_.walkers; first += cohort_) {
+      if (stop_.load(std::memory_order_relaxed)) break;
+      const uint64_t count = std::min(cohort_, options_.walkers - first);
+      WNW_RETURN_IF_ERROR(RunCohort(first, count));
+    }
+    for (const auto& access : worker_access_) {
+      FoldPhysical(access->meter(), &physical_);
+    }
+    for (const CostMeter& meter : worker_meters_) {
+      FoldPhysical(meter, &physical_);
+    }
+    return Status::OK();
+  }
+
+  const CostMeter& physical() const { return physical_; }
+  uint64_t steps() const { return steps_.load(std::memory_order_relaxed); }
+  uint64_t block_switches() const { return block_switches_; }
+  uint64_t bytes_scanned() const { return bytes_scanned_; }
+  uint64_t resident_peak() const { return resident_peak_; }
+  double stepping_seconds() const { return stepping_seconds_; }
+  size_t num_blocks() const { return num_blocks_; }
+  bool stopped_early() const {
+    return stop_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr size_t kPrefetchAhead = 16;
+
+  size_t BlockOf(NodeId u) const { return u / block_nodes_; }
+
+  Status RunCohort(uint64_t first, uint64_t count) {
+    walkers_.clear();
+    walkers_.resize(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      EngineWalker& w = walkers_[i];
+      // The pool's exact seeding chain: walker g opens a session seeded
+      // Mix64(shared.seed ^ (0x3a1c0000 + g)), which draws the sampler seed
+      // and then (when no start was pinned) the start node.
+      const uint64_t g = first + i;
+      const uint64_t session_seed =
+          Mix64(shared_.seed ^ (uint64_t{0x3a1c0000u} + g));
+      Rng chain(Mix64(session_seed));
+      const uint64_t sampler_seed = chain.Next();
+      w.state.home = shared_.start.has_value()
+                         ? *shared_.start
+                         : static_cast<NodeId>(chain.NextBounded(num_nodes_));
+      w.rng = Rng(sampler_seed);
+      w.target = static_cast<uint32_t>(options_.samples_per_walker);
+      w.out = result_->samples.data() + g * options_.samples_per_walker;
+      WNW_RETURN_IF_ERROR(program_.Init(w));
+    }
+
+    buckets_.assign(num_blocks_, {});
+    scheduler_ = std::make_unique<BlockScheduler>(num_blocks_,
+                                                  options_.schedule);
+    for (uint64_t i = 0; i < count; ++i) {
+      buckets_[BlockOf(walkers_[i].state.node)].push_back(
+          static_cast<uint32_t>(i));
+    }
+    for (size_t b = 0; b < num_blocks_; ++b) {
+      if (!buckets_[b].empty()) scheduler_->Add(b, buckets_[b].size());
+    }
+    live_ = count;
+    error_ = Status::OK();
+    resident_peak_ = std::max(resident_peak_, count);
+
+    const int threads =
+        static_cast<int>(std::min<uint64_t>(threads_, count));
+    // Stepping-phase clock: cohort construction above is O(walkers) setup
+    // the engine pays once, not part of the multiplexing rate the
+    // steps-per-second telemetry reports.
+    Timer stepping;
+    if (threads <= 1) {
+      Worker(0);
+    } else {
+      std::vector<std::thread> pool;
+      pool.reserve(static_cast<size_t>(threads));
+      for (int t = 0; t < threads; ++t) {
+        pool.emplace_back([this, t] { Worker(t); });
+      }
+      for (std::thread& t : pool) t.join();
+    }
+    stepping_seconds_ += stepping.ElapsedSeconds();
+    block_switches_ += scheduler_->acquires();
+
+    // Harvest BEFORE the walker sessions die: the access destructor folds
+    // still-pending prefetch batches (billing them), and the pool reads its
+    // per-walker Stats() before sessions close too — cost identity depends
+    // on sampling the meters at the same point.
+    Status failed = error_;
+    for (uint64_t i = 0; i < count; ++i) {
+      EngineWalker& w = walkers_[i];
+      EngineWalkerStats& s = result_->walker_stats[first + i];
+      if (w.side != nullptr) {
+        const CostMeter& meter = w.side->access->meter();
+        s.query_cost = meter.unique_cost;
+        s.total_queries = meter.total_queries;
+        FoldPhysical(meter, &physical_);
+      } else {
+        s.query_cost = w.meter.unique_cost;
+        s.total_queries = w.meter.total_queries;
+        bytes_scanned_ += w.meter.bytes_scanned;
+      }
+      s.emitted = w.state.emitted;
+    }
+    walkers_.clear();  // destroys per-walker sessions (waits on prefetches)
+    return failed;
+  }
+
+  void Worker(int id) {
+    FlatScan scan;
+    if (program_.flat()) {
+      if (direct_graph_ != nullptr) {
+        scan.direct = direct_graph_;
+        scan.physical = &worker_meters_[static_cast<size_t>(id)];
+      } else {
+        scan.access = worker_access_[static_cast<size_t>(id)].get();
+      }
+    }
+    // With no step budget the global counter is flushed once per drained
+    // block instead of per step — max_steps promptness is the only consumer
+    // that needs the per-step atomic.
+    const bool exact_steps = options_.max_steps != 0;
+    uint64_t local_steps = 0;
+    std::vector<uint32_t> drain;
+    // Walkers leaving the drained block are grouped into per-block staging
+    // lists so the flush under the lock is a handful of range inserts and
+    // one scheduler Add per destination block, not per-walker work.
+    std::vector<std::vector<uint32_t>> staged(num_blocks_);
+    std::vector<uint32_t> touched;
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      size_t b = BlockScheduler::kNone;
+      for (;;) {
+        if (live_ == 0 || !error_.ok() ||
+            stop_.load(std::memory_order_relaxed)) {
+          return;
+        }
+        b = scheduler_->Acquire();
+        if (b != BlockScheduler::kNone) break;
+        // Nothing pending, but peers still hold live walkers that may move
+        // into fresh blocks (or finish everything).
+        cv_.wait(lock);
+      }
+      drain.swap(buckets_[b]);  // take ownership of the block's walkers
+      lock.unlock();
+
+      size_t moved = 0;
+      size_t finished = 0;
+      Status err;
+      bool interrupted = false;
+      for (size_t i = 0; i < drain.size(); ++i) {
+        // The drain list IS the future access order, and at a million
+        // walkers each record is a guaranteed DRAM miss — prefetch a few
+        // walkers ahead so the line arrives before Resume touches it.
+        if (i + kPrefetchAhead < drain.size()) {
+          const char* ahead = reinterpret_cast<const char*>(
+              &walkers_[drain[i + kPrefetchAhead]]);
+          __builtin_prefetch(ahead);
+          __builtin_prefetch(ahead + 64);
+        }
+        // Stage two, half the distance behind: that walker's record is in
+        // cache by now, so chase its pointers — the seen vector its meter
+        // will binary-search and the CSR row its frontier will scan.
+        if (i + kPrefetchAhead / 2 < drain.size()) {
+          const EngineWalker& fw = walkers_[drain[i + kPrefetchAhead / 2]];
+          if (!fw.meter.seen.empty()) {
+            __builtin_prefetch(fw.meter.seen.data());
+          }
+          if (direct_graph_ != nullptr && fw.state.node < num_nodes_) {
+            __builtin_prefetch(&direct_graph_->offsets()[fw.state.node]);
+          }
+        }
+        // Stage three: the offsets line landed, so the CSR row's start is
+        // now a cheap read — prefetch the adjacency arena lines the walker's
+        // fetch will actually scan.
+        if (direct_graph_ != nullptr &&
+            i + kPrefetchAhead / 4 < drain.size()) {
+          const EngineWalker& fw = walkers_[drain[i + kPrefetchAhead / 4]];
+          if (fw.state.node < num_nodes_) {
+            const char* row = reinterpret_cast<const char*>(
+                direct_graph_->adjacency().data() +
+                direct_graph_->offsets()[fw.state.node]);
+            __builtin_prefetch(row);
+            __builtin_prefetch(row + 64);
+          }
+        }
+        const uint32_t idx = drain[i];
+        EngineWalker& w = walkers_[idx];
+        // Step this walker for as long as its frontier stays in the block —
+        // the whole point: every step here hits adjacency pages that are
+        // already hot.
+        for (;;) {
+          if (stop_.load(std::memory_order_relaxed)) {
+            interrupted = true;
+            break;
+          }
+          Result<ResumeOutcome> outcome = program_.Resume(w, &scan);
+          if (exact_steps) {
+            const uint64_t done =
+                steps_.fetch_add(1, std::memory_order_relaxed) + 1;
+            if (done >= options_.max_steps) {
+              stop_.store(true, std::memory_order_relaxed);
+            }
+          } else {
+            ++local_steps;
+          }
+          if (!outcome.ok()) {
+            err = outcome.status();
+            break;
+          }
+          if (*outcome == ResumeOutcome::kDone) {
+            ++finished;
+            break;
+          }
+          const size_t nb = BlockOf(w.state.node);
+          if (nb != b) {
+            std::vector<uint32_t>& stage = staged[nb];
+            if (stage.empty()) touched.push_back(static_cast<uint32_t>(nb));
+            stage.push_back(idx);
+            ++moved;
+            break;
+          }
+        }
+        if (!err.ok() || interrupted) break;
+      }
+      drain.clear();
+      if (local_steps != 0) {
+        steps_.fetch_add(local_steps, std::memory_order_relaxed);
+        local_steps = 0;
+      }
+
+      lock.lock();
+      for (const uint32_t tb : touched) {
+        std::vector<uint32_t>& stage = staged[tb];
+        const uint64_t arrivals = stage.size();
+        std::vector<uint32_t>& bucket = buckets_[tb];
+        if (bucket.empty()) {
+          bucket.swap(stage);  // stage keeps the old buffer for reuse
+        } else {
+          bucket.insert(bucket.end(), stage.begin(), stage.end());
+          stage.clear();
+        }
+        scheduler_->Add(tb, arrivals);
+      }
+      live_ -= finished;
+      if (!err.ok() && error_.ok()) error_ = err;
+      if (moved != 0 || live_ == 0 || !error_.ok() ||
+          stop_.load(std::memory_order_relaxed)) {
+        cv_.notify_all();
+      }
+      touched.clear();
+    }
+  }
+
+  const EngineOptions& options_;
+  const SessionOptions& shared_;
+  const WalkerProgram& program_;
+  const ProgramContext& context_;
+  EngineResult* result_;
+
+  NodeId num_nodes_;
+  uint32_t block_nodes_ = 1;
+  size_t num_blocks_ = 1;
+  int threads_ = 1;
+  uint64_t cohort_ = 1;
+
+  // Flat mode: either a direct CSR view (bare in-memory origin; per-worker
+  // CostMeters bill the arena reads) or one scan interface per worker
+  // thread. Walkers bill their own WalkerMeter in both shapes; these only
+  // carry physical-fetch telemetry.
+  const Graph* direct_graph_ = nullptr;
+  std::vector<CostMeter> worker_meters_;
+  std::vector<std::unique_ptr<AccessInterface>> worker_access_;
+
+  // Cohort state, guarded by mu_ (walker records themselves are touched
+  // only by the worker currently holding them).
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<EngineWalker> walkers_;
+  std::vector<std::vector<uint32_t>> buckets_;  // walker indices per block
+  std::unique_ptr<BlockScheduler> scheduler_;
+  size_t live_ = 0;
+  Status error_;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> steps_{0};
+  uint64_t block_switches_ = 0;
+  uint64_t bytes_scanned_ = 0;
+  uint64_t resident_peak_ = 0;
+  double stepping_seconds_ = 0.0;
+  CostMeter physical_;
+};
+
+}  // namespace
+
+Result<EngineResult> RunWalkEngine(const Graph* graph,
+                                   const SamplerConfig& config,
+                                   EngineOptions options) {
+  if (graph == nullptr || graph->num_nodes() == 0) {
+    return Status::InvalidArgument("walk engine needs a non-empty graph");
+  }
+  SamplerConfig stripped = config;
+  WNW_RETURN_IF_ERROR(PeelEngineKeys(&stripped, &options));
+  if (options.walkers < 1 || options.walkers > (uint64_t{1} << 30)) {
+    return Status::InvalidArgument("walkers must be in [1, 2^30]");
+  }
+  if (options.samples_per_walker < 1 ||
+      options.samples_per_walker > (uint64_t{1} << 20)) {
+    return Status::InvalidArgument(
+        "samples_per_walker must be in [1, 2^20]");
+  }
+  if (options.schedule.aging_rounds < 1) {
+    return Status::InvalidArgument("schedule.aging_rounds must be >= 1");
+  }
+
+  // Same shared-resource resolution as Open/RunWalkerPool — ONE backend
+  // stack, one optional cache, one optional executor for every walker.
+  SessionOptions shared = options.session;
+  WNW_RETURN_IF_ERROR(ResolveSessionResources(graph, &stripped, &shared));
+  if (!shared.backend->deterministic()) {
+    return Status::InvalidArgument(
+        "the block engine reorders requests across walkers, which would "
+        "change a non-deterministic backend's responses (restriction=random "
+        "k-subset) — run that scenario on RunWalkerPool instead");
+  }
+  if (shared.start.has_value() && *shared.start >= graph->num_nodes()) {
+    return Status::OutOfRange(
+        "start node " + std::to_string(*shared.start) +
+        " outside graph with " + std::to_string(graph->num_nodes()) +
+        " nodes");
+  }
+
+  std::unique_ptr<TransitionDesign> design =
+      MakeTransitionDesign(stripped.walk);
+  if (design == nullptr) {
+    return Status::InvalidArgument(
+        "unknown walk design '" + stripped.walk +
+        "' (expected srw | mhrw | lazy | maxdeg:<bound>)");
+  }
+
+  // Flat mode needs replicable per-walker logical billing: unrestricted
+  // views (no bidirectional probe cascades) and no shared cache (whether a
+  // node bills as hit or fetch would depend on cross-walker order).
+  const bool allow_flat =
+      shared.backend->options().restriction == NeighborRestriction::kNone &&
+      shared.query_cache == nullptr;
+  ProgramContext context{shared.backend, shared.query_cache,
+                         shared.executor};
+  WNW_ASSIGN_OR_RETURN(
+      std::unique_ptr<WalkerProgram> program,
+      CompileWalkerProgram(stripped, design.get(), context, allow_flat));
+
+  const uint64_t total_samples = options.walkers * options.samples_per_walker;
+  if (total_samples > (uint64_t{1} << 31)) {
+    return Status::ResourceExhausted(
+        "walkers * samples_per_walker = " + std::to_string(total_samples) +
+        " exceeds the 2^31 sample-buffer cap");
+  }
+  EngineResult result;
+  result.samples_per_walker = options.samples_per_walker;
+  result.samples.assign(static_cast<size_t>(total_samples), kInvalidNode);
+
+  Timer timer;
+  EngineRun run(graph, options, shared, *program, context, &result);
+  WNW_RETURN_IF_ERROR(run.Run());
+  const double elapsed = timer.ElapsedSeconds();
+
+  result.stopped_early = run.stopped_early();
+
+  SessionStats& stats = result.stats;
+  stats.spec = config.ToSpec();
+  stats.sampler = StrFormat("block-engine(%s)",
+                            std::string(program->name()).c_str());
+  stats.backend = std::string(shared.backend->name());
+  for (const EngineWalkerStats& w : result.walker_stats) {
+    stats.query_cost += w.query_cost;
+    stats.total_queries += w.total_queries;
+    stats.samples_drawn += w.emitted;
+  }
+  const CostMeter& physical = run.physical();
+  stats.backend_fetches = physical.backend_fetches;
+  stats.shared_cache_hits = physical.shared_cache_hits;
+  stats.prefetch_batches = physical.prefetch_batches;
+  stats.waited_seconds = physical.waited_seconds;
+  stats.elapsed_seconds = elapsed;
+  stats.async_window =
+      shared.executor != nullptr ? shared.executor->window() : 0;
+  if (const ShardedBackend* sharded = shared.backend->AsSharded()) {
+    stats.backend_shards = sharded->num_shards();
+  }
+  if (const RemoteBackend* remote = shared.backend->AsRemote()) {
+    stats.remote_addr = remote->address();
+    stats.remote_rpcs = remote->rpcs();
+    stats.remote_retries = remote->retries();
+    stats.remote_bytes = remote->wire_bytes();
+    stats.backend_shards = std::max(1, remote->origin_shards());
+  }
+  if (shared.query_cache != nullptr) {
+    stats.cache_attached = true;
+    stats.cache_hits = shared.query_cache->hits();
+    stats.cache_misses = shared.query_cache->misses();
+    stats.cache_evictions = shared.query_cache->evictions();
+    stats.cache_entries = shared.query_cache->size();
+    stats.cache_file = shared.query_cache->attached_file();
+    stats.cache_stale_drops = shared.query_cache->stale_drops();
+  }
+  stats.shard_fetches = physical.shard_fetches;
+  stats.shard_stall_seconds = physical.shard_stall_seconds;
+  stats.shard_fetches.resize(static_cast<size_t>(stats.backend_shards), 0);
+  stats.shard_stall_seconds.resize(
+      static_cast<size_t>(stats.backend_shards), 0.0);
+
+  stats.engine_walkers = options.walkers;
+  stats.engine_blocks = run.num_blocks();
+  stats.engine_block_switches = run.block_switches();
+  stats.engine_steps = run.steps();
+  // Rate of the stepping phase only: cohort setup is O(walkers) one-time
+  // work (the pool's 64 sessions pay nothing comparable), so folding it in
+  // would report a rate that depends on walk length rather than step cost.
+  const double stepping = run.stepping_seconds();
+  stats.engine_steps_per_sec =
+      stepping > 0.0 ? static_cast<double>(run.steps()) / stepping : 0.0;
+  stats.engine_bytes_scanned = run.bytes_scanned();
+  stats.engine_resident_peak = run.resident_peak();
+
+  // Same warm-start behavior as a closing session: a file-bound cache
+  // writes this run's history back.
+  if (shared.query_cache != nullptr) {
+    const Status persisted = shared.query_cache->Persist();
+    if (!persisted.ok()) {
+      WNW_LOG(kWarning) << "query-cache persist failed: "
+                        << persisted.ToString();
+    }
+  }
+  return result;
+}
+
+Result<EngineResult> RunWalkEngine(const Graph* graph, std::string_view spec,
+                                   EngineOptions options) {
+  WNW_ASSIGN_OR_RETURN(SamplerConfig config, SamplerConfig::Parse(spec));
+  return RunWalkEngine(graph, config, std::move(options));
+}
+
+}  // namespace wnw

@@ -1,0 +1,196 @@
+// Walker programs: registry samplers compiled down to per-step resumable
+// coroutine-style state machines, so the block engine can multiplex millions
+// of logical walkers over a handful of OS threads.
+//
+// A SamplingSession runs one sampler as straight-line code: Draw() walks
+// until something converges/accepts and returns a node. The engine cannot
+// afford one call stack (or one O(num_nodes) access session) per logical
+// walker, so each sampler family is re-expressed as a WalkerProgram whose
+// Resume() advances ONE design step (plus whatever bookkeeping the original
+// Draw() performs at that step, in the same order against the same RNG
+// stream) and then yields, letting the engine re-bucket the walker by the
+// block of its new frontier node. The contract that everything here is
+// written against:
+//
+//   For every registered sampler and every walker, the sequence of emitted
+//   samples — and the per-walker logical costs (query_cost, total_queries)
+//   when no shared QueryCache is attached — are byte-identical to
+//   RunWalkerPool with the same seed, REGARDLESS of block visit order,
+//   because walkers never share randomness and deterministic backends
+//   answer identically in any order.
+//
+// Two execution modes keep that promise at different scales:
+//
+//  - Session mode (burnin, longrun, we, we-path, and walk under access
+//    restrictions or a shared cache): the walker owns a real
+//    AccessInterface / GewekeMonitor / ProbabilityEstimator /
+//    RejectionSampler and Resume() drives the *same component calls in the
+//    same order* as the sampler's Draw() — identity by construction, at the
+//    cost of an O(num_nodes) seen-bitmap per live walker (the engine bounds
+//    residency with cohorts).
+//  - Flat mode (the `walk` sampler against an unrestricted deterministic
+//    backend with no shared cache): per-walker state shrinks to a POD
+//    record plus a tiny WalkerMeter; the four built-in transition designs
+//    are replicated step-for-step (same RNG call order, same logical
+//    billing) against a per-WORKER scan interface, which is what makes one
+//    million walkers on a disk-resident snapshot feasible.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "access/access_interface.h"
+#include "core/estimate.h"
+#include "core/registry.h"
+#include "mcmc/convergence.h"
+#include "mcmc/rejection.h"
+#include "mcmc/transition.h"
+#include "random/rng.h"
+#include "util/status.h"
+
+namespace wnw {
+
+/// The per-worker fetch channel flat programs scan through. Two shapes:
+///
+///  - `access` (general): a worker-owned AccessInterface over the shared
+///    stack — needed whenever the stack carries decorators (latency, rate
+///    limit) or an async executor whose billing must accrue.
+///  - `direct` (fast path): when the stack is the bare in-memory origin —
+///    flat mode already guarantees unrestricted + deterministic +
+///    cache-free, so the only remaining question is decorators — neighbor
+///    lists come straight off the CSR arena with one counter bump, skipping
+///    the per-fetch reply object and session-cache map entirely. This is
+///    what keeps a million multiplexed walkers ahead of the 64-thread pool
+///    on per-step cost.
+///
+/// Logical identity is unaffected either way: per-walker query_cost /
+/// total_queries live in the WalkerMeter, and both shapes return the same
+/// deterministic neighbor lists.
+struct FlatScan {
+  AccessInterface* access = nullptr;  // decorated stacks
+  const Graph* direct = nullptr;      // bare in-memory origin
+  CostMeter* physical = nullptr;      // bills direct arena reads
+
+  std::span<const NodeId> Neighbors(NodeId u) {
+    if (direct != nullptr) {
+      ++physical->backend_fetches;
+      return direct->Neighbors(u);
+    }
+    return access->Neighbors(u);
+  }
+};
+
+/// Flat-mode logical accounting: replicates exactly what a private
+/// AccessInterface would have billed this walker (one logical query per
+/// neighbor-list access, distinct-node cost on first touch) without the
+/// O(num_nodes) seen-bitmap — a walker only ever touches O(steps) distinct
+/// nodes, so a small sorted vector suffices.
+struct WalkerMeter {
+  uint64_t total_queries = 0;
+  uint64_t unique_cost = 0;
+  uint64_t bytes_scanned = 0;        // adjacency bytes this walker read
+  std::vector<NodeId> seen;          // sorted distinct nodes touched
+
+  /// One logical neighbor-list query for u served through `scan` (the
+  /// worker's fetch channel; physical-fetch telemetry accrues there).
+  std::span<const NodeId> Fetch(FlatScan& scan, NodeId u) {
+    ++total_queries;
+    const std::span<const NodeId> list = scan.Neighbors(u);
+    bytes_scanned += list.size_bytes();
+    const auto it = std::lower_bound(seen.begin(), seen.end(), u);
+    if (it == seen.end() || *it != u) {
+      seen.insert(it, u);
+      ++unique_cost;
+    }
+    return list;
+  }
+};
+
+/// POD core of one logical walker. `aux`/`aux2`/`phase` are program-defined
+/// (steps into the current walk, candidates or walks tried this draw, state
+/// machine phase) — documented per program in walker_program.cc.
+struct WalkerState {
+  NodeId node = kInvalidNode;  // frontier: the block scheduler keys on this
+  NodeId home = kInvalidNode;  // the walker's start node
+  uint32_t emitted = 0;        // samples produced so far
+  uint32_t aux = 0;
+  uint32_t aux2 = 0;
+  uint8_t phase = 0;
+};
+
+/// Session-mode baggage: the real components a SamplingSession would own,
+/// one set per live walker. Flat-mode walkers leave this null.
+struct WalkerSession {
+  std::unique_ptr<AccessInterface> access;
+  std::unique_ptr<GewekeMonitor> monitor;           // burnin / longrun
+  std::unique_ptr<ProbabilityEstimator> estimator;  // we / we-path
+  std::unique_ptr<RejectionSampler> rejection;      // we / we-path
+  std::vector<NodeId> path_buf;
+  std::vector<NodeId> candidate_buf;
+  std::deque<NodeId> pending;  // we-path accepted-but-unemitted samples
+  bool prepared = false;       // estimator crawl done
+};
+
+/// One logical walker as the engine sees it.
+struct EngineWalker {
+  WalkerState state;
+  Rng rng{0};
+  WalkerMeter meter;                     // flat mode only
+  std::unique_ptr<WalkerSession> side;   // session mode only
+  NodeId* out = nullptr;                 // this walker's sample slots
+  uint32_t target = 0;                   // samples to emit
+
+  void Emit(NodeId v) { out[state.emitted++] = v; }
+  bool full() const { return state.emitted >= target; }
+};
+
+enum class ResumeOutcome {
+  kContinue,  // walker still live; re-bucket by state.node
+  kDone,      // walker emitted its full target
+};
+
+/// A sampler compiled to per-step form. Stateless and shared by all walkers
+/// and workers; all mutable state lives in the EngineWalker.
+class WalkerProgram {
+ public:
+  virtual ~WalkerProgram() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// True when walkers run without a per-walker AccessInterface (POD state
+  /// only; fetches go through the per-worker scan interface).
+  virtual bool flat() const { return false; }
+
+  /// Prepares a walker whose rng/home/target/out are already set: seeds
+  /// state.node and any session-mode components.
+  virtual Status Init(EngineWalker& w) const = 0;
+
+  /// Advances the walker by one design step (plus the bookkeeping the
+  /// original sampler performs at that step). `scan` is the calling
+  /// worker's fetch channel; only flat programs use it (session programs
+  /// bill the walker's own side->access and may receive scan = nullptr).
+  virtual Result<ResumeOutcome> Resume(EngineWalker& w,
+                                       FlatScan* scan) const = 0;
+};
+
+/// Shared resources the programs hand to per-walker access sessions; all
+/// resolved by ResolveSessionResources before compilation.
+struct ProgramContext {
+  std::shared_ptr<AccessBackend> backend;
+  std::shared_ptr<QueryCache> query_cache;  // may be null
+  std::shared_ptr<AsyncFetchExecutor> executor;  // may be null
+};
+
+/// Compiles `config` (reserved/engine keys already peeled) against `design`
+/// into a walker program, validating config.params exactly as the registry
+/// factory would. `allow_flat` gates the flat `walk` fast path — the caller
+/// asserts the backend is deterministic, unrestricted, and cache-free, which
+/// is what makes per-walker logical billing replicable. Samplers without a
+/// compiled form return InvalidArgument naming the supported set.
+Result<std::unique_ptr<WalkerProgram>> CompileWalkerProgram(
+    const SamplerConfig& config, const TransitionDesign* design,
+    const ProgramContext& context, bool allow_flat);
+
+}  // namespace wnw

@@ -1,6 +1,7 @@
 #include "graph/graph.h"
 
 #include <algorithm>
+#include <cstddef>
 
 #include "util/check.h"
 #include "util/string_util.h"
@@ -100,6 +101,25 @@ uint64_t Graph::degree_square_sum() const {
     total += d * d;
   }
   return total;
+}
+
+uint64_t Graph::TopologyChecksum() const {
+  if (num_nodes_ == 0) return 0;  // 0 is the "unchecked" sentinel everywhere
+  // FNV-1a64, same function as the snapshot container checksum
+  // (storage::Fnv64) but implemented locally: graph/ sits below storage/ in
+  // the include order (snapshot.h includes this header).
+  uint64_t hash = 0xcbf29ce484222325ull;
+  const auto fold = [&hash](const std::byte* data, size_t size) {
+    for (size_t i = 0; i < size; ++i) {
+      hash ^= static_cast<uint64_t>(data[i]);
+      hash *= 0x100000001b3ull;
+    }
+  };
+  const auto off = offsets();
+  const auto adj = adjacency();
+  fold(reinterpret_cast<const std::byte*>(off.data()), off.size_bytes());
+  fold(reinterpret_cast<const std::byte*>(adj.data()), adj.size_bytes());
+  return hash;
 }
 
 std::string Graph::DebugString() const {

@@ -81,6 +81,14 @@ class Graph {
   /// True when the CSR arrays view an mmap'd snapshot file.
   bool storage_mapped() const { return adjacency_.mapped(); }
 
+  /// FNV-1a64 over the raw CSR payload (offsets then adjacency bytes): a
+  /// stable fingerprint of the topology, identical whether the graph is
+  /// heap-built or mmap'd from a snapshot. Persisted artifacts derived from
+  /// query responses (the QueryCache files) embed it so a cache of a changed
+  /// graph is rejected instead of silently serving wrong lists. O(nodes +
+  /// edges); callers cache the value. 0 only for the empty graph.
+  uint64_t TopologyChecksum() const;
+
   std::string DebugString() const;
 
  private:

@@ -36,7 +36,7 @@ static_assert(sizeof(SectionEntry) == 24, "entry must pack without padding");
 
 static_assert(sizeof(GraphMetaSection) == 24);
 static_assert(sizeof(ShardMetaSection) == 8);
-static_assert(sizeof(CacheMetaSection) == 24);
+static_assert(sizeof(CacheMetaSection) == 32);
 
 constexpr uint64_t Align8(uint64_t x) { return (x + 7) & ~uint64_t{7}; }
 

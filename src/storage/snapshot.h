@@ -85,6 +85,12 @@ struct CacheMetaSection {
   uint64_t total_values = 0;
   uint32_t shards_hint = 0;  // the writer's shard count (informational)
   uint32_t reserved = 0;
+  /// FNV-1a64 topology checksum (Graph::TopologyChecksum()) of the graph the
+  /// cached responses came from; 0 = unknown (legacy files, or a cache never
+  /// bound to a graph). Load rejects a nonzero mismatch — a persisted cache
+  /// of a changed graph is silently wrong. Files written before this field
+  /// existed are 24 bytes and read back as topology = 0.
+  uint64_t topology = 0;
 };
 
 /// Accumulates sections and writes one container file. Section byte spans

@@ -1,0 +1,319 @@
+// Block-engine invariants. The load-bearing test is the identity sweep: for
+// EVERY registered sampler, under every scheduler order and assorted block
+// sizes, RunWalkEngine must emit byte-identical per-walker samples — and
+// identical per-walker logical query costs (no shared cache attached) — to
+// RunWalkerPool under the same seed. The sweep enumerates the registry, so
+// registering a new sampler without a walker program fails here first.
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/session.h"
+#include "engine/block_scheduler.h"
+#include "engine/walk_engine.h"
+#include "test_util.h"
+
+namespace wnw {
+namespace {
+
+using testing::MakeTestBA;
+using testing::ToVec;
+
+constexpr uint64_t kSeed = 777;
+
+struct SpecCase {
+  const char* registry_name;
+  const char* spec;
+};
+
+// One representative per registered sampler (small caps keep the sweep
+// fast), plus extra walk-design coverage where the engine has dedicated
+// step replication.
+const SpecCase kIdentitySpecs[] = {
+    {"walk", "walk:srw?steps=5"},
+    {"walk", "walk:mhrw?steps=4"},
+    {"walk", "walk:lazy?steps=4"},
+    {"burnin", "burnin:srw?max_steps=300"},
+    {"longrun", "longrun:lazy?thinning=3&max_steps=300"},
+    {"we", "we:mhrw?diameter=2"},
+    {"we-path", "we-path:srw?diameter=2"},
+};
+
+WalkerPoolOptions PoolOptions(int walkers, uint64_t samples) {
+  WalkerPoolOptions options;
+  options.walkers = walkers;
+  options.samples_per_walker = samples;
+  options.session.seed = kSeed;
+  return options;
+}
+
+EngineOptions BaseEngineOptions(uint64_t walkers, uint64_t samples) {
+  EngineOptions options;
+  options.walkers = walkers;
+  options.samples_per_walker = samples;
+  options.session.seed = kSeed;
+  return options;
+}
+
+void ExpectIdentical(const WalkerPoolResult& pool, const EngineResult& engine,
+                     const std::string& label) {
+  ASSERT_EQ(pool.samples.size(), engine.walker_stats.size()) << label;
+  for (size_t w = 0; w < pool.samples.size(); ++w) {
+    EXPECT_EQ(pool.samples[w], ToVec(engine.SamplesFor(w)))
+        << label << " walker " << w << ": samples diverged";
+    EXPECT_EQ(pool.stats[w].query_cost, engine.walker_stats[w].query_cost)
+        << label << " walker " << w << ": query_cost diverged";
+    EXPECT_EQ(pool.stats[w].total_queries,
+              engine.walker_stats[w].total_queries)
+        << label << " walker " << w << ": total_queries diverged";
+  }
+}
+
+TEST(WalkEngine, SpecTableCoversEveryRegisteredSampler) {
+  std::set<std::string> covered;
+  for (const SpecCase& c : kIdentitySpecs) covered.insert(c.registry_name);
+  const std::vector<std::string> names = SamplerRegistry::Global().Names();
+  EXPECT_EQ(covered, std::set<std::string>(names.begin(), names.end()))
+      << "a sampler was registered without a block-engine identity case — "
+         "add it to kIdentitySpecs (and a walker program if it lacks one)";
+}
+
+TEST(WalkEngine, ByteIdenticalToWalkerPoolForEverySampler) {
+  const Graph graph = MakeTestBA(300, 3);
+  constexpr int kWalkers = 8;
+  constexpr uint64_t kSamples = 5;
+  const ScheduleOrder kOrders[] = {ScheduleOrder::kMostPending,
+                                   ScheduleOrder::kRoundRobin,
+                                   ScheduleOrder::kLeastPending};
+  const uint32_t kBlockSizes[] = {7, 64, 0};  // 0 = derived default
+
+  for (const SpecCase& c : kIdentitySpecs) {
+    const auto pool =
+        RunWalkerPool(&graph, c.spec, PoolOptions(kWalkers, kSamples));
+    ASSERT_TRUE(pool.ok()) << c.spec << ": " << pool.status().ToString();
+    for (const ScheduleOrder order : kOrders) {
+      for (const uint32_t block : kBlockSizes) {
+        EngineOptions options = BaseEngineOptions(kWalkers, kSamples);
+        options.block_nodes = block;
+        options.schedule.order = order;
+        options.threads = 3;
+        const auto engine = RunWalkEngine(&graph, c.spec, options);
+        const std::string label =
+            std::string(c.spec) + " order=" +
+            std::string(ScheduleOrderKey(order)) +
+            " block=" + std::to_string(block);
+        ASSERT_TRUE(engine.ok())
+            << label << ": " << engine.status().ToString();
+        ExpectIdentical(*pool, *engine, label);
+      }
+    }
+  }
+}
+
+TEST(WalkEngine, IdentityHoldsUnderSpecKeysAndPinnedStart) {
+  const Graph graph = MakeTestBA(300, 3);
+  WalkerPoolOptions pool_options = PoolOptions(6, 4);
+  pool_options.session.start = 17;
+  const auto pool = RunWalkerPool(&graph, "walk:srw?steps=6", pool_options);
+  ASSERT_TRUE(pool.ok()) << pool.status().ToString();
+
+  // walkers= and block= ride in the spec string; engine= selects the path.
+  EngineOptions options = BaseEngineOptions(1, 4);  // overridden by spec
+  options.session.start = 17;
+  const auto engine = RunWalkEngine(
+      &graph, "walk:srw?steps=6&engine=block&walkers=6&block=32", options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  EXPECT_EQ(engine->stats.engine_walkers, 6u);
+  ExpectIdentical(*pool, *engine, "spec-keyed run");
+}
+
+TEST(WalkEngine, IdentityHoldsInSessionModeUnderRestriction) {
+  // A deterministic restriction (type 3, truncated lists) forces the `walk`
+  // sampler off the flat fast path into session mode; identity must hold
+  // there too.
+  const Graph graph = MakeTestBA(300, 4);
+  WalkerPoolOptions pool_options = PoolOptions(6, 4);
+  pool_options.session.access.restriction = NeighborRestriction::kTruncated;
+  pool_options.session.access.max_neighbors = 3;
+  const auto pool = RunWalkerPool(&graph, "walk:srw?steps=5", pool_options);
+  ASSERT_TRUE(pool.ok()) << pool.status().ToString();
+
+  EngineOptions options = BaseEngineOptions(6, 4);
+  options.session.access.restriction = NeighborRestriction::kTruncated;
+  options.session.access.max_neighbors = 3;
+  options.block_nodes = 16;
+  const auto engine = RunWalkEngine(&graph, "walk:srw?steps=5", options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  ExpectIdentical(*pool, *engine, "truncated restriction");
+}
+
+TEST(WalkEngine, IdentityHoldsAcrossCohortBoundaries) {
+  // Cohorts bound session-mode residency; walkers are independent, so
+  // splitting them across cohorts must not change anything.
+  const Graph graph = MakeTestBA(200, 3);
+  const auto pool = RunWalkerPool(&graph, "burnin:srw?max_steps=200",
+                                  PoolOptions(9, 3));
+  ASSERT_TRUE(pool.ok()) << pool.status().ToString();
+
+  EngineOptions options = BaseEngineOptions(9, 3);
+  options.cohort = 4;  // 4 + 4 + 1
+  const auto engine =
+      RunWalkEngine(&graph, "burnin:srw?max_steps=200", options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  EXPECT_EQ(engine->stats.engine_resident_peak, 4u);
+  ExpectIdentical(*pool, *engine, "cohort=4");
+}
+
+TEST(WalkEngine, MillionWalkerSmoke) {
+  // The scale story: 1M logical walkers on a few OS threads, POD state
+  // only. Two steps each keeps the test quick while still exercising the
+  // full bucket/schedule/drain machinery.
+  const Graph graph = MakeTestBA(2000, 4);
+  EngineOptions options = BaseEngineOptions(1'000'000, 1);
+  SamplerConfig config;
+  config.sampler = "walk";
+  config.walk = "srw";
+  config.params["steps"] = "2";
+  const auto engine = RunWalkEngine(&graph, config, options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  EXPECT_EQ(engine->stats.engine_walkers, 1'000'000u);
+  EXPECT_EQ(engine->stats.samples_drawn, 1'000'000u);
+  EXPECT_EQ(engine->stats.engine_steps, 2'000'000u);
+  EXPECT_FALSE(engine->stopped_early);
+  EXPECT_GT(engine->stats.engine_bytes_scanned, 0u);
+  for (const NodeId v : engine->samples) {
+    ASSERT_LT(v, graph.num_nodes());
+  }
+}
+
+TEST(WalkEngine, MaxStepsStopsPromptlyAndCleanly) {
+  const Graph graph = MakeTestBA(300, 3);
+  EngineOptions options = BaseEngineOptions(50, 1);
+  options.max_steps = 100;
+  options.threads = 4;
+  const auto engine =
+      RunWalkEngine(&graph, "walk:srw?steps=100000", options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  EXPECT_TRUE(engine->stopped_early);
+  // Budget overshoot is bounded by the in-flight workers, not the workload.
+  EXPECT_LT(engine->stats.engine_steps, 100u + 64u);
+  uint64_t emitted = 0;
+  for (const auto& w : engine->walker_stats) emitted += w.emitted;
+  EXPECT_EQ(emitted, engine->stats.samples_drawn);
+}
+
+TEST(WalkEngine, RejectsNonDeterministicBackend) {
+  const Graph graph = MakeTestBA(100, 3);
+  EngineOptions options = BaseEngineOptions(4, 2);
+  options.session.access.restriction = NeighborRestriction::kRandomSubset;
+  options.session.access.max_neighbors = 3;
+  const auto engine = RunWalkEngine(&graph, "walk:srw?steps=3", options);
+  ASSERT_FALSE(engine.ok());
+  EXPECT_EQ(engine.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WalkEngine, RejectsUnknownEngineAndBadCounts) {
+  const Graph graph = MakeTestBA(100, 3);
+  EXPECT_EQ(RunWalkEngine(&graph, "walk:srw?engine=turbo").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(RunWalkEngine(&graph, "walk:srw?walkers=0").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(RunWalkEngine(&graph, "walk:srw?block=0").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      RunWalkEngine(&graph, "burnin:srw?engine=block&nosuch=1").status().code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST(WalkEngine, PlainSessionAndPoolRejectEngineKeys) {
+  const Graph graph = MakeTestBA(100, 3);
+  for (const char* spec :
+       {"walk:srw?engine=block", "walk:srw?walkers=100", "we:srw?block=64"}) {
+    const auto session = SamplingSession::Open(&graph, spec);
+    ASSERT_FALSE(session.ok()) << spec;
+    EXPECT_EQ(session.status().code(), StatusCode::kInvalidArgument) << spec;
+    const auto pool = RunWalkerPool(&graph, spec, PoolOptions(2, 2));
+    ASSERT_FALSE(pool.ok()) << spec;
+    EXPECT_EQ(pool.status().code(), StatusCode::kInvalidArgument) << spec;
+  }
+}
+
+// --- BlockScheduler ----------------------------------------------------------
+
+TEST(BlockScheduler, MostPendingPicksLargestAndZeroes) {
+  BlockScheduler sched(4);
+  sched.Add(1, 3);
+  sched.Add(2, 5);
+  sched.Add(3, 5);
+  EXPECT_EQ(sched.Acquire(), 2u);  // ties go to the lowest block id
+  EXPECT_EQ(sched.pending(2), 0u);
+  EXPECT_EQ(sched.Acquire(), 3u);
+  EXPECT_EQ(sched.Acquire(), 1u);
+  EXPECT_EQ(sched.Acquire(), BlockScheduler::kNone);
+  EXPECT_EQ(sched.acquires(), 3u);
+}
+
+TEST(BlockScheduler, LeastPendingPicksSmallestNonempty) {
+  BlockScheduler sched(4, {.order = ScheduleOrder::kLeastPending});
+  sched.Add(0, 9);
+  sched.Add(2, 1);
+  EXPECT_EQ(sched.Acquire(), 2u);
+  EXPECT_EQ(sched.Acquire(), 0u);
+}
+
+TEST(BlockScheduler, RoundRobinCycles) {
+  BlockScheduler sched(3, {.order = ScheduleOrder::kRoundRobin});
+  sched.Add(0, 1);
+  sched.Add(1, 1);
+  sched.Add(2, 1);
+  EXPECT_EQ(sched.Acquire(), 0u);
+  sched.Add(0, 1);
+  EXPECT_EQ(sched.Acquire(), 1u);  // cursor moved past 0
+  EXPECT_EQ(sched.Acquire(), 2u);
+  EXPECT_EQ(sched.Acquire(), 0u);
+}
+
+TEST(BlockScheduler, AgingPreventsStarvation) {
+  // Block 1 holds a single walker while block 0 keeps refilling with more;
+  // greedy most-pending would starve block 1 forever, aging must not.
+  BlockScheduler sched(2, {.order = ScheduleOrder::kMostPending,
+                           .aging_rounds = 3});
+  sched.Add(1, 1);
+  bool served = false;
+  for (int round = 0; round < 10; ++round) {
+    sched.Add(0, 100);
+    if (sched.Acquire() == 1u) {
+      served = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(served) << "aging never preempted the hot block";
+  // And it must kick in within aging_rounds + 1 passes, not eventually.
+  BlockScheduler strict(2, {.order = ScheduleOrder::kMostPending,
+                            .aging_rounds = 3});
+  strict.Add(1, 1);
+  int rounds = 0;
+  while (rounds < 10) {
+    strict.Add(0, 100);
+    ++rounds;
+    if (strict.Acquire() == 1u) break;
+  }
+  EXPECT_LE(rounds, 4);
+}
+
+TEST(BlockScheduler, ParseOrderRoundTrips) {
+  for (const ScheduleOrder order : {ScheduleOrder::kMostPending,
+                                    ScheduleOrder::kRoundRobin,
+                                    ScheduleOrder::kLeastPending}) {
+    const auto parsed = ParseScheduleOrder(ScheduleOrderKey(order));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, order);
+  }
+  EXPECT_FALSE(ParseScheduleOrder("fifo").ok());
+}
+
+}  // namespace
+}  // namespace wnw

@@ -10,9 +10,12 @@
 #include <thread>
 #include <vector>
 
+#include <cstddef>
+
 #include "access/access_interface.h"
 #include "access/query_cache.h"
 #include "core/session.h"
+#include "storage/snapshot.h"
 #include "test_util.h"
 #include "util/parallel.h"
 
@@ -288,6 +291,138 @@ TEST(QueryCachePersistenceTest, MissingAndCorruptFilesAreStatuses) {
   }
   EXPECT_EQ(cache.Load(path).code(), StatusCode::kIOError);
   EXPECT_EQ(cache.size(), 0u);
+  std::remove(path.c_str());
+}
+
+// --- topology handshake (stale persisted caches of a changed graph) --------
+
+TEST(QueryCachePersistenceTest, LoadRejectsStaleTopologyAsFailedPrecondition) {
+  const std::string path = CacheTempPath("stale_load.wnwcache");
+  {
+    QueryCache cache;
+    cache.BindTopology(0xAAAA1111u);
+    cache.Insert(3, std::vector<NodeId>{5, 6});
+    ASSERT_TRUE(cache.Save(path).ok());
+  }
+  QueryCache other;
+  other.BindTopology(0xBBBB2222u);  // "the graph changed"
+  const Status loaded = other.Load(path);
+  EXPECT_EQ(loaded.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(other.size(), 0u);  // nothing leaked in before the reject
+
+  // Matching checksum loads; an unbound reader (checksum 0) also loads —
+  // the handshake never locks out a caller that opted out of it.
+  QueryCache matching;
+  matching.BindTopology(0xAAAA1111u);
+  EXPECT_TRUE(matching.Load(path).ok());
+  EXPECT_EQ(matching.size(), 1u);
+  QueryCache unbound;
+  EXPECT_TRUE(unbound.Load(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(QueryCachePersistenceTest, AttachFileDropsStaleFileAndColdStarts) {
+  const std::string path = CacheTempPath("stale_attach.wnwcache");
+  std::remove(path.c_str());
+  {
+    QueryCache cache;
+    ASSERT_TRUE(cache.AttachFile(path, /*expected_topology=*/0x1111u).ok());
+    cache.Insert(7, std::vector<NodeId>{1, 2});
+    ASSERT_TRUE(cache.Persist().ok());
+  }
+  // Same file, different graph: attach succeeds as a COLD start (the stale
+  // contents are dropped, counted, and not loaded), and the next Persist
+  // rewrites the file under the new topology.
+  {
+    QueryCache cache;
+    ASSERT_TRUE(cache.AttachFile(path, /*expected_topology=*/0x2222u).ok());
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.stale_drops(), 1u);
+    cache.Insert(9, std::vector<NodeId>{3});
+    ASSERT_TRUE(cache.Persist().ok());
+  }
+  // The rewritten file now warm-starts topology 0x2222 without a drop.
+  QueryCache warm;
+  ASSERT_TRUE(warm.AttachFile(path, /*expected_topology=*/0x2222u).ok());
+  EXPECT_EQ(warm.stale_drops(), 0u);
+  EXPECT_EQ(warm.size(), 1u);
+  EXPECT_TRUE(warm.Contains(9));
+  EXPECT_FALSE(warm.Contains(7));  // the stale entry is gone for good
+  std::remove(path.c_str());
+}
+
+TEST(QueryCachePersistenceTest, LegacyFileWithoutTopologyFieldLoads) {
+  // Files written before CacheMetaSection grew the topology field carry a
+  // 24-byte meta section; they must stay loadable (checksum reads as 0 =
+  // unchecked) even by a topology-bound cache.
+  const std::string path = CacheTempPath("legacy.wnwcache");
+  {
+    const storage::CacheMetaSection meta{/*entries=*/1, /*total_values=*/2,
+                                         /*shards_hint=*/1, 0,
+                                         /*topology=*/0x12345u};
+    const std::vector<NodeId> nodes = {4};
+    const std::vector<uint64_t> offsets = {0, 2};
+    const std::vector<NodeId> values = {8, 9};
+    storage::SnapshotWriter writer;
+    writer.AddSection(
+        storage::SectionKind::kCacheMeta, 0,
+        {reinterpret_cast<const std::byte*>(&meta),
+         offsetof(storage::CacheMetaSection, topology)});  // legacy 24 bytes
+    writer.AddArraySection<NodeId>(storage::SectionKind::kCacheNodes, 0,
+                                   nodes);
+    writer.AddArraySection<uint64_t>(storage::SectionKind::kCacheOffsets, 0,
+                                     offsets);
+    writer.AddArraySection<NodeId>(storage::SectionKind::kCacheValues, 0,
+                                   values);
+    ASSERT_TRUE(writer.Write(storage::FileKind::kQueryCache, path).ok());
+  }
+  QueryCache bound;
+  bound.BindTopology(0x99999u);
+  ASSERT_TRUE(bound.Load(path).ok());
+  std::vector<NodeId> out;
+  ASSERT_TRUE(bound.Lookup(4, &out));
+  EXPECT_EQ(out, (std::vector<NodeId>{8, 9}));
+  std::remove(path.c_str());
+}
+
+TEST(QueryCachePersistenceTest, SessionDropsStaleCacheFileOfChangedGraph) {
+  // End-to-end through SamplingSession: a cache file persisted against one
+  // graph must not poison a session over a different graph — the session
+  // cold-starts, reports the drop in its stats, and still samples fine.
+  const std::string path = CacheTempPath("stale_session.wnwcache");
+  std::remove(path.c_str());
+  const Graph first = testing::MakeTestBA(60, 3, 11);
+  const Graph changed = testing::MakeTestBA(60, 3, 12);
+  ASSERT_NE(first.TopologyChecksum(), changed.TopologyChecksum());
+  {
+    SessionOptions opts;
+    opts.cache_file = path;
+    auto session = SamplingSession::Open(&first, "walk:srw?steps=4", opts);
+    ASSERT_TRUE(session.ok());
+    std::vector<NodeId> samples;
+    ASSERT_TRUE((*session)->DrawInto(&samples, 5).ok());
+  }
+  {
+    SessionOptions opts;
+    opts.cache_file = path;
+    auto session = SamplingSession::Open(&changed, "walk:srw?steps=4", opts);
+    ASSERT_TRUE(session.ok());
+    std::vector<NodeId> samples;
+    ASSERT_TRUE((*session)->DrawInto(&samples, 5).ok());
+    const SessionStats stats = (*session)->Stats();
+    EXPECT_EQ(stats.cache_stale_drops, 1u);
+    // Cold start: the walk paid real backend fetches, nothing rode on the
+    // stale file.
+    EXPECT_GT(stats.query_cost, 0u);
+  }
+  // The file was rewritten for `changed`; a third session on it warm-starts.
+  {
+    SessionOptions opts;
+    opts.cache_file = path;
+    auto session = SamplingSession::Open(&changed, "walk:srw?steps=4", opts);
+    ASSERT_TRUE(session.ok());
+    EXPECT_EQ((*session)->Stats().cache_stale_drops, 0u);
+  }
   std::remove(path.c_str());
 }
 

@@ -200,6 +200,7 @@ std::vector<SamplerCase> AcceptanceCases() {
       {"we-path:mhrw?diameter=6", {}},
       {"we:mhrw?diameter=6&window=4", {}},  // async executor over remote
       {"burnin:mhrw", fixed_subset},        // §6.3.1 restriction server-side
+      {"walk:srw?steps=6", {}},             // fixed-length chain
   };
 }
 

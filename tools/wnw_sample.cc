@@ -21,6 +21,8 @@
 //   wnw_sample --dataset small --samples 20 \
 //              --spec "we:mhrw?snapshot=small.snap"   # mmap'd origin
 //   wnw_sample --dataset small --samples 20 --cache_file warm.wnwcache
+//   wnw_sample --dataset ba:20000,5 --samples 4096 --json \
+//              --spec "walk:srw?steps=8&engine=block&walkers=1024"
 //
 // --cache_file FILE persists the query cache across runs: the file is
 // loaded when it exists (a warm start pays no queries for nodes any earlier
@@ -29,6 +31,7 @@
 // --json replaces the per-line sample output with one JSON object on stdout
 // ({"spec", "samples": [...], "stats": {...}}) for scripting; diagnostics
 // stay on stderr.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -39,6 +42,7 @@
 #include "core/registry.h"
 #include "core/session.h"
 #include "datasets/social_datasets.h"
+#include "engine/walk_engine.h"
 #include "estimation/aggregates.h"
 #include "graph/algorithms.h"
 #include "graph/generators.h"
@@ -250,6 +254,22 @@ void PrintJson(const SessionStats& stats, const std::vector<NodeId>& samples) {
               static_cast<unsigned long long>(stats.cache_entries));
   std::printf("    \"cache_file\": \"%s\",\n",
               JsonEscape(stats.cache_file).c_str());
+  std::printf("    \"cache_stale_drops\": %llu,\n",
+              static_cast<unsigned long long>(stats.cache_stale_drops));
+  std::printf("    \"engine_walkers\": %llu,\n",
+              static_cast<unsigned long long>(stats.engine_walkers));
+  std::printf("    \"engine_blocks\": %llu,\n",
+              static_cast<unsigned long long>(stats.engine_blocks));
+  std::printf("    \"engine_block_switches\": %llu,\n",
+              static_cast<unsigned long long>(stats.engine_block_switches));
+  std::printf("    \"engine_steps\": %llu,\n",
+              static_cast<unsigned long long>(stats.engine_steps));
+  std::printf("    \"engine_steps_per_sec\": %.3f,\n",
+              stats.engine_steps_per_sec);
+  std::printf("    \"engine_bytes_scanned\": %llu,\n",
+              static_cast<unsigned long long>(stats.engine_bytes_scanned));
+  std::printf("    \"engine_resident_peak\": %llu,\n",
+              static_cast<unsigned long long>(stats.engine_resident_peak));
   std::printf("    \"last_burn_in\": %d,\n", stats.last_burn_in);
   std::printf("    \"average_burn_in\": %.6f,\n", stats.average_burn_in);
   std::printf("    \"burned_in\": %s,\n", stats.burned_in ? "true" : "false");
@@ -307,6 +327,61 @@ int main(int argc, char** argv) {
                    diameter_bound);
     }
     config.SetInt("diameter", diameter_bound);
+  }
+
+  // engine=block in the spec routes the whole run through the block
+  // scheduler instead of a single sampling session: --samples is spread
+  // over the spec's walker count (samples_per_walker = ceil(samples /
+  // walkers)), and the engine/walkers/block keys are consumed by
+  // RunWalkEngine itself.
+  if (config.params.contains("engine")) {
+    uint64_t walkers = EngineOptions{}.walkers;
+    if (const auto it = config.params.find("walkers");
+        it != config.params.end()) {
+      if (!ParseUint64(it->second, &walkers) || walkers < 1) {
+        std::fprintf(stderr, "error: bad walkers '%s'\n",
+                     it->second.c_str());
+        return 2;
+      }
+    }
+    EngineOptions engine_opts;
+    engine_opts.samples_per_walker =
+        std::max<uint64_t>(1, (args.samples + walkers - 1) / walkers);
+    engine_opts.session.seed = args.seed + 2;
+    engine_opts.session.cache_file = args.cache_file;
+    const auto run = RunWalkEngine(&graph, config, engine_opts);
+    if (!run.ok()) {
+      std::fprintf(stderr, "error: %s\n", run.status().ToString().c_str());
+      PrintUsage();
+      return 2;
+    }
+    if (args.estimate_degree) {
+      std::fprintf(stderr,
+                   "note: --estimate-degree needs a session's bias map; "
+                   "ignored under engine=block\n");
+    }
+    if (args.json) {
+      PrintJson(run->stats, run->samples);
+    } else {
+      if (!args.quiet) {
+        for (const NodeId v : run->samples) std::printf("%u\n", v);
+      }
+      std::fprintf(
+          stderr,
+          "engine: %llu walkers over %llu blocks  %llu steps "
+          "(%.0f steps/sec, %llu block switches)\n"
+          "drawn: %llu samples  query cost: %llu unique nodes "
+          "(%llu API calls)\n",
+          static_cast<unsigned long long>(run->stats.engine_walkers),
+          static_cast<unsigned long long>(run->stats.engine_blocks),
+          static_cast<unsigned long long>(run->stats.engine_steps),
+          run->stats.engine_steps_per_sec,
+          static_cast<unsigned long long>(run->stats.engine_block_switches),
+          static_cast<unsigned long long>(run->stats.samples_drawn),
+          static_cast<unsigned long long>(run->stats.query_cost),
+          static_cast<unsigned long long>(run->stats.total_queries));
+    }
+    return 0;
   }
 
   SessionOptions session_opts;
