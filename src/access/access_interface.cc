@@ -33,7 +33,7 @@ AccessInterface::AccessInterface(const Graph* graph, AccessOptions options)
 
 AccessInterface::AccessInterface(std::shared_ptr<AccessBackend> backend,
                                  std::shared_ptr<QueryCache> cache,
-                                 std::shared_ptr<AsyncFetchExecutor> executor)
+                                 std::shared_ptr<CompletionExecutor> executor)
     : backend_(std::move(backend)),
       cache_(std::move(cache)),
       executor_(std::move(executor)),

@@ -8,7 +8,7 @@
 //   thread-safe — one per concurrent trial)
 //     -> optional shared QueryCache (cross-session history reuse; hits are
 //        free: no backend fetch, no distinct-node cost, no simulated wait)
-//       -> optional shared AsyncFetchExecutor (window-bounded in-flight
+//       -> optional shared CompletionExecutor (window-bounded in-flight
 //          requests; PrefetchAsync overlaps fetches with compute)
 //         -> AccessBackend stack (rate limit / latency decorators over the
 //            InMemoryBackend restriction simulation; see access/backend.h)
@@ -33,7 +33,7 @@
 #include <unordered_set>
 #include <vector>
 
-#include "access/async_executor.h"
+#include "access/completion_executor.h"
 #include "access/backend.h"
 #include "access/cost_meter.h"
 #include "access/query_cache.h"
@@ -44,7 +44,7 @@ namespace wnw {
 
 /// A sampling session against one simulated OSN. Not thread-safe; create one
 /// interface per concurrent trial (the backend, the optional QueryCache, and
-/// the optional AsyncFetchExecutor are thread-safe and shared).
+/// the optional CompletionExecutor are thread-safe and shared).
 class AccessInterface {
  public:
   /// Convenience: builds and owns a private InMemoryBackend (wrapped in a
@@ -60,7 +60,7 @@ class AccessInterface {
   /// than `window` open requests.
   explicit AccessInterface(std::shared_ptr<AccessBackend> backend,
                            std::shared_ptr<QueryCache> cache = nullptr,
-                           std::shared_ptr<AsyncFetchExecutor> executor =
+                           std::shared_ptr<CompletionExecutor> executor =
                                nullptr);
 
   /// Waits for any still-pending prefetch batches (their tasks reference the
@@ -154,7 +154,7 @@ class AccessInterface {
   AccessBackend& backend() { return *backend_; }
   const AccessBackend& backend() const { return *backend_; }
   const std::shared_ptr<QueryCache>& query_cache() const { return cache_; }
-  const std::shared_ptr<AsyncFetchExecutor>& executor() const {
+  const std::shared_ptr<CompletionExecutor>& executor() const {
     return executor_;
   }
 
@@ -163,7 +163,7 @@ class AccessInterface {
   /// the executor handle joining its per-node tasks.
   struct PendingBatch {
     std::vector<NodeId> nodes;
-    AsyncFetchExecutor::BatchHandle handle;
+    CompletionExecutor::BatchHandle handle;
   };
 
   /// Serves u's raw (restricted) neighbor list, billing distinct-node cost
@@ -207,7 +207,7 @@ class AccessInterface {
 
   std::shared_ptr<AccessBackend> backend_;
   std::shared_ptr<QueryCache> cache_;
-  std::shared_ptr<AsyncFetchExecutor> executor_;
+  std::shared_ptr<CompletionExecutor> executor_;
   bool cacheable_;  // backend_->deterministic()
 
   CostMeter meter_;

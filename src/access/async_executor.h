@@ -1,141 +1,7 @@
-// The async fetch executor: a thread-pool dispatcher with a bounded
-// in-flight request window, modeling a crawler that keeps at most `window`
-// requests open against the OSN service at any instant (the paper's whole
-// premise is that round trips, not compute, dominate sampling time — so the
-// only way to go faster at fixed query cost is to keep the pipe full).
-//
-// The executor is the single concurrency primitive of the access layer:
-//
-//   - AccessInterface::PrefetchAsync fans a batch out into per-node fetch
-//     tasks and returns immediately; compute overlaps the round trips and
-//     Wait() (or the first query touching a pending node) folds the replies
-//     into the session caches.
-//   - With an executor attached, AccessInterface routes single fetches
-//     through the window too, so N concurrent walkers sharing one executor
-//     overlap each other's round trips while the service never sees more
-//     than `window` requests in flight.
-//   - LatencyBackend::FetchBatch dispatches through an attached executor so
-//     its simulated round trips (real sleeps when sleep_scale > 0) genuinely
-//     overlap instead of being accounted as overlapped.
-//
-// Tasks are leaf requests only — they never submit or wait on other tasks —
-// which makes the bounded window deadlock-free by construction. The executor
-// is thread-safe and shared: one executor models one crawler frontend, used
-// by any number of sessions.
+// Back-compat shim: the thread-pool AsyncFetchExecutor became the
+// completion-driven CompletionExecutor in PR 8 (an alias keeps the old
+// name working). Include access/completion_executor.h directly in new
+// code.
 #pragma once
 
-#include <condition_variable>
-#include <cstdint>
-#include <deque>
-#include <functional>
-#include <future>
-#include <memory>
-#include <mutex>
-#include <span>
-#include <thread>
-#include <vector>
-
-#include "access/backend.h"
-
-namespace wnw {
-
-struct AsyncOptions {
-  /// Maximum fetches in flight against the backend at any instant. 1 fully
-  /// serializes all requests through the executor (the "wait" baseline).
-  int window = 8;
-
-  /// Worker-thread pool size; 0 sizes the pool to `window`. A pool smaller
-  /// than the window caps effective concurrency at `threads`.
-  int threads = 0;
-};
-
-/// Window-bounded thread-pool executor for backend fetches. Submissions
-/// queue FIFO; at most `window` run concurrently. Destruction cancels
-/// queued-but-unstarted tasks (their futures resolve with FailedPrecondition)
-/// and joins the in-flight ones, so shutting down with requests in flight is
-/// always safe.
-class AsyncFetchExecutor {
- public:
-  using FetchFuture = std::future<Result<FetchReply>>;
-
-  /// The in-flight half of one SubmitBatch call. Wait() joins the
-  /// per-request futures into a BatchReply whose lists parallel the
-  /// submitted node order and whose simulated_seconds is the slowest
-  /// request (concurrent dispatch: the batch completes when its last
-  /// request does). Dropping a handle without waiting is safe — the
-  /// underlying tasks still run to completion and their results are
-  /// discarded.
-  class BatchHandle {
-   public:
-    BatchHandle() = default;
-    BatchHandle(BatchHandle&&) = default;
-    BatchHandle& operator=(BatchHandle&&) = default;
-    BatchHandle(const BatchHandle&) = delete;
-    BatchHandle& operator=(const BatchHandle&) = delete;
-
-    /// Blocks until every request completed; at most one call. On a failed
-    /// request the remaining futures are still drained and the first error
-    /// is returned.
-    Result<BatchReply> Wait();
-
-    size_t size() const { return futures_.size(); }
-    bool pending() const { return !futures_.empty(); }
-
-   private:
-    friend class AsyncFetchExecutor;
-    std::vector<FetchFuture> futures_;
-  };
-
-  explicit AsyncFetchExecutor(AsyncOptions options = {});
-  ~AsyncFetchExecutor();
-
-  AsyncFetchExecutor(const AsyncFetchExecutor&) = delete;
-  AsyncFetchExecutor& operator=(const AsyncFetchExecutor&) = delete;
-
-  /// Enqueues one fetch task. After shutdown began, the returned future
-  /// resolves immediately with FailedPrecondition.
-  FetchFuture Submit(std::function<Result<FetchReply>()> fn);
-
-  /// Convenience: one FetchNeighbors(node) task. The backend is captured by
-  /// shared_ptr, so the request stays valid even if the submitter abandons
-  /// its future and releases its own reference.
-  FetchFuture SubmitFetch(std::shared_ptr<AccessBackend> backend, NodeId node);
-
-  /// Fans `nodes` out into one task per node (`fetch(node)`), all competing
-  /// for the window. This is the truly concurrent counterpart of
-  /// AccessBackend::FetchBatch.
-  BatchHandle SubmitBatch(std::function<Result<FetchReply>(NodeId)> fetch,
-                          std::span<const NodeId> nodes);
-  BatchHandle SubmitBatch(std::shared_ptr<AccessBackend> backend,
-                          std::span<const NodeId> nodes);
-
-  const AsyncOptions& options() const { return options_; }
-  int window() const { return options_.window; }
-
-  struct Stats {
-    uint64_t submitted = 0;  // tasks accepted
-    uint64_t completed = 0;  // tasks that ran to completion
-    uint64_t cancelled = 0;  // queued tasks dropped by shutdown
-    int max_in_flight = 0;   // peak concurrent tasks observed (<= window)
-  };
-  Stats stats() const;
-
- private:
-  struct Task {
-    std::function<Result<FetchReply>()> fn;
-    std::promise<Result<FetchReply>> promise;
-  };
-
-  void WorkerLoop();
-
-  AsyncOptions options_;
-  mutable std::mutex mu_;
-  std::condition_variable task_cv_;  // queue/window/stop state changed
-  std::deque<Task> queue_;
-  bool stopping_ = false;
-  int in_flight_ = 0;
-  Stats stats_;
-  std::vector<std::thread> workers_;
-};
-
-}  // namespace wnw
+#include "access/completion_executor.h"

@@ -13,6 +13,11 @@ Status NodeOutOfRangeError(NodeId u, uint64_t num_nodes) {
                             std::to_string(num_nodes) + " nodes");
 }
 
+void AccessBackend::FetchNeighborsCompletion(NodeId u,
+                                             CompletionCallback done) {
+  done(FetchNeighbors(u));
+}
+
 Result<BatchReply> AccessBackend::FetchBatch(std::span<const NodeId> nodes) {
   BatchReply reply;
   reply.lists.reserve(nodes.size());

@@ -27,6 +27,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <span>
 #include <string_view>
@@ -184,6 +185,33 @@ class AccessBackend {
 
   /// Local-neighborhood query for one node.
   virtual Result<FetchReply> FetchNeighbors(NodeId u) = 0;
+
+  /// Completion callback for FetchNeighborsCompletion: invoked exactly once
+  /// with the reply, possibly on the backend's internal event-loop thread
+  /// and possibly before the submission returns (inline completion). Must
+  /// not block.
+  using CompletionCallback = std::function<void(Result<FetchReply>)>;
+
+  /// Callback-completed counterpart of FetchNeighbors. The default adapter
+  /// runs the synchronous fetch on the calling thread and completes inline —
+  /// correct for every backend, but it occupies the caller for the fetch's
+  /// duration, so CompletionExecutor only routes here when
+  /// completion_native() says the backend overlaps submissions itself.
+  virtual void FetchNeighborsCompletion(NodeId u, CompletionCallback done);
+
+  /// True when FetchNeighborsCompletion returns without waiting for the
+  /// reply (the backend pipelines the request and completes from its own
+  /// event loop). Such backends take a whole in-flight window with zero
+  /// executor threads. Decorators do NOT forward this: a decorator's
+  /// synchronous FetchNeighbors wrapper is where its semantics live, so a
+  /// decorated stack dispatches thread-backed.
+  virtual bool completion_native() const { return false; }
+
+  /// True when FetchNeighbors can sleep the serving thread for real wall
+  /// time (not just simulated billing) — e.g. LatencyConfig::sleep_scale
+  /// > 0. The executor sizes such backends' worker pool at the window, not
+  /// at ≈ cores, so real waits still overlap. Decorators forward/extend.
+  virtual bool may_block() const { return false; }
 
   /// Batched query: semantically equivalent to one FetchNeighbors per node,
   /// but decorators may serve the requests concurrently (latency pays the

@@ -4,7 +4,7 @@
 #include <chrono>
 #include <thread>
 
-#include "access/async_executor.h"
+#include "access/completion_executor.h"
 #include "access/sharded_backend.h"
 #include "util/check.h"
 
@@ -38,7 +38,7 @@ LatencyBackend::LatencyBackend(std::shared_ptr<AccessBackend> inner,
 }
 
 void LatencyBackend::AttachExecutor(
-    std::shared_ptr<AsyncFetchExecutor> executor) {
+    std::shared_ptr<CompletionExecutor> executor) {
   executor_ = std::move(executor);
 }
 

@@ -8,7 +8,7 @@
 //                      this is what makes Prefetch() calls from the samplers
 //                      pay off. With sleep_scale > 0 each request genuinely
 //                      sleeps its simulated duration (retry backoffs
-//                      included), and with an AsyncFetchExecutor attached
+//                      included), and with a CompletionExecutor attached
 //                      batches dispatch as real concurrent tasks instead of
 //                      accounting-only concurrency — wall clock then tracks
 //                      simulated waiting.
@@ -62,7 +62,7 @@ struct LatencyConfig {
   double sleep_scale = 0.0;
 };
 
-class AsyncFetchExecutor;
+class CompletionExecutor;
 
 class LatencyBackend final : public AccessBackend {
  public:
@@ -81,12 +81,19 @@ class LatencyBackend final : public AccessBackend {
   Result<BatchReply> FetchBatch(std::span<const NodeId> nodes) override;
   void ResetSimulation() override;
 
+  /// With sleep_scale > 0 every fetch really sleeps the serving thread, so
+  /// the executor must size this stack's pool at the window for the sleeps
+  /// to overlap.
+  bool may_block() const override {
+    return config_.sleep_scale > 0.0 || inner_->may_block();
+  }
+
   /// Truly concurrent batch dispatch: FetchBatch fans its requests out as
   /// independent executor tasks (window-bounded, real sleeps overlapping)
   /// instead of the accounting-only max(). Callers going through an
   /// AccessInterface that owns an executor never reach this path — it serves
   /// plain backend->FetchBatch users sharing the crawler's executor.
-  void AttachExecutor(std::shared_ptr<AsyncFetchExecutor> executor);
+  void AttachExecutor(std::shared_ptr<CompletionExecutor> executor);
 
   const LatencyConfig& config() const { return config_; }
 
@@ -100,7 +107,7 @@ class LatencyBackend final : public AccessBackend {
   std::shared_ptr<AccessBackend> inner_;
   LatencyConfig config_;
   std::string name_;
-  std::shared_ptr<AsyncFetchExecutor> executor_;  // set once, before use
+  std::shared_ptr<CompletionExecutor> executor_;  // set once, before use
   std::mutex mu_;
   Rng rng_;  // guarded by mu_
 };
@@ -122,6 +129,7 @@ class RateLimitBackend final : public AccessBackend {
   Result<FetchReply> FetchNeighbors(NodeId u) override;
   Result<BatchReply> FetchBatch(std::span<const NodeId> nodes) override;
   void ResetSimulation() override;
+  bool may_block() const override { return inner_->may_block(); }
 
   /// Total simulated seconds all sessions together spent rate-limited.
   double total_waited_seconds() const;
@@ -150,7 +158,7 @@ struct BackendStackOptions {
   /// Attached to the LatencyBackend or ShardedBackend (when one is built)
   /// for truly concurrent batch dispatch; see
   /// LatencyBackend::AttachExecutor / ShardedBackend::AttachExecutor.
-  std::shared_ptr<AsyncFetchExecutor> executor;
+  std::shared_ptr<CompletionExecutor> executor;
 
   /// >= 1 builds a vertex-sharded origin with this many shards; 0 keeps the
   /// unsharded InMemoryBackend. Must be within [1, ShardedGraph::kMaxShards]

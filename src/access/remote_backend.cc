@@ -59,11 +59,15 @@ Result<std::pair<std::string, uint16_t>> ParseAddress(
 
 }  // namespace
 
-/// One synchronous call's rendezvous between the calling thread and the
-/// loop thread. Completion is one-shot: whoever completes first (reply,
-/// deadline timer, connection death, shutdown) wins; later completions are
-/// silently ignored.
+/// One call's rendezvous with the loop thread. Completion is one-shot:
+/// whoever completes first (reply, deadline timer, connection death,
+/// shutdown) wins; later completions are silently ignored. Synchronous
+/// calls park on the cv; asynchronous calls set `on_complete` instead and
+/// it fires on the completing thread, outside the lock.
 struct RemoteBackend::PendingCall {
+  using CompletionFn =
+      std::function<void(Status, uint16_t, std::vector<std::byte>)>;
+
   std::mutex mu;
   std::condition_variable cv;
   bool done = false;
@@ -71,16 +75,30 @@ struct RemoteBackend::PendingCall {
   uint16_t opcode = 0;
   std::vector<std::byte> payload;
   uint64_t timer_id = 0;  // loop-thread only
+  CompletionFn on_complete;  // set before registration; never after
 
   void Complete(Status status_in, uint16_t opcode_in,
                 std::vector<std::byte> payload_in) {
+    CompletionFn fire;
+    Status fire_status = Status::OK();
+    std::vector<std::byte> fire_payload;
     {
       std::lock_guard<std::mutex> lock(mu);
       if (done) return;
       done = true;
-      status = std::move(status_in);
-      opcode = opcode_in;
-      payload = std::move(payload_in);
+      if (on_complete != nullptr) {
+        fire = std::move(on_complete);
+        fire_status = std::move(status_in);
+        fire_payload = std::move(payload_in);
+      } else {
+        status = std::move(status_in);
+        opcode = opcode_in;
+        payload = std::move(payload_in);
+      }
+    }
+    if (fire != nullptr) {
+      fire(std::move(fire_status), opcode_in, std::move(fire_payload));
+      return;
     }
     cv.notify_all();
   }
@@ -159,10 +177,13 @@ RemoteBackend::~RemoteBackend() {
                  Status::Unavailable("remote backend destroyed"));
       }
       {
+        // Under the lock: done_cv lives on the destructing thread's
+        // stack, which deallocates the moment its wait returns (see
+        // EnsureConnected for the full argument).
         std::lock_guard<std::mutex> lock(done_mu);
         done = true;
+        done_cv.notify_all();
       }
-      done_cv.notify_all();
     });
     {
       std::unique_lock<std::mutex> lock(done_mu);
@@ -312,6 +333,167 @@ Status RemoteBackend::CallOnce(Conn* conn, uint16_t opcode,
   return Status::OK();
 }
 
+/// One asynchronous RPC across its retry attempts. Immutable after
+/// creation except `attempt`, which only the thread currently driving the
+/// call touches (attempts never overlap: the next one is scheduled by the
+/// completion of the previous).
+struct RemoteBackend::AsyncCall {
+  uint16_t opcode = 0;
+  std::vector<std::byte> payload;
+  int attempt = 0;
+  std::function<void(Status, std::vector<std::byte>)> done;
+};
+
+void RemoteBackend::FetchNeighborsCompletion(NodeId u,
+                                             CompletionCallback done) {
+  std::vector<std::byte> payload;
+  net::EncodeFetchRequest(u, &payload);
+  CallAsync(
+      static_cast<uint16_t>(Opcode::kFetchNeighbors), std::move(payload),
+      [done = std::move(done)](Status status,
+                               std::vector<std::byte> response) {
+        if (!status.ok()) {
+          done(std::move(status));
+          return;
+        }
+        Result<net::NeighborsReply> decoded =
+            net::DecodeNeighborsReply(response);
+        if (!decoded.ok()) {
+          done(decoded.status());
+          return;
+        }
+        FetchReply reply;
+        reply.SetOwned(std::move(decoded->neighbors));
+        reply.simulated_seconds = decoded->simulated_seconds;
+        reply.serial_seconds = decoded->serial_seconds;
+        reply.shard = decoded->shard;
+        done(std::move(reply));
+      });
+}
+
+void RemoteBackend::CallAsync(
+    uint16_t opcode, std::vector<std::byte> request_payload,
+    std::function<void(Status, std::vector<std::byte>)> done) {
+  rpcs_.fetch_add(1, std::memory_order_relaxed);
+  auto call = std::make_shared<AsyncCall>();
+  call->opcode = opcode;
+  call->payload = std::move(request_payload);
+  call->done = std::move(done);
+  StartAsyncAttempt(std::move(call));
+}
+
+void RemoteBackend::StartAsyncAttempt(std::shared_ptr<AsyncCall> call) {
+  Conn* conn = nullptr;
+  if (loop_->in_loop_thread()) {
+    // Never EnsureConnected here: it blocks on connect and then waits on a
+    // post to this very loop. Retry attempts (loop-timer driven) use live
+    // connections only; submission paths reconnect.
+    const size_t start = next_conn_.fetch_add(1, std::memory_order_relaxed);
+    for (size_t i = 0; i < conns_.size() && conn == nullptr; ++i) {
+      Conn* candidate = conns_[(start + i) % conns_.size()].get();
+      std::lock_guard<std::mutex> lock(candidate->mu);
+      if (candidate->fd >= 0) conn = candidate;
+    }
+    if (conn == nullptr) {
+      FinishOrRetryAsync(std::move(call),
+                         Status::Unavailable("remote connection to '" +
+                                             addr_ + "' went down"),
+                         0, {});
+      return;
+    }
+  } else {
+    conn = conns_[next_conn_.fetch_add(1, std::memory_order_relaxed) %
+                  conns_.size()]
+               .get();
+    Status connected = EnsureConnected(conn);
+    if (!connected.ok()) {
+      FinishOrRetryAsync(std::move(call), std::move(connected), 0, {});
+      return;
+    }
+  }
+  const uint64_t id =
+      next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  auto pending = std::make_shared<PendingCall>();
+  pending->on_complete = [this, call](Status status, uint16_t opcode,
+                                      std::vector<std::byte> payload) {
+    FinishOrRetryAsync(call, std::move(status), opcode, std::move(payload));
+  };
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (conn->fd < 0) {
+      FinishOrRetryAsync(std::move(call),
+                         Status::Unavailable("remote connection to '" +
+                                             addr_ + "' went down"),
+                         0, {});
+      return;
+    }
+    Frame frame;
+    frame.opcode = static_cast<Opcode>(call->opcode);
+    frame.request_id = id;
+    frame.payload = call->payload;
+    const size_t before = conn->out.size();
+    net::EncodeFrame(frame, &conn->out);
+    bytes_sent_.fetch_add(conn->out.size() - before,
+                          std::memory_order_relaxed);
+    conn->pending[id] = std::move(pending);
+  }
+  const double deadline_seconds = options_.deadline_ms / 1e3;
+  loop_->Post([this, conn, id, deadline_seconds] {
+    // Same ordering contract as the synchronous path: the deadline is
+    // armed before the first byte can be flushed, so a racing reply always
+    // finds a timer to cancel.
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      const auto it = conn->pending.find(id);
+      if (it == conn->pending.end()) return;  // already failed/timed out
+      it->second->timer_id = loop_->AddTimer(
+          deadline_seconds, [this, conn, id] { TimeoutCall(conn, id); });
+    }
+    FlushConn(conn);
+  });
+}
+
+void RemoteBackend::FinishOrRetryAsync(std::shared_ptr<AsyncCall> call,
+                                       Status status, uint16_t opcode,
+                                       std::vector<std::byte> payload) {
+  if (status.ok() && opcode != call->opcode) {
+    status = Status::InvalidArgument(
+        "remote server answered with opcode " + std::to_string(opcode) +
+        ", expected " + std::to_string(call->opcode));
+  }
+  if (status.ok()) {
+    call->done(Status::OK(), std::move(payload));
+    return;
+  }
+  if (!TransientCode(status.code()) ||
+      call->attempt >= options_.max_retries ||
+      destroyed_.load(std::memory_order_acquire)) {
+    call->done(std::move(status), {});
+    return;
+  }
+  ++call->attempt;
+  retries_.fetch_add(1, std::memory_order_relaxed);
+  const double backoff_seconds =
+      options_.retry_backoff_ms * call->attempt / 1e3;
+  // The backoff parks on the timer wheel, not a thread. AddTimer is
+  // loop-affine, so hop there first when needed.
+  auto rearm = [this, call = std::move(call), backoff_seconds]() mutable {
+    if (backoff_seconds > 0.0) {
+      loop_->AddTimer(backoff_seconds,
+                      [this, call = std::move(call)]() mutable {
+                        StartAsyncAttempt(std::move(call));
+                      });
+    } else {
+      StartAsyncAttempt(std::move(call));
+    }
+  };
+  if (loop_->in_loop_thread()) {
+    rearm();
+  } else {
+    loop_->Post(std::move(rearm));
+  }
+}
+
 Status RemoteBackend::EnsureConnected(Conn* conn) {
   std::lock_guard<std::mutex> connect_lock(conn->connect_mu);
   {
@@ -385,10 +567,15 @@ Status RemoteBackend::EnsureConnected(Conn* conn) {
       ::close(fd);
     }
     {
+      // Notify UNDER the lock: done_cv lives on the caller's stack, and
+      // the caller destroys it as soon as its wait returns. Holding
+      // done_mu through the notify means the waiter cannot leave wait()
+      // until this thread has released the mutex — i.e. until the
+      // broadcast has fully finished with the condition variable.
       std::lock_guard<std::mutex> lock(done_mu);
       done = true;
+      done_cv.notify_all();
     }
-    done_cv.notify_all();
   });
   std::unique_lock<std::mutex> lock(done_mu);
   done_cv.wait(lock, [&] { return done; });

@@ -4,7 +4,7 @@
 // dominated by the wire, not the lookup.
 //
 // It slots into the existing decorator stack unchanged: AccessInterface,
-// the shared QueryCache, and the AsyncFetchExecutor window all compose over
+// the shared QueryCache, and the CompletionExecutor window all compose over
 // it exactly as over InMemoryBackend, because the Stats handshake ships the
 // server's scenario descriptor (node count, §6.3.1 restriction, server
 // seed) at connect time — options() and deterministic() answer locally.
@@ -75,6 +75,17 @@ class RemoteBackend final : public AccessBackend {
 
   Result<FetchReply> FetchNeighbors(NodeId u) override;
 
+  /// Completion-native fetch: pipelines the request frame and returns
+  /// without waiting; the client event loop invokes `done` when the reply,
+  /// deadline expiry, or connection failure arrives. Transient failures
+  /// retry via loop timers (never a parked thread), but reconnection only
+  /// happens on submission paths — a retry finding every pool connection
+  /// down fails Unavailable. The caller must keep this backend alive until
+  /// the completion fires (CompletionExecutor holds the operation's
+  /// shared_ptr, so stacks composed through it satisfy this for free).
+  void FetchNeighborsCompletion(NodeId u, CompletionCallback done) override;
+  bool completion_native() const override { return true; }
+
   /// One FetchBatch frame per call: the server runs the whole batch behind
   /// a single round trip and its BatchReply — per-request shards, stall
   /// table, slowest-shard billing — is decoded verbatim, so remote batch
@@ -115,6 +126,7 @@ class RemoteBackend final : public AccessBackend {
  private:
   struct Conn;
   struct PendingCall;
+  struct AsyncCall;
 
   RemoteBackend(std::string addr, RemoteBackendOptions options);
 
@@ -129,6 +141,24 @@ class RemoteBackend final : public AccessBackend {
   Status CallOnce(Conn* conn, uint16_t opcode,
                   const std::vector<std::byte>& request_payload,
                   std::vector<std::byte>* response);
+
+  /// Callback-completed RPC: no thread waits. The AsyncCall's completion
+  /// fires exactly once, from the loop thread (reply/deadline/conn death)
+  /// or from the submitting thread (immediate submission failure after the
+  /// retry budget).
+  void CallAsync(uint16_t opcode, std::vector<std::byte> request_payload,
+                 std::function<void(Status, std::vector<std::byte>)> done);
+
+  /// Launches one attempt of `call`: picks a pool connection (reconnecting
+  /// when off the loop thread; live connections only on it), registers the
+  /// pending entry, and posts the deadline-arm + flush.
+  void StartAsyncAttempt(std::shared_ptr<AsyncCall> call);
+
+  /// Terminal demux for an async attempt's outcome: completes the call, or
+  /// schedules the next attempt behind a loop backoff timer while the
+  /// error is transient and budget remains.
+  void FinishOrRetryAsync(std::shared_ptr<AsyncCall> call, Status status,
+                          uint16_t opcode, std::vector<std::byte> payload);
 
   /// (Re)establishes conn's socket if it is down. Caller-thread blocking;
   /// serialized per connection.

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "access/async_executor.h"
+#include "access/completion_executor.h"
 #include "access/decorators.h"
 #include "util/check.h"
 #include "util/string_util.h"
@@ -93,7 +93,7 @@ ShardedBackend::ShardedBackend(std::shared_ptr<const ShardedGraph> graph,
 ShardedBackend::~ShardedBackend() = default;
 
 void ShardedBackend::AttachExecutor(
-    std::shared_ptr<AsyncFetchExecutor> executor) {
+    std::shared_ptr<CompletionExecutor> executor) {
   executor_ = std::move(executor);
 }
 

@@ -23,7 +23,7 @@
 //
 // Billing semantics extend PR 3's: FetchBatch splits into per-shard
 // sub-batches dispatched concurrently (through an attached
-// AsyncFetchExecutor when available), the batch pays the slowest *shard*,
+// CompletionExecutor when available), the batch pays the slowest *shard*,
 // and serial stalls (rate-limit tokens) bill against each shard's own
 // limiter — they sum within a shard and overlap across shards.
 //
@@ -44,7 +44,7 @@
 
 namespace wnw {
 
-class AsyncFetchExecutor;
+class CompletionExecutor;
 
 struct ShardedBackendOptions {
   /// Restriction / rate-limit / server-seed scenario. The same options an
@@ -83,11 +83,19 @@ class ShardedBackend final : public AccessBackend {
   Result<BatchReply> FetchBatch(std::span<const NodeId> nodes) override;
   void ResetSimulation() override;
 
+  /// Shards really sleep (latency sleep_scale > 0) and queue on their
+  /// serial service locks, so fetches against them need a window-sized
+  /// pool to overlap.
+  bool may_block() const override {
+    return options_.latency.has_value() &&
+           options_.latency->sleep_scale > 0.0;
+  }
+
   /// Concurrent per-shard dispatch for FetchBatch: requests fan out as
   /// per-node leaf tasks, so shards genuinely serve in parallel (real
   /// sleeps overlapping) instead of the accounting-only max. Set once,
   /// before use; never call FetchBatch from inside a task of this executor.
-  void AttachExecutor(std::shared_ptr<AsyncFetchExecutor> executor);
+  void AttachExecutor(std::shared_ptr<CompletionExecutor> executor);
 
   int num_shards() const { return graph_->num_shards(); }
   ShardPartition partition() const { return graph_->partition(); }
@@ -112,7 +120,7 @@ class ShardedBackend final : public AccessBackend {
   std::shared_ptr<const ShardedGraph> graph_;
   ShardedBackendOptions options_;
   std::string name_;
-  std::shared_ptr<AsyncFetchExecutor> executor_;  // set once, before use
+  std::shared_ptr<CompletionExecutor> executor_;  // set once, before use
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 

@@ -2,7 +2,7 @@
 
 #include <utility>
 
-#include "access/async_executor.h"
+#include "access/completion_executor.h"
 #include "access/sharded_backend.h"
 #include "util/check.h"
 

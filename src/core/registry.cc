@@ -270,6 +270,11 @@ std::span<const ReservedKeyInfo> ReservedSessionKeys() {
       {"threads",
        "executor worker threads, in [0, 256]; 0 sizes the pool to the "
        "window (requires window)"},
+      {"dispatch",
+       "executor dispatch mode: completion (default; completion-native "
+       "backends finish off their event loop, pool ≈ cores otherwise) | "
+       "threads (every fetch on a pool worker, threads ≈ window — the "
+       "ablation baseline; requires window)"},
       {"engine",
        "execution engine: block runs the spec on the block-scheduled walk "
        "engine (RunWalkEngine / wnw_sample); plain SamplingSession::Open "

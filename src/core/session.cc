@@ -330,6 +330,25 @@ Result<ReservedSelections> ExtractReservedParams(SamplerConfig* config,
     return Status::InvalidArgument(
         "executor parameter threads requires window");
   }
+  AsyncOptions::Dispatch dispatch = AsyncOptions::Dispatch::kCompletion;
+  const auto dispatch_it = config->params.find("dispatch");
+  const bool dispatch_present = dispatch_it != config->params.end();
+  if (dispatch_present) {
+    if (dispatch_it->second == "completion") {
+      dispatch = AsyncOptions::Dispatch::kCompletion;
+    } else if (dispatch_it->second == "threads") {
+      dispatch = AsyncOptions::Dispatch::kThreadPool;
+    } else {
+      return Status::InvalidArgument(
+          "dispatch must be 'completion' or 'threads', got '" +
+          dispatch_it->second + "'");
+    }
+    config->params.erase(dispatch_it);
+    if (!window_present) {
+      return Status::InvalidArgument(
+          "executor parameter dispatch requires window");
+    }
+  }
   if (window_present) {
     if (window < 1 || window > 1024) {
       return Status::InvalidArgument("window must be in [1, 1024]");
@@ -338,7 +357,8 @@ Result<ReservedSelections> ExtractReservedParams(SamplerConfig* config,
       return Status::InvalidArgument("threads must be in [0, 256]");
     }
     options->async = AsyncOptions{.window = static_cast<int>(window),
-                                  .threads = static_cast<int>(threads)};
+                                  .threads = static_cast<int>(threads),
+                                  .dispatch = dispatch};
     selected.executor = true;
   }
   return selected;
@@ -422,7 +442,7 @@ Status ResolveSessionResources(const Graph* graph, SamplerConfig* config,
         "executor are set — drop one of the two");
   }
   if (options->executor == nullptr && options->async.has_value()) {
-    options->executor = std::make_shared<AsyncFetchExecutor>(*options->async);
+    options->executor = std::make_shared<CompletionExecutor>(*options->async);
   }
   options->async.reset();
   if (!options->cache_file.empty()) {
@@ -527,7 +547,7 @@ Result<std::unique_ptr<SamplingSession>> SamplingSession::Open(
   // query_cache is simply never consulted — AccessInterface bypasses
   // caching entirely rather than erroring, so one harness config can span
   // restriction scenarios.
-  std::shared_ptr<AsyncFetchExecutor> executor = options.executor;
+  std::shared_ptr<CompletionExecutor> executor = options.executor;
   auto access = std::make_unique<AccessInterface>(
       options.backend, options.query_cache, executor);
   WNW_ASSIGN_OR_RETURN(

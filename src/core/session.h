@@ -19,7 +19,7 @@
 //
 // or programmatically through SessionOptions: an explicit shared backend
 // stack, a LatencyConfig, a cross-session QueryCache so concurrent trials
-// reuse each other's neighbor lists, and/or a shared AsyncFetchExecutor so
+// reuse each other's neighbor lists, and/or a shared CompletionExecutor so
 // concurrent walkers overlap round trips inside one bounded in-flight
 // window.
 #pragma once
@@ -30,7 +30,7 @@
 #include <vector>
 
 #include "access/access_interface.h"
-#include "access/async_executor.h"
+#include "access/completion_executor.h"
 #include "access/decorators.h"
 #include "access/remote_backend.h"
 #include "access/sharded_backend.h"
@@ -101,7 +101,7 @@ struct SessionOptions {
   /// persist a cache you built yourself, call its AttachFile() instead.
   std::string cache_file;
 
-  /// Builds a private AsyncFetchExecutor for this session (also reachable
+  /// Builds a private CompletionExecutor for this session (also reachable
   /// via the ?window=&threads= spec parameters). Fetches then flow through
   /// a bounded in-flight window and PrefetchAsync overlaps compute with
   /// round trips.
@@ -111,7 +111,7 @@ struct SessionOptions {
   /// serving N walkers). Mutually exclusive with `async` and with the spec
   /// window parameters — a shared executor's sizing is not negotiable per
   /// session.
-  std::shared_ptr<AsyncFetchExecutor> executor;
+  std::shared_ptr<CompletionExecutor> executor;
 
   /// Walk start node; unset picks one uniformly at random from the seed.
   std::optional<NodeId> start;
@@ -235,13 +235,13 @@ class SamplingSession {
   const AccessInterface& access() const { return *access_; }
   Sampler& sampler() { return *sampler_; }
   const TransitionDesign& design() const { return *design_; }
-  const std::shared_ptr<AsyncFetchExecutor>& executor() const {
+  const std::shared_ptr<CompletionExecutor>& executor() const {
     return executor_;
   }
 
  private:
   SamplingSession(SamplerConfig config, NodeId start,
-                  std::shared_ptr<AsyncFetchExecutor> executor,
+                  std::shared_ptr<CompletionExecutor> executor,
                   std::unique_ptr<AccessInterface> access,
                   std::unique_ptr<TransitionDesign> design,
                   std::unique_ptr<Sampler> sampler)
@@ -254,7 +254,7 @@ class SamplingSession {
 
   SamplerConfig config_;  // includes any backend=... spec parameters
   NodeId start_;
-  std::shared_ptr<AsyncFetchExecutor> executor_;  // may be shared or null
+  std::shared_ptr<CompletionExecutor> executor_;  // may be shared or null
   std::unique_ptr<AccessInterface> access_;
   std::unique_ptr<TransitionDesign> design_;
   std::unique_ptr<Sampler> sampler_;

@@ -180,7 +180,7 @@ class WalkerProgram {
 struct ProgramContext {
   std::shared_ptr<AccessBackend> backend;
   std::shared_ptr<QueryCache> query_cache;  // may be null
-  std::shared_ptr<AsyncFetchExecutor> executor;  // may be null
+  std::shared_ptr<CompletionExecutor> executor;  // may be null
 };
 
 /// Compiles `config` (reserved/engine keys already peeled) against `design`

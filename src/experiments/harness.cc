@@ -97,9 +97,9 @@ std::vector<CurvePoint> RunErrorVsCost(const SocialDataset& dataset,
   WNW_CHECK(!(config.async.has_value() && config.executor != nullptr) &&
             "ErrorVsCostConfig sets both async and an explicit executor — "
             "drop one of the two");
-  std::shared_ptr<AsyncFetchExecutor> shared_executor = config.executor;
+  std::shared_ptr<CompletionExecutor> shared_executor = config.executor;
   if (shared_executor == nullptr && config.async.has_value()) {
-    shared_executor = std::make_shared<AsyncFetchExecutor>(*config.async);
+    shared_executor = std::make_shared<CompletionExecutor>(*config.async);
   }
 
   // A shared cache, a sharded origin, or an explicit backend means all

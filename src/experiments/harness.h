@@ -94,7 +94,7 @@ struct ErrorVsCostConfig {
   /// `async` to have the harness build it, or `executor` to share an
   /// existing one; both null = synchronous fetching.
   std::optional<AsyncOptions> async;
-  std::shared_ptr<AsyncFetchExecutor> executor;
+  std::shared_ptr<CompletionExecutor> executor;
 
   /// Registry spec string ("we:mhrw?diameter=8") used by the overload of
   /// RunErrorVsCost that takes no SamplerSpec.

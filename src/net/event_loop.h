@@ -2,8 +2,10 @@
 //
 // One EventLoop is one thread multiplexing many non-blocking sockets, so a
 // server holding thousands of in-flight requests costs threads ≈ cores
-// rather than threads ≈ window (contrast access/async_executor.h, whose
-// thread-per-slot pool simulates client-side concurrency in-process).
+// rather than threads ≈ window. The client side composes the same way: the
+// CompletionExecutor (access/completion_executor.h) drives RemoteBackend
+// fetches as completions off this loop, so the in-flight window costs
+// pending frames, not parked threads.
 //
 // Threading model: everything except Post() and Stop() is loop-affine —
 // handlers run on the loop thread, and Add/Modify/Remove/AddTimer must be

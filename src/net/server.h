@@ -10,8 +10,9 @@
 // per-connection locks. Requests are served inline on the reactor thread:
 // the served origins are memory/snapshot lookups, so a fixed pool of
 // threads ≈ cores sustains thousands of in-flight pipelined requests,
-// which is the whole point of the reactor (contrast the thread-per-slot
-// AsyncFetchExecutor that simulates *client*-side concurrency).
+// which is the whole point of the reactor (the client-side
+// CompletionExecutor composes the same way: remote fetches complete off
+// its backend's event loop, not on parked threads).
 //
 // Per-connection pipelining: a client may send any number of requests
 // without waiting; each complete frame is served as it is decoded and

@@ -1,0 +1,29 @@
+// Process thread-count introspection, for the dispatch-mode gates: the
+// completion executor's whole claim is "threads ≈ cores behind the
+// reactor", and the only honest way to check it is to count the process's
+// real OS threads, not the executor's bookkeeping.
+#pragma once
+
+#include <dirent.h>
+
+#include <cstdio>
+#include <cstring>
+
+namespace wnw {
+
+/// Live OS threads in this process, counted from /proc/self/task. Returns
+/// 0 when /proc is unavailable (non-Linux), so gates can skip rather than
+/// fail there.
+inline int CountProcessThreads() {
+  DIR* dir = ::opendir("/proc/self/task");
+  if (dir == nullptr) return 0;
+  int count = 0;
+  while (dirent* entry = ::readdir(dir)) {
+    if (entry->d_name[0] == '.') continue;
+    ++count;
+  }
+  ::closedir(dir);
+  return count;
+}
+
+}  // namespace wnw

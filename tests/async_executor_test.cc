@@ -14,7 +14,7 @@
 #include <vector>
 
 #include "access/access_interface.h"
-#include "access/async_executor.h"
+#include "access/completion_executor.h"
 #include "access/decorators.h"
 #include "core/session.h"
 #include "graph/generators.h"
@@ -62,12 +62,12 @@ class SlowProbeBackend final : public AccessBackend {
   std::atomic<uint64_t> fetches_{0};
 };
 
-TEST(AsyncFetchExecutorTest, WindowBoundsInFlightRequests) {
+TEST(CompletionExecutorTest, WindowBoundsInFlightRequests) {
   const Graph g = testing::MakeTestBA(128, 3);
   auto probe = std::make_shared<SlowProbeBackend>(
       std::make_shared<InMemoryBackend>(&g), std::chrono::milliseconds(2));
   // More workers than window slots: the window, not the pool, must bind.
-  AsyncFetchExecutor executor({.window = 3, .threads = 8});
+  CompletionExecutor executor({.window = 3, .threads = 8});
   std::vector<NodeId> nodes(64);
   for (NodeId u = 0; u < 64; ++u) nodes[u] = u;
   auto reply = executor.SubmitBatch(probe, nodes).Wait();
@@ -81,21 +81,21 @@ TEST(AsyncFetchExecutorTest, WindowBoundsInFlightRequests) {
   EXPECT_LE(stats.max_in_flight, 3);
 }
 
-TEST(AsyncFetchExecutorTest, WindowOneFullySerializes) {
+TEST(CompletionExecutorTest, WindowOneFullySerializes) {
   const Graph g = testing::MakeTestBA(64, 3);
   auto probe = std::make_shared<SlowProbeBackend>(
       std::make_shared<InMemoryBackend>(&g), std::chrono::milliseconds(1));
-  AsyncFetchExecutor executor({.window = 1, .threads = 4});
+  CompletionExecutor executor({.window = 1, .threads = 4});
   std::vector<NodeId> nodes(32);
   for (NodeId u = 0; u < 32; ++u) nodes[u] = u;
   ASSERT_TRUE(executor.SubmitBatch(probe, nodes).Wait().ok());
   EXPECT_EQ(probe->max_in_flight(), 1);
 }
 
-TEST(AsyncFetchExecutorTest, BatchRepliesKeepRequestOrder) {
+TEST(CompletionExecutorTest, BatchRepliesKeepRequestOrder) {
   const Graph g = testing::MakeHouseGraph();
   auto backend = std::make_shared<InMemoryBackend>(&g);
-  AsyncFetchExecutor executor({.window = 4});
+  CompletionExecutor executor({.window = 4});
   const std::vector<NodeId> nodes = {3, 0, 1};
   auto reply = executor.SubmitBatch(backend, nodes).Wait();
   ASSERT_TRUE(reply.ok());
@@ -106,13 +106,13 @@ TEST(AsyncFetchExecutorTest, BatchRepliesKeepRequestOrder) {
   }
 }
 
-TEST(AsyncFetchExecutorTest, ShutdownWithInFlightRequestsIsSafe) {
+TEST(CompletionExecutorTest, ShutdownWithInFlightRequestsIsSafe) {
   const Graph g = testing::MakeTestBA(128, 3);
   auto probe = std::make_shared<SlowProbeBackend>(
       std::make_shared<InMemoryBackend>(&g), std::chrono::milliseconds(5));
-  std::vector<AsyncFetchExecutor::FetchFuture> futures;
+  std::vector<CompletionExecutor::FetchFuture> futures;
   {
-    AsyncFetchExecutor executor({.window = 2, .threads = 2});
+    CompletionExecutor executor({.window = 2, .threads = 2});
     for (NodeId u = 0; u < 40; ++u) {
       futures.push_back(executor.SubmitFetch(probe, u));
     }
@@ -135,11 +135,11 @@ TEST(AsyncFetchExecutorTest, ShutdownWithInFlightRequestsIsSafe) {
   EXPECT_GT(cancelled, 0u);  // with 5ms tasks, shutdown won the race
 }
 
-TEST(AsyncFetchExecutorTest, DroppedBatchHandleStillRunsToCompletion) {
+TEST(CompletionExecutorTest, DroppedBatchHandleStillRunsToCompletion) {
   const Graph g = testing::MakeTestBA(64, 3);
   auto probe = std::make_shared<SlowProbeBackend>(
       std::make_shared<InMemoryBackend>(&g), std::chrono::milliseconds(1));
-  AsyncFetchExecutor executor({.window = 4});
+  CompletionExecutor executor({.window = 4});
   std::vector<NodeId> nodes(16);
   for (NodeId u = 0; u < 16; ++u) nodes[u] = u;
   {
@@ -157,7 +157,7 @@ TEST(AccessInterfaceAsyncTest, PrefetchAsyncFoldsOnWaitWithIdenticalBilling) {
   LatencyConfig latency;
   latency.mean_ms = 50.0;
   auto stack = BuildBackendStack(&g, {.access = {}, .latency = latency});
-  auto executor = std::make_shared<AsyncFetchExecutor>(AsyncOptions{});
+  auto executor = std::make_shared<CompletionExecutor>(AsyncOptions{});
   AccessInterface access(stack, nullptr, executor);
   const std::vector<NodeId> nodes = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
   access.PrefetchAsync(nodes);
@@ -191,7 +191,7 @@ TEST(AccessInterfaceAsyncTest, RateLimitStallsBillIdenticallyAsyncVsSync) {
 
   auto async_stack = BuildBackendStack(&g, {.access = access_opts});
   auto executor =
-      std::make_shared<AsyncFetchExecutor>(AsyncOptions{.window = 4});
+      std::make_shared<CompletionExecutor>(AsyncOptions{.window = 4});
   AccessInterface async_access(async_stack, nullptr, executor);
   async_access.Prefetch(nodes);
   EXPECT_DOUBLE_EQ(async_access.waited_seconds(), 120.0);
@@ -200,7 +200,7 @@ TEST(AccessInterfaceAsyncTest, RateLimitStallsBillIdenticallyAsyncVsSync) {
 TEST(AccessInterfaceAsyncTest, QueryOnPendingNodeFoldsLazily) {
   const Graph g = testing::MakeTestBA(80, 3);
   auto backend = std::make_shared<InMemoryBackend>(&g);
-  auto executor = std::make_shared<AsyncFetchExecutor>(AsyncOptions{});
+  auto executor = std::make_shared<CompletionExecutor>(AsyncOptions{});
   AccessInterface access(backend, nullptr, executor);
   const std::vector<NodeId> nodes = {10, 11, 12};
   access.PrefetchAsync(nodes);
@@ -217,7 +217,7 @@ TEST(AccessInterfaceAsyncTest, DestructionWithPendingPrefetchIsSafe) {
   const Graph g = testing::MakeTestBA(200, 3);
   auto probe = std::make_shared<SlowProbeBackend>(
       std::make_shared<InMemoryBackend>(&g), std::chrono::milliseconds(1));
-  auto executor = std::make_shared<AsyncFetchExecutor>(
+  auto executor = std::make_shared<CompletionExecutor>(
       AsyncOptions{.window = 2, .threads = 2});
   {
     AccessInterface access(probe, nullptr, executor);
@@ -293,14 +293,14 @@ TEST(AsyncSpecTest, MalformedExecutorParamsAreStatuses) {
   // Spec-sized executor conflicting with an explicit shared one fails
   // loudly instead of silently dropping the spec's request.
   SessionOptions with_executor;
-  with_executor.executor = std::make_shared<AsyncFetchExecutor>(AsyncOptions{});
+  with_executor.executor = std::make_shared<CompletionExecutor>(AsyncOptions{});
   EXPECT_EQ(SamplingSession::Open(&g, "burnin:srw?window=4", with_executor)
                 .status()
                 .code(),
             StatusCode::kInvalidArgument);
   SessionOptions both;
   both.async = AsyncOptions{};
-  both.executor = std::make_shared<AsyncFetchExecutor>(AsyncOptions{});
+  both.executor = std::make_shared<CompletionExecutor>(AsyncOptions{});
   EXPECT_EQ(SamplingSession::Open(&g, "burnin:srw", both).status().code(),
             StatusCode::kInvalidArgument);
 }
@@ -345,7 +345,7 @@ TEST(WalkerPoolTest, PoolValidatesInput) {
 TEST(WalkerPoolTest, SharedExecutorSeesAllWalkers) {
   const Graph g = testing::MakeTestBA(150, 3);
   auto executor =
-      std::make_shared<AsyncFetchExecutor>(AsyncOptions{.window = 4});
+      std::make_shared<CompletionExecutor>(AsyncOptions{.window = 4});
   WalkerPoolOptions options;
   options.walkers = 3;
   options.samples_per_walker = 4;

@@ -9,8 +9,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstring>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -18,6 +20,7 @@
 #include "net/event_loop.h"
 #include "net/server.h"
 #include "net/wire.h"
+#include "random/rng.h"
 #include "test_util.h"
 
 namespace wnw {
@@ -580,6 +583,216 @@ TEST_F(ServerTest, BackpressurePausesAndResumesUnderPipelinedFlood) {
     EXPECT_EQ(frames[id - 1].status, StatusCode::kOk);
   }
   ::close(fd);
+}
+
+// --- codec property/fuzz sweep -----------------------------------------------
+//
+// Deterministic (seeded Rng) property tests: whatever bytes a peer sends —
+// truncated frames, flipped bits, hostile length/count fields, plain random
+// garbage — every decoder must come back with a Status or a value, never a
+// crash, hang, or out-of-bounds read (ASan/UBSan in CI make "never" mean
+// something). And every VALID frame must round-trip losslessly.
+
+std::vector<std::byte> RandomPayload(Rng& rng, size_t max_len) {
+  std::vector<std::byte> bytes(rng.NextBounded(max_len + 1));
+  for (std::byte& b : bytes) {
+    b = static_cast<std::byte>(rng.NextBounded(256));
+  }
+  return bytes;
+}
+
+TEST(WireFuzz, RandomValidFramesRoundTripLosslessly) {
+  Rng rng(0xF1Au);
+  for (int trial = 0; trial < 200; ++trial) {
+    Frame frame;
+    frame.opcode = static_cast<Opcode>(1 + rng.NextBounded(4));
+    frame.request_id = rng.Next();
+    frame.status = static_cast<StatusCode>(rng.NextBounded(10));
+    const std::vector<std::byte> payload = RandomPayload(rng, 2048);
+    frame.payload = payload;
+
+    std::vector<std::byte> wire;
+    net::EncodeFrame(frame, &wire);
+    DecodedFrame decoded;
+    auto taken = net::DecodeFrame(wire, &decoded);
+    ASSERT_TRUE(taken.ok()) << taken.status().ToString();
+    ASSERT_EQ(*taken, wire.size());
+    EXPECT_EQ(decoded.opcode, static_cast<uint16_t>(frame.opcode));
+    EXPECT_EQ(decoded.request_id, frame.request_id);
+    EXPECT_EQ(decoded.status, frame.status);
+    ASSERT_EQ(decoded.payload.size(), payload.size());
+    EXPECT_TRUE(std::equal(payload.begin(), payload.end(),
+                           decoded.payload.begin()));
+  }
+}
+
+TEST(WireFuzz, PipelinedRandomFramesDecodeInOrder) {
+  Rng rng(0xBEEFu);
+  std::vector<std::byte> wire;
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 32; ++i) {
+    Frame frame;
+    frame.opcode = Opcode::kFetchNeighbors;
+    frame.request_id = rng.Next();
+    const std::vector<std::byte> payload = RandomPayload(rng, 128);
+    frame.payload = payload;
+    net::EncodeFrame(frame, &wire);
+    ids.push_back(frame.request_id);
+  }
+  size_t consumed = 0;
+  for (uint64_t id : ids) {
+    DecodedFrame decoded;
+    auto taken = net::DecodeFrame(
+        std::span<const std::byte>(wire).subspan(consumed), &decoded);
+    ASSERT_TRUE(taken.ok());
+    ASSERT_GT(*taken, 0u);
+    EXPECT_EQ(decoded.request_id, id);
+    consumed += *taken;
+  }
+  EXPECT_EQ(consumed, wire.size());
+}
+
+TEST(WireFuzz, EveryTruncationIsIncompleteOrPoisonNeverACrash) {
+  Rng rng(0x7A7Au);
+  Frame frame;
+  frame.opcode = Opcode::kFetchBatch;
+  frame.request_id = 0x1122334455667788ull;
+  const std::vector<std::byte> payload = RandomPayload(rng, 200);
+  frame.payload = payload;
+  std::vector<std::byte> wire;
+  net::EncodeFrame(frame, &wire);
+  for (size_t len = 0; len < wire.size(); ++len) {
+    DecodedFrame decoded;
+    auto taken = net::DecodeFrame(
+        std::span<const std::byte>(wire).first(len), &decoded);
+    // A prefix of a valid frame is either "incomplete, wait for more" or —
+    // never — an error: no prefix can look malformed.
+    ASSERT_TRUE(taken.ok()) << "prefix of " << len << " bytes poisoned: "
+                            << taken.status().ToString();
+    EXPECT_EQ(*taken, 0u) << "prefix of " << len << " bytes consumed";
+  }
+}
+
+TEST(WireFuzz, RandomByteFlipsNeverCrashTheFrameDecoder) {
+  Rng rng(0xC0DEu);
+  for (int trial = 0; trial < 500; ++trial) {
+    Frame frame;
+    frame.opcode = Opcode::kStats;
+    frame.request_id = rng.Next();
+    const std::vector<std::byte> payload = RandomPayload(rng, 64);
+    frame.payload = payload;
+    std::vector<std::byte> wire;
+    net::EncodeFrame(frame, &wire);
+
+    const size_t pos = rng.NextBounded(wire.size());
+    wire[pos] ^= static_cast<std::byte>(1u << rng.NextBounded(8));
+
+    DecodedFrame decoded;
+    auto taken = net::DecodeFrame(wire, &decoded);
+    if (taken.ok()) {
+      // A flip in the payload (or a shrunk length) can still parse; it must
+      // never claim more bytes than the buffer holds.
+      EXPECT_LE(*taken, wire.size());
+    } else {
+      EXPECT_EQ(taken.status().code(), StatusCode::kInvalidArgument);
+    }
+  }
+}
+
+TEST(WireFuzz, RandomGarbageThroughEveryPayloadCodecReturnsStatus) {
+  Rng rng(0xD15Cu);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const std::vector<std::byte> garbage = RandomPayload(rng, 96);
+    // Each decoder either parses or reports InvalidArgument; under
+    // ASan/UBSan this sweep also proves no out-of-bounds reads.
+    (void)net::DecodeFetchRequest(garbage);
+    (void)net::DecodeNeighborsReply(garbage);
+    (void)net::DecodeBatchRequest(garbage);
+    (void)net::DecodeBatchReply(garbage);
+    (void)net::DecodeStatsReply(garbage);
+
+    DecodedFrame decoded;
+    (void)net::DecodeFrame(garbage, &decoded);
+  }
+}
+
+TEST(WireFuzz, HostileArrayCountsAreRejectedNotAllocated) {
+  // A node array claims 2^32-1 entries but carries 4 bytes: the reader must
+  // bounds-check the count against the remaining payload, not trust it.
+  std::vector<std::byte> payload;
+  net::PayloadWriter writer(&payload);
+  writer.PutU32(0xFFFFFFFFu);  // count
+  writer.PutU32(7u);           // one lonely entry
+  auto batch_request = net::DecodeBatchRequest(payload);
+  ASSERT_FALSE(batch_request.ok());
+  EXPECT_EQ(batch_request.status().code(), StatusCode::kInvalidArgument);
+
+  // The same hostile count inside a neighbors reply (after its fixed
+  // shard/simulated/serial prefix).
+  std::vector<std::byte> neighbors_payload;
+  net::PayloadWriter neighbors_writer(&neighbors_payload);
+  neighbors_writer.PutU32(0);      // shard
+  neighbors_writer.PutDouble(0.0);  // simulated
+  neighbors_writer.PutDouble(0.0);  // serial
+  neighbors_writer.PutU32(0xFFFFFFF0u);  // count with no bytes behind it
+  auto neighbors = net::DecodeNeighborsReply(neighbors_payload);
+  ASSERT_FALSE(neighbors.ok());
+  EXPECT_EQ(neighbors.status().code(), StatusCode::kInvalidArgument);
+
+  // A hostile string length in the stats reply.
+  std::vector<std::byte> stats_payload;
+  net::PayloadWriter stats_writer(&stats_payload);
+  stats_writer.PutU64(100);  // num_nodes
+  stats_writer.PutU64(1);    // server_seed
+  stats_writer.PutU32(0);    // restriction
+  stats_writer.PutU32(0);    // max_neighbors
+  stats_writer.PutU32(0);    // bidirectional
+  stats_writer.PutU32(0);    // shards
+  stats_writer.PutU64(0);    // requests_served
+  stats_writer.PutU64(0);    // connections_accepted
+  stats_writer.PutU32(0xFFFFFF00u);  // origin-string length, no bytes
+  auto stats = net::DecodeStatsReply(stats_payload);
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireFuzz, TrailingGarbageAfterAValidPayloadIsRejected) {
+  std::vector<std::byte> payload;
+  net::EncodeFetchRequest(42, &payload);
+  payload.push_back(std::byte{0xAB});
+  auto decoded = net::DecodeFetchRequest(payload);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireFuzz, RandomValidBatchRepliesRoundTrip) {
+  Rng rng(0x5EEDu);
+  for (int trial = 0; trial < 100; ++trial) {
+    BatchReply reply;
+    const size_t lists = rng.NextBounded(8);
+    for (size_t i = 0; i < lists; ++i) {
+      std::vector<NodeId> list(rng.NextBounded(16));
+      for (NodeId& u : list) u = static_cast<NodeId>(rng.NextBounded(1000));
+      reply.shards.push_back(static_cast<int32_t>(rng.NextBounded(4)));
+      reply.lists.push_back(std::move(list));
+      if (rng.NextBounded(2) == 0) {
+        reply.BillStall(reply.shards.back(), rng.NextDouble());
+      }
+    }
+    reply.simulated_seconds = rng.NextDouble();
+
+    std::vector<std::byte> payload;
+    net::EncodeBatchReply(reply, &payload);
+    auto decoded = net::DecodeBatchReply(payload);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded->lists, reply.lists);
+    EXPECT_EQ(decoded->shards, reply.shards);
+    EXPECT_EQ(decoded->simulated_seconds, reply.simulated_seconds);
+    ASSERT_EQ(decoded->shard_stalls.size(), reply.shard_stalls.size());
+    for (size_t i = 0; i < reply.shard_stalls.size(); ++i) {
+      EXPECT_EQ(decoded->shard_stalls[i], reply.shard_stalls[i]);
+    }
+  }
 }
 
 }  // namespace

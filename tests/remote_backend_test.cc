@@ -17,6 +17,7 @@
 
 #include "access/remote_backend.h"
 #include "core/session.h"
+#include "engine/walk_engine.h"
 #include "net/server.h"
 #include "test_util.h"
 
@@ -265,6 +266,68 @@ TEST_F(RemoteBackendTest, EveryRegisteredSamplerDrawsIdenticalSamples) {
     EXPECT_GT(remote_stats.remote_bytes, 0u) << test_case.spec;
     EXPECT_EQ(local_stats.remote_addr, "");
     EXPECT_EQ(local_stats.remote_rpcs, 0u);
+  }
+}
+
+TEST_F(RemoteBackendTest, EngineOverRemoteMatchesInProcessForEverySampler) {
+  // The engine half of the acceptance gate: RunWalkEngine over a loopback
+  // wnw server must be byte-identical — per walker, at identical logical
+  // query cost — to the same engine run against the in-process origin, for
+  // every registered sampler. The window on the remote side routes the
+  // engine's fetches through the completion executor, so this is also the
+  // completion-dispatch identity check.
+  std::vector<std::string> families;
+  for (const SamplerCase& c : AcceptanceCases()) {
+    families.push_back(c.spec.substr(0, c.spec.find(':')));
+  }
+  for (const std::string& name : SamplerRegistry::Global().Names()) {
+    EXPECT_NE(std::find(families.begin(), families.end(), name),
+              families.end())
+        << "sampler '" << name << "' has no engine-over-remote case";
+  }
+
+  constexpr uint64_t kWalkers = 4;
+  constexpr uint64_t kSamples = 3;
+  for (const SamplerCase& test_case : AcceptanceCases()) {
+    graph_ = testing::MakeTestBA(80, 3, 5);
+    backend_ = std::make_shared<InMemoryBackend>(&graph_, test_case.access);
+    auto started = net::WnwServer::Start(backend_, {.threads = 2});
+    ASSERT_TRUE(started.ok());
+    server_ = std::move(started).value();
+
+    EngineOptions local_options;
+    local_options.walkers = kWalkers;
+    local_options.samples_per_walker = kSamples;
+    local_options.session.access = test_case.access;
+    local_options.session.seed = 77;
+    const auto local = RunWalkEngine(&graph_, test_case.spec, local_options);
+    ASSERT_TRUE(local.ok()) << test_case.spec << ": "
+                            << local.status().ToString();
+
+    EngineOptions remote_options;
+    remote_options.walkers = kWalkers;
+    remote_options.samples_per_walker = kSamples;
+    remote_options.session.seed = 77;
+    remote_options.session.remote = FastFail();
+    const std::string remote_spec =
+        test_case.spec +
+        (test_case.spec.find('?') == std::string::npos ? "?" : "&") +
+        "backend=remote&addr=" + Addr(server_->port());
+    const auto remote = RunWalkEngine(&graph_, remote_spec, remote_options);
+    ASSERT_TRUE(remote.ok()) << remote_spec << ": "
+                             << remote.status().ToString();
+
+    for (size_t w = 0; w < kWalkers; ++w) {
+      EXPECT_EQ(testing::ToVec(remote->SamplesFor(w)),
+                testing::ToVec(local->SamplesFor(w)))
+          << test_case.spec << " walker " << w;
+      EXPECT_EQ(remote->walker_stats[w].query_cost,
+                local->walker_stats[w].query_cost)
+          << test_case.spec << " walker " << w;
+      EXPECT_EQ(remote->walker_stats[w].total_queries,
+                local->walker_stats[w].total_queries)
+          << test_case.spec << " walker " << w;
+    }
   }
 }
 
