@@ -285,6 +285,14 @@ std::span<const ReservedKeyInfo> ReservedSessionKeys() {
       {"block",
        "block engine: nodes per scheduling block, >= 1 (default: graph-size "
        "derived; requires engine=block)"},
+      {"residency_mb",
+       "block engine: resident-byte budget in MiB for out-of-core paging of "
+       "a snapshot-served graph (0 = unbudgeted, the default; advisory — "
+       "cannot change samples; requires engine=block)"},
+      {"prefetch",
+       "block engine: scheduler picks prefetched ahead of the stepped "
+       "block, in [0, 64] (default 2; requires engine=block and "
+       "residency_mb)"},
   };
   return kReserved;
 }

@@ -66,7 +66,8 @@ Result<ReservedSelections> ExtractReservedParams(SamplerConfig* config,
   // walker pool) cannot host the block engine — RunWalkEngine peels them
   // before resolving, so seeing one means the caller took the wrong entry
   // point.
-  for (const char* key : {"engine", "walkers", "block"}) {
+  for (const char* key :
+       {"engine", "walkers", "block", "residency_mb", "prefetch"}) {
     if (config->params.contains(key)) {
       return Status::InvalidArgument(
           "spec key '" + std::string(key) +

@@ -187,7 +187,16 @@ struct SessionStats {
   uint64_t engine_steps = 0;          // design steps executed
   double engine_steps_per_sec = 0.0;  // engine_steps / stepping-phase time
   uint64_t engine_bytes_scanned = 0;  // CSR bytes read in-block (flat mode)
-  uint64_t engine_resident_peak = 0;  // peak concurrently-live walker states
+  uint64_t engine_resident_peak = 0;  // peak resident-set bytes sampled
+                                      // (/proc/self/statm) during the run;
+                                      // 0 where unavailable
+
+  // Out-of-core residency telemetry (storage/residency.h; all zero unless
+  // the run set a residency budget over an mmap'd snapshot graph).
+  uint64_t engine_residency_budget = 0;      // configured budget bytes
+  uint64_t engine_residency_peak_bytes = 0;  // high-water charged bytes
+  uint64_t engine_residency_prefetches = 0;  // blocks queued for WILLNEED
+  uint64_t engine_residency_releases = 0;    // blocks dropped or canceled
 };
 
 class SamplingSession {

@@ -40,9 +40,10 @@ void BlockScheduler::Add(size_t block, uint64_t count) {
   total_pending_ += count;
 }
 
-size_t BlockScheduler::Acquire() {
-  if (total_pending_ == 0) return kNone;
-  const size_t blocks = pending_.size();
+size_t BlockScheduler::PickFrom(const std::vector<uint64_t>& pending,
+                                const std::vector<uint32_t>& age,
+                                size_t cursor) const {
+  const size_t blocks = pending.size();
 
   // Aging preempts the policy: any block passed over aging_rounds times in a
   // row is serviced now, oldest first (ties -> lowest id), so no walker
@@ -50,48 +51,54 @@ size_t BlockScheduler::Acquire() {
   size_t pick = kNone;
   uint32_t oldest = 0;
   for (size_t b = 0; b < blocks; ++b) {
-    if (pending_[b] > 0 && age_[b] >= static_cast<uint32_t>(
-                               options_.aging_rounds) &&
-        age_[b] > oldest) {
-      oldest = age_[b];
+    if (pending[b] > 0 &&
+        age[b] >= static_cast<uint32_t>(options_.aging_rounds) &&
+        age[b] > oldest) {
+      oldest = age[b];
       pick = b;
     }
   }
+  if (pick != kNone) return pick;
 
-  if (pick == kNone) {
-    switch (options_.order) {
-      case ScheduleOrder::kMostPending: {
-        uint64_t best = 0;
-        for (size_t b = 0; b < blocks; ++b) {
-          if (pending_[b] > best) {
-            best = pending_[b];
-            pick = b;
-          }
+  switch (options_.order) {
+    case ScheduleOrder::kMostPending: {
+      uint64_t best = 0;
+      for (size_t b = 0; b < blocks; ++b) {
+        if (pending[b] > best) {
+          best = pending[b];
+          pick = b;
         }
-        break;
       }
-      case ScheduleOrder::kLeastPending: {
-        uint64_t best = UINT64_MAX;
-        for (size_t b = 0; b < blocks; ++b) {
-          if (pending_[b] > 0 && pending_[b] < best) {
-            best = pending_[b];
-            pick = b;
-          }
+      break;
+    }
+    case ScheduleOrder::kLeastPending: {
+      uint64_t best = UINT64_MAX;
+      for (size_t b = 0; b < blocks; ++b) {
+        if (pending[b] > 0 && pending[b] < best) {
+          best = pending[b];
+          pick = b;
         }
-        break;
       }
-      case ScheduleOrder::kRoundRobin: {
-        for (size_t i = 0; i < blocks; ++i) {
-          const size_t b = (rr_cursor_ + i) % blocks;
-          if (pending_[b] > 0) {
-            pick = b;
-            break;
-          }
+      break;
+    }
+    case ScheduleOrder::kRoundRobin: {
+      for (size_t i = 0; i < blocks; ++i) {
+        const size_t b = (cursor + i) % blocks;
+        if (pending[b] > 0) {
+          pick = b;
+          break;
         }
-        break;
       }
+      break;
     }
   }
+  return pick;
+}
+
+size_t BlockScheduler::Acquire() {
+  if (total_pending_ == 0) return kNone;
+  const size_t blocks = pending_.size();
+  const size_t pick = PickFrom(pending_, age_, rr_cursor_);
   WNW_CHECK(pick != kNone);  // total_pending_ > 0 guarantees a nonempty block
 
   rr_cursor_ = (pick + 1) % blocks;
@@ -103,6 +110,33 @@ size_t BlockScheduler::Acquire() {
   }
   ++acquires_;
   return pick;
+}
+
+std::vector<size_t> BlockScheduler::PeekUpcoming(size_t depth) const {
+  std::vector<size_t> upcoming;
+  if (depth == 0 || total_pending_ == 0) return upcoming;
+  // Replay Acquire's exact state transitions on copies, so the prediction
+  // honors aging preemption and cursor motion without touching the real
+  // counters (acquires_ included).
+  std::vector<uint64_t> pending = pending_;
+  std::vector<uint32_t> age = age_;
+  size_t cursor = rr_cursor_;
+  uint64_t total = total_pending_;
+  const size_t blocks = pending.size();
+  upcoming.reserve(depth);
+  while (upcoming.size() < depth && total > 0) {
+    const size_t pick = PickFrom(pending, age, cursor);
+    if (pick == kNone) break;
+    upcoming.push_back(pick);
+    cursor = (pick + 1) % blocks;
+    total -= pending[pick];
+    pending[pick] = 0;
+    age[pick] = 0;
+    for (size_t b = 0; b < blocks; ++b) {
+      if (pending[b] > 0) ++age[b];
+    }
+  }
+  return upcoming;
 }
 
 }  // namespace wnw

@@ -64,6 +64,15 @@ class BlockScheduler {
   /// other nonempty block. Returns kNone when nothing is pending.
   size_t Acquire();
 
+  /// The blocks the next `depth` Acquire() calls would pick, in order,
+  /// without mutating any scheduling state — the engine's residency
+  /// prefetch look-ahead hook. Simulates the full policy including aging
+  /// preemption, so the prediction is exact as long as no Add() lands in
+  /// between (steps re-bucketing walkers can reshuffle later picks; the
+  /// first entry is always the true next pick). Returns fewer than `depth`
+  /// entries when fewer blocks are pending.
+  std::vector<size_t> PeekUpcoming(size_t depth) const;
+
   size_t num_blocks() const { return pending_.size(); }
   uint64_t pending(size_t block) const { return pending_[block]; }
   uint64_t total_pending() const { return total_pending_; }
@@ -72,6 +81,12 @@ class BlockScheduler {
   uint64_t acquires() const { return acquires_; }
 
  private:
+  /// The selection rule shared by Acquire() and PeekUpcoming(): aging
+  /// preemption first, then the order policy. Pure function of the passed
+  /// state; kNone when nothing is pending.
+  size_t PickFrom(const std::vector<uint64_t>& pending,
+                  const std::vector<uint32_t>& age, size_t cursor) const;
+
   Options options_;
   std::vector<uint64_t> pending_;  // walker count per block
   std::vector<uint32_t> age_;      // consecutive Acquires passed over

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <optional>
@@ -9,6 +10,8 @@
 #include <utility>
 #include <vector>
 
+#include "access/snapshot_backend.h"
+#include "storage/residency.h"
 #include "util/check.h"
 #include "util/logging.h"
 #include "util/parallel.h"
@@ -49,6 +52,24 @@ Status PeelEngineKeys(SamplerConfig* config, EngineOptions* options) {
           "block must be a positive node count, got '" + *block + "'");
     }
     options->block_nodes = static_cast<uint32_t>(n);
+  }
+  if (const auto residency = take("residency_mb")) {
+    uint64_t mb = 0;
+    if (!ParseUint64(*residency, &mb) || mb > (uint64_t{1} << 30)) {
+      return Status::InvalidArgument(
+          "residency_mb must be a MiB count (0 = unbudgeted), got '" +
+          *residency + "'");
+    }
+    options->residency_budget_bytes = mb << 20;
+  }
+  if (const auto prefetch = take("prefetch")) {
+    uint64_t depth = 0;
+    if (!ParseUint64(*prefetch, &depth) || depth > 64) {
+      return Status::InvalidArgument(
+          "prefetch must be a look-ahead depth in [0, 64], got '" +
+          *prefetch + "'");
+    }
+    options->prefetch_depth = static_cast<int>(depth);
   }
   return Status::OK();
 }
@@ -93,18 +114,22 @@ class EngineRun {
                                   : (program.flat() ? options.walkers
                                                     : uint64_t{1024});
     cohort_ = std::min(std::max<uint64_t>(cohort_, 1), options.walkers);
+    const auto* memory =
+        dynamic_cast<const InMemoryBackend*>(context.backend.get());
+    const auto* snapshot =
+        dynamic_cast<const SnapshotBackend*>(context.backend.get());
     if (program.flat()) {
       const int scanners =
           static_cast<int>(std::min<uint64_t>(threads_, cohort_));
-      // Bare in-memory origin with no executor: workers scan the CSR arena
-      // directly (FlatScan::direct), skipping the per-fetch reply object
-      // and session-cache map an AccessInterface pays for every step.
-      // Decorated stacks (latency, rate limit) keep the interface so their
-      // simulated billing accrues.
-      const auto* memory =
-          dynamic_cast<const InMemoryBackend*>(context.backend.get());
-      if (memory != nullptr && context.executor == nullptr) {
-        direct_graph_ = &memory->graph();
+      // Bare in-memory or snapshot origin with no executor: workers scan
+      // the CSR arena (heap or mmap'd) directly (FlatScan::direct),
+      // skipping the per-fetch reply object and session-cache map an
+      // AccessInterface pays for every step. Decorated stacks (latency,
+      // rate limit) keep the interface so their simulated billing accrues.
+      if ((memory != nullptr || snapshot != nullptr) &&
+          context.executor == nullptr) {
+        direct_graph_ =
+            memory != nullptr ? &memory->graph() : &snapshot->graph();
         worker_meters_.resize(static_cast<size_t>(scanners));
       } else {
         worker_access_.reserve(static_cast<size_t>(scanners));
@@ -114,15 +139,54 @@ class EngineRun {
         }
       }
     }
+    // Residency-managed paging: only with an explicit budget, and only when
+    // the served adjacency really is a read-only file mapping —
+    // MADV_DONTNEED on a heap CSR would zero live data, so heap-built
+    // graphs stay unmanaged (and byte-identical either way, since paging
+    // advice cannot change what the scans read).
+    const Graph* serving =
+        snapshot != nullptr ? &snapshot->graph() : direct_graph_;
+    if (options.residency_budget_bytes > 0 && serving != nullptr &&
+        serving->storage_mapped()) {
+      storage::ResidencyManager::Options residency;
+      residency.budget_bytes = options.residency_budget_bytes;
+      residency_ = std::make_unique<storage::ResidencyManager>(
+          storage::BuildBlockSpans(serving->offsets(),
+                                   std::as_bytes(serving->adjacency()),
+                                   sizeof(NodeId), block_nodes_),
+          residency);
+      prefetch_depth_ =
+          static_cast<size_t>(std::max(0, options.prefetch_depth));
+    }
   }
 
   Status Run() {
     result_->walker_stats.resize(options_.walkers);
+    // Peak resident-set telemetry: a low-rate /proc/self/statm probe while
+    // cohorts step (plus one sample on each side), so engine_resident_peak
+    // reports measured memory, not a proxy. Zero where statm is missing.
+    resident_peak_ =
+        std::max(resident_peak_, storage::ProcessResidentBytes());
+    std::atomic<bool> sampling{true};
+    std::thread sampler([this, &sampling] {
+      while (sampling.load(std::memory_order_relaxed)) {
+        resident_peak_ =
+            std::max(resident_peak_, storage::ProcessResidentBytes());
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+    });
+    Status status = Status::OK();
     for (uint64_t first = 0; first < options_.walkers; first += cohort_) {
       if (stop_.load(std::memory_order_relaxed)) break;
       const uint64_t count = std::min(cohort_, options_.walkers - first);
-      WNW_RETURN_IF_ERROR(RunCohort(first, count));
+      status = RunCohort(first, count);
+      if (!status.ok()) break;
     }
+    sampling.store(false, std::memory_order_relaxed);
+    sampler.join();
+    resident_peak_ =
+        std::max(resident_peak_, storage::ProcessResidentBytes());
+    WNW_RETURN_IF_ERROR(status);
     for (const auto& access : worker_access_) {
       FoldPhysical(access->meter(), &physical_);
     }
@@ -137,6 +201,9 @@ class EngineRun {
   uint64_t block_switches() const { return block_switches_; }
   uint64_t bytes_scanned() const { return bytes_scanned_; }
   uint64_t resident_peak() const { return resident_peak_; }
+  const storage::ResidencyManager* residency() const {
+    return residency_.get();
+  }
   double stepping_seconds() const { return stepping_seconds_; }
   size_t num_blocks() const { return num_blocks_; }
   bool stopped_early() const {
@@ -182,7 +249,6 @@ class EngineRun {
     }
     live_ = count;
     error_ = Status::OK();
-    resident_peak_ = std::max(resident_peak_, count);
 
     const int threads =
         static_cast<int>(std::min<uint64_t>(threads_, count));
@@ -261,6 +327,16 @@ class EngineRun {
         // Nothing pending, but peers still hold live walkers that may move
         // into fresh blocks (or finish everything).
         cv_.wait(lock);
+      }
+      if (residency_ != nullptr) {
+        // Pin the block being stepped (eviction-proof until the drain
+        // flushes), then start paging in what the scheduler says comes
+        // next — the WILLNEED + page-touch runs on the manager's thread
+        // while this worker steps hot pages.
+        residency_->Pin(b);
+        for (const size_t ahead : scheduler_->PeekUpcoming(prefetch_depth_)) {
+          residency_->Prefetch(ahead);
+        }
       }
       drain.swap(buckets_[b]);  // take ownership of the block's walkers
       lock.unlock();
@@ -349,6 +425,7 @@ class EngineRun {
         steps_.fetch_add(local_steps, std::memory_order_relaxed);
         local_steps = 0;
       }
+      if (residency_ != nullptr) residency_->Unpin(b);
 
       lock.lock();
       for (const uint32_t tb : touched) {
@@ -392,6 +469,10 @@ class EngineRun {
   const Graph* direct_graph_ = nullptr;
   std::vector<CostMeter> worker_meters_;
   std::vector<std::unique_ptr<AccessInterface>> worker_access_;
+
+  // Out-of-core paging (null when no budget or the graph is heap-built).
+  std::unique_ptr<storage::ResidencyManager> residency_;
+  size_t prefetch_depth_ = 0;
 
   // Cohort state, guarded by mu_ (walker records themselves are touched
   // only by the worker currently holding them).
@@ -543,6 +624,13 @@ Result<EngineResult> RunWalkEngine(const Graph* graph,
       stepping > 0.0 ? static_cast<double>(run.steps()) / stepping : 0.0;
   stats.engine_bytes_scanned = run.bytes_scanned();
   stats.engine_resident_peak = run.resident_peak();
+  if (const storage::ResidencyManager* residency = run.residency()) {
+    const storage::ResidencyManager::Stats rstats = residency->stats();
+    stats.engine_residency_budget = residency->budget_bytes();
+    stats.engine_residency_peak_bytes = rstats.peak_charged;
+    stats.engine_residency_prefetches = rstats.prefetches;
+    stats.engine_residency_releases = rstats.releases + rstats.cancels;
+  }
 
   // Same warm-start behavior as a closing session: a file-bound cache
   // writes this run's history back.

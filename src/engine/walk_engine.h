@@ -31,6 +31,11 @@
 //
 // Spec form (wnw_sample routes these here; SamplingSession::Open rejects
 // them): "walk:srw?steps=8&engine=block&walkers=1000000&block=4096".
+// Out-of-core paging over a snapshot-served graph rides the same spec:
+// "...&snapshot=g.snap&residency_mb=64&prefetch=2" keeps the sweep's
+// resident adjacency under 64 MiB while prefetching the next two scheduled
+// blocks (storage/residency.h) — advisory paging that can never change the
+// samples.
 #pragma once
 
 #include <cstdint>
@@ -67,6 +72,22 @@ struct EngineOptions {
   /// cohort boundaries cannot change outputs. 0 derives: all walkers in
   /// flat mode (POD records), 1024 in session mode.
   uint64_t cohort = 0;
+
+  /// Resident-byte budget for adjacency paging of a snapshot-served graph
+  /// (spec key residency_mb=, in MiB). When > 0 and the serving CSR is an
+  /// mmap'd snapshot, a storage::ResidencyManager prefetches upcoming
+  /// blocks (madvise(MADV_WILLNEED) + page touch on a background thread)
+  /// and drops cold ones (MADV_DONTNEED) to keep charged residency under
+  /// the budget. Purely advisory paging — samples and costs stay
+  /// byte-identical to an unbudgeted run. 0 = off; silently inert for
+  /// heap-built graphs (MADV_DONTNEED would destroy anonymous memory).
+  uint64_t residency_budget_bytes = 0;
+
+  /// Scheduler picks to prefetch ahead of the block being stepped (spec
+  /// key prefetch=; only meaningful with a residency budget). 0 keeps the
+  /// budget but takes every fault inline on the stepping thread — the
+  /// no-prefetch baseline the oocore bench gates against.
+  int prefetch_depth = 2;
 
   /// Global design-step budget; 0 = unlimited. When exhausted the engine
   /// stops promptly and cleanly (EngineResult::stopped_early), leaving
@@ -106,9 +127,9 @@ struct EngineResult {
 };
 
 /// Runs the engine to completion (or its step budget). Spec keys engine=
-/// (must be "block"), walkers=, block= override the matching options.
-/// First error from any walker aborts the run and comes back as that
-/// Status.
+/// (must be "block"), walkers=, block=, residency_mb=, prefetch= override
+/// the matching options. First error from any walker aborts the run and
+/// comes back as that Status.
 Result<EngineResult> RunWalkEngine(const Graph* graph,
                                    const SamplerConfig& config,
                                    EngineOptions options = {});

@@ -108,21 +108,38 @@ Result<Buffer> Buffer::Map(std::shared_ptr<const MappedFile> file,
   return buffer;
 }
 
-void AdviseRandomAccess(std::span<const std::byte> bytes) {
-#if WNW_HAVE_MMAP && defined(MADV_RANDOM)
+#if WNW_HAVE_MMAP
+namespace {
+
+// madvise wants page alignment; widen the span to page bounds (the region
+// is part of one mapping, so the widened range is still valid advice for
+// our pages). Heap pointers are valid madvise targets too; a stray
+// EINVAL/ENOMEM is advice refused, nothing more.
+void AdviseSpan(std::span<const std::byte> bytes, int advice) {
   if (bytes.empty()) return;
-  // madvise wants page alignment; widen the span to page bounds (the
-  // region is part of one mapping, so the widened range is still valid
-  // advice for our pages).
   const uintptr_t page = static_cast<uintptr_t>(::sysconf(_SC_PAGESIZE));
   const uintptr_t begin =
       reinterpret_cast<uintptr_t>(bytes.data()) & ~(page - 1);
   const uintptr_t end =
       (reinterpret_cast<uintptr_t>(bytes.data()) + bytes.size() + page - 1) &
       ~(page - 1);
-  // Heap pointers are valid madvise targets too; a stray EINVAL/ENOMEM is
-  // advice refused, nothing more.
-  (void)::madvise(reinterpret_cast<void*>(begin), end - begin, MADV_RANDOM);
+  (void)::madvise(reinterpret_cast<void*>(begin), end - begin, advice);
+}
+
+}  // namespace
+#endif
+
+void AdviseRandomAccess(std::span<const std::byte> bytes) {
+#if WNW_HAVE_MMAP && defined(MADV_RANDOM)
+  AdviseSpan(bytes, MADV_RANDOM);
+#else
+  (void)bytes;
+#endif
+}
+
+void AdviseSequentialAccess(std::span<const std::byte> bytes) {
+#if WNW_HAVE_MMAP && defined(MADV_SEQUENTIAL)
+  AdviseSpan(bytes, MADV_SEQUENTIAL);
 #else
   (void)bytes;
 #endif

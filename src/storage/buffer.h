@@ -172,4 +172,12 @@ class Array {
 /// regions, non-mmap platforms, or a refusing kernel.
 void AdviseRandomAccess(std::span<const std::byte> bytes);
 
+/// Tells the kernel this mapped region is about to be read front-to-back
+/// (madvise MADV_SEQUENTIAL): aggressive read-ahead, pages behind the scan
+/// are first in line for reclaim — the access pattern of the snapshot
+/// checksum/verify scans, which previously ran under MADV_RANDOM and paid a
+/// major fault per page. Callers switch back with AdviseRandomAccess before
+/// serving walks. Best-effort like AdviseRandomAccess.
+void AdviseSequentialAccess(std::span<const std::byte> bytes);
+
 }  // namespace wnw::storage

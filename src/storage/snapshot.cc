@@ -52,6 +52,36 @@ std::string_view FileKindName(uint32_t kind) {
 
 }  // namespace
 
+std::string_view SectionKindName(uint32_t kind) {
+  switch (static_cast<SectionKind>(kind)) {
+    case SectionKind::kGraphMeta:
+      return "graph-meta";
+    case SectionKind::kOffsets:
+      return "offsets";
+    case SectionKind::kAdjacency:
+      return "adjacency";
+    case SectionKind::kOriginalIds:
+      return "original-ids";
+    case SectionKind::kShardMeta:
+      return "shard-meta";
+    case SectionKind::kShardOwned:
+      return "shard-owned";
+    case SectionKind::kShardOffsets:
+      return "shard-offsets";
+    case SectionKind::kShardAdjacency:
+      return "shard-adjacency";
+    case SectionKind::kCacheMeta:
+      return "cache-meta";
+    case SectionKind::kCacheNodes:
+      return "cache-nodes";
+    case SectionKind::kCacheOffsets:
+      return "cache-offsets";
+    case SectionKind::kCacheValues:
+      return "cache-values";
+  }
+  return "unknown";
+}
+
 void SnapshotWriter::AddSection(SectionKind kind, uint32_t index,
                                 std::span<const std::byte> bytes) {
   sections_.push_back(
@@ -184,6 +214,11 @@ Result<SnapshotFile> SnapshotFile::Open(const std::string& path,
   }
 
   if (options.verify_checksum) {
+    // The checksum scan is the one purely sequential access in the file's
+    // life; let the kernel read ahead instead of faulting a page at a time.
+    // Serving advice (MADV_RANDOM on the hot sections) is applied by
+    // LoadGraphSnapshot after every verify scan has run.
+    AdviseSequentialAccess({file->data(), file->size()});
     Fnv64 hash;
     hash.Update({file->data() + sizeof(FileHeader),
                  file->size() - sizeof(FileHeader)});
@@ -297,10 +332,6 @@ Result<LoadedSnapshot> LoadGraphSnapshot(const std::string& path,
       file.ArraySection<uint64_t>(SectionKind::kOffsets));
   WNW_ASSIGN_OR_RETURN(storage::Array<NodeId> adjacency,
                        file.ArraySection<NodeId>(SectionKind::kAdjacency));
-  // A random walk touches adjacency rows in no predictable order; tell the
-  // kernel not to read ahead (offsets stay default — they are scanned
-  // front-to-back by Graph::FromCsr validation and degree lookups).
-  storage::AdviseRandomAccess(adjacency.bytes());
 
   LoadedSnapshot loaded;
   {
@@ -349,7 +380,6 @@ Result<LoadedSnapshot> LoadGraphSnapshot(const std::string& path,
       WNW_ASSIGN_OR_RETURN(
           shards[s].adjacency,
           file.ArraySection<NodeId>(SectionKind::kShardAdjacency, s));
-      storage::AdviseRandomAccess(shards[s].adjacency.bytes());
     }
     auto sharded = ShardedGraph::FromParts(
         static_cast<ShardPartition>(shard_meta.partition), std::move(shards),
@@ -379,6 +409,18 @@ Result<LoadedSnapshot> LoadGraphSnapshot(const std::string& path,
     }
     loaded.sharded =
         std::make_shared<const ShardedGraph>(*std::move(sharded));
+  }
+  // Serving advice last: every verify scan above (the checksum in
+  // SnapshotFile::Open, the CSR shape check in Graph::FromCsr, the shard
+  // cross-check) reads front-to-back and ran under the sequential hint. A
+  // random walk touches adjacency rows in no predictable order, so from
+  // here on read-ahead is off for the hot sections (offsets stay default —
+  // degree lookups are cheap and dense).
+  storage::AdviseRandomAccess(std::as_bytes(loaded.graph.adjacency()));
+  if (loaded.sharded != nullptr) {
+    for (int s = 0; s < loaded.sharded->num_shards(); ++s) {
+      storage::AdviseRandomAccess(loaded.sharded->shard(s).adjacency.bytes());
+    }
   }
   return loaded;
 }

@@ -34,6 +34,7 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "graph/graph.h"
@@ -162,11 +163,7 @@ class SnapshotFile {
   template <typename T>
   Result<T> MetaSection(SectionKind kind, uint32_t index = 0) const;
 
-  size_t section_count() const { return sections_.size(); }
-  uint64_t file_bytes() const { return file_->size(); }
-  const std::shared_ptr<const MappedFile>& file() const { return file_; }
-
- private:
+  /// One validated section-table entry (offsets are into the file).
   struct Record {
     uint32_t kind;
     uint32_t index;
@@ -174,9 +171,21 @@ class SnapshotFile {
     uint64_t length;
   };
 
+  size_t section_count() const { return sections_.size(); }
+  /// The validated section table, in file order — what `wnw_snapshot
+  /// --describe` renders as the per-section page breakdown.
+  std::span<const Record> records() const { return sections_; }
+  uint64_t file_bytes() const { return file_->size(); }
+  const std::shared_ptr<const MappedFile>& file() const { return file_; }
+
+ private:
   std::shared_ptr<const MappedFile> file_;
   std::vector<Record> sections_;
 };
+
+/// Human-readable name for a SectionKind value ("offsets", "adjacency",
+/// ...); "unknown" for values this build does not know.
+std::string_view SectionKindName(uint32_t kind);
 
 template <typename T>
 Result<T> SnapshotFile::MetaSection(SectionKind kind, uint32_t index) const {

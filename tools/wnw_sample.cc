@@ -270,6 +270,17 @@ void PrintJson(const SessionStats& stats, const std::vector<NodeId>& samples) {
               static_cast<unsigned long long>(stats.engine_bytes_scanned));
   std::printf("    \"engine_resident_peak\": %llu,\n",
               static_cast<unsigned long long>(stats.engine_resident_peak));
+  std::printf("    \"engine_residency_budget\": %llu,\n",
+              static_cast<unsigned long long>(stats.engine_residency_budget));
+  std::printf(
+      "    \"engine_residency_peak_bytes\": %llu,\n",
+      static_cast<unsigned long long>(stats.engine_residency_peak_bytes));
+  std::printf(
+      "    \"engine_residency_prefetches\": %llu,\n",
+      static_cast<unsigned long long>(stats.engine_residency_prefetches));
+  std::printf(
+      "    \"engine_residency_releases\": %llu,\n",
+      static_cast<unsigned long long>(stats.engine_residency_releases));
   std::printf("    \"last_burn_in\": %d,\n", stats.last_burn_in);
   std::printf("    \"average_burn_in\": %.6f,\n", stats.average_burn_in);
   std::printf("    \"burned_in\": %s,\n", stats.burned_in ? "true" : "false");

@@ -20,16 +20,23 @@
 // With --input, the source file's node ids are preserved in the snapshot's
 // original-id table. With --shards, per-shard CSR sections are written too,
 // so a sharded origin serves each shard straight from the mapping.
+#include <algorithm>
+#include <cstddef>
 #include <cstdio>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
 
 #include "datasets/social_datasets.h"
 #include "graph/algorithms.h"
 #include "graph/generators.h"
 #include "graph/io.h"
 #include "graph/sharded_graph.h"
+#include "storage/residency.h"
 #include "storage/snapshot.h"
 #include "util/string_util.h"
 
@@ -189,6 +196,74 @@ int Describe(const std::string& path) {
   std::printf("  sections:     %zu\n", info->sections);
   std::printf("  file size:    %llu bytes\n",
               static_cast<unsigned long long>(info->file_bytes));
+
+  // Paging breakdown for residency-budget tuning (docs/STORAGE.md): how many
+  // pages each section spans, and the engine's derived block -> page-span
+  // table — the spans a ResidencyManager charges against residency_mb=.
+  // ReadSnapshotInfo above already verified the checksum; skip the rescan.
+  auto file = storage::SnapshotFile::Open(path, storage::FileKind::kGraphSnapshot,
+                                          {.verify_checksum = false});
+  if (!file.ok()) {
+    std::fprintf(stderr, "error: %s\n", file.status().ToString().c_str());
+    return 1;
+  }
+#if defined(__unix__) || defined(__APPLE__)
+  const uint64_t page = static_cast<uint64_t>(
+      std::max<long>(1, ::sysconf(_SC_PAGESIZE)));
+#else
+  const uint64_t page = 4096;
+#endif
+  std::printf("  page size:    %llu bytes\n",
+              static_cast<unsigned long long>(page));
+  std::printf("  section pages (kind[index] offset length pages):\n");
+  for (const storage::SnapshotFile::Record& r : file->records()) {
+    const uint64_t first_page = r.offset / page;
+    const uint64_t last_page = (r.offset + std::max<uint64_t>(r.length, 1) - 1) / page;
+    std::printf("    %-13s[%u]  %10llu  %10llu  %6llu\n",
+                std::string(storage::SectionKindName(r.kind)).c_str(),
+                r.index, static_cast<unsigned long long>(r.offset),
+                static_cast<unsigned long long>(r.length),
+                static_cast<unsigned long long>(last_page - first_page + 1));
+  }
+
+  auto offsets =
+      file->ArraySection<uint64_t>(storage::SectionKind::kOffsets);
+  auto adjacency = file->Section(storage::SectionKind::kAdjacency);
+  if (offsets.ok() && adjacency.ok() && offsets->size() >= 2) {
+    const uint64_t n = offsets->size() - 1;
+    const uint32_t block_nodes =
+        std::max<uint32_t>(256, static_cast<uint32_t>(n / 64));
+    const auto spans = storage::BuildBlockSpans(
+        offsets->span(), adjacency->bytes(), sizeof(NodeId), block_nodes);
+    uint64_t max_span = 0;
+    for (const storage::BlockSpan& s : spans) {
+      max_span = std::max<uint64_t>(max_span, s.size);
+    }
+    std::printf(
+        "  engine blocks: %zu x %u nodes (the engine's default block= "
+        "derivation), max span %llu bytes (%llu pages)\n",
+        spans.size(), block_nodes, static_cast<unsigned long long>(max_span),
+        static_cast<unsigned long long>((max_span + page - 1) / page));
+    std::printf("  block page spans (block nodes file_offset bytes pages):\n");
+    const std::byte* base = file->file()->data();
+    constexpr size_t kMaxRows = 12;
+    for (size_t b = 0; b < spans.size() && b < kMaxRows; ++b) {
+      const uint64_t lo = b * static_cast<uint64_t>(block_nodes);
+      const uint64_t hi = std::min<uint64_t>(n, lo + block_nodes);
+      const storage::BlockSpan& s = spans[b];
+      std::printf("    %5zu  [%llu, %llu)  %10llu  %10zu  %6llu\n", b,
+                  static_cast<unsigned long long>(lo),
+                  static_cast<unsigned long long>(hi),
+                  static_cast<unsigned long long>(
+                      s.data != nullptr ? s.data - base : 0),
+                  s.size,
+                  static_cast<unsigned long long>((s.size + page - 1) / page));
+    }
+    if (spans.size() > kMaxRows) {
+      std::printf("    ... %zu more blocks (same derivation)\n",
+                  spans.size() - kMaxRows);
+    }
+  }
   return 0;
 }
 
