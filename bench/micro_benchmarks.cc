@@ -7,7 +7,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <span>
 #include <string>
+#include <unordered_map>
 
 #include "access/access_interface.h"
 #include "access/remote_backend.h"
@@ -227,6 +229,58 @@ void BM_LocalCacheCopy(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * g.num_nodes());
 }
 BENCHMARK(BM_LocalCacheCopy);
+
+void BM_LocalCacheFlat(benchmark::State& state) {
+  // Warm-hit probes through the session cache — the hottest lookup in any
+  // walk (every revisited node resolves here without touching the backend).
+  // The cache is the flat open-addressed FlatNodeMap; compare against
+  // BM_LocalCacheStdMap below for the node-based-map cost this replaced.
+  const Graph& g = BenchGraph();
+  auto backend = std::make_shared<InMemoryBackend>(&g);
+  AccessInterface access(backend);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) access.Neighbors(u);  // warm
+  Rng rng(99);
+  for (auto _ : state) {
+    const NodeId u = static_cast<NodeId>(rng.NextBounded(g.num_nodes()));
+    const auto nbrs = access.Neighbors(u);
+    benchmark::DoNotOptimize(nbrs.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LocalCacheFlat);
+
+void BM_FlatNodeMapProbe(benchmark::State& state) {
+  // The isolated structure: FlatNodeMap hit probes over a walk-sized
+  // working set, head-to-head with BM_StdUnorderedMapProbe. The delta is
+  // the pointer chase + hash-node overhead the flat table removes from
+  // every cached Neighbors() call.
+  constexpr NodeId kEntries = 1 << 16;
+  FlatNodeMap<std::span<const NodeId>> map;
+  const Graph& g = BenchGraph();
+  for (NodeId u = 0; u < kEntries; ++u) map.Emplace(u, g.Neighbors(u));
+  Rng rng(7);
+  for (auto _ : state) {
+    const NodeId u = static_cast<NodeId>(rng.NextBounded(kEntries));
+    benchmark::DoNotOptimize(map.Find(u));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlatNodeMapProbe);
+
+void BM_StdUnorderedMapProbe(benchmark::State& state) {
+  constexpr NodeId kEntries = 1 << 16;
+  std::unordered_map<NodeId, std::span<const NodeId>> map;
+  const Graph& g = BenchGraph();
+  for (NodeId u = 0; u < kEntries; ++u) map.emplace(u, g.Neighbors(u));
+  Rng rng(7);
+  for (auto _ : state) {
+    const NodeId u = static_cast<NodeId>(rng.NextBounded(kEntries));
+    const auto it = map.find(u);
+    benchmark::DoNotOptimize(it == map.end() ? nullptr : it->second.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StdUnorderedMapProbe);
 
 void BM_FrameEncode(benchmark::State& state) {
   // Wire-protocol encode for a typical FetchNeighbors reply (a BA-graph

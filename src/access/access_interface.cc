@@ -50,17 +50,17 @@ std::span<const NodeId> AccessInterface::StoreLocal(NodeId u,
                                                     std::vector<NodeId>&& list) {
   CachedList entry;
   entry.owned = std::move(list);
-  // A vector move transfers the heap buffer, so this span survives the
-  // emplace below; map nodes never relocate afterwards.
+  // A vector move transfers the heap buffer, so this span survives both the
+  // emplace below and any later growth of the flat table.
   entry.view = entry.owned;
-  return local_cache_.emplace(u, std::move(entry)).first->second.view;
+  return local_cache_.Emplace(u, std::move(entry)).view;
 }
 
 std::span<const NodeId> AccessInterface::StoreLocalView(
     NodeId u, std::span<const NodeId> view) {
   CachedList entry;
   entry.view = view;
-  return local_cache_.emplace(u, std::move(entry)).first->second.view;
+  return local_cache_.Emplace(u, std::move(entry)).view;
 }
 
 void AccessInterface::Admit(NodeId u, std::vector<NodeId>&& list) {
@@ -89,8 +89,9 @@ std::span<const NodeId> AccessInterface::FetchLocal(NodeId u) {
       const NodeId one[] = {u};
       WaitFor(one);
     }
-    const auto it = local_cache_.find(u);
-    if (it != local_cache_.end()) return it->second.view;
+    if (const CachedList* hit = local_cache_.Find(u); hit != nullptr) {
+      return hit->view;
+    }
     if (cache_ != nullptr) {
       std::vector<NodeId> list;
       if (cache_->Lookup(u, &list)) {
@@ -124,7 +125,7 @@ std::span<const NodeId> AccessInterface::FetchLocal(NodeId u) {
     } else {
       Admit(u, std::move(reply->owned));
     }
-    return local_cache_.find(u)->second.view;
+    return local_cache_.Find(u)->view;
   }
   if (seen_[u] == 0) {
     seen_[u] = 1;
@@ -144,7 +145,7 @@ void AccessInterface::PrefetchAsync(std::span<const NodeId> nodes) {
   batch_buf_.clear();
   for (NodeId u : nodes) {
     WNW_DCHECK(u < seen_.size());
-    if (local_cache_.find(u) != local_cache_.end()) continue;
+    if (local_cache_.Contains(u)) continue;
     if (!pending_nodes_.empty() && pending_nodes_.count(u) > 0) continue;
     if (cache_ != nullptr) {
       std::vector<NodeId> list;
@@ -251,8 +252,10 @@ std::span<const NodeId> AccessInterface::EffectiveNeighbors(NodeId u) {
   ++meter_.total_queries;
   const auto raw = FetchLocal(u);
   if (!opts.bidirectional_check) return raw;
-  const auto it = effective_cache_.find(u);
-  if (it != effective_cache_.end()) return it->second;
+  if (const std::vector<NodeId>* cached = effective_cache_.Find(u);
+      cached != nullptr) {
+    return *cached;
+  }
   // Mutual-visibility filter: every candidate endpoint is probed (and
   // billed); the probes are independent, so batch them — a latency backend
   // serves the whole ring in one simulated round trip.
@@ -268,7 +271,7 @@ std::span<const NodeId> AccessInterface::EffectiveNeighbors(NodeId u) {
       effective.push_back(v);
     }
   }
-  return effective_cache_.emplace(u, std::move(effective)).first->second;
+  return effective_cache_.Emplace(u, std::move(effective));
 }
 
 NodeId AccessInterface::SampleNeighbor(NodeId u, Rng& rng) {
@@ -286,8 +289,8 @@ void AccessInterface::ResetCounters() {
   Wait();
   std::fill(seen_.begin(), seen_.end(), 0);
   meter_.Reset();
-  local_cache_.clear();
-  effective_cache_.clear();
+  local_cache_.Clear();
+  effective_cache_.Clear();
   backend_->ResetSimulation();
 }
 

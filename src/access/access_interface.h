@@ -29,12 +29,12 @@
 #include <cstdint>
 #include <memory>
 #include <span>
-#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "access/completion_executor.h"
 #include "access/backend.h"
+#include "access/flat_map.h"
 #include "access/cost_meter.h"
 #include "access/query_cache.h"
 #include "graph/graph.h"
@@ -183,8 +183,10 @@ class AccessInterface {
   /// shared-cache hits), or straight into backend arena storage (the CSR
   /// adjacency arena or memoized fixed subsets) when the reply was
   /// arena-backed — the session holds a shared_ptr to the backend, so arena
-  /// spans outlive every entry. Entries live in a node-based map, and vector
-  /// moves keep their heap buffer, so `view` stays valid for the session.
+  /// spans outlive every entry. Entries live in a flat open-addressed map
+  /// whose growth MOVES them, but a vector move keeps its heap buffer, so
+  /// `view` (which points into `owned` or the arena, never at the entry
+  /// itself) stays valid for the session.
   struct CachedList {
     std::span<const NodeId> view;
     std::vector<NodeId> owned;  // backs `view` when non-empty
@@ -217,8 +219,8 @@ class AccessInterface {
   std::vector<NodeId> batch_buf_;   // prefetch request assembly (reused)
   std::vector<PendingBatch> pending_;
   std::unordered_set<NodeId> pending_nodes_;  // union over pending_
-  std::unordered_map<NodeId, CachedList> local_cache_;
-  std::unordered_map<NodeId, std::vector<NodeId>> effective_cache_;
+  FlatNodeMap<CachedList> local_cache_;
+  FlatNodeMap<std::vector<NodeId>> effective_cache_;
 };
 
 /// Mark–recapture degree estimate under kRandomSubset (paper §6.3.1 cites

@@ -10,6 +10,29 @@
 
 namespace wnw {
 
+Result<size_t> RandomEdgeSource::Next(std::span<InputEdge> out) {
+  if (n_ == 0) {
+    return m_ == 0 ? Result<size_t>(size_t{0})
+                   : Result<size_t>(Status::InvalidArgument(
+                         "random edge source with 0 nodes cannot emit "
+                         "edges"));
+  }
+  size_t produced = 0;
+  while (produced < out.size() && produced_ < m_) {
+    const NodeId u = static_cast<NodeId>(rng_.NextBounded(n_));
+    const NodeId v = static_cast<NodeId>(rng_.NextBounded(n_));
+    out[produced++] = InputEdge{u, v};
+    ++produced_;
+  }
+  return produced;
+}
+
+Result<Graph> MakeUniformRandomMultigraph(NodeId n, uint64_t m,
+                                          uint64_t seed) {
+  RandomEdgeSource source(n, m, seed);
+  return BuildGraphFromEdgeSource(source);
+}
+
 Result<Graph> MakeCycle(NodeId n) {
   if (n < 3) return Status::InvalidArgument("cycle needs n >= 3");
   GraphBuilder b(n);

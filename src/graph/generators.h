@@ -8,10 +8,40 @@
 #include <cstdint>
 
 #include "graph/graph.h"
+#include "graph/io.h"
 #include "random/rng.h"
 #include "util/status.h"
 
 namespace wnw {
+
+/// Streaming uniform random edge generator: `m` edges drawn uniformly over
+/// ordered pairs of [0, n), deterministic for a seed, O(1) state — the one
+/// synthetic source that can feed a graph far larger than RAM into
+/// storage::StreamingIngest, because no history is kept (BA-style
+/// preferential attachment needs the whole degree sequence). Duplicates and
+/// self-loops occur at the natural rate and are normalized downstream,
+/// exactly as GraphBuilder would. `min_num_nodes()` declares all n nodes,
+/// so nodes the draw misses stay in the graph as isolated nodes.
+class RandomEdgeSource : public EdgeSource {
+ public:
+  RandomEdgeSource(NodeId n, uint64_t m, uint64_t seed)
+      : n_(n), m_(m), rng_(seed) {}
+
+  Result<size_t> Next(std::span<InputEdge> out) override;
+  NodeId min_num_nodes() const override { return n_; }
+
+ private:
+  NodeId n_;
+  uint64_t m_;
+  uint64_t produced_ = 0;
+  Rng rng_;
+};
+
+/// The in-memory equivalent of RandomEdgeSource — same seed, same edges,
+/// built through GraphBuilder. This is the `rand:N,M` dataset of the CLI
+/// tools and the reference side of the streaming-ingest identity gate.
+Result<Graph> MakeUniformRandomMultigraph(NodeId n, uint64_t m,
+                                          uint64_t seed);
 
 /// Single cycle of n >= 3 nodes; diameter floor(n/2).
 Result<Graph> MakeCycle(NodeId n);

@@ -2,38 +2,41 @@
 
 #include <cinttypes>
 #include <cstdio>
-#include <fstream>
-#include <unordered_map>
+#include <utility>
 
 #include "graph/builder.h"
 #include "util/string_util.h"
 
 namespace wnw {
 
-Result<LoadedGraph> LoadEdgeList(const std::string& path) {
+Result<std::unique_ptr<EdgeListFileSource>> EdgeListFileSource::Open(
+    const std::string& path) {
   std::ifstream in(path);
   if (!in.is_open()) {
     return Status::IOError(StrFormat("cannot open %s", path.c_str()));
   }
-  std::unordered_map<uint64_t, NodeId> remap;
-  std::vector<uint64_t> original;
-  // Stream each parsed edge straight into the builder — no intermediate
-  // edge vector, so peak memory is one copy of the edge list, and lines of
-  // any length parse whole (the old fixed 256-byte buffer silently split
-  // long lines into separate — and separately parsed — chunks).
-  GraphBuilder builder(0);
-  auto intern = [&](uint64_t raw) -> NodeId {
-    auto [it, inserted] =
-        remap.try_emplace(raw, static_cast<NodeId>(original.size()));
-    if (inserted) original.push_back(raw);
-    return it->second;
-  };
+  return std::unique_ptr<EdgeListFileSource>(
+      new EdgeListFileSource(path, std::move(in)));
+}
 
-  std::string line;
-  int lineno = 0;
-  while (std::getline(in, line)) {
-    ++lineno;
-    const std::string_view trimmed = TrimString(line);
+Result<NodeId> EdgeListFileSource::Intern(uint64_t raw, int lineno) {
+  if (original_.size() >= static_cast<size_t>(kInvalidNode) - 2) {
+    return Status::IOError(StrFormat(
+        "%s:%d: more than %u distinct nodes — beyond the NodeId range",
+        path_.c_str(), lineno, kInvalidNode - 2));
+  }
+  auto [it, inserted] =
+      remap_.try_emplace(raw, static_cast<NodeId>(original_.size()));
+  if (inserted) original_.push_back(raw);
+  return it->second;
+}
+
+Result<size_t> EdgeListFileSource::Next(std::span<InputEdge> out) {
+  if (done_ || out.empty()) return size_t{0};
+  size_t produced = 0;
+  while (produced < out.size() && std::getline(in_, line_)) {
+    ++lineno_;
+    const std::string_view trimmed = TrimString(line_);
     if (trimmed.empty() || trimmed.front() == '#') continue;
     const auto parts = SplitString(trimmed, " \t,");
     uint64_t a = 0, b = 0;
@@ -44,33 +47,73 @@ Result<LoadedGraph> LoadEdgeList(const std::string& path) {
       const std::string_view clipped = trimmed.substr(0, 40);
       return Status::IOError(StrFormat(
           "%s:%d: malformed edge line \"%.*s%s\" (expected \"u v\")",
-          path.c_str(), lineno, static_cast<int>(clipped.size()),
+          path_.c_str(), lineno_, static_cast<int>(clipped.size()),
           clipped.data(), clipped.size() < trimmed.size() ? "…" : ""));
-    }
-    if (original.size() >= static_cast<size_t>(kInvalidNode) - 2) {
-      return Status::IOError(StrFormat(
-          "%s:%d: more than %u distinct nodes — beyond the NodeId range",
-          path.c_str(), lineno, kInvalidNode - 2));
     }
     // Sequence the interning: argument evaluation order is unspecified, and
     // first-seen-first-id keeps loads deterministic.
-    const NodeId ua = intern(a);
-    const NodeId ub = intern(b);
-    builder.EnsureNode(ua < ub ? ub : ua);
-    const Status added = builder.AddEdge(ua, ub);
-    if (!added.ok()) {
-      return Status::IOError(StrFormat("%s:%d: %s", path.c_str(), lineno,
-                                       added.message().c_str()));
+    WNW_ASSIGN_OR_RETURN(const NodeId ua, Intern(a, lineno_));
+    WNW_ASSIGN_OR_RETURN(const NodeId ub, Intern(b, lineno_));
+    out[produced++] = InputEdge{ua, ub};
+  }
+  if (produced < out.size()) {
+    if (in_.bad()) {
+      return Status::IOError(StrFormat("%s:%d: read error mid-file",
+                                       path_.c_str(), lineno_));
+    }
+    done_ = true;
+  }
+  return produced;
+}
+
+Result<size_t> GraphEdgeSource::Next(std::span<InputEdge> out) {
+  size_t produced = 0;
+  const NodeId n = graph_->num_nodes();
+  while (produced < out.size() && row_ < n) {
+    const auto nbrs = graph_->Neighbors(row_);
+    while (produced < out.size() && col_ < nbrs.size()) {
+      const NodeId v = nbrs[col_++];
+      // Each undirected edge once: the CSR stores both orientations, keep
+      // the (u <= v) one (a self-loop is stored once and kept once).
+      if (v >= row_) out[produced++] = InputEdge{row_, v};
+    }
+    if (col_ >= nbrs.size()) {
+      ++row_;
+      col_ = 0;
     }
   }
-  if (in.bad()) {
-    return Status::IOError(StrFormat("%s:%d: read error mid-file",
-                                     path.c_str(), lineno));
-  }
-  in.close();
+  return produced;
+}
 
-  LoadedGraph out{Graph{}, std::move(original)};
-  WNW_ASSIGN_OR_RETURN(out.graph, std::move(builder).Build());
+Result<Graph> BuildGraphFromEdgeSource(EdgeSource& source,
+                                       bool allow_self_loops) {
+  GraphBuilder builder(0, allow_self_loops);
+  InputEdge batch[4096];
+  for (;;) {
+    WNW_ASSIGN_OR_RETURN(const size_t got, source.Next(batch));
+    if (got == 0) break;
+    for (size_t i = 0; i < got; ++i) {
+      const InputEdge e = batch[i];
+      builder.EnsureNode(e.u < e.v ? e.v : e.u);
+      WNW_RETURN_IF_ERROR(builder.AddEdge(e.u, e.v));
+    }
+  }
+  if (const NodeId floor = source.min_num_nodes(); floor > 0) {
+    builder.EnsureNode(floor - 1);
+  }
+  return std::move(builder).Build();
+}
+
+Result<LoadedGraph> LoadEdgeList(const std::string& path) {
+  // Stream each parsed edge straight into the builder — no intermediate
+  // edge vector, so peak memory is the interning table plus one copy of the
+  // (normalized) edge list inside the builder.
+  WNW_ASSIGN_OR_RETURN(std::unique_ptr<EdgeListFileSource> source,
+                       EdgeListFileSource::Open(path));
+  WNW_ASSIGN_OR_RETURN(Graph graph, BuildGraphFromEdgeSource(*source));
+  LoadedGraph out{std::move(graph),
+                  {source->original_ids().begin(),
+                   source->original_ids().end()}};
   return out;
 }
 

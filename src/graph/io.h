@@ -1,14 +1,111 @@
-// Edge-list I/O in the SNAP text format: one "u v" pair per line, '#'
-// comments. Node ids are remapped to a dense [0, n) range on load.
+// Edge-list I/O in the SNAP text format ("u v" pairs, '#' comments; node
+// ids remapped to a dense [0, n) range on load), plus the streaming
+// EdgeSource interface the out-of-core ingest pipeline consumes
+// (storage/ingest.h): a pull-based reader that yields undirected edges in
+// bounded batches, so producers never have to materialize the edge list.
 #pragma once
 
+#include <fstream>
+#include <memory>
+#include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "graph/graph.h"
 #include "util/status.h"
 
 namespace wnw {
+
+/// One undirected input edge in dense-id space. Self-loops (u == v),
+/// duplicates, and both orientations of the same edge are legal input —
+/// consumers normalize exactly like GraphBuilder does.
+struct InputEdge {
+  NodeId u = 0;
+  NodeId v = 0;
+};
+
+/// A pull-based stream of undirected edges. The contract mirrors what
+/// GraphBuilder accepts: edges arrive in any order, duplicated, reversed,
+/// possibly self-looped; ids are dense NodeIds. Implementations hold O(1)
+/// state beyond whatever their source inherently needs (a read buffer, an
+/// interning table for text inputs), so a consumer with bounded memory —
+/// storage::StreamingIngest — stays bounded end to end.
+class EdgeSource {
+ public:
+  virtual ~EdgeSource() = default;
+
+  /// Fills `out` with up to out.size() edges and returns how many were
+  /// produced; 0 means the stream is exhausted. Malformed input is a
+  /// Status, never a partial silent read.
+  virtual Result<size_t> Next(std::span<InputEdge> out) = 0;
+
+  /// Declared node-count floor: the graph has at least this many nodes even
+  /// if the trailing ones never appear in an edge (isolated nodes cannot be
+  /// observed from the edge stream alone). May grow as the stream is
+  /// consumed; consumers read it after exhaustion.
+  virtual NodeId min_num_nodes() const { return 0; }
+
+  /// Dense id -> source id table, meaningful once the stream is exhausted.
+  /// Empty when dense ids are the original ids (generators).
+  virtual std::span<const uint64_t> original_ids() const { return {}; }
+};
+
+/// Streams a SNAP-style text edge list, interning raw ids to dense NodeIds
+/// in first-seen order — the same order LoadEdgeList assigns, so a graph
+/// built from this source is identical to a LoadEdgeList load. The
+/// interning table is the one O(distinct nodes) allocation a text input
+/// fundamentally needs; everything else is a line buffer.
+class EdgeListFileSource : public EdgeSource {
+ public:
+  /// Opens `path`; IOError when it cannot be read.
+  static Result<std::unique_ptr<EdgeListFileSource>> Open(
+      const std::string& path);
+
+  Result<size_t> Next(std::span<InputEdge> out) override;
+  NodeId min_num_nodes() const override {
+    return static_cast<NodeId>(original_.size());
+  }
+  std::span<const uint64_t> original_ids() const override { return original_; }
+
+ private:
+  EdgeListFileSource(std::string path, std::ifstream in)
+      : path_(std::move(path)), in_(std::move(in)) {}
+
+  Result<NodeId> Intern(uint64_t raw, int lineno);
+
+  std::string path_;
+  std::ifstream in_;
+  std::string line_;
+  int lineno_ = 0;
+  bool done_ = false;
+  std::unordered_map<uint64_t, NodeId> remap_;
+  std::vector<uint64_t> original_;
+};
+
+/// Adapts an in-memory Graph to the EdgeSource interface: yields each
+/// undirected edge once (u <= v, self-loops once), rows in ascending order.
+/// Used by `wnw_snapshot --stream` for sources that are only available as a
+/// built Graph (the synthetic datasets) — it exercises the full external
+/// pipeline even though the source itself is resident.
+class GraphEdgeSource : public EdgeSource {
+ public:
+  explicit GraphEdgeSource(const Graph* graph) : graph_(graph) {}
+
+  Result<size_t> Next(std::span<InputEdge> out) override;
+  NodeId min_num_nodes() const override { return graph_->num_nodes(); }
+
+ private:
+  const Graph* graph_;
+  NodeId row_ = 0;
+  size_t col_ = 0;  // index into Neighbors(row_)
+};
+
+/// Drains `source` into a GraphBuilder — the in-memory reference path the
+/// streaming ingest pipeline is gated byte-identical against. Node count is
+/// max(endpoint ids + 1, source.min_num_nodes()).
+Result<Graph> BuildGraphFromEdgeSource(EdgeSource& source,
+                                       bool allow_self_loops = false);
 
 struct LoadedGraph {
   Graph graph;

@@ -1,5 +1,7 @@
 #include "storage/snapshot.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -82,6 +84,158 @@ std::string_view SectionKindName(uint32_t kind) {
   return "unknown";
 }
 
+Result<StreamingSnapshotWriter> StreamingSnapshotWriter::Create(
+    FileKind file_kind, const std::string& path,
+    std::span<const PlannedSection> sections) {
+  StreamingSnapshotWriter writer;
+  writer.path_ = path;
+  writer.tmp_path_ = path + ".tmp";
+  writer.file_kind_ = static_cast<uint32_t>(file_kind);
+  writer.section_count_ = static_cast<uint32_t>(sections.size());
+
+  // The layout is fully determined by the declared lengths: header, section
+  // table, then 8-byte-aligned sections. 40 + 24k is always 8-aligned, so
+  // the first section is too.
+  std::vector<SectionEntry> table(sections.size());
+  uint64_t cursor = sizeof(FileHeader) + sections.size() * sizeof(SectionEntry);
+  writer.lengths_.reserve(sections.size());
+  for (size_t i = 0; i < sections.size(); ++i) {
+    table[i] = SectionEntry{static_cast<uint32_t>(sections[i].kind),
+                            sections[i].index, cursor, sections[i].length};
+    cursor = Align8(cursor + sections[i].length);
+    writer.lengths_.push_back(sections[i].length);
+  }
+  writer.planned_file_size_ = cursor;
+
+  writer.file_ = std::fopen(writer.tmp_path_.c_str(), "wb");
+  if (writer.file_ == nullptr) {
+    return Status::IOError("cannot open " + writer.tmp_path_ +
+                           " for writing");
+  }
+  // Placeholder header — Finish() seeks back and patches in the checksum.
+  const FileHeader placeholder{};
+  std::fwrite(&placeholder, 1, sizeof(placeholder), writer.file_);
+  if (!table.empty()) {
+    std::fwrite(table.data(), sizeof(SectionEntry), table.size(),
+                writer.file_);
+  }
+  if (std::ferror(writer.file_)) {
+    return writer.Fail("write failed on " + writer.tmp_path_);
+  }
+  writer.hash_.Update(std::as_bytes(std::span<const SectionEntry>(table)));
+  writer.PadFilledSections();  // leading zero-length sections, if any
+  return writer;
+}
+
+StreamingSnapshotWriter::StreamingSnapshotWriter(
+    StreamingSnapshotWriter&& other) noexcept
+    : file_(std::exchange(other.file_, nullptr)),
+      path_(std::move(other.path_)),
+      tmp_path_(std::move(other.tmp_path_)),
+      lengths_(std::move(other.lengths_)),
+      current_section_(other.current_section_),
+      into_section_(other.into_section_),
+      planned_file_size_(other.planned_file_size_),
+      file_kind_(other.file_kind_),
+      section_count_(other.section_count_),
+      write_failed_(other.write_failed_),
+      hash_(other.hash_) {}
+
+StreamingSnapshotWriter::~StreamingSnapshotWriter() { Abandon(); }
+
+void StreamingSnapshotWriter::Abandon() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+    std::remove(tmp_path_.c_str());
+  }
+}
+
+Status StreamingSnapshotWriter::Fail(const std::string& message) {
+  Abandon();
+  return Status::IOError(message);
+}
+
+void StreamingSnapshotWriter::WriteAndHash(std::span<const std::byte> bytes) {
+  if (bytes.empty() || write_failed_) return;
+  if (std::fwrite(bytes.data(), 1, bytes.size(), file_) != bytes.size()) {
+    write_failed_ = true;
+    return;
+  }
+  hash_.Update(bytes);
+}
+
+void StreamingSnapshotWriter::PadFilledSections() {
+  static constexpr std::byte kZeros[8] = {};
+  while (current_section_ < lengths_.size() &&
+         into_section_ == lengths_[current_section_]) {
+    const uint64_t pad = Align8(lengths_[current_section_]) -
+                         lengths_[current_section_];
+    WriteAndHash({kZeros, static_cast<size_t>(pad)});
+    ++current_section_;
+    into_section_ = 0;
+  }
+}
+
+Status StreamingSnapshotWriter::Append(std::span<const std::byte> bytes) {
+  if (file_ == nullptr) {
+    return Status::InvalidArgument("append on a finished snapshot writer");
+  }
+  while (!bytes.empty()) {
+    if (current_section_ >= lengths_.size()) {
+      return Fail(tmp_path_ + ": appended past the declared section layout");
+    }
+    const uint64_t room = lengths_[current_section_] - into_section_;
+    const size_t take =
+        static_cast<size_t>(std::min<uint64_t>(room, bytes.size()));
+    WriteAndHash(bytes.first(take));
+    into_section_ += take;
+    bytes = bytes.subspan(take);
+    PadFilledSections();
+  }
+  if (write_failed_) return Fail("write failed on " + tmp_path_);
+  return Status::OK();
+}
+
+Status StreamingSnapshotWriter::Finish() {
+  if (file_ == nullptr) {
+    return Status::InvalidArgument("finish on a finished snapshot writer");
+  }
+  if (current_section_ < lengths_.size()) {
+    return Fail(StrFormat(
+        "%s: section %zu short — %llu of %llu declared bytes appended",
+        tmp_path_.c_str(), current_section_,
+        static_cast<unsigned long long>(into_section_),
+        static_cast<unsigned long long>(lengths_[current_section_])));
+  }
+
+  FileHeader header{};
+  std::memcpy(header.magic, kMagic, sizeof(kMagic));
+  header.endian = kEndianMark;
+  header.version = kFormatVersion;
+  header.file_kind = file_kind_;
+  header.section_count = section_count_;
+  header.file_size = planned_file_size_;
+  header.checksum = hash_.digest();
+
+  bool ok = !write_failed_ && std::fseek(file_, 0, SEEK_SET) == 0 &&
+            std::fwrite(&header, 1, sizeof(header), file_) == sizeof(header) &&
+            std::fflush(file_) == 0 && fsync(fileno(file_)) == 0;
+  if (std::fclose(file_) != 0) ok = false;
+  file_ = nullptr;
+  if (!ok) {
+    std::remove(tmp_path_.c_str());
+    return Status::IOError("write failed on " + tmp_path_);
+  }
+  // The rename is the commit point: `path` flips from its old content (or
+  // absence) to the complete new file in one step.
+  if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp_path_.c_str());
+    return Status::IOError("cannot rename " + tmp_path_ + " to " + path_);
+  }
+  return Status::OK();
+}
+
 void SnapshotWriter::AddSection(SectionKind kind, uint32_t index,
                                 std::span<const std::byte> bytes) {
   sections_.push_back(
@@ -90,61 +244,18 @@ void SnapshotWriter::AddSection(SectionKind kind, uint32_t index,
 
 Status SnapshotWriter::Write(FileKind file_kind,
                              const std::string& path) const {
-  // Fixed layout first: header, section table, then 8-byte-aligned
-  // sections. 40 + 24k is always 8-aligned, so the first section is too.
-  std::vector<SectionEntry> table(sections_.size());
-  uint64_t cursor =
-      sizeof(FileHeader) + sections_.size() * sizeof(SectionEntry);
-  for (size_t i = 0; i < sections_.size(); ++i) {
-    table[i] = SectionEntry{sections_[i].kind, sections_[i].index, cursor,
-                            sections_[i].bytes.size()};
-    cursor = Align8(cursor + sections_[i].bytes.size());
+  std::vector<StreamingSnapshotWriter::PlannedSection> plan;
+  plan.reserve(sections_.size());
+  for (const Pending& s : sections_) {
+    plan.push_back({static_cast<SectionKind>(s.kind), s.index,
+                    s.bytes.size()});
   }
-
-  FileHeader header{};
-  std::memcpy(header.magic, kMagic, sizeof(kMagic));
-  header.endian = kEndianMark;
-  header.version = kFormatVersion;
-  header.file_kind = static_cast<uint32_t>(file_kind);
-  header.section_count = static_cast<uint32_t>(sections_.size());
-  header.file_size = cursor;
-
-  // The checksum covers everything after the header: the section table and
-  // the padded section stream, exactly as written.
-  const std::byte zeros[8] = {};
-  Fnv64 hash;
-  hash.Update(std::as_bytes(std::span<const SectionEntry>(table)));
-  for (size_t i = 0; i < sections_.size(); ++i) {
-    hash.Update(sections_[i].bytes);
-    const uint64_t pad =
-        Align8(sections_[i].bytes.size()) - sections_[i].bytes.size();
-    hash.Update({zeros, static_cast<size_t>(pad)});
+  WNW_ASSIGN_OR_RETURN(StreamingSnapshotWriter writer,
+                       StreamingSnapshotWriter::Create(file_kind, path, plan));
+  for (const Pending& s : sections_) {
+    WNW_RETURN_IF_ERROR(writer.Append(s.bytes));
   }
-  header.checksum = hash.digest();
-
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) {
-    return Status::IOError("cannot open " + path + " for writing");
-  }
-  auto write_bytes = [&](std::span<const std::byte> bytes) {
-    return bytes.empty() ||
-           std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
-  };
-  bool ok = write_bytes({reinterpret_cast<const std::byte*>(&header),
-                         sizeof(header)}) &&
-            write_bytes(std::as_bytes(std::span<const SectionEntry>(table)));
-  for (size_t i = 0; ok && i < sections_.size(); ++i) {
-    const uint64_t pad =
-        Align8(sections_[i].bytes.size()) - sections_[i].bytes.size();
-    ok = write_bytes(sections_[i].bytes) &&
-         write_bytes({zeros, static_cast<size_t>(pad)});
-  }
-  if (std::fclose(f) != 0) ok = false;
-  if (!ok) {
-    std::remove(path.c_str());  // never leave a half-written artifact
-    return Status::IOError("write failed on " + path);
-  }
-  return Status::OK();
+  return writer.Finish();
 }
 
 Result<SnapshotFile> SnapshotFile::Open(const std::string& path,

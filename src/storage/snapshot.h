@@ -30,6 +30,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <optional>
 #include <span>
@@ -94,6 +95,97 @@ struct CacheMetaSection {
   uint64_t topology = 0;
 };
 
+/// Incremental FNV-1a 64 (the container checksum).
+class Fnv64 {
+ public:
+  void Update(std::span<const std::byte> bytes) {
+    for (std::byte b : bytes) {
+      hash_ ^= static_cast<uint64_t>(b);
+      hash_ *= 0x100000001b3ull;
+    }
+  }
+  uint64_t digest() const { return hash_; }
+
+ private:
+  uint64_t hash_ = 0xcbf29ce484222325ull;
+};
+
+/// Streams one container file to disk section by section without ever
+/// holding payloads in memory — the incremental path behind both
+/// SnapshotWriter (which streams from live arrays) and
+/// storage::StreamingIngest (whose CSR sections never exist in RAM).
+///
+/// Section kinds and byte lengths are declared up front, because the
+/// section table precedes the payloads in the file; payload bytes are then
+/// appended strictly in declared order, FNV-1a-hashed as they stream out,
+/// with the 8-byte alignment padding between sections inserted (and
+/// hashed) automatically. Finish() patches the header with the final
+/// checksum, fsyncs, and renames `<path>.tmp` over `path`, so a writer
+/// killed mid-write never leaves a truncated or checksum-broken file at
+/// `path` — at worst an orphaned `.tmp` the next write overwrites.
+class StreamingSnapshotWriter {
+ public:
+  struct PlannedSection {
+    SectionKind kind = SectionKind::kGraphMeta;
+    uint32_t index = 0;
+    uint64_t length = 0;  // payload bytes, pre-padding
+  };
+
+  /// Opens `<path>.tmp`, writes a placeholder header and the final section
+  /// table. IOError when the temp file cannot be created.
+  static Result<StreamingSnapshotWriter> Create(
+      FileKind file_kind, const std::string& path,
+      std::span<const PlannedSection> sections);
+
+  /// Abandons (deletes the temp file) when Finish() was never reached.
+  ~StreamingSnapshotWriter();
+
+  StreamingSnapshotWriter(StreamingSnapshotWriter&& other) noexcept;
+  StreamingSnapshotWriter& operator=(StreamingSnapshotWriter&&) = delete;
+  StreamingSnapshotWriter(const StreamingSnapshotWriter&) = delete;
+  StreamingSnapshotWriter& operator=(const StreamingSnapshotWriter&) = delete;
+
+  /// Appends payload bytes to the earliest unfilled section, rolling over
+  /// into the next declared section as lengths fill. Appending more bytes
+  /// than were declared in total is InvalidArgument; write failures are
+  /// IOError (the temp is removed either way).
+  Status Append(std::span<const std::byte> bytes);
+
+  template <typename T>
+  Status AppendArray(std::span<const T> values) {
+    return Append(std::as_bytes(values));
+  }
+
+  /// Validates every declared byte arrived, patches the header (file size +
+  /// checksum), fsyncs, and atomically renames the temp over `path`.
+  Status Finish();
+
+  /// Deletes the temp file without touching `path`.
+  void Abandon();
+
+  /// The laid-out final file size (header + table + padded sections).
+  uint64_t planned_file_size() const { return planned_file_size_; }
+
+ private:
+  StreamingSnapshotWriter() = default;
+
+  Status Fail(const std::string& message);  // abandon + IOError
+  void WriteAndHash(std::span<const std::byte> bytes);
+  void PadFilledSections();
+
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  std::string tmp_path_;
+  std::vector<uint64_t> lengths_;   // declared payload bytes per section
+  size_t current_section_ = 0;
+  uint64_t into_section_ = 0;
+  uint64_t planned_file_size_ = 0;
+  uint32_t file_kind_ = 0;
+  uint32_t section_count_ = 0;
+  bool write_failed_ = false;
+  Fnv64 hash_;
+};
+
 /// Accumulates sections and writes one container file. Section byte spans
 /// must stay alive until Write() returns (they usually view live arrays).
 class SnapshotWriter {
@@ -108,9 +200,10 @@ class SnapshotWriter {
     AddSection(kind, index, std::as_bytes(values));
   }
 
-  /// Lays out, checksums, and writes the file (atomic enough for our use:
-  /// written to `path` directly; callers wanting atomicity write to a temp
-  /// name and rename). IOError on any write failure.
+  /// Lays out, checksums, and writes the file through
+  /// StreamingSnapshotWriter — written as `<path>.tmp`, fsynced, renamed
+  /// into place, so an existing file at `path` is either fully replaced or
+  /// untouched. IOError on any write failure.
   Status Write(FileKind file_kind, const std::string& path) const;
 
  private:
@@ -201,21 +294,6 @@ Result<T> SnapshotFile::MetaSection(SectionKind kind, uint32_t index) const {
   std::memcpy(&out, buffer->data(), sizeof(T));
   return out;
 }
-
-/// Incremental FNV-1a 64 (the container checksum).
-class Fnv64 {
- public:
-  void Update(std::span<const std::byte> bytes) {
-    for (std::byte b : bytes) {
-      hash_ ^= static_cast<uint64_t>(b);
-      hash_ *= 0x100000001b3ull;
-    }
-  }
-  uint64_t digest() const { return hash_; }
-
- private:
-  uint64_t hash_ = 0xcbf29ce484222325ull;
-};
 
 }  // namespace wnw::storage
 

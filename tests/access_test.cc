@@ -11,6 +11,41 @@
 namespace wnw {
 namespace {
 
+TEST(FlatNodeMapTest, FindEmplaceGrowAndClear) {
+  FlatNodeMap<std::vector<NodeId>> map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.Find(7), nullptr);
+
+  // Insert enough entries to force several growths; spans into each stored
+  // vector's heap buffer must survive them (that's the documented contract
+  // the session caches rely on).
+  std::vector<std::span<const NodeId>> views;
+  for (NodeId key = 0; key < 200; ++key) {
+    std::vector<NodeId> value = {key, key + 1, key + 2};
+    views.push_back(map.Emplace(key, std::move(value)));
+  }
+  EXPECT_EQ(map.size(), 200u);
+  for (NodeId key = 0; key < 200; ++key) {
+    ASSERT_EQ(views[key].size(), 3u);
+    EXPECT_EQ(views[key][0], key);  // heap buffer survived table growth
+    const std::vector<NodeId>* found = map.Find(key);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ((*found)[2], key + 2);
+  }
+  EXPECT_FALSE(map.Contains(200));
+
+  // Emplace mirrors unordered_map::emplace — no overwrite of an entry.
+  std::vector<NodeId> other = {99};
+  EXPECT_EQ(map.Emplace(0, std::move(other)).size(), 3u);
+
+  map.Clear();
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_EQ(map.Find(0), nullptr);
+  map.Emplace(5, {42});
+  ASSERT_NE(map.Find(5), nullptr);
+  EXPECT_EQ(map.Find(5)->front(), 42u);
+}
+
 TEST(AccessTest, NeighborsMatchGraph) {
   const Graph g = testing::MakeHouseGraph();
   AccessInterface access(&g);

@@ -7,6 +7,12 @@
 #include <string>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
 #include <gtest/gtest.h>
 
 #include "access/query_cache.h"
@@ -300,6 +306,82 @@ TEST(SnapshotTest, ShardSectionsDisagreeingWithFlatCsrAreRejected) {
       << loaded.status().ToString();
   std::remove(path.c_str());
 }
+
+TEST(AtomicWriteTest, SuccessLeavesNoTempFile) {
+  const Graph g = testing::MakeTestBA(200, 4);
+  const std::string path = TempPath("atomic_ok.snap");
+  ASSERT_TRUE(WriteGraphSnapshot(g, path, {}).ok());
+  std::ifstream tmp(path + ".tmp", std::ios::binary);
+  EXPECT_FALSE(tmp.is_open()) << "writer left " << path << ".tmp behind";
+  std::remove(path.c_str());
+}
+
+TEST(AtomicWriteTest, FailedWriteLeavesExistingSnapshotUntouched) {
+  const Graph g = testing::MakeTestBA(200, 4);
+  // An unwritable target (a path through a regular file) must fail cleanly
+  // without touching anything at the destination name.
+  const std::string blocker = TempPath("atomic_blocker");
+  WriteAll(blocker, {'x'});
+  const std::string bad_path = blocker + "/sub/out.snap";
+  const Status written = WriteGraphSnapshot(g, bad_path, {});
+  ASSERT_FALSE(written.ok());
+  EXPECT_EQ(written.code(), StatusCode::kIOError);
+  EXPECT_FALSE(std::ifstream(bad_path + ".tmp").is_open());
+  std::remove(blocker.c_str());
+}
+
+TEST(AtomicWriteTest, RewriteReplacesAtomically) {
+  const Graph small = testing::MakeTestBA(100, 3);
+  const Graph big = testing::MakeTestBA(400, 5);
+  const std::string path = TempPath("atomic_replace.snap");
+  ASSERT_TRUE(WriteGraphSnapshot(small, path, {}).ok());
+  ASSERT_TRUE(WriteGraphSnapshot(big, path, {}).ok());
+  auto loaded = LoadGraphSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->graph.num_nodes(), big.num_nodes());
+  EXPECT_EQ(loaded->graph.num_edges(), big.num_edges());
+  std::remove(path.c_str());
+}
+
+#if defined(__unix__) || defined(__APPLE__)
+// The crash-consistency promise: a writer killed at ANY point leaves the
+// destination either absent or a complete, checksum-valid snapshot — never
+// truncated garbage. A child process writes in a loop and is SIGKILLed at
+// scattered points; the assertion is timing-independent.
+TEST(AtomicWriteTest, KillMidWriteNeverLeavesTornSnapshot) {
+  const Graph g = testing::MakeTestBA(20000, 8);  // big enough to interrupt
+  const std::string path = TempPath("atomic_kill.snap");
+  for (int round = 0; round < 6; ++round) {
+    std::remove(path.c_str());
+    std::remove((path + ".tmp").c_str());
+    const pid_t child = fork();
+    ASSERT_GE(child, 0);
+    if (child == 0) {
+      for (;;) {
+        if (!WriteGraphSnapshot(g, path, {}).ok()) _exit(1);
+      }
+    }
+    ::usleep(static_cast<useconds_t>(500 + round * 2300));
+    ::kill(child, SIGKILL);
+    int wstatus = 0;
+    ::waitpid(child, &wstatus, 0);
+
+    auto loaded = LoadGraphSnapshot(path);
+    if (loaded.ok()) {
+      EXPECT_EQ(loaded->graph.num_nodes(), g.num_nodes());
+      EXPECT_EQ(loaded->graph.num_edges(), g.num_edges());
+    } else {
+      // The only acceptable failure is "no snapshot yet" — a torn or
+      // truncated file at `path` is exactly what the tmp+rename protocol
+      // forbids.
+      EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound)
+          << "round " << round << ": " << loaded.status().ToString();
+    }
+  }
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+}
+#endif
 
 TEST(FromPartsTest, RejectsOverlapAndGaps) {
   const Graph g = testing::MakeHouseGraph();

@@ -74,7 +74,7 @@ void PrintUsage() {
       "                  [--samples N] [--seed S] [--scale X]\n"
       "                  [--diameter-bound D] [--estimate-degree] [--quiet]\n"
       "                  [--json] [--cache_file FILE]\n"
-      "dataset SPEC: ba:N,M | gplus | yelp | twitter | small\n"
+      "dataset SPEC: ba:N,M | rand:N,M | gplus | yelp | twitter | small\n"
       "sampler SPEC: <sampler>[:<walk>][?key=value&...], "
       "walk = srw|mhrw|lazy|maxdeg:<bound>\n"
       "registered samplers:\n");
@@ -168,6 +168,19 @@ Result<Graph> LoadInputGraph(const Args& args) {
     Rng rng(args.seed);
     return MakeBarabasiAlbert(static_cast<NodeId>(n),
                               static_cast<uint32_t>(m), rng);
+  }
+  if (args.dataset.rfind("rand:", 0) == 0) {
+    const std::string_view rand_spec =
+        std::string_view(args.dataset).substr(5);
+    const auto parts = SplitString(rand_spec, ",");
+    uint64_t n = 0, m = 0;
+    if (parts.size() != 2 || !ParseUint64(parts[0], &n) ||
+        !ParseUint64(parts[1], &m)) {
+      return Status::InvalidArgument("expected --dataset rand:N,M");
+    }
+    // Same construction as wnw_snapshot's rand: dataset for the same seed,
+    // so a streamed rand: snapshot serves the exact graph this builds.
+    return MakeUniformRandomMultigraph(static_cast<NodeId>(n), m, args.seed);
   }
   if (args.dataset == "gplus") {
     return MakeGPlusLike(args.scale, args.seed).graph;

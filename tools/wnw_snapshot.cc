@@ -5,14 +5,17 @@
 // Usage:
 //   wnw_snapshot --input edges.txt [--lcc] --output graph.snap
 //                [--shards N] [--partition hash|range|degree]
-//   wnw_snapshot --dataset ba:N,M|gplus|yelp|twitter|small [--seed S]
-//                [--scale X] --output graph.snap [--shards N] [...]
+//   wnw_snapshot --dataset ba:N,M|rand:N,M|gplus|yelp|twitter|small
+//                [--seed S] [--scale X] --output graph.snap [--shards N] [...]
+//   wnw_snapshot --stream [--mem-budget-mb MB] [--temp-dir DIR] ...
 //   wnw_snapshot --describe graph.snap
 //
 // Examples:
 //   wnw_snapshot --input soc-Epinions1.txt --lcc --output epinions.snap
 //   wnw_snapshot --dataset small --output small.snap --shards 4 \
 //                --partition degree
+//   wnw_snapshot --stream --mem-budget-mb 64 --dataset rand:10000000,80000000 \
+//                --output huge.snap
 //   wnw_sample --dataset small --spec "we:mhrw?snapshot=small.snap"
 //
 // --lcc keeps only the largest connected component (what wnw_sample does to
@@ -20,9 +23,16 @@
 // With --input, the source file's node ids are preserved in the snapshot's
 // original-id table. With --shards, per-shard CSR sections are written too,
 // so a sharded origin serves each shard straight from the mapping.
+//
+// --stream routes construction through storage::StreamingIngest (external
+// sort, bounded peak RSS — docs/STORAGE.md): the CSR is never resident, so
+// the graph may be far larger than memory. The output is byte-identical to
+// the in-memory path for the same source. Incompatible with --lcc and
+// --shards, which need the whole graph in memory.
 #include <algorithm>
 #include <cstddef>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -36,6 +46,7 @@
 #include "graph/generators.h"
 #include "graph/io.h"
 #include "graph/sharded_graph.h"
+#include "storage/ingest.h"
 #include "storage/residency.h"
 #include "storage/snapshot.h"
 #include "util/string_util.h"
@@ -54,6 +65,9 @@ struct Args {
   uint64_t shards = 0;
   std::string partition = "hash";
   bool lcc = false;
+  bool stream = false;
+  uint64_t mem_budget_mb = 64;
+  std::string temp_dir;
 };
 
 void PrintUsage() {
@@ -63,8 +77,10 @@ void PrintUsage() {
       "                    [--shards N] [--partition hash|range|degree]\n"
       "       wnw_snapshot --dataset SPEC [--seed S] [--scale X] --output "
       "SNAP [...]\n"
+      "       wnw_snapshot --stream [--mem-budget-mb MB] [--temp-dir DIR] "
+      "...\n"
       "       wnw_snapshot --describe SNAP\n"
-      "dataset SPEC: ba:N,M | gplus | yelp | twitter | small\n"
+      "dataset SPEC: ba:N,M | rand:N,M | gplus | yelp | twitter | small\n"
       "format reference: docs/STORAGE.md\n");
 }
 
@@ -105,6 +121,15 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->partition = v;
     } else if (flag == "--lcc") {
       args->lcc = true;
+    } else if (flag == "--stream") {
+      args->stream = true;
+    } else if (flag == "--mem-budget-mb") {
+      const char* v = next();
+      if (v == nullptr || !ParseUint64(v, &args->mem_budget_mb)) return false;
+    } else if (flag == "--temp-dir") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      args->temp_dir = v;
     } else if (flag == "--help" || flag == "-h") {
       PrintUsage();
       std::exit(0);
@@ -157,6 +182,20 @@ Result<SourceGraph> LoadSource(const Args& args) {
                                             static_cast<uint32_t>(m), rng));
     return SourceGraph{std::move(graph), {}};
   }
+  if (args.dataset.rfind("rand:", 0) == 0) {
+    const std::string_view rand_spec =
+        std::string_view(args.dataset).substr(5);
+    const auto parts = SplitString(rand_spec, ",");
+    uint64_t n = 0, m = 0;
+    if (parts.size() != 2 || !ParseUint64(parts[0], &n) ||
+        !ParseUint64(parts[1], &m)) {
+      return Status::InvalidArgument("expected --dataset rand:N,M");
+    }
+    WNW_ASSIGN_OR_RETURN(
+        Graph graph,
+        MakeUniformRandomMultigraph(static_cast<NodeId>(n), m, args.seed));
+    return SourceGraph{std::move(graph), {}};
+  }
   if (args.dataset == "gplus") {
     return SourceGraph{MakeGPlusLike(args.scale, args.seed).graph, {}};
   }
@@ -171,6 +210,72 @@ Result<SourceGraph> LoadSource(const Args& args) {
     return SourceGraph{MakeSmallScaleFree(args.seed).graph, {}};
   }
   return Status::InvalidArgument("unknown dataset: " + args.dataset);
+}
+
+// The --stream path: construction through the external-sort ingest
+// pipeline. rand:N,M and --input stay fully streaming; the other synthetic
+// datasets are built in memory (their generators need global state) and fed
+// through the GraphEdgeSource adapter, which still exercises the whole
+// pipeline.
+int RunStream(const Args& args) {
+  storage::IngestOptions options;
+  options.memory_budget_bytes = args.mem_budget_mb << 20;
+  options.temp_dir = args.temp_dir;
+
+  std::unique_ptr<EdgeSource> streaming_source;
+  Graph built;  // backs the adapter for in-memory datasets
+  if (!args.input_path.empty()) {
+    auto opened = EdgeListFileSource::Open(args.input_path);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    streaming_source = std::move(opened).value();
+  } else if (args.dataset.rfind("rand:", 0) == 0) {
+    const std::string_view rand_spec =
+        std::string_view(args.dataset).substr(5);
+    const auto parts = SplitString(rand_spec, ",");
+    uint64_t n = 0, m = 0;
+    if (parts.size() != 2 || !ParseUint64(parts[0], &n) ||
+        !ParseUint64(parts[1], &m)) {
+      std::fprintf(stderr, "error: expected --dataset rand:N,M\n");
+      return 2;
+    }
+    streaming_source = std::make_unique<RandomEdgeSource>(
+        static_cast<NodeId>(n), m, args.seed);
+  } else {
+    auto source = LoadSource(args);
+    if (!source.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   source.status().ToString().c_str());
+      return 1;
+    }
+    built = std::move(source->graph);
+    streaming_source = std::make_unique<GraphEdgeSource>(&built);
+  }
+
+  auto stats = storage::StreamGraphSnapshot(*streaming_source, args.output,
+                                            options);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "error: %s\n", stats.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(
+      stderr,
+      "ingest: %llu input edges -> %llu nodes, %llu edges | %llu runs, "
+      "%llu merge passes | %.2fs sort, %.2fs merge, %.2fs emit "
+      "(%.0f edges/s)\n",
+      static_cast<unsigned long long>(stats->input_edges),
+      static_cast<unsigned long long>(stats->num_nodes),
+      static_cast<unsigned long long>(stats->num_edges),
+      static_cast<unsigned long long>(stats->sorted_runs),
+      static_cast<unsigned long long>(stats->merge_passes),
+      stats->run_seconds, stats->merge_seconds, stats->emit_seconds,
+      stats->total_seconds > 0
+          ? static_cast<double>(stats->input_edges) / stats->total_seconds
+          : 0.0);
+  return 0;
 }
 
 int Describe(const std::string& path) {
@@ -289,6 +394,17 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "shards must be in [1, %d]\n",
                  ShardedGraph::kMaxShards);
     return 2;
+  }
+  if (args.stream) {
+    if (args.lcc || args.shards > 0) {
+      std::fprintf(stderr,
+                   "--stream is incompatible with --lcc and --shards (both "
+                   "need the whole graph in memory)\n");
+      return 2;
+    }
+    const int rc = RunStream(args);
+    if (rc != 0) return rc;
+    return Describe(args.output);
   }
 
   auto source = LoadSource(args);
